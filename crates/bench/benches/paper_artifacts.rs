@@ -1,0 +1,99 @@
+//! One benchmark group per paper artifact: each iteration regenerates the
+//! artifact's data from a fresh single-seed simulation, and the full
+//! paper-vs-measured report is printed once per group so `cargo bench`
+//! doubles as a reproduction harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use workloads::experiments::{fig5, fig6, fig7, table1, transfer_study};
+use workloads::spec::ExperimentSpec;
+
+fn one_seed(seed: u64) -> ExperimentSpec {
+    ExperimentSpec {
+        seeds: vec![seed],
+        ..ExperimentSpec::quick()
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("{}", table1::run());
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("render_roster_and_testbed", |b| {
+        b.iter(|| table1::run().len())
+    });
+    g.finish();
+}
+
+fn bench_fig2_3_4(c: &mut Criterion) {
+    // Figures 2–4 share the blind 50 MB study.
+    let study = transfer_study::run(&ExperimentSpec::quick());
+    println!("{}", transfer_study::fig2::report(&study).render());
+    println!("{}", transfer_study::fig3::report(&study).render());
+    println!("{}", transfer_study::fig4::report(&study).render());
+    let mut g = c.benchmark_group("fig2_3_4");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    let mut seed = 0u64;
+    g.bench_function("blind_50mb_study_one_seed", |b| {
+        b.iter(|| {
+            seed += 1;
+            transfer_study::run(&one_seed(seed)).total_min.means()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    println!("{}", fig5::run(&ExperimentSpec::quick()).render());
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(10));
+    let mut seed = 0u64;
+    g.bench_function("granularity_sweep_one_seed", |b| {
+        b.iter(|| {
+            seed += 1;
+            fig5::run_experiment(&one_seed(seed)).average_minutes(2)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    println!("{}", fig6::run(&ExperimentSpec::quick()).render());
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(12));
+    let mut seed = 0u64;
+    g.bench_function("selection_models_one_seed", |b| {
+        b.iter(|| {
+            seed += 1;
+            fig6::run_experiment(&one_seed(seed)).seconds[0].means()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    println!("{}", fig7::run(&ExperimentSpec::quick()).render());
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(10));
+    let mut seed = 0u64;
+    g.bench_function("exec_vs_transfer_exec_one_seed", |b| {
+        b.iter(|| {
+            seed += 1;
+            fig7::run_experiment(&one_seed(seed)).trans_exec.means()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    artifacts,
+    bench_table1,
+    bench_fig2_3_4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7
+);
+criterion_main!(artifacts);

@@ -1,0 +1,138 @@
+//! Microbenches of the simulator core: event queue, RNG, transfer planner,
+//! actor engine, and testbed construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::event::EventQueue;
+use netsim::link::{AccessLink, PathSpec};
+use netsim::node::{NodeId, NodeSpec};
+use netsim::prelude::*;
+use netsim::rng::SimRng;
+use netsim::transport::{TransferPlanner, TransportConfig};
+use planetlab::builder::{build, TestbedConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(SimTime::from_nanos(rng.next_u64_raw() % 1_000_000), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("next_u64_x1000", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64_raw());
+            }
+            acc
+        })
+    });
+    g.bench_function("lognormal_x1000", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..1000 {
+                acc += rng.lognormal_median(0.1, 0.8);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_transfer_planner(c: &mut Criterion) {
+    let mut topo = Topology::new();
+    let a = topo.add_node(NodeSpec::responsive("a"), AccessLink::default());
+    let b_node = topo.add_node(NodeSpec::responsive("b"), AccessLink::default());
+    topo.set_path_symmetric(a, b_node, PathSpec::from_owd_ms(25.0, 0.1));
+    c.bench_function("transfer_plan_x1000", |b| {
+        b.iter(|| {
+            let mut planner = TransferPlanner::new(TransportConfig::default(), topo.len());
+            let mut rng = SimRng::new(4);
+            let mut t = SimTime::ZERO;
+            for _ in 0..1000 {
+                let timing = planner.plan(&topo, t, a, b_node, 100_000, &mut rng);
+                t = timing.deliver;
+            }
+            t.as_nanos()
+        })
+    });
+}
+
+#[derive(Debug)]
+struct Token(u32);
+impl Payload for Token {
+    fn wire_size(&self) -> u64 {
+        64
+    }
+}
+
+struct Bouncer {
+    peer: NodeId,
+    remaining: u32,
+}
+impl Actor<Token> for Bouncer {
+    fn on_start(&mut self, ctx: &mut Context<Token>) {
+        if self.remaining > 0 {
+            ctx.send(self.peer, Token(self.remaining));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<Token>, from: NodeId, msg: Token) {
+        if msg.0 > 1 {
+            ctx.send(from, Token(msg.0 - 1));
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_pingpong_10k_msgs", |b| {
+        b.iter(|| {
+            let mut topo = Topology::new();
+            let a = topo.add_node(NodeSpec::responsive("a"), AccessLink::default());
+            let z = topo.add_node(NodeSpec::responsive("b"), AccessLink::default());
+            topo.set_path_symmetric(a, z, PathSpec::from_owd_ms(5.0, 0.0));
+            let mut engine = Engine::new(topo, TransportConfig::ideal(), 5);
+            engine.register(a, Box::new(Bouncer { peer: z, remaining: 10_000 }));
+            engine.register(z, Box::new(Bouncer { peer: a, remaining: 0 }));
+            engine.run();
+            engine.now().as_nanos()
+        })
+    });
+}
+
+fn bench_testbed_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("testbed");
+    g.bench_function("measurement_setup", |b| {
+        b.iter(|| build(&TestbedConfig::measurement_setup()).len())
+    });
+    g.bench_function("full_slice", |b| {
+        b.iter(|| build(&TestbedConfig::full_slice()).len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    simulator,
+    bench_event_queue,
+    bench_rng,
+    bench_transfer_planner,
+    bench_engine,
+    bench_testbed_build
+);
+criterion_main!(simulator);

@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see the `benches/` directory. One criterion group
+//! per paper artifact (`paper_artifacts`), the design-choice ablations
+//! (`ablations`), and simulator-core microbenches (`simulator`).

@@ -1,0 +1,311 @@
+//! The data evaluator ("cost") selection model (paper §2.2).
+//!
+//! Each peer is assigned a cost from its historical and statistical data:
+//! every §2.2 criterion is evaluated from the broker's
+//! [`overlay::stats::StatsSnapshot`],
+//! min-max normalized across the candidate set, polarity-corrected (queue
+//! lengths and cancellation rates count *against* a peer), weighted, and
+//! summed. "Some criteria are more important than others or even some are
+//! negligible (of zero weight)" — weights are user-defined or one of the
+//! presets; the paper's measured configuration is *same priority mode*,
+//! i.e. every criterion weighted equally.
+
+use overlay::stats::Criterion;
+use overlay::selector::SelectionRequest;
+
+use crate::model::{min_max_normalize, ScoringModel};
+
+/// A weighting of the §2.2 criteria.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightProfile {
+    weights: Vec<(Criterion, f64)>,
+}
+
+impl WeightProfile {
+    /// No criteria (useless on its own; start for builder use).
+    pub fn empty() -> Self {
+        WeightProfile {
+            weights: Vec::new(),
+        }
+    }
+
+    /// The paper's *same priority* mode: every criterion, equal weight.
+    pub fn same_priority() -> Self {
+        WeightProfile {
+            weights: Criterion::ALL.iter().map(|&c| (c, 1.0)).collect(),
+        }
+    }
+
+    /// Message-delivery-oriented preset (global criteria of §2.2).
+    pub fn message_oriented() -> Self {
+        WeightProfile::empty()
+            .with(Criterion::MsgSuccessSession, 2.0)
+            .with(Criterion::MsgSuccessTotal, 1.0)
+            .with(Criterion::MsgSuccessLastK, 2.0)
+            .with(Criterion::OutboxNow, 1.5)
+            .with(Criterion::OutboxAvg, 1.0)
+            .with(Criterion::InboxNow, 1.5)
+            .with(Criterion::InboxAvg, 1.0)
+    }
+
+    /// Task-execution-oriented preset.
+    pub fn task_oriented() -> Self {
+        WeightProfile::empty()
+            .with(Criterion::TaskExecSession, 2.0)
+            .with(Criterion::TaskExecTotal, 1.5)
+            .with(Criterion::TaskAcceptSession, 1.5)
+            .with(Criterion::TaskAcceptTotal, 1.0)
+            .with(Criterion::InboxNow, 1.0)
+            .with(Criterion::PendingTransfers, 0.5)
+    }
+
+    /// File-transfer-oriented preset.
+    pub fn file_oriented() -> Self {
+        WeightProfile::empty()
+            .with(Criterion::FilesSentSession, 2.0)
+            .with(Criterion::FilesSentTotal, 1.0)
+            .with(Criterion::CancelSession, 2.0)
+            .with(Criterion::CancelTotal, 1.0)
+            .with(Criterion::PendingTransfers, 1.5)
+            .with(Criterion::OutboxNow, 1.0)
+    }
+
+    /// Adds (or replaces) a criterion weight.
+    pub fn with(mut self, criterion: Criterion, weight: f64) -> Self {
+        self.weights.retain(|(c, _)| *c != criterion);
+        if weight != 0.0 {
+            self.weights.push((criterion, weight));
+        }
+        self
+    }
+
+    /// The active (non-zero) criterion weights.
+    pub fn weights(&self) -> &[(Criterion, f64)] {
+        &self.weights
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().map(|(_, w)| w.abs()).sum()
+    }
+}
+
+/// The data evaluator model.
+#[derive(Debug, Clone)]
+pub struct DataEvaluatorModel {
+    profile: WeightProfile,
+    /// Goodness assumed for criteria a peer has no history on.
+    neutral: f64,
+    name: String,
+}
+
+impl DataEvaluatorModel {
+    /// Creates the model in the paper's *same priority* mode.
+    pub fn same_priority() -> Self {
+        DataEvaluatorModel::with_profile("data-evaluator(same-priority)", WeightProfile::same_priority())
+    }
+
+    /// Creates the model with a custom weight profile.
+    pub fn with_profile(name: impl Into<String>, profile: WeightProfile) -> Self {
+        DataEvaluatorModel {
+            profile,
+            neutral: 0.5,
+            name: name.into(),
+        }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &WeightProfile {
+        &self.profile
+    }
+}
+
+impl ScoringModel for DataEvaluatorModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn scores(&mut self, req: &SelectionRequest<'_>) -> Vec<f64> {
+        let n = req.candidates.len();
+        let total_weight = self.profile.total_weight();
+        if n == 0 || total_weight <= 0.0 {
+            return vec![0.0; n];
+        }
+        let mut scores = vec![0.0; n];
+        for &(criterion, weight) in self.profile.weights() {
+            // Raw values; missing history marked NaN so normalization skips it.
+            let mut column: Vec<f64> = req
+                .candidates
+                .iter()
+                .map(|c| c.snapshot.value(criterion).unwrap_or(f64::NAN))
+                .collect();
+            min_max_normalize(&mut column);
+            for (i, v) in column.into_iter().enumerate() {
+                let goodness = if v.is_nan() {
+                    self.neutral
+                } else if criterion.higher_is_better() {
+                    v
+                } else {
+                    1.0 - v
+                };
+                scores[i] += weight * goodness;
+            }
+        }
+        for s in &mut scores {
+            *s /= total_weight;
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Scored;
+    use netsim::node::NodeId;
+    use netsim::time::SimTime;
+    use overlay::id::{IdGenerator, PeerId};
+    use overlay::selector::{CandidateView, InteractionHistory, PeerSelector, Purpose};
+    use overlay::stats::StatsSnapshot;
+
+    fn cand(node: u32, snapshot: StatsSnapshot) -> CandidateView {
+        let mut g = IdGenerator::new(node as u64 + 1);
+        CandidateView {
+            peer: PeerId::generate(&mut g),
+            node: NodeId(node),
+            name: format!("n{node}"),
+            cpu_gops: 1.0,
+            snapshot,
+            history: InteractionHistory::empty(),
+        }
+    }
+
+    fn req(c: &[CandidateView]) -> SelectionRequest<'_> {
+        SelectionRequest {
+            now: SimTime::ZERO,
+            purpose: Purpose::FileTransfer { bytes: 1 << 20 },
+            candidates: c,
+        }
+    }
+
+    #[test]
+    fn profile_presets_are_nonempty() {
+        assert_eq!(WeightProfile::same_priority().weights().len(), 16);
+        assert!(!WeightProfile::message_oriented().weights().is_empty());
+        assert!(!WeightProfile::task_oriented().weights().is_empty());
+        assert!(!WeightProfile::file_oriented().weights().is_empty());
+    }
+
+    #[test]
+    fn with_replaces_and_zero_removes() {
+        let p = WeightProfile::empty()
+            .with(Criterion::OutboxNow, 1.0)
+            .with(Criterion::OutboxNow, 2.0);
+        assert_eq!(p.weights(), &[(Criterion::OutboxNow, 2.0)]);
+        let p = p.with(Criterion::OutboxNow, 0.0);
+        assert!(p.weights().is_empty());
+    }
+
+    #[test]
+    fn better_message_success_wins() {
+        let mut good = StatsSnapshot::empty(1.0);
+        good.msg_success_total = Some(99.0);
+        let mut bad = StatsSnapshot::empty(1.0);
+        bad.msg_success_total = Some(60.0);
+        let c = vec![cand(0, bad), cand(1, good)];
+        let mut s = Scored::new(DataEvaluatorModel::same_priority());
+        assert_eq!(s.select(&req(&c)), Some(1));
+    }
+
+    #[test]
+    fn long_queues_count_against() {
+        let mut idle = StatsSnapshot::empty(1.0);
+        idle.outbox_now = 0.0;
+        idle.inbox_now = 0.0;
+        let mut congested = StatsSnapshot::empty(1.0);
+        congested.outbox_now = 12.0;
+        congested.inbox_now = 9.0;
+        let c = vec![cand(0, congested), cand(1, idle)];
+        let mut s = Scored::new(DataEvaluatorModel::same_priority());
+        assert_eq!(s.select(&req(&c)), Some(1));
+    }
+
+    #[test]
+    fn cancellation_rate_counts_against() {
+        let mut flaky = StatsSnapshot::empty(1.0);
+        flaky.cancel_total = Some(40.0);
+        flaky.files_sent_total = Some(60.0);
+        let mut solid = StatsSnapshot::empty(1.0);
+        solid.cancel_total = Some(0.0);
+        solid.files_sent_total = Some(100.0);
+        let c = vec![cand(0, flaky), cand(1, solid)];
+        let mut s = Scored::new(DataEvaluatorModel::with_profile(
+            "files",
+            WeightProfile::file_oriented(),
+        ));
+        assert_eq!(s.select(&req(&c)), Some(1));
+    }
+
+    #[test]
+    fn missing_history_is_neutral_not_zero() {
+        // A peer with no data must not automatically beat (or lose to) a
+        // peer with mediocre data on a higher-is-better criterion.
+        let unknown = StatsSnapshot::empty(1.0);
+        let mut perfect = StatsSnapshot::empty(1.0);
+        perfect.msg_success_total = Some(100.0);
+        let mut poor = StatsSnapshot::empty(1.0);
+        poor.msg_success_total = Some(0.0);
+        let profile = WeightProfile::empty().with(Criterion::MsgSuccessTotal, 1.0);
+        let s = Scored::new(DataEvaluatorModel::with_profile("msg", profile));
+        let c = vec![cand(0, poor), cand(1, unknown), cand(2, perfect)];
+        let scores = s.inner().clone().scores(&req(&c));
+        assert!(scores[0] < scores[1]);
+        assert!(scores[1] < scores[2]);
+        assert!((scores[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_invariant_under_weight_scaling() {
+        let mut a = StatsSnapshot::empty(1.0);
+        a.msg_success_total = Some(80.0);
+        a.outbox_now = 3.0;
+        let mut b = StatsSnapshot::empty(1.0);
+        b.msg_success_total = Some(90.0);
+        b.outbox_now = 6.0;
+        let c = vec![cand(0, a), cand(1, b)];
+        let p1 = WeightProfile::empty()
+            .with(Criterion::MsgSuccessTotal, 1.0)
+            .with(Criterion::OutboxNow, 2.0);
+        let p2 = WeightProfile::empty()
+            .with(Criterion::MsgSuccessTotal, 10.0)
+            .with(Criterion::OutboxNow, 20.0);
+        let s1 = DataEvaluatorModel::with_profile("p1", p1).scores(&req(&c));
+        let s2 = DataEvaluatorModel::with_profile("p2", p2).scores(&req(&c));
+        for (x, y) in s1.iter().zip(&s2) {
+            assert!((x - y).abs() < 1e-12, "scaling weights must not change scores");
+        }
+    }
+
+    #[test]
+    fn scores_bounded_zero_one() {
+        let mut a = StatsSnapshot::empty(1.0);
+        a.msg_success_total = Some(10.0);
+        a.outbox_now = 100.0;
+        let mut b = StatsSnapshot::empty(1.0);
+        b.msg_success_total = Some(95.0);
+        b.outbox_now = 0.0;
+        let c = vec![cand(0, a), cand(1, b)];
+        let scores = DataEvaluatorModel::same_priority().scores(&req(&c));
+        for s in scores {
+            assert!((0.0..=1.0).contains(&s), "score {s} out of range");
+        }
+    }
+
+    #[test]
+    fn empty_profile_scores_zero() {
+        let c = vec![cand(0, StatsSnapshot::empty(1.0))];
+        let scores =
+            DataEvaluatorModel::with_profile("none", WeightProfile::empty()).scores(&req(&c));
+        assert_eq!(scores, vec![0.0]);
+    }
+}

@@ -1,0 +1,61 @@
+//! # peer-selection — peer selection models for brokered P2P overlays
+//!
+//! The primary contribution of the reproduced paper: given a broker's view
+//! of its peergroup (statistics snapshots + observed interaction history),
+//! decide which peer should receive a file or execute a task.
+//!
+//! The paper's three models:
+//!
+//! * [`economic::EconomicModel`] — scheduling-based selection (§2.1): plan
+//!   ahead using estimated peer *ready times*, award work to the earliest /
+//!   cheapest completion, tie-break by CPU speed.
+//! * [`evaluator::DataEvaluatorModel`] — the cost model (§2.2): weighted sum
+//!   over the full statistics-criteria catalogue, with *same priority* mode
+//!   (equal weights) as measured in the paper.
+//! * [`preference::UserPreferenceModel`] — user's preference (§2.3),
+//!   including *quick peer* mode: historically fastest peer, ignoring all
+//!   current state.
+//!
+//! Plus extensions beyond the paper:
+//!
+//! * [`adaptive`] — ε-greedy and UCB1 bandit selectors (the "future work").
+//! * [`composite`] — weighted blends of models.
+//! * [`sticky`] — hysteresis: keep the incumbent peer unless a challenger
+//!   wins by a margin (cuts cold-peer wake-up churn).
+//!
+//! All models implement [`model::ScoringModel`] and convert to the broker's
+//! [`overlay::selector::PeerSelector`] via [`model::Scored`]:
+//!
+//! ```
+//! use peer_selection::prelude::*;
+//!
+//! let selector: Box<dyn PeerSelector> = Box::new(Scored::new(EconomicModel::new()));
+//! assert_eq!(selector.name(), "economic");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod composite;
+pub mod economic;
+pub mod estimate;
+pub mod evaluator;
+pub mod model;
+pub mod preference;
+pub mod sticky;
+
+/// Convenient re-exports of the model types and the overlay hook.
+pub mod prelude {
+    pub use crate::adaptive::{EpsilonGreedySelector, Ucb1Selector};
+    pub use crate::composite::CompositeModel;
+    pub use crate::economic::{EconomicConfig, EconomicModel};
+    pub use crate::estimate::Priors;
+    pub use crate::evaluator::{DataEvaluatorModel, WeightProfile};
+    pub use crate::model::{Scored, ScoringModel};
+    pub use crate::preference::{PreferenceMode, UserPreferenceModel};
+    pub use crate::sticky::StickySelector;
+    pub use overlay::selector::{
+        CandidateView, InteractionHistory, PeerSelector, Purpose, RandomSelector,
+        RoundRobinSelector, SelectionOutcome, SelectionRequest,
+    };
+}

@@ -1,0 +1,400 @@
+//! Lightweight measurement plumbing: counters, running statistics, and
+//! histograms, collected per simulation run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// Numerically stable for long runs, O(1) memory, and exact for the moments
+/// the experiment reports need (mean and standard deviation of 5 reps, per
+/// the paper's methodology).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStat {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStat {
+    /// An empty statistic.
+    pub fn new() -> Self {
+        RunningStat {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation (non-finite values are ignored).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another statistic into this one (parallel-reduction friendly).
+    pub fn merge(&mut self, other: &RunningStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+impl fmt::Display for RunningStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Fixed-layout log₂ histogram over positive values.
+///
+/// Bucket `i` covers `[base·2^i, base·2^(i+1))`; values below `base` land in
+/// bucket 0, values off the top in the last bucket. Good enough for latency
+/// tails without unbounded memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    base: f64,
+    buckets: Vec<u64>,
+    stat: RunningStat,
+}
+
+impl Histogram {
+    /// Creates a histogram with `num_buckets` doubling buckets starting at `base`.
+    pub fn new(base: f64, num_buckets: usize) -> Self {
+        assert!(base > 0.0 && num_buckets > 0);
+        Histogram {
+            base,
+            buckets: vec![0; num_buckets],
+            stat: RunningStat::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x < 0.0 {
+            return;
+        }
+        self.stat.record(x);
+        let idx = if x < self.base {
+            0
+        } else {
+            ((x / self.base).log2().floor() as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.stat.count()
+    }
+
+    /// The underlying running statistic.
+    pub fn stat(&self) -> &RunningStat {
+        &self.stat
+    }
+
+    /// Approximate quantile from the bucket layout (upper bound of the
+    /// bucket containing the q-th observation).
+    pub fn quantile_upper_bound(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return self.base * 2f64.powi(i as i32 + 1);
+            }
+        }
+        self.base * 2f64.powi(self.buckets.len() as i32)
+    }
+}
+
+/// Per-run metrics registry: named counters and named statistics.
+///
+/// Keys are plain strings; the registry is deliberately simple — experiments
+/// read it once at the end of a run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    stats: BTreeMap<String, RunningStat>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if absent.
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records an observation under statistic `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.stats
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Reads a statistic (empty stat when absent).
+    pub fn stat(&self, name: &str) -> RunningStat {
+        self.stats.get(name).cloned().unwrap_or_default()
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(|s| s.as_str())
+    }
+
+    /// All statistic names, sorted.
+    pub fn stat_names(&self) -> impl Iterator<Item = &str> {
+        self.stats.keys().map(|s| s.as_str())
+    }
+
+    /// Merges another registry into this one (sums counters, merges stats).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, s) in &other.stats {
+            self.stats.entry(k.clone()).or_default().merge(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stat_basic_moments() {
+        let mut s = RunningStat::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stat_empty_is_zero() {
+        let s = RunningStat::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn running_stat_ignores_non_finite() {
+        let mut s = RunningStat::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(3.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let mut whole = RunningStat::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = RunningStat::new();
+        let mut b = RunningStat::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = RunningStat::new();
+        let mut b = RunningStat::new();
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let empty = RunningStat::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let mut h = Histogram::new(1.0, 8);
+        h.record(0.5); // below base → bucket 0
+        h.record(1.5); // [1,2) → bucket 0
+        h.record(3.0); // [2,4) → bucket 1
+        h.record(1000.0); // off the top → last bucket
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[7], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new(0.001, 24);
+        let mut rng = crate::rng::SimRng::new(99);
+        for _ in 0..10_000 {
+            h.record(rng.exponential(0.1));
+        }
+        let p50 = h.quantile_upper_bound(0.5);
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!(p50 <= p99);
+        assert!(p50 > 0.01 && p50 < 0.5, "p50 {p50}");
+    }
+
+    #[test]
+    fn histogram_rejects_bad_values() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(-1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_upper_bound(0.5), 0.0);
+    }
+
+    #[test]
+    fn metrics_counters_and_stats() {
+        let mut m = Metrics::new();
+        m.incr("sent", 3);
+        m.incr("sent", 2);
+        m.observe("latency", 0.5);
+        m.observe("latency", 1.5);
+        assert_eq!(m.counter("sent"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.stat("latency").count(), 2);
+        assert!((m.stat("latency").mean() - 1.0).abs() < 1e-12);
+        assert_eq!(m.counter_names().collect::<Vec<_>>(), vec!["sent"]);
+        assert_eq!(m.stat_names().collect::<Vec<_>>(), vec!["latency"]);
+    }
+
+    #[test]
+    fn metrics_merge() {
+        let mut a = Metrics::new();
+        a.incr("x", 1);
+        a.observe("s", 1.0);
+        let mut b = Metrics::new();
+        b.incr("x", 2);
+        b.incr("y", 7);
+        b.observe("s", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 7);
+        assert_eq!(a.stat("s").count(), 2);
+        assert!((a.stat("s").mean() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,200 @@
+//! Topology: the set of simulated hosts plus the path matrix between them.
+
+use crate::link::{AccessLink, PathSpec};
+use crate::node::{NodeId, NodeSpec};
+
+/// A complete simulated network: nodes, their access links, and wide-area
+/// paths between every ordered pair.
+///
+/// Paths default to [`PathSpec::default`] until overridden; a loopback path
+/// (node to itself) has zero delay.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<NodeSpec>,
+    access: Vec<AccessLink>,
+    /// Row-major `n × n` path matrix (entry `[a][b]` is the a→b path).
+    paths: Vec<PathSpec>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology {
+            nodes: Vec::new(),
+            access: Vec::new(),
+            paths: Vec::new(),
+        }
+    }
+
+    /// Adds a node with its access link; returns its id.
+    ///
+    /// The path matrix is re-extended with default paths; callers typically
+    /// add all nodes first and then fill paths with [`Topology::set_path`].
+    pub fn add_node(&mut self, spec: NodeSpec, access: AccessLink) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(spec);
+        self.access.push(access);
+        self.rebuild_paths();
+        id
+    }
+
+    fn rebuild_paths(&mut self) {
+        let n = self.nodes.len();
+        let mut paths = Vec::with_capacity(n * n);
+        for a in 0..n {
+            for b in 0..n {
+                let existing = self.path_index(a, b);
+                if let Some(p) = existing {
+                    paths.push(p);
+                } else if a == b {
+                    paths.push(PathSpec {
+                        one_way_delay: crate::time::SimDuration::ZERO,
+                        jitter: crate::time::SimDuration::ZERO,
+                    });
+                } else {
+                    paths.push(PathSpec::default());
+                }
+            }
+        }
+        self.paths = paths;
+    }
+
+    /// Fetches the previous matrix entry during a rebuild, if it existed.
+    fn path_index(&self, a: usize, b: usize) -> Option<PathSpec> {
+        let old_n = (self.paths.len() as f64).sqrt() as usize;
+        if a < old_n && b < old_n {
+            Some(self.paths[a * old_n + b].clone())
+        } else {
+            None
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All node ids, in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The spec of a node.
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id.index()]
+    }
+
+    /// The access link of a node.
+    pub fn access(&self, id: NodeId) -> &AccessLink {
+        &self.access[id.index()]
+    }
+
+    /// The a→b wide-area path.
+    pub fn path(&self, a: NodeId, b: NodeId) -> &PathSpec {
+        &self.paths[a.index() * self.nodes.len() + b.index()]
+    }
+
+    /// Overrides the a→b path (one direction only).
+    pub fn set_path(&mut self, a: NodeId, b: NodeId, path: PathSpec) {
+        let n = self.nodes.len();
+        self.paths[a.index() * n + b.index()] = path;
+    }
+
+    /// Overrides both directions of the a↔b path with the same spec.
+    pub fn set_path_symmetric(&mut self, a: NodeId, b: NodeId, path: PathSpec) {
+        self.set_path(a, b, path.clone());
+        self.set_path(b, a, path);
+    }
+
+    /// Looks a node up by hostname.
+    pub fn find_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn add_nodes_assigns_dense_ids() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::responsive("a"), AccessLink::default());
+        let b = t.add_node(NodeSpec::responsive("b"), AccessLink::default());
+        assert_eq!(a, NodeId(0));
+        assert_eq!(b, NodeId(1));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn loopback_paths_are_zero_delay() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::responsive("a"), AccessLink::default());
+        assert_eq!(t.path(a, a).one_way_delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn set_path_is_directional() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::responsive("a"), AccessLink::default());
+        let b = t.add_node(NodeSpec::responsive("b"), AccessLink::default());
+        t.set_path(a, b, PathSpec::from_owd_ms(50.0, 0.0));
+        assert!((t.path(a, b).one_way_delay.as_secs_f64() - 0.05).abs() < 1e-9);
+        // Reverse direction still default.
+        assert!((t.path(b, a).one_way_delay.as_secs_f64() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_path_symmetric_sets_both() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::responsive("a"), AccessLink::default());
+        let b = t.add_node(NodeSpec::responsive("b"), AccessLink::default());
+        t.set_path_symmetric(a, b, PathSpec::from_owd_ms(33.0, 0.0));
+        assert_eq!(t.path(a, b), t.path(b, a));
+    }
+
+    #[test]
+    fn paths_survive_later_node_additions() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::responsive("a"), AccessLink::default());
+        let b = t.add_node(NodeSpec::responsive("b"), AccessLink::default());
+        t.set_path(a, b, PathSpec::from_owd_ms(70.0, 0.0));
+        let c = t.add_node(NodeSpec::responsive("c"), AccessLink::default());
+        assert!((t.path(a, b).one_way_delay.as_secs_f64() - 0.07).abs() < 1e-9);
+        assert!((t.path(a, c).one_way_delay.as_secs_f64() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn find_by_name_works() {
+        let mut t = Topology::new();
+        t.add_node(NodeSpec::responsive("alpha"), AccessLink::default());
+        let beta = t.add_node(NodeSpec::responsive("beta"), AccessLink::default());
+        assert_eq!(t.find_by_name("beta"), Some(beta));
+        assert_eq!(t.find_by_name("gamma"), None);
+    }
+
+    #[test]
+    fn node_ids_iterates_in_order() {
+        let mut t = Topology::new();
+        t.add_node(NodeSpec::responsive("a"), AccessLink::default());
+        t.add_node(NodeSpec::responsive("b"), AccessLink::default());
+        let ids: Vec<NodeId> = t.node_ids().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1)]);
+    }
+}

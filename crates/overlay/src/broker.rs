@@ -1,0 +1,1993 @@
+//! The Broker peer: governor of the P2P network (paper §3).
+//!
+//! The broker admits clients, aggregates per-peer statistics, coordinates
+//! chunked file transfers (petition → ack → stop-and-wait parts), manages
+//! executable tasks (ship input → offer → accept → result), and — crucially
+//! for this study — consults a pluggable [`PeerSelector`] whenever a command
+//! says "send this to the *selected* peer".
+//!
+//! Experiments drive the broker through a command script: a list of
+//! `(delay, command)` pairs executed at the scheduled times.
+
+use std::collections::HashMap;
+
+use netsim::engine::{Actor, Context, TimerId};
+use netsim::node::NodeId;
+use netsim::time::{SimDuration, SimTime};
+
+use crate::advertisement::PeerAdvertisement;
+use crate::filetransfer::{FileMeta, OutboundTransfer};
+use crate::group::GroupRegistry;
+use crate::id::{ContentId, IdGenerator, PeerId, TaskId, TransferId};
+use crate::message::OverlayMsg;
+use crate::records::{JobRecord, PartRecord, RecordSink, SelectionRecord, TaskRecord, TransferRecord};
+use crate::selector::{
+    CandidateView, InteractionHistory, PeerSelector, Purpose, SelectionOutcome, SelectionRequest,
+};
+use crate::stats::PeerStats;
+use crate::task::{TaskPhase, TaskSpec, TaskTracking};
+
+const CMD_TAG_BASE: u64 = 1_000_000;
+const WATCHDOG_TAG_BASE: u64 = 2_000_000;
+const GOSSIP_TAG: u64 = 3_000_000;
+const TASK_WATCHDOG_TAG_BASE: u64 = 4_000_000;
+const RETRY_TAG_BASE: u64 = 5_000_000;
+const CMD_RETRY_DELAY: SimDuration = SimDuration::from_millis(500);
+const CMD_MAX_RETRIES: u32 = 240;
+
+/// Retransmission policy for lossy networks: the sender re-sends the
+/// petition or the in-flight part when no answer arrives within `timeout`,
+/// up to `max_attempts` sends total, then cancels the transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// How long to wait for the ack/confirm before retransmitting.
+    pub timeout: SimDuration,
+    /// Total send attempts per message (1 = no retries).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_secs(120),
+            max_attempts: 4,
+        }
+    }
+}
+
+/// Who should receive a piece of work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetSpec {
+    /// A specific host.
+    Node(NodeId),
+    /// Every registered client (one work item per client).
+    AllClients,
+    /// Whichever peer the configured [`PeerSelector`] picks.
+    Selected,
+}
+
+/// One scripted broker action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerCommand {
+    /// Transfer a synthetic file of `size_bytes`, split into `num_parts`.
+    DistributeFile {
+        /// Destination(s).
+        target: TargetSpec,
+        /// File size in bytes.
+        size_bytes: u64,
+        /// Number of parts (1 = send whole).
+        num_parts: u32,
+        /// Label recorded with the transfer (figures key on it).
+        label: String,
+    },
+    /// Run a task of `work_gops`, optionally shipping `input_bytes` first.
+    SubmitTask {
+        /// Executor(s).
+        target: TargetSpec,
+        /// Compute demand in giga-ops.
+        work_gops: f64,
+        /// Input to ship before execution (0 = none).
+        input_bytes: u64,
+        /// Parts for the input shipment.
+        input_parts: u32,
+        /// Label recorded with the task.
+        label: String,
+    },
+    /// Send an instant message (exercises the messaging primitive).
+    SendInstant {
+        /// Destination(s).
+        target: TargetSpec,
+        /// Body.
+        text: String,
+    },
+}
+
+/// Broker construction parameters.
+pub struct BrokerConfig {
+    /// Scripted actions: `(delay from start, command)`.
+    pub commands: Vec<(SimDuration, BrokerCommand)>,
+    /// Selection model used for [`TargetSpec::Selected`].
+    pub selector: Option<Box<dyn PeerSelector>>,
+    /// Watchdog: cancel transfers that exceed this duration.
+    pub transfer_timeout: SimDuration,
+    /// Watchdog: fail tasks that produce no result within this duration
+    /// (measured from the offer).
+    pub task_timeout: SimDuration,
+    /// EWMA smoothing for observed history.
+    pub ewma_alpha: f64,
+    /// `k` for the "last k hours" criterion when snapshotting stats.
+    pub stats_k_hours: usize,
+    /// Seed for id generation.
+    pub id_seed: u64,
+    /// Stop the whole simulation once all scripted work completes.
+    pub stop_when_idle: bool,
+    /// Parts used when instructing peer-to-peer transfers for file requests.
+    pub request_parts: u32,
+    /// Fellow broker hosts to exchange rosters with (broker federation).
+    pub peer_brokers: Vec<NodeId>,
+    /// Roster-gossip period.
+    pub gossip_interval: SimDuration,
+    /// Optional retransmission policy (None = rely on watchdogs only;
+    /// appropriate when the transport is loss-free, i.e. TCP-like).
+    pub retry: Option<RetryPolicy>,
+}
+
+impl BrokerConfig {
+    /// A broker with no scripted commands.
+    pub fn new(id_seed: u64) -> Self {
+        BrokerConfig {
+            commands: Vec::new(),
+            selector: None,
+            transfer_timeout: SimDuration::from_mins(90),
+            task_timeout: SimDuration::from_mins(120),
+            ewma_alpha: 0.3,
+            stats_k_hours: 24,
+            id_seed,
+            stop_when_idle: true,
+            request_parts: 16,
+            peer_brokers: Vec::new(),
+            gossip_interval: SimDuration::from_secs(60),
+            retry: None,
+        }
+    }
+
+    /// Schedules a command `delay` after start.
+    pub fn at(mut self, delay: SimDuration, cmd: BrokerCommand) -> Self {
+        self.commands.push((delay, cmd));
+        self
+    }
+
+    /// Installs the selection model.
+    pub fn with_selector(mut self, s: Box<dyn PeerSelector>) -> Self {
+        self.selector = Some(s);
+        self
+    }
+}
+
+struct PeerEntry {
+    adv: PeerAdvertisement,
+    stats: PeerStats,
+    reported: Option<crate::stats::StatsSnapshot>,
+    history: InteractionHistory,
+}
+
+/// The broker actor.
+pub struct Broker {
+    cfg: BrokerConfig,
+    ids: IdGenerator,
+    peers: HashMap<PeerId, PeerEntry>,
+    by_node: HashMap<NodeId, PeerId>,
+    groups: GroupRegistry,
+    outbound: HashMap<TransferId, OutboundTransfer>,
+    watchdog_for: HashMap<u64, TransferId>,
+    next_watchdog_tag: u64,
+    task_watchdog_for: HashMap<u64, TaskId>,
+    next_task_watchdog_tag: u64,
+    tasks: HashMap<TaskId, TaskTracking>,
+    input_transfer_to_task: HashMap<TransferId, TaskId>,
+    command_retries: HashMap<u64, u32>,
+    commands_pending: usize,
+    /// Published content by name → holders.
+    content: HashMap<String, Vec<Holding>>,
+    /// Peer-to-peer transfers we instructed and are awaiting reports for.
+    instructed_pending: u32,
+    /// Client-submitted jobs keyed by the task executing them.
+    job_for_task: HashMap<TaskId, JobInfo>,
+    /// Candidate views learnt from fellow brokers, keyed by peer.
+    remote_peers: HashMap<PeerId, CandidateView>,
+    /// Armed retransmission probes by timer tag.
+    retry_probes: HashMap<u64, RetryProbe>,
+    next_retry_tag: u64,
+    sink: RecordSink,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RetryKind {
+    Petition,
+    Part { index: u32, size: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RetryProbe {
+    transfer: TransferId,
+    kind: RetryKind,
+    attempt: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Holding {
+    peer: PeerId,
+    node: NodeId,
+    content: crate::id::ContentId,
+    size: u64,
+    adv: crate::advertisement::ContentAdvertisement,
+}
+
+#[derive(Debug, Clone)]
+struct JobInfo {
+    submitter_node: NodeId,
+    label: String,
+    submitted_at: SimTime,
+}
+
+impl Broker {
+    /// Creates a broker writing records into `sink`.
+    pub fn new(cfg: BrokerConfig, sink: RecordSink) -> Self {
+        let id_seed = cfg.id_seed;
+        Broker {
+            ids: IdGenerator::new(id_seed),
+            groups: GroupRegistry::new(id_seed ^ 0x6120),
+            commands_pending: cfg.commands.len(),
+            cfg,
+            peers: HashMap::new(),
+            by_node: HashMap::new(),
+            outbound: HashMap::new(),
+            watchdog_for: HashMap::new(),
+            next_watchdog_tag: WATCHDOG_TAG_BASE,
+            task_watchdog_for: HashMap::new(),
+            next_task_watchdog_tag: TASK_WATCHDOG_TAG_BASE,
+            tasks: HashMap::new(),
+            input_transfer_to_task: HashMap::new(),
+            command_retries: HashMap::new(),
+            content: HashMap::new(),
+            instructed_pending: 0,
+            job_for_task: HashMap::new(),
+            remote_peers: HashMap::new(),
+            retry_probes: HashMap::new(),
+            next_retry_tag: RETRY_TAG_BASE,
+            sink: sink.clone(),
+        }
+    }
+
+    /// Number of registered peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn registered_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.by_node.keys().copied().collect();
+        nodes.sort(); // deterministic order
+        nodes
+    }
+
+    fn candidate_views(&self, now: SimTime) -> Vec<CandidateView> {
+        let mut views: Vec<CandidateView> = self
+            .peers
+            .values()
+            .map(|entry| {
+                // Broker-side stats, with queue gauges overridden by the
+                // peer's own latest report when available.
+                let mut snapshot = entry.stats.snapshot(now, self.cfg.stats_k_hours);
+                if let Some(reported) = &entry.reported {
+                    snapshot.inbox_now = reported.inbox_now;
+                    snapshot.inbox_avg = reported.inbox_avg;
+                    snapshot.outbox_now = reported.outbox_now;
+                    snapshot.outbox_avg = reported.outbox_avg;
+                }
+                CandidateView {
+                    peer: entry.adv.peer,
+                    node: entry.adv.node,
+                    name: entry.adv.name.clone(),
+                    cpu_gops: entry.adv.cpu_gops,
+                    snapshot,
+                    history: entry.history.clone(),
+                }
+            })
+            .collect();
+        // Merge federation-learnt peers that are not locally registered.
+        for remote in self.remote_peers.values() {
+            if !self.by_node.contains_key(&remote.node) {
+                views.push(remote.clone());
+            }
+        }
+        views.sort_by_key(|v| v.node);
+        views
+    }
+
+    fn resolve_targets(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        target: &TargetSpec,
+        purpose: Purpose,
+    ) -> Vec<NodeId> {
+        match target {
+            TargetSpec::Node(n) => vec![*n],
+            TargetSpec::AllClients => self.registered_nodes(),
+            TargetSpec::Selected => {
+                let now = ctx.now();
+                let candidates = self.candidate_views(now);
+                if candidates.is_empty() {
+                    return Vec::new();
+                }
+                let Some(selector) = self.cfg.selector.as_mut() else {
+                    return Vec::new();
+                };
+                let req = SelectionRequest {
+                    now,
+                    purpose,
+                    candidates: &candidates,
+                };
+                match selector.select(&req) {
+                    Some(i) if i < candidates.len() => {
+                        let chosen = &candidates[i];
+                        self.sink.with(|log| {
+                            log.selections.push(SelectionRecord {
+                                at: now,
+                                model: selector.name().to_string(),
+                                chosen: chosen.node,
+                                chosen_name: chosen.name.clone(),
+                                candidates: candidates.len(),
+                            })
+                        });
+                        vec![chosen.node]
+                    }
+                    _ => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Selection restricted to `nodes` (used for file requests with several
+    /// owners). Falls back to least-pending-transfers when no selector is
+    /// installed. Records the decision when a selector was consulted.
+    fn select_among(
+        &mut self,
+        now: SimTime,
+        nodes: &[NodeId],
+        purpose: Purpose,
+    ) -> Option<NodeId> {
+        if nodes.is_empty() {
+            return None;
+        }
+        if nodes.len() == 1 {
+            return Some(nodes[0]);
+        }
+        let candidates: Vec<CandidateView> = self
+            .candidate_views(now)
+            .into_iter()
+            .filter(|v| nodes.contains(&v.node))
+            .collect();
+        if let Some(selector) = self.cfg.selector.as_mut() {
+            if !candidates.is_empty() {
+                let req = SelectionRequest {
+                    now,
+                    purpose,
+                    candidates: &candidates,
+                };
+                if let Some(i) = selector.select(&req) {
+                    if i < candidates.len() {
+                        let chosen = &candidates[i];
+                        let record = SelectionRecord {
+                            at: now,
+                            model: selector.name().to_string(),
+                            chosen: chosen.node,
+                            chosen_name: chosen.name.clone(),
+                            candidates: candidates.len(),
+                        };
+                        self.sink.with(|log| log.selections.push(record));
+                        return Some(chosen.node);
+                    }
+                }
+            }
+        }
+        // Fallback: least currently-pending transfers, lowest node id.
+        candidates
+            .iter()
+            .min_by(|a, b| {
+                a.snapshot
+                    .pending_transfers
+                    .partial_cmp(&b.snapshot.pending_transfers)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.node.cmp(&b.node))
+            })
+            .map(|v| v.node)
+            .or_else(|| nodes.first().copied())
+    }
+
+    fn start_transfer(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        to: NodeId,
+        size_bytes: u64,
+        num_parts: u32,
+        label: &str,
+    ) -> TransferId {
+        let now = ctx.now();
+        let id = TransferId::generate(&mut self.ids);
+        let file = FileMeta {
+            content: ContentId::generate(&mut self.ids),
+            name: label.to_string(),
+            size_bytes,
+        };
+        let outbound = OutboundTransfer::new(id, file.clone(), to, num_parts, now);
+        let actual_parts = outbound.num_parts();
+        self.sink.with(|log| {
+            log.transfers.push(TransferRecord {
+                id,
+                to,
+                to_name: ctx_name(ctx, to),
+                label: label.to_string(),
+                file_size: size_bytes,
+                num_parts: actual_parts,
+                petition_sent_at: now,
+                petition_handled_at: None,
+                petition_acked_at: None,
+                parts: Vec::with_capacity(actual_parts as usize),
+                completed_at: None,
+                cancelled: false,
+            })
+        });
+        if let Some(peer) = self.by_node.get(&to).copied() {
+            if let Some(entry) = self.peers.get_mut(&peer) {
+                entry.stats.pending_transfers += 1;
+                entry.stats.outbox.incr(now);
+                entry.history.queued_bytes += size_bytes;
+            }
+        }
+        ctx.send(
+            to,
+            OverlayMsg::FilePetition {
+                transfer: id,
+                file,
+                num_parts: actual_parts,
+                sent_at: now,
+            },
+        );
+        self.outbound.insert(id, outbound);
+        self.arm_retry(ctx, id, RetryKind::Petition, 1);
+        let tag = self.next_watchdog_tag;
+        self.next_watchdog_tag += 1;
+        self.watchdog_for.insert(tag, id);
+        ctx.schedule_timer(self.cfg.transfer_timeout, tag);
+        ctx.metrics().incr("overlay.transfers_started", 1);
+        id
+    }
+
+    /// Arms a retransmission probe for the given message, when a retry
+    /// policy is configured.
+    fn arm_retry(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        transfer: TransferId,
+        kind: RetryKind,
+        attempt: u32,
+    ) {
+        let Some(policy) = self.cfg.retry else {
+            return;
+        };
+        let tag = self.next_retry_tag;
+        self.next_retry_tag += 1;
+        self.retry_probes.insert(
+            tag,
+            RetryProbe {
+                transfer,
+                kind,
+                attempt,
+            },
+        );
+        ctx.schedule_timer(policy.timeout, tag);
+    }
+
+    fn send_part(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        transfer: TransferId,
+        to: NodeId,
+        index: u32,
+        size: u64,
+    ) {
+        let now = ctx.now();
+        self.sink.with(|log| {
+            if let Some(rec) = log.transfer_mut(transfer) {
+                rec.parts.push(PartRecord {
+                    index,
+                    size,
+                    sent_at: now,
+                    confirmed_at: None,
+                });
+            }
+        });
+        ctx.send(
+            to,
+            OverlayMsg::FilePart {
+                transfer,
+                index,
+                size,
+            },
+        );
+        self.arm_retry(ctx, transfer, RetryKind::Part { index, size }, 1);
+    }
+
+    fn finish_transfer(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        transfer: TransferId,
+        completed: bool,
+    ) {
+        let now = ctx.now();
+        let Some(outbound) = self.outbound.remove(&transfer) else {
+            return;
+        };
+        let to = outbound.to;
+        let size = outbound.file.size_bytes;
+        ctx.send(
+            to,
+            if completed {
+                OverlayMsg::TransferComplete { transfer }
+            } else {
+                OverlayMsg::TransferCancel { transfer }
+            },
+        );
+        let mut elapsed = 0.0;
+        let mut throughput = None;
+        self.sink.with(|log| {
+            if let Some(rec) = log.transfer_mut(transfer) {
+                if completed {
+                    rec.completed_at = Some(now);
+                } else {
+                    rec.cancelled = true;
+                }
+                elapsed = now.duration_since(rec.petition_sent_at).as_secs_f64();
+                throughput = rec.throughput_bytes_per_sec();
+            }
+        });
+        if let Some(peer) = self.by_node.get(&to).copied() {
+            if let Some(entry) = self.peers.get_mut(&peer) {
+                entry.stats.pending_transfers = entry.stats.pending_transfers.saturating_sub(1);
+                entry.stats.outbox.decr(now);
+                entry.stats.record_file_send(completed);
+                entry.history.queued_bytes = entry.history.queued_bytes.saturating_sub(size);
+                if completed {
+                    entry.history.transfers_completed += 1;
+                    if let Some(bps) = throughput {
+                        entry.history.observe_throughput(bps, self.cfg.ewma_alpha);
+                    }
+                } else {
+                    entry.history.transfers_cancelled += 1;
+                }
+            }
+        }
+        if let Some(selector) = self.cfg.selector.as_mut() {
+            selector.on_outcome(&SelectionOutcome {
+                node: to,
+                success: completed,
+                elapsed_secs: elapsed,
+                bytes: size,
+            });
+        }
+        ctx.metrics().incr(
+            if completed {
+                "overlay.transfers_completed"
+            } else {
+                "overlay.transfers_cancelled"
+            },
+            1,
+        );
+
+        // If this transfer was a task's input shipment, advance the task.
+        if let Some(task_id) = self.input_transfer_to_task.remove(&transfer) {
+            if completed {
+                self.offer_task(ctx, task_id);
+            } else {
+                self.fail_task(ctx, task_id);
+            }
+        }
+        self.maybe_stop(ctx);
+    }
+
+    fn offer_task(&mut self, ctx: &mut Context<OverlayMsg>, task_id: TaskId) {
+        let now = ctx.now();
+        let Some(tracking) = self.tasks.get_mut(&task_id) else {
+            return;
+        };
+        tracking.phase = TaskPhase::Offered;
+        tracking.offered_at = Some(now);
+        if tracking.input_transfer.is_some() && tracking.input_done_at.is_none() {
+            tracking.input_done_at = Some(now);
+        }
+        let node = tracking.node;
+        let spec = tracking.spec.clone();
+        self.sink.with(|log| {
+            if let Some(rec) = log.task_mut(task_id) {
+                rec.input_done_at = self.tasks.get(&task_id).and_then(|t| t.input_done_at);
+            }
+        });
+        ctx.send(
+            node,
+            OverlayMsg::TaskOffer {
+                task: spec,
+                sent_at: now,
+            },
+        );
+        let tag = self.next_task_watchdog_tag;
+        self.next_task_watchdog_tag += 1;
+        self.task_watchdog_for.insert(tag, task_id);
+        ctx.schedule_timer(self.cfg.task_timeout, tag);
+    }
+
+    fn fail_task(&mut self, ctx: &mut Context<OverlayMsg>, task_id: TaskId) {
+        if let Some(tracking) = self.tasks.get_mut(&task_id) {
+            tracking.phase = TaskPhase::Failed;
+        }
+        if let Some(job) = self.job_for_task.remove(&task_id) {
+            let total_secs = ctx
+                .now()
+                .duration_since(job.submitted_at)
+                .as_secs_f64();
+            ctx.send(
+                job.submitter_node,
+                OverlayMsg::JobDone {
+                    label: job.label.clone(),
+                    success: false,
+                    total_secs,
+                },
+            );
+            self.sink.with(|log| {
+                if let Some(rec) = log
+                    .jobs
+                    .iter_mut()
+                    .rev()
+                    .find(|j| j.label == job.label && j.done_at.is_none())
+                {
+                    rec.done_at = Some(ctx.now());
+                    rec.success = false;
+                }
+            });
+        }
+        self.sink.with(|log| {
+            if let Some(rec) = log.task_mut(task_id) {
+                rec.success = false;
+                rec.result_at = None;
+            }
+        });
+        ctx.metrics().incr("overlay.tasks_failed", 1);
+        self.maybe_stop(ctx);
+    }
+
+    fn submit_task(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        node: NodeId,
+        work_gops: f64,
+        input_bytes: u64,
+        input_parts: u32,
+        label: &str,
+    ) {
+        let now = ctx.now();
+        let spec = TaskSpec {
+            id: TaskId::generate(&mut self.ids),
+            label: label.to_string(),
+            work_gops,
+            input_bytes,
+        };
+        let task_id = spec.id;
+        let mut tracking = TaskTracking::new(spec, node, now);
+        self.sink.with(|log| {
+            log.tasks.push(TaskRecord {
+                id: task_id,
+                on: node,
+                on_name: ctx_name(ctx, node),
+                label: label.to_string(),
+                input_bytes,
+                work_gops,
+                submitted_at: now,
+                input_done_at: None,
+                accepted_at: None,
+                result_at: None,
+                exec_secs: None,
+                success: false,
+            })
+        });
+        if input_bytes > 0 {
+            let transfer = self.start_transfer(
+                ctx,
+                node,
+                input_bytes,
+                input_parts,
+                &format!("{label}.input"),
+            );
+            tracking.input_transfer = Some(transfer);
+            self.input_transfer_to_task.insert(transfer, task_id);
+            self.tasks.insert(task_id, tracking);
+        } else {
+            self.tasks.insert(task_id, tracking);
+            self.offer_task(ctx, task_id);
+        }
+        ctx.metrics().incr("overlay.tasks_submitted", 1);
+    }
+
+    fn execute_command(&mut self, ctx: &mut Context<OverlayMsg>, cmd: BrokerCommand) {
+        match cmd {
+            BrokerCommand::DistributeFile {
+                target,
+                size_bytes,
+                num_parts,
+                label,
+            } => {
+                let purpose = Purpose::FileTransfer { bytes: size_bytes };
+                for node in self.resolve_targets(ctx, &target, purpose) {
+                    self.start_transfer(ctx, node, size_bytes, num_parts, &label);
+                }
+            }
+            BrokerCommand::SubmitTask {
+                target,
+                work_gops,
+                input_bytes,
+                input_parts,
+                label,
+            } => {
+                let purpose = Purpose::TaskExecution {
+                    work_gops: work_gops as u64,
+                    input_bytes,
+                };
+                for node in self.resolve_targets(ctx, &target, purpose) {
+                    self.submit_task(ctx, node, work_gops, input_bytes, input_parts, &label);
+                }
+            }
+            BrokerCommand::SendInstant { target, text } => {
+                let purpose = Purpose::FileTransfer {
+                    bytes: text.len() as u64,
+                };
+                for node in self.resolve_targets(ctx, &target, purpose) {
+                    ctx.send(node, OverlayMsg::Instant { text: clone_text(&text) });
+                }
+            }
+        }
+    }
+
+    fn work_outstanding(&self) -> bool {
+        self.commands_pending > 0
+            || self.instructed_pending > 0
+            || !self.outbound.is_empty()
+            || self
+                .tasks
+                .values()
+                .any(|t| !matches!(t.phase, TaskPhase::Completed | TaskPhase::Failed))
+    }
+
+    fn maybe_stop(&mut self, ctx: &mut Context<OverlayMsg>) {
+        if self.cfg.stop_when_idle && !self.work_outstanding() {
+            ctx.stop();
+        }
+    }
+}
+
+fn ctx_name(ctx: &Context<OverlayMsg>, node: NodeId) -> String {
+    ctx.node_name(node).to_string()
+}
+
+fn clone_text(t: &str) -> String {
+    t.to_string()
+}
+
+impl Actor<OverlayMsg> for Broker {
+    fn on_start(&mut self, ctx: &mut Context<OverlayMsg>) {
+        let commands = std::mem::take(&mut self.cfg.commands);
+        for (i, (delay, _cmd)) in commands.iter().enumerate() {
+            ctx.schedule_timer(*delay, CMD_TAG_BASE + i as u64);
+        }
+        self.cfg.commands = commands;
+        if !self.cfg.peer_brokers.is_empty() {
+            ctx.schedule_timer(self.cfg.gossip_interval, GOSSIP_TAG);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<OverlayMsg>, from: NodeId, msg: OverlayMsg) {
+        let now = ctx.now();
+        match msg {
+            OverlayMsg::Join(adv) => {
+                let peer = adv.peer;
+                let cpu = adv.cpu_gops;
+                self.by_node.insert(adv.node, peer);
+                self.peers.entry(peer).or_insert_with(|| PeerEntry {
+                    adv,
+                    stats: PeerStats::new(now, cpu),
+                    reported: None,
+                    history: InteractionHistory::empty(),
+                });
+                let group = self.groups.admit(peer);
+                ctx.send(from, OverlayMsg::JoinAck { group });
+                ctx.metrics().incr("overlay.joins", 1);
+            }
+            OverlayMsg::Leave { peer } => {
+                if let Some(entry) = self.peers.remove(&peer) {
+                    self.by_node.remove(&entry.adv.node);
+                }
+                self.groups.expel(peer);
+            }
+            OverlayMsg::DiscoverPeers => {
+                let adverts: Vec<PeerAdvertisement> = self
+                    .peers
+                    .values()
+                    .map(|e| e.adv.clone())
+                    .filter(|a| !a.is_expired(now))
+                    .collect();
+                ctx.send(from, OverlayMsg::DiscoverPeersResponse { adverts });
+            }
+            OverlayMsg::StatsReport { peer, snapshot } => {
+                if let Some(entry) = self.peers.get_mut(&peer) {
+                    entry.reported = Some(snapshot);
+                    entry.stats.record_message(now, true);
+                }
+            }
+            OverlayMsg::PetitionAck {
+                transfer,
+                accepted,
+                petition_sent_at,
+                handled_at,
+            } => {
+                // A duplicate ack (retransmitted petition) must not skew the
+                // records or the latency history.
+                let first_ack = self
+                    .outbound
+                    .get(&transfer)
+                    .map(|t| t.phase == crate::filetransfer::TransferPhase::AwaitingPetitionAck)
+                    .unwrap_or(false);
+                if first_ack {
+                    self.sink.with(|log| {
+                        if let Some(rec) = log.transfer_mut(transfer) {
+                            rec.petition_handled_at = Some(handled_at);
+                            rec.petition_acked_at = Some(now);
+                        }
+                    });
+                    let petition_latency =
+                        handled_at.duration_since(petition_sent_at).as_secs_f64();
+                    if let Some(peer) = self.by_node.get(&from).copied() {
+                        if let Some(entry) = self.peers.get_mut(&peer) {
+                            entry
+                                .history
+                                .observe_petition(petition_latency, self.cfg.ewma_alpha);
+                            entry.stats.record_message(now, true);
+                        }
+                    }
+                }
+                let next = self
+                    .outbound
+                    .get_mut(&transfer)
+                    .and_then(|t| t.on_petition_ack(accepted));
+                match next {
+                    Some((index, size)) => self.send_part(ctx, transfer, from, index, size),
+                    None => {
+                        if !accepted {
+                            self.finish_transfer(ctx, transfer, false);
+                        }
+                    }
+                }
+            }
+            OverlayMsg::PartConfirm { transfer, index } => {
+                self.sink.with(|log| {
+                    if let Some(rec) = log.transfer_mut(transfer) {
+                        if let Some(part) =
+                            rec.parts.iter_mut().find(|p| p.index == index)
+                        {
+                            part.confirmed_at = Some(now);
+                        }
+                    }
+                });
+                let outcome = self
+                    .outbound
+                    .get_mut(&transfer)
+                    .map(|t| (t.on_part_confirm(index), t.is_complete()));
+                match outcome {
+                    Some((Some((next_index, size)), _)) => {
+                        self.send_part(ctx, transfer, from, next_index, size);
+                    }
+                    Some((None, true)) => self.finish_transfer(ctx, transfer, true),
+                    _ => {}
+                }
+            }
+            OverlayMsg::TaskAccept { task } => {
+                if let Some(tracking) = self.tasks.get_mut(&task) {
+                    tracking.phase = TaskPhase::Running;
+                    tracking.accepted_at = Some(now);
+                    let node = tracking.node;
+                    self.sink.with(|log| {
+                        if let Some(rec) = log.task_mut(task) {
+                            rec.accepted_at = Some(now);
+                        }
+                    });
+                    if let Some(peer) = self.by_node.get(&node).copied() {
+                        if let Some(entry) = self.peers.get_mut(&peer) {
+                            entry.stats.record_task_offer(true);
+                        }
+                    }
+                }
+            }
+            OverlayMsg::TaskReject { task } => {
+                if let Some(tracking) = self.tasks.get(&task) {
+                    let node = tracking.node;
+                    if let Some(peer) = self.by_node.get(&node).copied() {
+                        if let Some(entry) = self.peers.get_mut(&peer) {
+                            entry.stats.record_task_offer(false);
+                        }
+                    }
+                }
+                self.fail_task(ctx, task);
+            }
+            OverlayMsg::TaskResult {
+                task,
+                success,
+                exec_secs,
+            } => {
+                let work_gops;
+                if let Some(tracking) = self.tasks.get_mut(&task) {
+                    tracking.phase = if success {
+                        TaskPhase::Completed
+                    } else {
+                        TaskPhase::Failed
+                    };
+                    tracking.result_at = Some(now);
+                    tracking.exec_secs = Some(exec_secs);
+                    work_gops = tracking.spec.work_gops;
+                    let node = tracking.node;
+                    if let Some(peer) = self.by_node.get(&node).copied() {
+                        if let Some(entry) = self.peers.get_mut(&peer) {
+                            entry.stats.record_task_execution(success);
+                            if success && exec_secs > 0.0 {
+                                entry
+                                    .history
+                                    .observe_exec_rate(work_gops / exec_secs, self.cfg.ewma_alpha);
+                            }
+                        }
+                    }
+                }
+                self.sink.with(|log| {
+                    if let Some(rec) = log.task_mut(task) {
+                        rec.result_at = Some(now);
+                        rec.exec_secs = Some(exec_secs);
+                        rec.success = success;
+                    }
+                });
+                if let Some(selector) = self.cfg.selector.as_mut() {
+                    if let Some(tracking) = self.tasks.get(&task) {
+                        selector.on_outcome(&SelectionOutcome {
+                            node: tracking.node,
+                            success,
+                            elapsed_secs: tracking.total_secs().unwrap_or(0.0),
+                            bytes: tracking.spec.input_bytes,
+                        });
+                    }
+                }
+                if let Some(job) = self.job_for_task.remove(&task) {
+                    let total_secs = now.duration_since(job.submitted_at).as_secs_f64();
+                    ctx.send(
+                        job.submitter_node,
+                        OverlayMsg::JobDone {
+                            label: job.label.clone(),
+                            success,
+                            total_secs,
+                        },
+                    );
+                    self.sink.with(|log| {
+                        if let Some(rec) = log
+                            .jobs
+                            .iter_mut()
+                            .rev()
+                            .find(|j| j.label == job.label && j.done_at.is_none())
+                        {
+                            rec.done_at = Some(now);
+                            rec.success = success;
+                        }
+                    });
+                }
+                ctx.metrics().incr("overlay.tasks_completed", 1);
+                self.maybe_stop(ctx);
+            }
+            OverlayMsg::PublishContent(adv)
+                if self.peers.contains_key(&adv.owner) => {
+                    let node = self
+                        .peers
+                        .get(&adv.owner)
+                        .map(|e| e.adv.node)
+                        .unwrap_or(from);
+                    self.content.entry(adv.name.clone()).or_default().push(Holding {
+                        peer: adv.owner,
+                        node,
+                        content: adv.content,
+                        size: adv.size_bytes,
+                        adv,
+                    });
+                    ctx.metrics().incr("overlay.content_published", 1);
+                }
+            OverlayMsg::DiscoverContent { pattern } => {
+                let adverts: Vec<crate::advertisement::ContentAdvertisement> = self
+                    .content
+                    .iter()
+                    .filter(|(name, _)| name.contains(&pattern))
+                    .flat_map(|(_, holdings)| holdings.iter())
+                    .filter(|h| !h.adv.is_expired(now) && self.peers.contains_key(&h.peer))
+                    .map(|h| h.adv.clone())
+                    .collect();
+                ctx.send(from, OverlayMsg::DiscoverContentResponse { adverts });
+            }
+            OverlayMsg::FileRequest { requester, name } => {
+                let Some(requester_node) =
+                    self.peers.get(&requester).map(|e| e.adv.node)
+                else {
+                    return;
+                };
+                let holders: Vec<Holding> = self
+                    .content
+                    .get(&name)
+                    .map(|hs| {
+                        hs.iter()
+                            .filter(|h| {
+                                h.node != requester_node && self.peers.contains_key(&h.peer)
+                            })
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if holders.is_empty() {
+                    ctx.metrics().incr("overlay.file_requests_unserved", 1);
+                    return;
+                }
+                let nodes: Vec<NodeId> = holders.iter().map(|h| h.node).collect();
+                let size = holders[0].size;
+                let Some(owner_node) =
+                    self.select_among(now, &nodes, Purpose::FileTransfer { bytes: size })
+                else {
+                    return;
+                };
+                let holding = holders
+                    .iter()
+                    .find(|h| h.node == owner_node)
+                    .expect("chosen among holders");
+                ctx.send(
+                    owner_node,
+                    OverlayMsg::TransferInstruction {
+                        to_node: requester_node,
+                        file: FileMeta {
+                            content: holding.content,
+                            name,
+                            size_bytes: holding.size,
+                        },
+                        num_parts: self.cfg.request_parts,
+                    },
+                );
+                self.instructed_pending += 1;
+                ctx.metrics().incr("overlay.file_requests_served", 1);
+            }
+            OverlayMsg::TransferReport {
+                ok,
+                elapsed_secs,
+                bytes,
+                ..
+            } => {
+                self.instructed_pending = self.instructed_pending.saturating_sub(1);
+                if let Some(peer) = self.by_node.get(&from).copied() {
+                    if let Some(entry) = self.peers.get_mut(&peer) {
+                        entry.stats.record_file_send(ok);
+                        if ok && elapsed_secs > 0.0 {
+                            entry.history.observe_throughput(
+                                bytes as f64 / elapsed_secs,
+                                self.cfg.ewma_alpha,
+                            );
+                            entry.history.transfers_completed += 1;
+                        } else if !ok {
+                            entry.history.transfers_cancelled += 1;
+                        }
+                    }
+                }
+                if let Some(selector) = self.cfg.selector.as_mut() {
+                    selector.on_outcome(&SelectionOutcome {
+                        node: from,
+                        success: ok,
+                        elapsed_secs,
+                        bytes,
+                    });
+                }
+                self.maybe_stop(ctx);
+            }
+            OverlayMsg::JobSubmit {
+                submitter,
+                work_gops,
+                input_bytes,
+                input_parts,
+                label,
+            } => {
+                let Some(submitter_node) =
+                    self.peers.get(&submitter).map(|e| e.adv.node)
+                else {
+                    return;
+                };
+                // Execute anywhere except the submitter itself.
+                let candidates: Vec<NodeId> = self
+                    .registered_nodes()
+                    .into_iter()
+                    .filter(|&n| n != submitter_node)
+                    .collect();
+                let purpose = Purpose::TaskExecution {
+                    work_gops: work_gops as u64,
+                    input_bytes,
+                };
+                let Some(executor) = self.select_among(now, &candidates, purpose) else {
+                    ctx.metrics().incr("overlay.jobs_unplaced", 1);
+                    return;
+                };
+                self.sink.with(|log| {
+                    log.jobs.push(JobRecord {
+                        label: label.clone(),
+                        submitter: submitter_node,
+                        executor,
+                        submitted_at: now,
+                        done_at: None,
+                        success: false,
+                    })
+                });
+                self.submit_task(ctx, executor, work_gops, input_bytes, input_parts, &label);
+                // Remember which task realises this job: it is the one just
+                // inserted with this label and executor.
+                if let Some((task_id, _)) = self
+                    .tasks
+                    .iter()
+                    .find(|(_, t)| t.spec.label == label && t.node == executor && t.result_at.is_none())
+                {
+                    self.job_for_task.insert(
+                        *task_id,
+                        JobInfo {
+                            submitter_node,
+                            label,
+                            submitted_at: now,
+                        },
+                    );
+                }
+            }
+            OverlayMsg::BrokerGossip { roster, .. } => {
+                for view in roster {
+                    // Never shadow a locally-registered peer with a relay.
+                    if !self.by_node.contains_key(&view.node) {
+                        self.remote_peers.insert(view.peer, view);
+                    }
+                }
+                ctx.metrics().incr("overlay.gossip_received", 1);
+            }
+            OverlayMsg::Ping { nonce, sent_at } => {
+                ctx.send(from, OverlayMsg::Pong { nonce, sent_at });
+            }
+            // Remaining messages are not addressed to brokers.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<OverlayMsg>, _timer: TimerId, tag: u64) {
+        if tag == GOSSIP_TAG {
+            let roster = self.candidate_views(ctx.now());
+            // Only gossip locally-registered peers (avoid relaying relays).
+            let local: Vec<CandidateView> = roster
+                .into_iter()
+                .filter(|v| self.by_node.contains_key(&v.node))
+                .collect();
+            let me = ctx.self_id();
+            for &b in &self.cfg.peer_brokers.clone() {
+                ctx.send(
+                    b,
+                    OverlayMsg::BrokerGossip {
+                        from_broker: me,
+                        roster: local.clone(),
+                    },
+                );
+            }
+            ctx.schedule_timer(self.cfg.gossip_interval, GOSSIP_TAG);
+            return;
+        }
+        if tag >= RETRY_TAG_BASE {
+            let Some(probe) = self.retry_probes.remove(&tag) else {
+                return;
+            };
+            let Some(outbound) = self.outbound.get(&probe.transfer) else {
+                return; // transfer already finished
+            };
+            let stalled = match probe.kind {
+                RetryKind::Petition => {
+                    outbound.phase == crate::filetransfer::TransferPhase::AwaitingPetitionAck
+                }
+                RetryKind::Part { index, .. } => {
+                    outbound.phase == crate::filetransfer::TransferPhase::Sending
+                        && outbound.next_part == index + 1
+                }
+            };
+            if !stalled {
+                return;
+            }
+            let max = self.cfg.retry.map(|p| p.max_attempts).unwrap_or(1);
+            if probe.attempt >= max {
+                if let Some(t) = self.outbound.get_mut(&probe.transfer) {
+                    t.cancel();
+                }
+                ctx.metrics().incr("overlay.retries_exhausted", 1);
+                self.finish_transfer(ctx, probe.transfer, false);
+                return;
+            }
+            let to = outbound.to;
+            ctx.metrics().incr("overlay.retransmissions", 1);
+            match probe.kind {
+                RetryKind::Petition => {
+                    let file = outbound.file.clone();
+                    let num_parts = outbound.num_parts();
+                    let sent_at = outbound.petition_sent_at;
+                    ctx.send(
+                        to,
+                        OverlayMsg::FilePetition {
+                            transfer: probe.transfer,
+                            file,
+                            num_parts,
+                            sent_at,
+                        },
+                    );
+                }
+                RetryKind::Part { index, size } => {
+                    ctx.send(
+                        to,
+                        OverlayMsg::FilePart {
+                            transfer: probe.transfer,
+                            index,
+                            size,
+                        },
+                    );
+                }
+            }
+            self.arm_retry(ctx, probe.transfer, probe.kind, probe.attempt + 1);
+            return;
+        }
+        if tag >= TASK_WATCHDOG_TAG_BASE {
+            if let Some(task_id) = self.task_watchdog_for.remove(&tag) {
+                let unfinished = self
+                    .tasks
+                    .get(&task_id)
+                    .map(|t| !matches!(t.phase, TaskPhase::Completed | TaskPhase::Failed))
+                    .unwrap_or(false);
+                if unfinished {
+                    ctx.metrics().incr("overlay.tasks_timed_out", 1);
+                    self.fail_task(ctx, task_id);
+                }
+            }
+            return;
+        }
+        if tag >= WATCHDOG_TAG_BASE {
+            if let Some(transfer) = self.watchdog_for.remove(&tag) {
+                let still_running = self
+                    .outbound
+                    .get(&transfer)
+                    .map(|t| !t.is_complete())
+                    .unwrap_or(false);
+                if still_running {
+                    if let Some(t) = self.outbound.get_mut(&transfer) {
+                        t.cancel();
+                    }
+                    self.finish_transfer(ctx, transfer, false);
+                }
+            }
+            return;
+        }
+        if tag >= CMD_TAG_BASE {
+            let idx = (tag - CMD_TAG_BASE) as usize;
+            let Some((_, cmd)) = self.cfg.commands.get(idx).cloned() else {
+                return;
+            };
+            // Commands that need clients must wait until someone has joined.
+            let needs_peers = !matches!(cmd, BrokerCommand::SendInstant { .. });
+            if needs_peers && self.peers.is_empty() {
+                let retries = self.command_retries.entry(tag).or_insert(0);
+                if *retries < CMD_MAX_RETRIES {
+                    *retries += 1;
+                    ctx.schedule_timer(CMD_RETRY_DELAY, tag);
+                    return;
+                }
+            }
+            self.commands_pending = self.commands_pending.saturating_sub(1);
+            self.execute_command(ctx, cmd);
+            self.maybe_stop(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientConfig, SimpleClient};
+    use netsim::link::{AccessLink, PathSpec};
+    use netsim::node::NodeSpec;
+    use netsim::prelude::*;
+
+    /// Builds a broker + `n` clients on a simple star topology.
+    fn star(
+        n: usize,
+        cfg_broker: impl FnOnce(NodeId) -> BrokerConfig,
+    ) -> (Engine<OverlayMsg>, RecordSink, NodeId, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        let broker_node = topo.add_node(
+            NodeSpec::responsive("broker"),
+            AccessLink::symmetric_mbps(80.0, 0.0001),
+        );
+        let mut clients = Vec::new();
+        for i in 0..n {
+            let c = topo.add_node(
+                NodeSpec::responsive(format!("client{i}")),
+                AccessLink::symmetric_mbps(8.0, 0.0003),
+            );
+            topo.set_path_symmetric(broker_node, c, PathSpec::from_owd_ms(20.0, 0.0));
+            clients.push(c);
+        }
+        let sink = RecordSink::new();
+        let mut engine = Engine::new(topo, TransportConfig::default(), 42);
+        engine.register(
+            broker_node,
+            Box::new(Broker::new(cfg_broker(broker_node), sink.clone())),
+        );
+        for (i, &c) in clients.iter().enumerate() {
+            engine.register(
+                c,
+                Box::new(SimpleClient::new(
+                    ClientConfig::new(broker_node),
+                    1000 + i as u64,
+                )),
+            );
+        }
+        (engine, sink, broker_node, clients)
+    }
+
+    #[test]
+    fn clients_join_and_transfer_completes() {
+        let (mut engine, sink, _b, clients) = star(2, |_| {
+            BrokerConfig::new(7).at(
+                SimDuration::from_secs(1),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 4 << 20,
+                    num_parts: 4,
+                    label: "t".into(),
+                },
+            )
+        });
+        let outcome = engine.run_until(SimTime::from_secs_f64(3600.0));
+        assert_eq!(outcome, RunOutcome::Stopped, "broker stops when idle");
+        let log = sink.drain();
+        assert_eq!(log.transfers.len(), 2);
+        for t in &log.transfers {
+            assert!(t.completed_at.is_some(), "transfer to {} incomplete", t.to_name);
+            assert!(!t.cancelled);
+            assert_eq!(t.parts.len(), 4);
+            assert!(t.parts.iter().all(|p| p.confirmed_at.is_some()));
+            assert!(clients.contains(&t.to));
+            assert!(t.petition_latency_secs().unwrap() > 0.0);
+            assert!(t.total_secs().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_part_transfer_is_whole_file() {
+        let (mut engine, sink, _b, _c) = star(1, |_| {
+            BrokerConfig::new(8).at(
+                SimDuration::from_secs(1),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 1 << 20,
+                    num_parts: 1,
+                    label: "whole".into(),
+                },
+            )
+        });
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.transfers.len(), 1);
+        assert_eq!(log.transfers[0].num_parts, 1);
+        assert!(log.transfers[0].completed_at.is_some());
+    }
+
+    #[test]
+    fn task_without_input_runs_to_completion() {
+        let (mut engine, sink, _b, clients) = star(1, |_| {
+            BrokerConfig::new(9).at(
+                SimDuration::from_secs(1),
+                BrokerCommand::SubmitTask {
+                    target: TargetSpec::Node(NodeId(1)),
+                    work_gops: 10.0,
+                    input_bytes: 0,
+                    input_parts: 1,
+                    label: "compute".into(),
+                },
+            )
+        });
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.tasks.len(), 1);
+        let t = &log.tasks[0];
+        assert_eq!(t.on, clients[0]);
+        assert!(t.success);
+        assert!(t.exec_secs.unwrap() > 0.0);
+        assert!(t.accepted_at.is_some());
+        assert!(t.total_secs().unwrap() >= t.exec_secs.unwrap());
+        assert_eq!(t.input_done_at, None);
+    }
+
+    #[test]
+    fn task_with_input_ships_file_first() {
+        let (mut engine, sink, _b, _c) = star(1, |_| {
+            BrokerConfig::new(10).at(
+                SimDuration::from_secs(1),
+                BrokerCommand::SubmitTask {
+                    target: TargetSpec::AllClients,
+                    work_gops: 5.0,
+                    input_bytes: 2 << 20,
+                    input_parts: 4,
+                    label: "process".into(),
+                },
+            )
+        });
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.tasks.len(), 1);
+        assert_eq!(log.transfers.len(), 1, "input shipped as a transfer");
+        let task = &log.tasks[0];
+        assert!(task.success);
+        assert!(task.input_done_at.is_some());
+        // Makespan covers transfer + execution.
+        let transfer_secs = log.transfers[0].total_secs().unwrap();
+        assert!(task.total_secs().unwrap() > transfer_secs);
+    }
+
+    #[test]
+    fn refusing_client_causes_cancel() {
+        let mut topo = Topology::new();
+        let broker_node = topo.add_node(
+            NodeSpec::responsive("broker"),
+            AccessLink::symmetric_mbps(80.0, 0.0001),
+        );
+        let c = topo.add_node(
+            NodeSpec::responsive("refuser"),
+            AccessLink::symmetric_mbps(8.0, 0.0003),
+        );
+        topo.set_path_symmetric(broker_node, c, PathSpec::from_owd_ms(20.0, 0.0));
+        let sink = RecordSink::new();
+        let mut engine = Engine::new(topo, TransportConfig::default(), 5);
+        engine.register(
+            broker_node,
+            Box::new(Broker::new(
+                BrokerConfig::new(11).at(
+                    SimDuration::from_secs(1),
+                    BrokerCommand::DistributeFile {
+                        target: TargetSpec::AllClients,
+                        size_bytes: 1 << 20,
+                        num_parts: 2,
+                        label: "refused".into(),
+                    },
+                ),
+                sink.clone(),
+            )),
+        );
+        let mut cfg = ClientConfig::new(broker_node);
+        cfg.refuse_transfers = true;
+        engine.register(c, Box::new(SimpleClient::new(cfg, 99)));
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.transfers.len(), 1);
+        assert!(log.transfers[0].cancelled);
+        assert!(log.transfers[0].completed_at.is_none());
+    }
+
+    #[test]
+    fn selected_target_uses_selector_and_records_decision() {
+        let (mut engine, sink, _b, _c) = star(3, |_| {
+            BrokerConfig::new(12)
+                .with_selector(Box::new(crate::selector::RoundRobinSelector::new()))
+                .at(
+                    SimDuration::from_secs(2),
+                    BrokerCommand::DistributeFile {
+                        target: TargetSpec::Selected,
+                        size_bytes: 1 << 20,
+                        num_parts: 2,
+                        label: "sel".into(),
+                    },
+                )
+        });
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.selections.len(), 1);
+        assert_eq!(log.selections[0].model, "round-robin");
+        assert_eq!(log.selections[0].candidates, 3);
+        assert_eq!(log.transfers.len(), 1);
+        assert_eq!(log.transfers[0].to, log.selections[0].chosen);
+    }
+
+    #[test]
+    fn commands_wait_for_peers_to_join() {
+        // Command scheduled at t=0, before any Join can arrive; the broker
+        // must retry until the client is registered.
+        let (mut engine, sink, _b, _c) = star(1, |_| {
+            BrokerConfig::new(13).at(
+                SimDuration::ZERO,
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 1 << 20,
+                    num_parts: 2,
+                    label: "early".into(),
+                },
+            )
+        });
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.transfers.len(), 1);
+        assert!(log.transfers[0].completed_at.is_some());
+    }
+
+    #[test]
+    fn instant_message_reaches_clients() {
+        let (mut engine, _sink, _b, clients) = star(2, |_| {
+            let mut cfg = BrokerConfig::new(14).at(
+                SimDuration::from_secs(1),
+                BrokerCommand::SendInstant {
+                    target: TargetSpec::AllClients,
+                    text: "hello peers".into(),
+                },
+            );
+            cfg.stop_when_idle = true;
+            cfg
+        });
+        engine.run_until(SimTime::from_secs_f64(120.0));
+        for &c in &clients {
+            let got = engine
+                .with_actor(c, |_a| ())
+                .is_some();
+            assert!(got);
+        }
+        assert!(engine.metrics().counter("net.messages_sent") > 0);
+    }
+
+    /// Star topology where client configs are customised per index.
+    fn star_with(
+        n: usize,
+        broker_cfg: BrokerConfig,
+        mut client_cfg: impl FnMut(usize, NodeId) -> ClientConfig,
+        sink: &RecordSink,
+    ) -> (Engine<OverlayMsg>, NodeId, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        let broker_node = topo.add_node(
+            NodeSpec::responsive("broker"),
+            AccessLink::symmetric_mbps(80.0, 0.0001),
+        );
+        let mut clients = Vec::new();
+        for i in 0..n {
+            let c = topo.add_node(
+                NodeSpec::responsive(format!("client{i}")),
+                AccessLink::symmetric_mbps(8.0, 0.0003),
+            );
+            topo.set_path_symmetric(broker_node, c, PathSpec::from_owd_ms(20.0, 0.0));
+            clients.push(c);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                topo.set_path_symmetric(clients[i], clients[j], PathSpec::from_owd_ms(30.0, 0.0));
+            }
+        }
+        let mut engine = Engine::new(topo, TransportConfig::default(), 42);
+        engine.register(broker_node, Box::new(Broker::new(broker_cfg, sink.clone())));
+        for (i, &c) in clients.iter().enumerate() {
+            engine.register(
+                c,
+                Box::new(
+                    SimpleClient::new(client_cfg(i, broker_node), 1000 + i as u64)
+                        .with_sink(sink.clone()),
+                ),
+            );
+        }
+        (engine, broker_node, clients)
+    }
+
+    #[test]
+    fn file_request_is_served_peer_to_peer() {
+        let sink = RecordSink::new();
+        let (mut engine, _b, clients) = star_with(
+            2,
+            BrokerConfig::new(21),
+            |i, broker| {
+                let cfg = ClientConfig::new(broker);
+                if i == 0 {
+                    cfg.sharing("dataset.bin", 2 << 20)
+                } else {
+                    cfg.at(
+                        SimDuration::from_secs(5),
+                        crate::client::ClientCommand::RequestFile {
+                            name: "dataset.bin".into(),
+                        },
+                    )
+                }
+            },
+            &sink,
+        );
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        let xfer = log
+            .transfers
+            .iter()
+            .find(|t| t.label == "dataset.bin")
+            .expect("peer-to-peer transfer recorded");
+        assert_eq!(xfer.to, clients[1], "file flows to the requester");
+        assert!(xfer.completed_at.is_some());
+        assert!(!xfer.cancelled);
+        assert_eq!(
+            engine.metrics().counter("overlay.file_requests_served"),
+            1
+        );
+        assert_eq!(engine.metrics().counter("overlay.content_published"), 1);
+    }
+
+    #[test]
+    fn file_request_for_unknown_content_is_counted() {
+        let sink = RecordSink::new();
+        let (mut engine, _b, _c) = star_with(
+            1,
+            BrokerConfig::new(22),
+            |_, broker| {
+                ClientConfig::new(broker).at(
+                    SimDuration::from_secs(5),
+                    crate::client::ClientCommand::RequestFile {
+                        name: "missing.bin".into(),
+                    },
+                )
+            },
+            &sink,
+        );
+        engine.run_until(SimTime::from_secs_f64(600.0));
+        assert_eq!(
+            engine.metrics().counter("overlay.file_requests_unserved"),
+            1
+        );
+    }
+
+    #[test]
+    fn file_request_selects_among_multiple_owners() {
+        let sink = RecordSink::new();
+        let mut broker_cfg = BrokerConfig::new(23)
+            .with_selector(Box::new(crate::selector::RoundRobinSelector::new()));
+        // The broker cannot see future client-scheduled commands, so don't
+        // let it stop at the first idle moment.
+        broker_cfg.stop_when_idle = false;
+        let (mut engine, _b, clients) = star_with(
+            3,
+            broker_cfg,
+            |i, broker| {
+                let cfg = ClientConfig::new(broker);
+                if i < 2 {
+                    cfg.sharing("replicated.iso", 1 << 20)
+                } else {
+                    cfg.at(
+                        SimDuration::from_secs(5),
+                        crate::client::ClientCommand::RequestFile {
+                            name: "replicated.iso".into(),
+                        },
+                    )
+                    .at(
+                        SimDuration::from_secs(60),
+                        crate::client::ClientCommand::RequestFile {
+                            name: "replicated.iso".into(),
+                        },
+                    )
+                }
+            },
+            &sink,
+        );
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(engine.metrics().counter("overlay.file_requests_served"), 2);
+        assert_eq!(
+            log.selections.len(),
+            2,
+            "selector consulted when several peers hold the content"
+        );
+        let completed = log
+            .transfers
+            .iter()
+            .filter(|t| t.label == "replicated.iso" && t.completed_at.is_some())
+            .count();
+        assert_eq!(completed, 2);
+        for t in &log.transfers {
+            assert_eq!(t.to, clients[2]);
+        }
+    }
+
+    #[test]
+    fn client_submitted_job_round_trips() {
+        let sink = RecordSink::new();
+        let (mut engine, _b, clients) = star_with(
+            3,
+            BrokerConfig::new(24),
+            |i, broker| {
+                let cfg = ClientConfig::new(broker);
+                if i == 0 {
+                    cfg.at(
+                        SimDuration::from_secs(5),
+                        crate::client::ClientCommand::SubmitJob {
+                            work_gops: 10.0,
+                            input_bytes: 1 << 20,
+                            input_parts: 2,
+                            label: "render".into(),
+                        },
+                    )
+                } else {
+                    cfg
+                }
+            },
+            &sink,
+        );
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.jobs.len(), 1);
+        let job = &log.jobs[0];
+        assert_eq!(job.label, "render");
+        assert_eq!(job.submitter, clients[0]);
+        assert_ne!(job.executor, clients[0], "job runs on a different peer");
+        assert!(job.success, "job completed");
+        assert!(job.total_secs().unwrap() > 0.0);
+        // Its input travelled as a transfer and the task executed.
+        assert_eq!(log.tasks.len(), 1);
+        assert!(log.tasks[0].success);
+    }
+
+    #[test]
+    fn federated_brokers_select_across_domains() {
+        // Broker A governs clients 0–1; broker B governs clients 2–3.
+        // After gossip, A's selection sees all four peers.
+        let mut topo = Topology::new();
+        let broker_a = topo.add_node(
+            NodeSpec::responsive("broker-a"),
+            AccessLink::symmetric_mbps(80.0, 0.0001),
+        );
+        let broker_b = topo.add_node(
+            NodeSpec::responsive("broker-b"),
+            AccessLink::symmetric_mbps(80.0, 0.0001),
+        );
+        topo.set_path_symmetric(broker_a, broker_b, PathSpec::from_owd_ms(10.0, 0.0));
+        let mut clients = Vec::new();
+        for i in 0..4 {
+            let c = topo.add_node(
+                NodeSpec::responsive(format!("client{i}")),
+                AccessLink::symmetric_mbps(8.0, 0.0003),
+            );
+            topo.set_path_symmetric(broker_a, c, PathSpec::from_owd_ms(20.0, 0.0));
+            topo.set_path_symmetric(broker_b, c, PathSpec::from_owd_ms(20.0, 0.0));
+            clients.push(c);
+        }
+        let sink = RecordSink::new();
+        let mut cfg_a = BrokerConfig::new(31)
+            .with_selector(Box::new(crate::selector::RoundRobinSelector::new()))
+            .at(
+                // Well after the first gossip round (60 s).
+                SimDuration::from_secs(150),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::Selected,
+                    size_bytes: 1 << 20,
+                    num_parts: 2,
+                    label: "federated".into(),
+                },
+            );
+        cfg_a.peer_brokers = vec![broker_b];
+        let mut cfg_b = BrokerConfig::new(32);
+        cfg_b.peer_brokers = vec![broker_a];
+        cfg_b.stop_when_idle = false;
+        let mut engine = Engine::new(topo, TransportConfig::default(), 77);
+        engine.register(broker_a, Box::new(Broker::new(cfg_a, sink.clone())));
+        engine.register(broker_b, Box::new(Broker::new(cfg_b, RecordSink::new())));
+        for (i, &c) in clients.iter().enumerate() {
+            let broker = if i < 2 { broker_a } else { broker_b };
+            engine.register(
+                c,
+                Box::new(SimpleClient::new(ClientConfig::new(broker), 3000 + i as u64)),
+            );
+        }
+        engine.run_until(SimTime::from_secs_f64(400.0));
+        let log = sink.drain();
+        assert_eq!(log.selections.len(), 1);
+        assert_eq!(
+            log.selections[0].candidates, 4,
+            "broker A must see B's peers after gossip"
+        );
+        assert_eq!(log.transfers.len(), 1);
+        assert!(log.transfers[0].completed_at.is_some());
+        assert!(engine.metrics().counter("overlay.gossip_received") >= 2);
+    }
+
+    #[test]
+    fn task_watchdog_fails_unanswered_offers() {
+        // The task goes to a host with no running application: the offer is
+        // never answered, so the task watchdog must fail it (and the broker
+        // must then be able to stop as idle).
+        let mut topo = Topology::new();
+        let broker_node = topo.add_node(
+            NodeSpec::responsive("broker"),
+            AccessLink::symmetric_mbps(80.0, 0.0001),
+        );
+        let alive = topo.add_node(
+            NodeSpec::responsive("alive"),
+            AccessLink::symmetric_mbps(8.0, 0.0003),
+        );
+        let dead = topo.add_node(
+            NodeSpec::responsive("dead"),
+            AccessLink::symmetric_mbps(8.0, 0.0003),
+        );
+        topo.set_path_symmetric(broker_node, alive, PathSpec::from_owd_ms(20.0, 0.0));
+        topo.set_path_symmetric(broker_node, dead, PathSpec::from_owd_ms(20.0, 0.0));
+        let sink = RecordSink::new();
+        let mut bcfg = BrokerConfig::new(41).at(
+            SimDuration::from_secs(5),
+            BrokerCommand::SubmitTask {
+                target: TargetSpec::Node(dead),
+                work_gops: 5.0,
+                input_bytes: 0,
+                input_parts: 1,
+                label: "doomed".into(),
+            },
+        );
+        bcfg.task_timeout = SimDuration::from_secs(60);
+        let mut engine = Engine::new(topo, TransportConfig::default(), 13);
+        engine.register(broker_node, Box::new(Broker::new(bcfg, sink.clone())));
+        engine.register(alive, Box::new(SimpleClient::new(ClientConfig::new(broker_node), 50)));
+        // `dead` has no actor registered.
+        let outcome = engine.run_until(SimTime::from_secs_f64(600.0));
+        assert_eq!(outcome, RunOutcome::Stopped, "broker stops after timeout");
+        assert!(engine.now().as_secs_f64() < 120.0, "watchdog fired at ~65 s");
+        assert_eq!(engine.metrics().counter("overlay.tasks_timed_out"), 1);
+        let log = sink.drain();
+        assert_eq!(log.tasks.len(), 1);
+        assert!(!log.tasks[0].success);
+    }
+
+    /// Star with a lossy transport and optional retry policy.
+    fn lossy_star(
+        drop_p: f64,
+        retry: Option<RetryPolicy>,
+        timeout: SimDuration,
+    ) -> (Engine<OverlayMsg>, RecordSink) {
+        let mut topo = Topology::new();
+        let broker_node = topo.add_node(
+            NodeSpec::responsive("broker"),
+            AccessLink::symmetric_mbps(80.0, 0.0001),
+        );
+        let c = topo.add_node(
+            NodeSpec::responsive("client"),
+            AccessLink::symmetric_mbps(8.0, 0.0003),
+        );
+        topo.set_path_symmetric(broker_node, c, PathSpec::from_owd_ms(20.0, 0.0));
+        let sink = RecordSink::new();
+        let transport = TransportConfig {
+            message_drop_probability: drop_p,
+            ..TransportConfig::default()
+        };
+        let mut engine = Engine::new(topo, transport, 1234);
+        let mut bcfg = BrokerConfig::new(51).at(
+            SimDuration::from_secs(1),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 8 << 20,
+                num_parts: 16,
+                label: "lossy".into(),
+            },
+        );
+        bcfg.retry = retry;
+        bcfg.transfer_timeout = timeout;
+        engine.register(broker_node, Box::new(Broker::new(bcfg, sink.clone())));
+        engine.register(
+            c,
+            Box::new(SimpleClient::new(ClientConfig::new(broker_node), 99)),
+        );
+        (engine, sink)
+    }
+
+    #[test]
+    fn retransmission_completes_transfers_on_lossy_networks() {
+        // 10% whole-message loss: a 16-part stop-and-wait transfer has
+        // ~97% chance of losing at least one message; retries recover it.
+        let (mut engine, sink) = lossy_star(
+            0.10,
+            Some(RetryPolicy {
+                timeout: SimDuration::from_secs(20),
+                max_attempts: 8,
+            }),
+            SimDuration::from_mins(60),
+        );
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        assert!(engine.metrics().counter("net.messages_lost") > 0, "loss occurred");
+        assert!(
+            engine.metrics().counter("overlay.retransmissions") > 0,
+            "retries fired"
+        );
+        let log = sink.drain();
+        assert_eq!(log.transfers.len(), 1);
+        assert!(
+            log.transfers[0].completed_at.is_some(),
+            "transfer must complete despite loss"
+        );
+        // Every byte arrived exactly once despite duplicates on the wire.
+        let sent: u64 = log.transfers[0].parts.iter().map(|p| p.size).sum();
+        assert_eq!(sent, 8 << 20);
+    }
+
+    #[test]
+    fn without_retries_loss_stalls_and_watchdog_cancels() {
+        let (mut engine, sink) = lossy_star(0.10, None, SimDuration::from_secs(120));
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.transfers.len(), 1);
+        assert!(
+            log.transfers[0].cancelled,
+            "a lost message stalls stop-and-wait; the watchdog cancels"
+        );
+    }
+
+    #[test]
+    fn retries_exhaust_and_cancel_cleanly() {
+        // 100% loss after the join (drop only applies between distinct
+        // nodes, and the join itself may be lost — use a huge drop rate and
+        // verify the run terminates with a cancelled or absent transfer).
+        let (mut engine, sink) = lossy_star(
+            0.9,
+            Some(RetryPolicy {
+                timeout: SimDuration::from_secs(5),
+                max_attempts: 3,
+            }),
+            SimDuration::from_mins(30),
+        );
+        engine.run_until(SimTime::from_secs_f64(7200.0));
+        let log = sink.drain();
+        for t in &log.transfers {
+            assert!(
+                t.completed_at.is_some() || t.cancelled,
+                "no transfer may dangle"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_cancels_stuck_transfers() {
+        let mut topo = Topology::new();
+        let broker_node = topo.add_node(
+            NodeSpec::responsive("broker"),
+            AccessLink::symmetric_mbps(80.0, 0.0001),
+        );
+        // Pathologically slow client link: the transfer cannot finish
+        // within the watchdog timeout.
+        let c = topo.add_node(
+            NodeSpec::responsive("slow"),
+            AccessLink::symmetric_mbps(0.001, 0.01),
+        );
+        topo.set_path_symmetric(broker_node, c, PathSpec::from_owd_ms(150.0, 0.0));
+        let sink = RecordSink::new();
+        let mut engine = Engine::new(topo, TransportConfig::default(), 6);
+        let mut bcfg = BrokerConfig::new(15).at(
+            SimDuration::from_secs(1),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 200 << 20,
+                num_parts: 2,
+                label: "stuck".into(),
+            },
+        );
+        bcfg.transfer_timeout = SimDuration::from_secs(60);
+        engine.register(broker_node, Box::new(Broker::new(bcfg, sink.clone())));
+        engine.register(c, Box::new(SimpleClient::new(ClientConfig::new(broker_node), 44)));
+        engine.run_until(SimTime::from_secs_f64(7200.0));
+        let log = sink.drain();
+        assert_eq!(log.transfers.len(), 1);
+        assert!(log.transfers[0].cancelled, "watchdog should cancel");
+    }
+}

@@ -1,0 +1,190 @@
+//! Peergroup management.
+//!
+//! JXTA organizes peers into *peer groups*; JXTA-Overlay keeps one default
+//! group per broker plus optional application groups. Brokers are group
+//! governors: they admit members, track membership, and answer roster
+//! queries scoped to a group.
+
+use std::collections::BTreeSet;
+
+use crate::id::{GroupId, IdGenerator, PeerId};
+
+/// One peergroup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerGroup {
+    /// Group identity.
+    pub id: GroupId,
+    /// Group name.
+    pub name: String,
+    /// Members, ordered for deterministic iteration.
+    members: BTreeSet<PeerId>,
+}
+
+impl PeerGroup {
+    /// Creates an empty group.
+    pub fn new(id: GroupId, name: impl Into<String>) -> Self {
+        PeerGroup {
+            id,
+            name: name.into(),
+            members: BTreeSet::new(),
+        }
+    }
+
+    /// Admits a peer; returns false if it was already a member.
+    pub fn join(&mut self, peer: PeerId) -> bool {
+        self.members.insert(peer)
+    }
+
+    /// Removes a peer; returns false if it was not a member.
+    pub fn leave(&mut self, peer: PeerId) -> bool {
+        self.members.remove(&peer)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.members.contains(&peer)
+    }
+
+    /// Current size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members in deterministic order.
+    pub fn members(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.members.iter().copied()
+    }
+}
+
+/// The broker's group registry: one default group plus named groups.
+#[derive(Debug)]
+pub struct GroupRegistry {
+    default: PeerGroup,
+    groups: Vec<PeerGroup>,
+    ids: IdGenerator,
+}
+
+impl GroupRegistry {
+    /// Creates a registry with the default ("NetPeerGroup") group.
+    pub fn new(seed: u64) -> Self {
+        let mut ids = IdGenerator::new(seed);
+        let default = PeerGroup::new(GroupId::generate(&mut ids), "NetPeerGroup");
+        GroupRegistry {
+            default,
+            groups: Vec::new(),
+            ids,
+        }
+    }
+
+    /// The default group every joining peer is placed in.
+    pub fn default_group(&self) -> &PeerGroup {
+        &self.default
+    }
+
+    /// Admits a peer to the default group.
+    pub fn admit(&mut self, peer: PeerId) -> GroupId {
+        self.default.join(peer);
+        self.default.id
+    }
+
+    /// Removes a peer from every group.
+    pub fn expel(&mut self, peer: PeerId) {
+        self.default.leave(peer);
+        for g in &mut self.groups {
+            g.leave(peer);
+        }
+    }
+
+    /// Creates a named application group and returns its id.
+    pub fn create_group(&mut self, name: impl Into<String>) -> GroupId {
+        let id = GroupId::generate(&mut self.ids);
+        self.groups.push(PeerGroup::new(id, name));
+        id
+    }
+
+    /// Looks up a group (the default group included).
+    pub fn group(&self, id: GroupId) -> Option<&PeerGroup> {
+        if self.default.id == id {
+            return Some(&self.default);
+        }
+        self.groups.iter().find(|g| g.id == id)
+    }
+
+    /// Mutable lookup.
+    pub fn group_mut(&mut self, id: GroupId) -> Option<&mut PeerGroup> {
+        if self.default.id == id {
+            return Some(&mut self.default);
+        }
+        self.groups.iter_mut().find(|g| g.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(seed: u64) -> PeerId {
+        let mut g = IdGenerator::new(seed);
+        PeerId::generate(&mut g)
+    }
+
+    #[test]
+    fn join_and_leave() {
+        let mut reg = GroupRegistry::new(1);
+        let p = peer(10);
+        let gid = reg.admit(p);
+        assert_eq!(gid, reg.default_group().id);
+        assert!(reg.default_group().contains(p));
+        assert_eq!(reg.default_group().len(), 1);
+        reg.expel(p);
+        assert!(reg.default_group().is_empty());
+    }
+
+    #[test]
+    fn duplicate_join_is_idempotent() {
+        let mut g = PeerGroup::new(GroupId(1), "g");
+        let p = peer(11);
+        assert!(g.join(p));
+        assert!(!g.join(p));
+        assert_eq!(g.len(), 1);
+        assert!(g.leave(p));
+        assert!(!g.leave(p));
+    }
+
+    #[test]
+    fn named_groups_are_separate() {
+        let mut reg = GroupRegistry::new(2);
+        let app = reg.create_group("virtual-campus");
+        let p = peer(12);
+        reg.admit(p);
+        reg.group_mut(app).unwrap().join(p);
+        assert!(reg.group(app).unwrap().contains(p));
+        assert_ne!(app, reg.default_group().id);
+        reg.expel(p);
+        assert!(!reg.group(app).unwrap().contains(p));
+    }
+
+    #[test]
+    fn members_iterate_deterministically() {
+        let mut g = PeerGroup::new(GroupId(1), "g");
+        let peers: Vec<PeerId> = (0..10).map(|i| peer(100 + i)).collect();
+        for &p in &peers {
+            g.join(p);
+        }
+        let order1: Vec<PeerId> = g.members().collect();
+        let order2: Vec<PeerId> = g.members().collect();
+        assert_eq!(order1, order2);
+        assert_eq!(order1.len(), 10);
+    }
+
+    #[test]
+    fn unknown_group_lookup_fails() {
+        let reg = GroupRegistry::new(3);
+        assert!(reg.group(GroupId(0xdead)).is_none());
+    }
+}

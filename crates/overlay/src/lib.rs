@@ -1,0 +1,56 @@
+//! # overlay — a JXTA-Overlay reimplementation
+//!
+//! JXTA-Overlay (the platform the paper deployed on PlanetLab) is a brokered
+//! P2P overlay built from three modules: **Broker**, **Primitives**, and
+//! **Client**. This crate rebuilds all three on top of the `netsim` actor
+//! engine:
+//!
+//! * [`id`], [`advertisement`], [`pipe`], [`group`] — JXTA plumbing:
+//!   128-bit ids, discoverable advertisements, unicast pipes, peergroups.
+//! * [`message`] — the wire protocol (membership, discovery, statistics,
+//!   instant messaging, chunked file transfer, task management).
+//! * [`stats`] — the resource-statistics interface of paper §2.2: every
+//!   criterion the data-evaluator selection model weighs.
+//! * [`filetransfer`] — the petition → ack → stop-and-wait-parts protocol
+//!   the paper measures in §4.2.
+//! * [`task`] — executable-task lifecycle.
+//! * [`client`] — the SimpleClient edge peer; [`gui`] — the GUI client
+//!   (SimpleClient plus a simulated interactive user).
+//! * [`broker`] — the governor: registry, statistics aggregation, transfer
+//!   and task coordination, scripted commands, and the selection hook.
+//! * [`selector`] — the [`selector::PeerSelector`] trait the `peer-selection`
+//!   crate implements, plus blind baselines.
+//! * [`records`] — shared run log experiments read after a simulation.
+
+#![warn(missing_docs)]
+
+pub mod advertisement;
+pub mod broker;
+pub mod client;
+pub mod filetransfer;
+pub mod group;
+pub mod gui;
+pub mod id;
+pub mod message;
+pub mod pipe;
+pub mod records;
+pub mod selector;
+pub mod stats;
+pub mod task;
+
+/// Convenient re-exports of the types most callers need.
+pub mod prelude {
+    pub use crate::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
+    pub use crate::client::{ClientCommand, ClientConfig, SimpleClient};
+    pub use crate::gui::{GuiClient, UserBehavior};
+    pub use crate::filetransfer::{split_parts, FileMeta};
+    pub use crate::id::{GroupId, PeerId, TaskId, TransferId};
+    pub use crate::message::OverlayMsg;
+    pub use crate::records::{JobRecord, RecordSink, RunLog, TaskRecord, TransferRecord};
+    pub use crate::selector::{
+        CandidateView, InteractionHistory, PeerSelector, Purpose, RandomSelector,
+        RoundRobinSelector, SelectionOutcome, SelectionRequest,
+    };
+    pub use crate::stats::{Criterion, PeerStats, StatsSnapshot};
+    pub use crate::task::TaskSpec;
+}

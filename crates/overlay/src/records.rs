@@ -1,0 +1,342 @@
+//! Experiment observability: a shared log of transfer and task records.
+//!
+//! Actors are owned by the engine, so experiments observe a run through a
+//! [`RecordSink`] — a cheaply clonable handle to a shared [`RunLog`] that the
+//! broker writes as protocol milestones happen. After the run, the
+//! experiment drains the log and computes the figure series.
+
+use std::sync::Arc;
+
+use netsim::node::NodeId;
+use netsim::time::SimTime;
+use parking_lot::Mutex;
+
+use crate::id::{TaskId, TransferId};
+
+/// Timing milestones of one file transfer to one peer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// Transfer session id.
+    pub id: TransferId,
+    /// Destination host.
+    pub to: NodeId,
+    /// Destination hostname.
+    pub to_name: String,
+    /// Workload label (the broker command's label / file name).
+    pub label: String,
+    /// Total file size in bytes.
+    pub file_size: u64,
+    /// Number of parts.
+    pub num_parts: u32,
+    /// When the petition was sent.
+    pub petition_sent_at: SimTime,
+    /// When the peer's application handled the petition (receiver clock).
+    pub petition_handled_at: Option<SimTime>,
+    /// When the petition ack arrived back at the sender.
+    pub petition_acked_at: Option<SimTime>,
+    /// Per-part milestones: (sent, confirmed).
+    pub parts: Vec<PartRecord>,
+    /// When the final confirm arrived (transfer complete).
+    pub completed_at: Option<SimTime>,
+    /// Whether the transfer was cancelled.
+    pub cancelled: bool,
+}
+
+/// Milestones of one part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartRecord {
+    /// Part index.
+    pub index: u32,
+    /// Part size in bytes.
+    pub size: u64,
+    /// When the sender transmitted it.
+    pub sent_at: SimTime,
+    /// When its confirm arrived back.
+    pub confirmed_at: Option<SimTime>,
+}
+
+impl TransferRecord {
+    /// Sender-observed petition round-trip: petition sent → ack received.
+    pub fn petition_rtt_secs(&self) -> Option<f64> {
+        self.petition_acked_at
+            .map(|t| t.duration_since(self.petition_sent_at).as_secs_f64())
+    }
+
+    /// Receiver-observed petition latency: petition sent → application
+    /// handled it. This is the paper's Fig 2 metric.
+    pub fn petition_latency_secs(&self) -> Option<f64> {
+        self.petition_handled_at
+            .map(|t| t.duration_since(self.petition_sent_at).as_secs_f64())
+    }
+
+    /// Total transmission time: petition sent → last confirm.
+    pub fn total_secs(&self) -> Option<f64> {
+        self.completed_at
+            .map(|t| t.duration_since(self.petition_sent_at).as_secs_f64())
+    }
+
+    /// Data-phase time only: first part sent → last confirm (excludes the
+    /// petition handshake).
+    pub fn data_phase_secs(&self) -> Option<f64> {
+        let first = self.parts.first()?.sent_at;
+        self.completed_at
+            .map(|t| t.duration_since(first).as_secs_f64())
+    }
+
+    /// Time to deliver the final part: last part sent → its confirm
+    /// (the paper's Fig 4 "time of receiving the last Mb", scaled by size).
+    pub fn last_part_secs(&self) -> Option<f64> {
+        let last = self.parts.last()?;
+        last.confirmed_at
+            .map(|t| t.duration_since(last.sent_at).as_secs_f64())
+    }
+
+    /// Mean effective throughput over the data phase, bytes/second.
+    pub fn throughput_bytes_per_sec(&self) -> Option<f64> {
+        let secs = self.data_phase_secs()?;
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(self.file_size as f64 / secs)
+    }
+}
+
+/// Timing milestones of one task execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// Task id.
+    pub id: TaskId,
+    /// Executing host.
+    pub on: NodeId,
+    /// Executing hostname.
+    pub on_name: String,
+    /// Workload label (the command's label).
+    pub label: String,
+    /// Input bytes shipped before execution (0 = none).
+    pub input_bytes: u64,
+    /// Compute demand, giga-ops.
+    pub work_gops: f64,
+    /// Submission (selection) instant.
+    pub submitted_at: SimTime,
+    /// When the input transfer finished, if any.
+    pub input_done_at: Option<SimTime>,
+    /// When the peer accepted the offer.
+    pub accepted_at: Option<SimTime>,
+    /// When the result arrived at the broker.
+    pub result_at: Option<SimTime>,
+    /// Peer-reported pure execution time, seconds.
+    pub exec_secs: Option<f64>,
+    /// Whether execution succeeded.
+    pub success: bool,
+}
+
+impl TaskRecord {
+    /// End-to-end makespan in seconds, if finished.
+    pub fn total_secs(&self) -> Option<f64> {
+        self.result_at
+            .map(|t| t.duration_since(self.submitted_at).as_secs_f64())
+    }
+}
+
+/// A selection decision, for auditing which model picked which peer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionRecord {
+    /// When the decision was made.
+    pub at: SimTime,
+    /// The selection model's name.
+    pub model: String,
+    /// The chosen host.
+    pub chosen: NodeId,
+    /// The chosen hostname.
+    pub chosen_name: String,
+    /// Number of candidates considered.
+    pub candidates: usize,
+}
+
+/// A client-submitted job routed through the broker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job label.
+    pub label: String,
+    /// Host of the submitting peer.
+    pub submitter: NodeId,
+    /// Host of the executing peer.
+    pub executor: NodeId,
+    /// When the broker received the submission.
+    pub submitted_at: SimTime,
+    /// When the result was forwarded to the submitter.
+    pub done_at: Option<SimTime>,
+    /// Whether execution succeeded.
+    pub success: bool,
+}
+
+impl JobRecord {
+    /// Submission-to-result seconds, if finished.
+    pub fn total_secs(&self) -> Option<f64> {
+        self.done_at
+            .map(|t| t.duration_since(self.submitted_at).as_secs_f64())
+    }
+}
+
+/// The shared, append-mostly run log.
+#[derive(Debug, Default)]
+pub struct RunLog {
+    /// All transfer records, in creation order.
+    pub transfers: Vec<TransferRecord>,
+    /// All task records, in creation order.
+    pub tasks: Vec<TaskRecord>,
+    /// All selection decisions, in order.
+    pub selections: Vec<SelectionRecord>,
+    /// All client-submitted jobs, in order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl RunLog {
+    /// Finds a transfer record by id.
+    pub fn transfer(&self, id: TransferId) -> Option<&TransferRecord> {
+        self.transfers.iter().find(|t| t.id == id)
+    }
+
+    /// Finds a mutable transfer record by id.
+    pub fn transfer_mut(&mut self, id: TransferId) -> Option<&mut TransferRecord> {
+        self.transfers.iter_mut().find(|t| t.id == id)
+    }
+
+    /// Finds a task record by id.
+    pub fn task(&self, id: TaskId) -> Option<&TaskRecord> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Finds a mutable task record by id.
+    pub fn task_mut(&mut self, id: TaskId) -> Option<&mut TaskRecord> {
+        self.tasks.iter_mut().find(|t| t.id == id)
+    }
+
+    /// All completed transfers to a given host.
+    pub fn completed_transfers_to(&self, node: NodeId) -> impl Iterator<Item = &TransferRecord> {
+        self.transfers
+            .iter()
+            .filter(move |t| t.to == node && t.completed_at.is_some())
+    }
+}
+
+/// Cheaply clonable handle to a [`RunLog`].
+#[derive(Debug, Clone, Default)]
+pub struct RecordSink(Arc<Mutex<RunLog>>);
+
+impl RecordSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        RecordSink::default()
+    }
+
+    /// Runs `f` with mutable access to the log.
+    pub fn with<R>(&self, f: impl FnOnce(&mut RunLog) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+
+    /// Takes the entire log, leaving it empty (post-run drain).
+    pub fn drain(&self) -> RunLog {
+        std::mem::take(&mut *self.0.lock())
+    }
+
+    /// Snapshot counts: (transfers, tasks, selections).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let log = self.0.lock();
+        (log.transfers.len(), log.tasks.len(), log.selections.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::IdGenerator;
+    use netsim::time::SimDuration;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+
+    fn sample_transfer() -> TransferRecord {
+        let mut g = IdGenerator::new(1);
+        TransferRecord {
+            id: TransferId::generate(&mut g),
+            to: NodeId(2),
+            to_name: "sc2".into(),
+            label: "test".into(),
+            file_size: 100,
+            num_parts: 2,
+            petition_sent_at: t(0.0),
+            petition_handled_at: Some(t(1.5)),
+            petition_acked_at: Some(t(1.6)),
+            parts: vec![
+                PartRecord { index: 0, size: 50, sent_at: t(1.6), confirmed_at: Some(t(3.0)) },
+                PartRecord { index: 1, size: 50, sent_at: t(3.0), confirmed_at: Some(t(4.6)) },
+            ],
+            completed_at: Some(t(4.6)),
+            cancelled: false,
+        }
+    }
+
+    #[test]
+    fn transfer_record_derived_metrics() {
+        let r = sample_transfer();
+        assert_eq!(r.petition_latency_secs(), Some(1.5));
+        assert!((r.petition_rtt_secs().unwrap() - 1.6).abs() < 1e-9);
+        assert!((r.total_secs().unwrap() - 4.6).abs() < 1e-9);
+        assert!((r.data_phase_secs().unwrap() - 3.0).abs() < 1e-9);
+        assert!((r.last_part_secs().unwrap() - 1.6).abs() < 1e-9);
+        assert!((r.throughput_bytes_per_sec().unwrap() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_transfer_yields_none() {
+        let mut r = sample_transfer();
+        r.completed_at = None;
+        r.petition_acked_at = None;
+        r.petition_handled_at = None;
+        assert_eq!(r.total_secs(), None);
+        assert_eq!(r.petition_rtt_secs(), None);
+        assert_eq!(r.petition_latency_secs(), None);
+        assert_eq!(r.throughput_bytes_per_sec(), None);
+    }
+
+    #[test]
+    fn sink_is_shared_between_clones() {
+        let sink = RecordSink::new();
+        let clone = sink.clone();
+        clone.with(|log| log.transfers.push(sample_transfer()));
+        assert_eq!(sink.counts().0, 1);
+        let drained = sink.drain();
+        assert_eq!(drained.transfers.len(), 1);
+        assert_eq!(sink.counts().0, 0);
+    }
+
+    #[test]
+    fn runlog_lookup_by_id() {
+        let mut log = RunLog::default();
+        let r = sample_transfer();
+        let id = r.id;
+        log.transfers.push(r);
+        assert!(log.transfer(id).is_some());
+        log.transfer_mut(id).unwrap().cancelled = true;
+        assert!(log.transfer(id).unwrap().cancelled);
+        let mut g = IdGenerator::new(9);
+        assert!(log.transfer(TransferId::generate(&mut g)).is_none());
+    }
+
+    #[test]
+    fn completed_transfers_to_filters() {
+        let mut log = RunLog::default();
+        let mut a = sample_transfer();
+        a.to = NodeId(1);
+        let mut b = sample_transfer();
+        b.to = NodeId(2);
+        let mut c = sample_transfer();
+        c.to = NodeId(1);
+        c.completed_at = None;
+        log.transfers.extend([a, b, c]);
+        assert_eq!(log.completed_transfers_to(NodeId(1)).count(), 1);
+        assert_eq!(log.completed_transfers_to(NodeId(2)).count(), 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the overlay's protocol invariants.
+
+use netsim::time::{SimDuration, SimTime};
+use overlay::filetransfer::{split_parts, FileMeta, OutboundTransfer, TransferPhase};
+use overlay::id::{ContentId, IdGenerator, TransferId};
+use overlay::stats::{PeerStats, QueueGauge, RatioCounter, WindowedRatio};
+use proptest::prelude::*;
+
+fn outbound(size: u64, parts: u32) -> OutboundTransfer {
+    let mut g = IdGenerator::new(1);
+    OutboundTransfer::new(
+        TransferId::generate(&mut g),
+        FileMeta {
+            content: ContentId::generate(&mut g),
+            name: "f".into(),
+            size_bytes: size,
+        },
+        netsim::node::NodeId(1),
+        parts,
+        SimTime::ZERO,
+    )
+}
+
+proptest! {
+    /// Part splitting conserves every byte and never emits empty parts.
+    #[test]
+    fn split_parts_conserves_bytes(size in 0u64..1_000_000_000, parts in 0u32..200) {
+        let split = split_parts(size, parts);
+        prop_assert_eq!(split.iter().sum::<u64>(), size);
+        if size > 0 {
+            prop_assert!(split.iter().all(|&p| p > 0));
+            prop_assert!(split.len() as u64 <= size.max(1));
+            prop_assert!(split.len() <= parts.max(1) as usize);
+        }
+    }
+
+    /// Part sizes are balanced: max − min ≤ the remainder bound.
+    #[test]
+    fn split_parts_balanced(size in 1u64..1_000_000_000, parts in 1u32..100) {
+        let split = split_parts(size, parts);
+        let min = *split.iter().min().unwrap();
+        let max = *split.iter().max().unwrap();
+        prop_assert!(max - min <= parts as u64, "min {min} max {max}");
+    }
+
+    /// The stop-and-wait sender walks every part exactly once no matter how
+    /// confirms are interleaved with stale/duplicate ones.
+    #[test]
+    fn stop_and_wait_sender_is_robust(
+        size in 1u64..100_000_000,
+        parts in 1u32..64,
+        noise in prop::collection::vec(0u32..64, 0..32),
+    ) {
+        let mut t = outbound(size, parts);
+        let first = t.on_petition_ack(true).expect("accepted");
+        let mut sent = vec![first];
+        let mut confirmed = 0u32;
+        let mut noise_iter = noise.into_iter();
+        while !t.is_complete() {
+            // Interleave a piece of noise (stale confirm) before the real one.
+            if let Some(bogus) = noise_iter.next() {
+                if bogus != confirmed {
+                    prop_assert_eq!(t.on_part_confirm(bogus), None);
+                }
+            }
+            match t.on_part_confirm(confirmed) {
+                Some(next) => {
+                    sent.push(next);
+                    confirmed += 1;
+                }
+                None => {
+                    prop_assert!(t.is_complete());
+                    break;
+                }
+            }
+        }
+        // All parts sent once, in order, conserving bytes.
+        let total: u64 = sent.iter().map(|(_, s)| s).sum();
+        prop_assert_eq!(total, size);
+        for (i, (idx, _)) in sent.iter().enumerate() {
+            prop_assert_eq!(*idx, i as u32);
+        }
+        prop_assert_eq!(t.phase, TransferPhase::Complete);
+    }
+
+    /// Ratio counters stay within [0, 100].
+    #[test]
+    fn ratio_counter_bounded(outcomes in prop::collection::vec(any::<bool>(), 0..500)) {
+        let mut r = RatioCounter::default();
+        for o in &outcomes {
+            r.record(*o);
+        }
+        match r.percent() {
+            None => prop_assert!(outcomes.is_empty()),
+            Some(p) => prop_assert!((0.0..=100.0).contains(&p)),
+        }
+    }
+
+    /// The time-weighted queue average always lies between the minimum and
+    /// maximum lengths ever set.
+    #[test]
+    fn queue_gauge_average_bounded(lens in prop::collection::vec(0u32..50, 1..50)) {
+        let mut g = QueueGauge::new(SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for &l in &lens {
+            g.set(t, l);
+            t += SimDuration::from_secs(10);
+        }
+        let avg = g.average(t);
+        let lo = *lens.iter().min().unwrap() as f64;
+        let hi = *lens.iter().max().unwrap() as f64;
+        // The initial zero-length span counts too.
+        prop_assert!(avg >= 0.0 && avg <= hi, "avg {avg} not in [0, {hi}] (lo {lo})");
+    }
+
+    /// Windowed ratios never report out-of-range percentages, regardless of
+    /// how events scatter across hours.
+    #[test]
+    fn windowed_ratio_bounded(
+        events in prop::collection::vec((0u64..200_000u64, any::<bool>()), 0..200),
+        k in 1usize..48,
+    ) {
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.0);
+        let mut w = WindowedRatio::new(48);
+        let mut last = 0;
+        for (secs, ok) in &sorted {
+            w.record(SimTime::ZERO + SimDuration::from_secs(*secs), *ok);
+            last = *secs;
+        }
+        if let Some(p) = w.percent_last_hours(SimTime::ZERO + SimDuration::from_secs(last), k) {
+            prop_assert!((0.0..=100.0).contains(&p));
+        }
+    }
+
+    /// Snapshots never panic and every criterion is readable for arbitrary
+    /// interleavings of stat events.
+    #[test]
+    fn snapshots_always_complete(
+        msgs in prop::collection::vec(any::<bool>(), 0..50),
+        offers in prop::collection::vec(any::<bool>(), 0..50),
+        files in prop::collection::vec(any::<bool>(), 0..50),
+    ) {
+        let mut s = PeerStats::new(SimTime::ZERO, 1.0);
+        let mut t = SimTime::ZERO;
+        for &m in &msgs {
+            t += SimDuration::from_secs(30);
+            s.record_message(t, m);
+        }
+        for &o in &offers {
+            s.record_task_offer(o);
+        }
+        for &f in &files {
+            s.record_file_send(f);
+        }
+        let snap = s.snapshot(t, 24);
+        for c in overlay::stats::Criterion::ALL {
+            if let Some(v) = snap.value(c) {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Assembles a `netsim` topology from the site catalog and profiles.
+
+use netsim::node::NodeId;
+use netsim::topology::Topology;
+
+use crate::calibration::{broker_profile, sc_profile};
+use crate::profile::{synthetic_profile, NodeProfile};
+use crate::rtt::RttModel;
+use crate::sites::{Role, Site, BROKER, TABLE1};
+
+/// What to build.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct TestbedConfig {
+    /// The RTT synthesis model.
+    pub rtt: RttModel,
+    /// When true, all 25 Table-1 hosts are instantiated; when false only the
+    /// broker and the eight SC peers (the paper's measurement setup).
+    pub full_slice: bool,
+    /// In full-slice builds, caps how many non-SC slice members join
+    /// (None = all 17). Lets scaling experiments sweep the peer count.
+    pub max_others: Option<usize>,
+    /// Profile overrides by hostname, applied last.
+    pub overrides: Vec<(String, NodeProfile)>,
+}
+
+
+impl TestbedConfig {
+    /// The paper's measurement setup: broker + SC1…SC8.
+    pub fn measurement_setup() -> Self {
+        TestbedConfig::default()
+    }
+
+    /// The full 25-node slice plus the broker.
+    pub fn full_slice() -> Self {
+        TestbedConfig {
+            full_slice: true,
+            ..TestbedConfig::default()
+        }
+    }
+
+    /// Full slice capped at `n` non-SC members (scaling sweeps).
+    pub fn slice_with_others(n: usize) -> Self {
+        TestbedConfig {
+            full_slice: true,
+            max_others: Some(n),
+            ..TestbedConfig::default()
+        }
+    }
+
+    /// Adds a profile override for `hostname`.
+    pub fn with_override(mut self, hostname: impl Into<String>, profile: NodeProfile) -> Self {
+        self.overrides.push((hostname.into(), profile));
+        self
+    }
+}
+
+/// A built testbed: the topology plus the node-id roster.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The simulated network.
+    pub topology: Topology,
+    /// The broker's node id.
+    pub broker: NodeId,
+    /// SC1…SC8 node ids (index 0 is SC1).
+    pub scs: [NodeId; 8],
+    /// Any additional slice members (full-slice builds only).
+    pub others: Vec<NodeId>,
+}
+
+impl Testbed {
+    /// The node id of SCn (n in 1..=8).
+    pub fn sc(&self, n: u8) -> NodeId {
+        assert!((1..=8).contains(&n), "SC index {n} out of range");
+        self.scs[(n - 1) as usize]
+    }
+
+    /// All client node ids (SCs then others), excluding the broker.
+    pub fn clients(&self) -> Vec<NodeId> {
+        self.scs
+            .iter()
+            .copied()
+            .chain(self.others.iter().copied())
+            .collect()
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Always false — a testbed has at least the broker.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+fn profile_for(site: &Site, overrides: &[(String, NodeProfile)]) -> NodeProfile {
+    if let Some((_, p)) = overrides.iter().find(|(h, _)| h == site.hostname) {
+        return p.clone();
+    }
+    match site.role {
+        Role::Broker => broker_profile(),
+        Role::SimpleClient(n) => sc_profile(n),
+        Role::SliceMember => synthetic_profile(site.hostname),
+    }
+}
+
+/// Builds the testbed described by `config`.
+pub fn build(config: &TestbedConfig) -> Testbed {
+    let mut sites: Vec<&Site> = vec![&BROKER];
+    if config.full_slice {
+        sites.extend(crate::sites::simple_clients());
+        let mut quota = config.max_others.unwrap_or(usize::MAX);
+        for site in TABLE1.iter() {
+            if matches!(site.role, Role::SliceMember) && quota > 0 {
+                sites.push(site);
+                quota -= 1;
+            }
+        }
+    } else {
+        sites.extend(crate::sites::simple_clients());
+    }
+
+    let mut topology = Topology::new();
+    let mut ids = Vec::with_capacity(sites.len());
+    for site in &sites {
+        let profile = profile_for(site, &config.overrides);
+        let id = topology.add_node(
+            profile.to_node_spec(site.hostname),
+            profile.to_access_link(),
+        );
+        ids.push(id);
+    }
+
+    // Pairwise geographic paths (symmetric).
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            let path = config.rtt.path(sites[i], sites[j]);
+            topology.set_path_symmetric(ids[i], ids[j], path);
+        }
+    }
+
+    let broker = ids[0];
+    let mut scs = [NodeId(0); 8];
+    let mut others = Vec::new();
+    for (site, id) in sites.iter().zip(&ids).skip(1) {
+        match site.role {
+            Role::SimpleClient(n) => scs[(n - 1) as usize] = *id,
+            _ => others.push(*id),
+        }
+    }
+
+    Testbed {
+        topology,
+        broker,
+        scs,
+        others,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::PAPER_FIG2_PETITION_SECS;
+
+    #[test]
+    fn measurement_setup_has_nine_nodes() {
+        let tb = build(&TestbedConfig::measurement_setup());
+        assert_eq!(tb.len(), 9);
+        assert!(tb.others.is_empty());
+        assert_eq!(tb.clients().len(), 8);
+        assert!(!tb.is_empty());
+    }
+
+    #[test]
+    fn full_slice_has_26_nodes() {
+        let tb = build(&TestbedConfig::full_slice());
+        assert_eq!(tb.len(), 26);
+        assert_eq!(tb.others.len(), 17);
+        assert_eq!(tb.clients().len(), 25);
+    }
+
+    #[test]
+    fn full_slice_scs_keep_low_node_ids() {
+        // SCs occupy node ids 1..=8 in every build, so experiments can
+        // address them uniformly regardless of slice size.
+        let tb = build(&TestbedConfig::full_slice());
+        for n in 1..=8u8 {
+            assert_eq!(tb.sc(n), NodeId(n as u32));
+        }
+    }
+
+    #[test]
+    fn slice_with_others_caps_members() {
+        let tb = build(&TestbedConfig::slice_with_others(5));
+        assert_eq!(tb.others.len(), 5);
+        assert_eq!(tb.len(), 1 + 8 + 5);
+        let none = build(&TestbedConfig::slice_with_others(0));
+        assert_eq!(none.len(), 9);
+        // Capping above the catalog size is a no-op.
+        let all = build(&TestbedConfig::slice_with_others(100));
+        assert_eq!(all.len(), 26);
+    }
+
+    #[test]
+    fn sc_roster_matches_hostnames() {
+        let tb = build(&TestbedConfig::measurement_setup());
+        assert_eq!(tb.topology.node(tb.sc(1)).name, "ait05.us.es");
+        assert_eq!(tb.topology.node(tb.sc(7)).name, "planetlab1.itwm.fhg.de");
+        assert_eq!(tb.topology.node(tb.broker).name, "nozomi.lsi.upc.edu");
+    }
+
+    #[test]
+    fn sc_service_delays_are_calibrated() {
+        let tb = build(&TestbedConfig::measurement_setup());
+        for n in 1..=8u8 {
+            let spec = tb.topology.node(tb.sc(n));
+            let mean = spec.service_delay.mean_secs();
+            let target = PAPER_FIG2_PETITION_SECS[(n - 1) as usize];
+            assert!(
+                (mean - target).abs() / target < 1e-9,
+                "SC{n} mean {mean} target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn paths_are_geographic_and_symmetric() {
+        let tb = build(&TestbedConfig::measurement_setup());
+        // broker (Barcelona) ↔ SC2 (Helsinki) is farther than broker ↔ SC1 (Seville).
+        let to_helsinki = tb.topology.path(tb.broker, tb.sc(2)).one_way_delay;
+        let to_seville = tb.topology.path(tb.broker, tb.sc(1)).one_way_delay;
+        assert!(to_helsinki > to_seville);
+        assert_eq!(
+            tb.topology.path(tb.broker, tb.sc(2)),
+            tb.topology.path(tb.sc(2), tb.broker)
+        );
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let custom = NodeProfile::healthy().with_bandwidth_mbps(0.5);
+        let cfg = TestbedConfig::measurement_setup().with_override("ait05.us.es", custom);
+        let tb = build(&cfg);
+        let link = tb.topology.access(tb.sc(1));
+        assert!((link.up_bytes_per_sec - 62_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sc_accessor_bounds() {
+        let tb = build(&TestbedConfig::measurement_setup());
+        tb.sc(9);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = build(&TestbedConfig::full_slice());
+        let b = build(&TestbedConfig::full_slice());
+        for id in a.topology.node_ids() {
+            assert_eq!(a.topology.node(id), b.topology.node(id));
+            assert_eq!(a.topology.access(id), b.topology.access(id));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Sliver contention: how co-resident slivers degrade a PlanetLab node.
+//!
+//! PlanetLab virtualizes each node into up to ~100 *slivers* (one per slice).
+//! CPU is proportionally shared and the scheduler quantum is coarse, so a
+//! node hosting many active slivers exhibits (a) a high background-load
+//! fraction and (b) long, heavy-tailed application wake-up delays. This
+//! module maps an assumed sliver population onto those two effects, so
+//! profiles can be expressed as "this host runs N active slivers" instead of
+//! hand-tuning distributions.
+
+use netsim::node::LoadModel;
+use netsim::rng::DelayDistribution;
+
+/// Maximum concurrent slivers a PlanetLab node supports (per the paper §4.1).
+pub const MAX_SLIVERS: u32 = 100;
+
+/// Contention state of one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliverContention {
+    /// Active (CPU-consuming) slivers co-resident with ours.
+    pub active_slivers: u32,
+    /// Fraction of active slivers that are CPU-hungry (vs mostly idle).
+    pub hot_fraction: f64,
+}
+
+impl SliverContention {
+    /// A quiet node: few co-tenants.
+    pub fn quiet() -> Self {
+        SliverContention {
+            active_slivers: 3,
+            hot_fraction: 0.2,
+        }
+    }
+
+    /// A typically loaded node.
+    pub fn typical() -> Self {
+        SliverContention {
+            active_slivers: 12,
+            hot_fraction: 0.3,
+        }
+    }
+
+    /// A badly oversubscribed node (the SC7 pathology).
+    pub fn overloaded() -> Self {
+        SliverContention {
+            active_slivers: 60,
+            hot_fraction: 0.6,
+        }
+    }
+
+    /// Effective number of CPU-hungry competitors.
+    pub fn hot_competitors(&self) -> f64 {
+        self.active_slivers.min(MAX_SLIVERS) as f64 * self.hot_fraction.clamp(0.0, 1.0)
+    }
+
+    /// The background-load model implied by proportional CPU sharing:
+    /// with `k` hot competitors our sliver gets `1/(k+1)` of the CPU, i.e.
+    /// load `k/(k+1)`, with some spread since populations churn.
+    pub fn load_model(&self) -> LoadModel {
+        let k = self.hot_competitors();
+        let mean = k / (k + 1.0);
+        let spread = (mean * 0.2).min(0.1);
+        LoadModel::Uniform {
+            lo: (mean - spread).max(0.0),
+            hi: (mean + spread).min(0.99),
+        }
+    }
+
+    /// The application wake-up (service) delay implied by scheduler
+    /// contention: the median grows linearly with the hot population on top
+    /// of a `base` quantum, and the tail gets heavier as the node fills up.
+    pub fn responsiveness(&self, base_secs: f64) -> DelayDistribution {
+        let k = self.hot_competitors();
+        let median = base_secs * (1.0 + k);
+        let sigma = 0.3 + 0.7 * (k / MAX_SLIVERS as f64).min(1.0);
+        DelayDistribution::Lognormal {
+            median,
+            sigma,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = SliverContention::quiet();
+        let t = SliverContention::typical();
+        let o = SliverContention::overloaded();
+        assert!(q.hot_competitors() < t.hot_competitors());
+        assert!(t.hot_competitors() < o.hot_competitors());
+    }
+
+    #[test]
+    fn load_grows_with_population() {
+        let quiet_load = SliverContention::quiet().load_model().mean();
+        let over_load = SliverContention::overloaded().load_model().mean();
+        assert!(quiet_load < over_load);
+        assert!(over_load > 0.9, "60×0.6=36 hot competitors → ~0.97 load");
+        assert!(over_load <= 0.99);
+    }
+
+    #[test]
+    fn load_model_bounds_valid() {
+        for c in [
+            SliverContention::quiet(),
+            SliverContention::typical(),
+            SliverContention::overloaded(),
+            SliverContention { active_slivers: 500, hot_fraction: 1.0 },
+        ] {
+            if let LoadModel::Uniform { lo, hi } = c.load_model() {
+                assert!(lo >= 0.0 && hi <= 0.99 && lo <= hi);
+            } else {
+                panic!("expected uniform load model");
+            }
+        }
+    }
+
+    #[test]
+    fn sliver_population_clamped() {
+        let c = SliverContention { active_slivers: 1000, hot_fraction: 1.0 };
+        assert_eq!(c.hot_competitors(), MAX_SLIVERS as f64);
+    }
+
+    #[test]
+    fn responsiveness_median_scales_linearly() {
+        let q = SliverContention::quiet().responsiveness(0.01);
+        let o = SliverContention::overloaded().responsiveness(0.01);
+        let (DelayDistribution::Lognormal { median: mq, .. },
+             DelayDistribution::Lognormal { median: mo, .. }) = (q, o) else {
+            panic!("expected lognormal");
+        };
+        assert!(mo > 10.0 * mq);
+    }
+
+    #[test]
+    fn responsiveness_tail_heavier_when_loaded() {
+        let q = SliverContention::quiet().responsiveness(0.01);
+        let o = SliverContention::overloaded().responsiveness(0.01);
+        let (DelayDistribution::Lognormal { sigma: sq, .. },
+             DelayDistribution::Lognormal { sigma: so, .. }) = (q, o) else {
+            panic!("expected lognormal");
+        };
+        assert!(so > sq);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the testbed synthesis.
+
+use planetlab::builder::{build, TestbedConfig};
+use planetlab::profile::{synthetic_profile, NodeProfile};
+use planetlab::rtt::{haversine_km, RttModel};
+use planetlab::sites::{Site, Role};
+use proptest::prelude::*;
+
+fn site(lat: f64, lon: f64) -> Site {
+    Site {
+        hostname: "x.example",
+        city: "X",
+        country: "XX",
+        lat,
+        lon,
+        role: Role::SliceMember,
+    }
+}
+
+proptest! {
+    /// Haversine distance is symmetric, non-negative and bounded by half
+    /// the Earth's circumference.
+    #[test]
+    fn haversine_metric_properties(
+        lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
+        lat2 in -89.0f64..89.0, lon2 in -179.0f64..179.0,
+    ) {
+        let d12 = haversine_km(lat1, lon1, lat2, lon2);
+        let d21 = haversine_km(lat2, lon2, lat1, lon1);
+        prop_assert!(d12 >= 0.0);
+        prop_assert!((d12 - d21).abs() < 1e-9);
+        prop_assert!(d12 <= 20_037.6, "exceeds half circumference: {d12}");
+        let self_d = haversine_km(lat1, lon1, lat1, lon1);
+        prop_assert!(self_d < 1e-9);
+    }
+
+    /// Synthesized RTT is symmetric, at least the floor, and monotone in
+    /// path inflation.
+    #[test]
+    fn rtt_synthesis_properties(
+        lat1 in -60.0f64..70.0, lon1 in -170.0f64..170.0,
+        lat2 in -60.0f64..70.0, lon2 in -170.0f64..170.0,
+        inflation in 1.0f64..4.0,
+    ) {
+        let a = site(lat1, lon1);
+        let b = site(lat2, lon2);
+        let m = RttModel { path_inflation: inflation, floor_ms: 1.5, jitter_frac: 0.1 };
+        let rtt = m.rtt_ms(&a, &b);
+        prop_assert!(rtt >= 2.0 * m.floor_ms);
+        prop_assert!((m.rtt_ms(&b, &a) - rtt).abs() < 1e-9);
+        let bigger = RttModel { path_inflation: inflation * 1.5, ..m.clone() };
+        prop_assert!(bigger.rtt_ms(&a, &b) >= rtt - 1e-9);
+    }
+
+    /// Synthetic profiles are pure functions of the hostname and always
+    /// land inside the documented parameter bands.
+    #[test]
+    fn synthetic_profiles_stable_and_banded(name in "[a-z]{1,20}\\.[a-z]{2,10}\\.[a-z]{2,3}") {
+        let p1 = synthetic_profile(&name);
+        let p2 = synthetic_profile(&name);
+        prop_assert_eq!(&p1, &p2);
+        prop_assert!((4.0..=16.0).contains(&p1.up_mbps));
+        prop_assert!(p1.loss >= 0.0001 && p1.loss <= 0.0012);
+        prop_assert!((0.8..=3.0).contains(&p1.cpu_gops));
+        prop_assert!(p1.mean_responsiveness_secs() > 0.0);
+        prop_assert!(p1.effective_gops() > 0.0);
+    }
+
+    /// Every slice size builds a consistent testbed: SCs keep ids 1..=8,
+    /// all paths are populated symmetric, and the broker is node 0.
+    #[test]
+    fn any_slice_size_builds_consistently(others in 0usize..17) {
+        let tb = build(&TestbedConfig::slice_with_others(others));
+        prop_assert_eq!(tb.len(), 9 + others);
+        prop_assert_eq!(tb.broker, netsim::node::NodeId(0));
+        for n in 1..=8u8 {
+            prop_assert_eq!(tb.sc(n), netsim::node::NodeId(n as u32));
+        }
+        for a in tb.topology.node_ids() {
+            for b in tb.topology.node_ids() {
+                let p = tb.topology.path(a, b);
+                prop_assert_eq!(p, tb.topology.path(b, a));
+                if a != b {
+                    prop_assert!(p.one_way_delay.as_nanos() > 0);
+                }
+            }
+        }
+    }
+
+    /// Profile → netsim conversion round-trips the key quantities.
+    #[test]
+    fn profile_conversion_roundtrips(mbps in 0.1f64..1000.0, loss in 0.0f64..0.5) {
+        let p = NodeProfile::healthy().with_bandwidth_mbps(mbps).with_loss(loss);
+        let link = p.to_access_link();
+        prop_assert!((link.up_bytes_per_sec - mbps * 125_000.0).abs() < 1.0);
+        prop_assert!((link.loss - loss).abs() < 1e-12);
+        let spec = p.to_node_spec("h");
+        prop_assert_eq!(spec.cpu.base_gops, p.cpu_gops);
+    }
+}

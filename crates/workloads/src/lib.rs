@@ -1,0 +1,25 @@
+//! # workloads — the experiment harness
+//!
+//! Reproduces every table and figure of the paper's evaluation:
+//!
+//! * [`spec`] — units and the paper's 5-repetition methodology.
+//! * [`scenario`] — wiring: testbed → engine → broker/clients → records.
+//! * [`runner`] — parallel replication over seeds (crossbeam scoped threads).
+//! * [`report`] — paper-vs-measured table rendering and shape statistics.
+//! * [`experiments`] — one module per artifact: `table1`, `fig2`…`fig7`.
+//!
+//! ```no_run
+//! use workloads::experiments;
+//! use workloads::spec::ExperimentSpec;
+//!
+//! let spec = ExperimentSpec::paper_defaults();
+//! println!("{}", experiments::fig2::run(&spec).render());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod spec;

@@ -1,0 +1,315 @@
+//! Report rendering: aligned text tables comparing measured series against
+//! the paper's published values.
+
+use std::fmt::Write as _;
+
+/// One named series of values aligned with a report's labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesRow {
+    /// Series name ("measured", "paper", "economic", …).
+    pub name: String,
+    /// One value per label.
+    pub values: Vec<f64>,
+    /// Optional per-label standard deviations (printed as ±).
+    pub std_devs: Option<Vec<f64>>,
+}
+
+impl SeriesRow {
+    /// A plain series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        SeriesRow {
+            name: name.into(),
+            values,
+            std_devs: None,
+        }
+    }
+
+    /// A series with dispersion.
+    pub fn with_sd(name: impl Into<String>, values: Vec<f64>, sds: Vec<f64>) -> Self {
+        SeriesRow {
+            name: name.into(),
+            values,
+            std_devs: Some(sds),
+        }
+    }
+}
+
+/// A rendered experiment artifact (one per paper table/figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureReport {
+    /// Artifact id, e.g. `"Figure 2"`.
+    pub id: String,
+    /// Descriptive title.
+    pub title: String,
+    /// Unit of every value.
+    pub unit: String,
+    /// Column labels (SC1…SC8, model names, …).
+    pub labels: Vec<String>,
+    /// The series (rows).
+    pub rows: Vec<SeriesRow>,
+    /// Free-form notes appended to the rendering.
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        unit: impl Into<String>,
+        labels: Vec<String>,
+    ) -> Self {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            unit: unit.into(),
+            labels,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a series row (must match the label count).
+    pub fn push(&mut self, row: SeriesRow) {
+        assert_eq!(row.values.len(), self.labels.len(), "row/label mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Looks a row up by name.
+    pub fn row(&self, name: &str) -> Option<&SeriesRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ({}) ==", self.id, self.title, self.unit);
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| match &r.std_devs {
+                        Some(sds) => format!("{:.2}±{:.2}", v, sds[i]),
+                        None => format_value(*v),
+                    })
+                    .collect()
+            })
+            .collect();
+        let col_w: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                cells
+                    .iter()
+                    .map(|row| row[i].len())
+                    .chain(std::iter::once(l.len()))
+                    .max()
+                    .unwrap_or(l.len())
+            })
+            .collect();
+        let _ = write!(out, "{:name_w$}", "");
+        for (l, w) in self.labels.iter().zip(&col_w) {
+            let _ = write!(out, "  {l:>w$}");
+        }
+        let _ = writeln!(out);
+        for (r, row_cells) in self.rows.iter().zip(&cells) {
+            let _ = write!(out, "{:name_w$}", r.name);
+            for (c, w) in row_cells.iter().zip(&col_w) {
+                let _ = write!(out, "  {c:>w$}");
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Renders comma-separated values (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "series,{}", self.labels.join(","));
+        for r in &self.rows {
+            let vals: Vec<String> = r.values.iter().map(|v| format!("{v}")).collect();
+            let _ = writeln!(out, "{},{}", r.name, vals.join(","));
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Index of the maximum value (None when empty or all-NaN).
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+        .map(|(i, _)| i)
+}
+
+/// Index of the minimum value (None when empty or all-NaN).
+pub fn argmin(values: &[f64]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+        .map(|(i, _)| i)
+}
+
+/// Spearman rank correlation between two equal-length series —
+/// the "does the measured ordering match the paper's?" statistic.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let rank = |xs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap());
+        let mut ranks = vec![0.0; xs.len()];
+        // Ties receive the average of their rank positions.
+        let mut pos = 0;
+        while pos < idx.len() {
+            let mut end = pos + 1;
+            while end < idx.len() && xs[idx[end]] == xs[idx[pos]] {
+                end += 1;
+            }
+            let avg = (pos + end - 1) as f64 / 2.0;
+            for &i in &idx[pos..end] {
+                ranks[i] = avg;
+            }
+            pos = end;
+        }
+        ranks
+    };
+    let (ra, rb) = (rank(a), rank(b));
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let (x, y) = (ra[i] - mean, rb[i] - mean);
+        num += x * y;
+        da += x * x;
+        db += y * y;
+    }
+    if da == 0.0 || db == 0.0 {
+        0.0
+    } else {
+        num / (da * db).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureReport {
+        let mut f = FigureReport::new(
+            "Figure 2",
+            "Petition time",
+            "seconds",
+            vec!["SC1".into(), "SC2".into()],
+        );
+        f.push(SeriesRow::new("paper", vec![12.86, 0.04]));
+        f.push(SeriesRow::with_sd("measured", vec![12.5, 0.05], vec![1.0, 0.01]));
+        f.note("means over 5 repetitions");
+        f
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("Figure 2"));
+        assert!(s.contains("SC1"));
+        assert!(s.contains("12.86"));
+        assert!(s.contains("12.50±1.00"));
+        assert!(s.contains("note: means over 5 repetitions"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("series,SC1,SC2"));
+        assert!(lines[1].starts_with("paper,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row/label mismatch")]
+    fn push_validates_length() {
+        let mut f = sample();
+        f.push(SeriesRow::new("bad", vec![1.0]));
+    }
+
+    #[test]
+    fn row_lookup() {
+        let f = sample();
+        assert!(f.row("paper").is_some());
+        assert!(f.row("nope").is_none());
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        let v = [3.0, 1.0, 5.0, 2.0];
+        assert_eq!(argmax(&v), Some(2));
+        assert_eq!(argmin(&v), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_constant() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(spearman(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(0.123), "0.123");
+        assert_eq!(format_value(5.5), "5.50");
+        assert_eq!(format_value(123.456), "123.5");
+    }
+}

@@ -1,0 +1,135 @@
+//! Parallel replication runner.
+//!
+//! The paper repeats every experiment five times and averages. Replications
+//! are embarrassingly parallel (one independent simulation per seed), so we
+//! fan them out over crossbeam scoped threads and merge the results in seed
+//! order — parallelism never changes the numbers.
+
+use netsim::metrics::RunningStat;
+
+/// Runs `f` once per seed, in parallel, returning results in seed order.
+pub fn run_replications<R, F>(seeds: &[u64], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    if seeds.len() <= 1 {
+        return seeds.iter().map(|&s| f(s)).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..seeds.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &seed) in slots.iter_mut().zip(seeds) {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(seed));
+            });
+        }
+    })
+    .expect("replication thread panicked");
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+/// Aggregates one named series across replications: each replication
+/// produces a vector of values (one per label); the aggregate keeps a
+/// [`RunningStat`] per label.
+#[derive(Debug, Clone)]
+pub struct SeriesAggregate {
+    /// Per-label statistics, indexed like the input vectors.
+    pub stats: Vec<RunningStat>,
+}
+
+impl SeriesAggregate {
+    /// Creates an aggregate for `n` labels.
+    pub fn new(n: usize) -> Self {
+        SeriesAggregate {
+            stats: vec![RunningStat::new(); n],
+        }
+    }
+
+    /// Folds one replication's values in (must match the label count).
+    pub fn add(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.stats.len(), "label count mismatch");
+        for (stat, &v) in self.stats.iter_mut().zip(values) {
+            stat.record(v);
+        }
+    }
+
+    /// Aggregates many replications at once.
+    pub fn from_replications(rows: &[Vec<f64>]) -> Self {
+        let n = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut agg = SeriesAggregate::new(n);
+        for row in rows {
+            agg.add(row);
+        }
+        agg
+    }
+
+    /// Mean per label.
+    pub fn means(&self) -> Vec<f64> {
+        self.stats.iter().map(|s| s.mean()).collect()
+    }
+
+    /// Standard deviation per label.
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.stats.iter().map(|s| s.std_dev()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn results_in_seed_order() {
+        let seeds = [5u64, 1, 9, 3];
+        let results = run_replications(&seeds, |s| s * 10);
+        assert_eq!(results, vec![50, 10, 90, 30]);
+    }
+
+    #[test]
+    fn all_seeds_actually_run() {
+        let counter = AtomicU64::new(0);
+        let seeds: Vec<u64> = (0..16).collect();
+        run_replications(&seeds, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn single_seed_runs_inline() {
+        let results = run_replications(&[42], |s| s + 1);
+        assert_eq!(results, vec![43]);
+    }
+
+    #[test]
+    fn empty_seed_list() {
+        let results: Vec<u64> = run_replications(&[], |s| s);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let seeds: Vec<u64> = (0..8).collect();
+        let parallel = run_replications(&seeds, |s| s * s + 7);
+        let sequential: Vec<u64> = seeds.iter().map(|&s| s * s + 7).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn series_aggregate_means_and_sds() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let agg = SeriesAggregate::from_replications(&rows);
+        assert_eq!(agg.means(), vec![3.0, 20.0]);
+        assert!((agg.std_devs()[0] - 2.0).abs() < 1e-12);
+        assert_eq!(agg.stats[0].count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn series_aggregate_rejects_ragged_rows() {
+        let mut agg = SeriesAggregate::new(2);
+        agg.add(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Scenario wiring: testbed → engine → broker + clients → run → records.
+
+use netsim::engine::{Engine, RunOutcome};
+use netsim::metrics::Metrics;
+use netsim::time::{SimDuration, SimTime};
+use netsim::transport::TransportConfig;
+use overlay::broker::{Broker, BrokerCommand, BrokerConfig};
+use overlay::client::{ClientCommand, ClientConfig, SimpleClient};
+use overlay::message::OverlayMsg;
+use overlay::records::{RecordSink, RunLog};
+use overlay::selector::PeerSelector;
+use planetlab::builder::{build, Testbed, TestbedConfig};
+
+/// Factory producing a fresh selector per replication (selectors are
+/// stateful and not clonable).
+pub type SelectorFactory = Box<dyn Fn(u64) -> Box<dyn PeerSelector> + Sync>;
+
+/// Everything needed to run one scenario replication.
+pub struct ScenarioConfig {
+    /// Which testbed to build.
+    pub testbed: TestbedConfig,
+    /// Transport model parameters.
+    pub transport: TransportConfig,
+    /// Broker command script: `(delay from start, command)`.
+    pub commands: Vec<(SimDuration, BrokerCommand)>,
+    /// Optional selection model factory.
+    pub selector: Option<SelectorFactory>,
+    /// Virtual-time safety horizon.
+    pub horizon: SimDuration,
+    /// Transfer watchdog timeout.
+    pub transfer_timeout: SimDuration,
+    /// Optional per-SC task-acceptance probability (index 0 = SC1). Lets
+    /// experiments shape the §2.2 task statistics without touching the
+    /// testbed; defaults to every peer accepting everything.
+    pub task_accept_by_sc: Option<[f64; 8]>,
+    /// Optional per-SC petition-refusal probability (flaky peers).
+    pub transfer_refuse_by_sc: Option<[f64; 8]>,
+    /// Scripted client commands: `(sc 1..=8, delay, command)`.
+    pub client_commands_by_sc: Option<Vec<(u8, SimDuration, ClientCommand)>>,
+    /// Files shared by clients at join: `(sc 1..=8, name, bytes)`.
+    pub shared_files_by_sc: Option<Vec<(u8, String, u64)>>,
+    /// Whether the broker stops the run once its own scripted work is done.
+    /// Disable when clients schedule their own commands (the broker cannot
+    /// see those) and bound the run with `horizon` instead.
+    pub stop_when_idle: bool,
+}
+
+impl ScenarioConfig {
+    /// The paper's measurement setup with default physics.
+    pub fn measurement_setup() -> Self {
+        ScenarioConfig {
+            testbed: TestbedConfig::measurement_setup(),
+            transport: TransportConfig::default(),
+            commands: Vec::new(),
+            selector: None,
+            horizon: SimDuration::from_mins(10 * 60),
+            transfer_timeout: SimDuration::from_mins(6 * 60),
+            task_accept_by_sc: None,
+            transfer_refuse_by_sc: None,
+            client_commands_by_sc: None,
+            shared_files_by_sc: None,
+            stop_when_idle: true,
+        }
+    }
+
+    /// Appends a command.
+    pub fn at(mut self, delay: SimDuration, cmd: BrokerCommand) -> Self {
+        self.commands.push((delay, cmd));
+        self
+    }
+
+    /// Installs a selector factory.
+    pub fn with_selector(mut self, f: SelectorFactory) -> Self {
+        self.selector = Some(f);
+        self
+    }
+}
+
+/// The observable outputs of one replication.
+pub struct ScenarioResult {
+    /// Drained run log (transfers, tasks, selections).
+    pub log: RunLog,
+    /// Engine metrics.
+    pub metrics: Metrics,
+    /// Final virtual time.
+    pub elapsed: SimTime,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The testbed (for node-id → SC mapping in report code).
+    pub testbed: Testbed,
+}
+
+/// Runs one replication of `cfg` under `seed`.
+pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> ScenarioResult {
+    let testbed = build(&cfg.testbed);
+    let sink = RecordSink::new();
+
+    let mut broker_cfg = BrokerConfig::new(seed ^ 0x0B20_CE12);
+    broker_cfg.commands = cfg.commands.clone();
+    broker_cfg.transfer_timeout = cfg.transfer_timeout;
+    broker_cfg.stop_when_idle = cfg.stop_when_idle;
+    if let Some(factory) = &cfg.selector {
+        broker_cfg.selector = Some(factory(seed));
+    }
+
+    let mut engine: Engine<OverlayMsg> =
+        Engine::new(testbed.topology.clone(), cfg.transport.clone(), seed);
+    engine.register(
+        testbed.broker,
+        Box::new(Broker::new(broker_cfg, sink.clone())),
+    );
+    for (i, node) in testbed.clients().into_iter().enumerate() {
+        let mut client_cfg = ClientConfig::new(testbed.broker);
+        if let Some(accept) = &cfg.task_accept_by_sc {
+            if i < 8 {
+                client_cfg.task_accept_probability = accept[i];
+            }
+        }
+        if let Some(refuse) = &cfg.transfer_refuse_by_sc {
+            if i < 8 {
+                client_cfg.transfer_refuse_probability = refuse[i];
+            }
+        }
+        if i < 8 {
+            let sc = i as u8 + 1;
+            if let Some(commands) = &cfg.client_commands_by_sc {
+                for (target, delay, cmd) in commands {
+                    if *target == sc {
+                        client_cfg.commands.push((*delay, cmd.clone()));
+                    }
+                }
+            }
+            if let Some(shared) = &cfg.shared_files_by_sc {
+                for (target, name, bytes) in shared {
+                    if *target == sc {
+                        client_cfg.shared_files.push((name.clone(), *bytes));
+                    }
+                }
+            }
+        }
+        engine.register(
+            node,
+            Box::new(
+                SimpleClient::new(client_cfg, seed.wrapping_mul(31).wrapping_add(i as u64))
+                    .with_sink(sink.clone()),
+            ),
+        );
+    }
+
+    let outcome = engine.run_until(SimTime::ZERO + cfg.horizon);
+    ScenarioResult {
+        log: sink.drain(),
+        metrics: engine.metrics().clone(),
+        elapsed: engine.now(),
+        outcome,
+        testbed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+    use overlay::broker::TargetSpec;
+
+    #[test]
+    fn scenario_runs_and_stops_when_idle() {
+        let cfg = ScenarioConfig::measurement_setup().at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: MB,
+                num_parts: 1,
+                label: "smoke".into(),
+            },
+        );
+        let result = run_scenario(&cfg, 1);
+        assert_eq!(result.outcome, RunOutcome::Stopped);
+        assert_eq!(result.log.transfers.len(), 8, "one transfer per SC");
+        for t in &result.log.transfers {
+            assert!(t.completed_at.is_some(), "{} incomplete", t.to_name);
+        }
+        assert_eq!(result.testbed.len(), 9);
+        assert!(result.metrics.counter("overlay.transfers_completed") == 8);
+    }
+
+    #[test]
+    fn scenario_is_deterministic_per_seed() {
+        let mk = || {
+            ScenarioConfig::measurement_setup().at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 5 * MB,
+                    num_parts: 5,
+                    label: "det".into(),
+                },
+            )
+        };
+        let a = run_scenario(&mk(), 7);
+        let b = run_scenario(&mk(), 7);
+        assert_eq!(a.elapsed, b.elapsed);
+        let times_a: Vec<_> = a.log.transfers.iter().map(|t| t.completed_at).collect();
+        let times_b: Vec<_> = b.log.transfers.iter().map(|t| t.completed_at).collect();
+        assert_eq!(times_a, times_b);
+        // Different seed → different timings (jitter, service samples).
+        let c = run_scenario(&mk(), 8);
+        let times_c: Vec<_> = c.log.transfers.iter().map(|t| t.completed_at).collect();
+        assert_ne!(times_a, times_c);
+    }
+}

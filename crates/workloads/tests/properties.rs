@@ -1,0 +1,80 @@
+//! Property-based tests for the experiment harness.
+
+use proptest::prelude::*;
+use workloads::report::{argmax, argmin, spearman, FigureReport, SeriesRow};
+use workloads::runner::{run_replications, SeriesAggregate};
+
+proptest! {
+    /// Aggregating rows one-by-one equals bulk aggregation; means lie
+    /// inside the per-label [min, max] envelope.
+    #[test]
+    fn aggregation_is_consistent(rows in prop::collection::vec(
+        prop::collection::vec(-1e6f64..1e6, 4), 1..30,
+    )) {
+        let bulk = SeriesAggregate::from_replications(&rows);
+        let mut incremental = SeriesAggregate::new(4);
+        for r in &rows {
+            incremental.add(r);
+        }
+        prop_assert_eq!(bulk.means(), incremental.means());
+        for (i, mean) in bulk.means().into_iter().enumerate() {
+            let lo = rows.iter().map(|r| r[i]).fold(f64::INFINITY, f64::min);
+            let hi = rows.iter().map(|r| r[i]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        }
+    }
+
+    /// The parallel runner preserves order and purity for arbitrary seeds.
+    #[test]
+    fn runner_order_and_purity(seeds in prop::collection::vec(any::<u64>(), 0..24)) {
+        let results = run_replications(&seeds, |s| s.wrapping_mul(0x9E3779B97F4A7C15));
+        prop_assert_eq!(results.len(), seeds.len());
+        for (r, s) in results.iter().zip(&seeds) {
+            prop_assert_eq!(*r, s.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+    }
+
+    /// Spearman is always in [-1, 1], symmetric, and 1 for a series against
+    /// itself (when not constant).
+    #[test]
+    fn spearman_properties(values in prop::collection::vec(-1e3f64..1e3, 2..30)) {
+        let other: Vec<f64> = values.iter().rev().copied().collect();
+        let rho = spearman(&values, &other);
+        prop_assert!((-1.0..=1.0).contains(&rho), "rho {rho}");
+        let sym = spearman(&other, &values);
+        prop_assert!((rho - sym).abs() < 1e-9);
+        let distinct = values.windows(2).any(|w| w[0] != w[1]);
+        if distinct {
+            let self_rho = spearman(&values, &values);
+            prop_assert!((self_rho - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// argmax/argmin point at actual extremes.
+    #[test]
+    fn arg_extremes_correct(values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let imax = argmax(&values).unwrap();
+        let imin = argmin(&values).unwrap();
+        for v in &values {
+            prop_assert!(values[imax] >= *v);
+            prop_assert!(values[imin] <= *v);
+        }
+    }
+
+    /// Reports render and round-trip their own shape through CSV.
+    #[test]
+    fn report_rendering_total(values in prop::collection::vec(0.0f64..1e4, 1..8)) {
+        let labels: Vec<String> = (0..values.len()).map(|i| format!("L{i}")).collect();
+        let mut f = FigureReport::new("T", "title", "unit", labels);
+        f.push(SeriesRow::new("a", values.clone()));
+        f.push(SeriesRow::with_sd("b", values.clone(), vec![0.1; values.len()]));
+        let rendered = f.render();
+        prop_assert!(rendered.contains("T"));
+        prop_assert!(rendered.contains("L0"));
+        let csv = f.to_csv();
+        prop_assert_eq!(csv.lines().count(), 3);
+        for line in csv.lines().skip(1) {
+            prop_assert_eq!(line.split(',').count(), values.len() + 1);
+        }
+    }
+}

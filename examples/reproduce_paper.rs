@@ -1,0 +1,55 @@
+//! Reproduce every table and figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release --example reproduce_paper                 # 5 reps (paper)
+//! cargo run --release --example reproduce_paper -- --quick      # 2 reps (smoke)
+//! cargo run --release --example reproduce_paper -- --extensions # + future-work studies
+//! ```
+//!
+//! Output: one paper-vs-measured block per artifact, suitable for pasting
+//! into EXPERIMENTS.md.
+
+use workloads::experiments::{self, ablation, adaptation, extensions, fig5, fig6, fig7, table1, transfer_study};
+use workloads::spec::ExperimentSpec;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let with_extensions = std::env::args().any(|a| a == "--extensions");
+    let spec = if quick {
+        ExperimentSpec::quick()
+    } else {
+        ExperimentSpec::paper_defaults()
+    };
+    println!(
+        "reproducing ICPPW'07 peer-selection study ({} repetitions per experiment)\n",
+        spec.repetitions()
+    );
+
+    println!("{}", table1::run());
+
+    // Figures 2–4 share one workload (the blind 50 MB study).
+    let study = transfer_study::run(&spec);
+    println!("{}", experiments::fig2::report(&study).render());
+    println!("{}", experiments::fig3::report(&study).render());
+    println!("{}", experiments::fig4::report(&study).render());
+
+    println!("{}", fig5::run(&spec).render());
+    println!("{}", fig6::run(&spec).render());
+    println!("{}", fig7::run(&spec).render());
+
+    if with_extensions {
+        println!("{}", extensions::scaling::run(&spec).render());
+        println!("{}", extensions::request::run(&spec).render());
+        println!("{}", extensions::profiles::run(&spec).render());
+        println!("{}", adaptation::run(&spec).render());
+        println!("{}", ablation::run(&spec).render());
+        let churn = extensions::churn::run_experiment(1);
+        println!("== Extension: churn ==");
+        println!(
+            "selected transfers: {}/{} completed; departed peer re-selected: {}\n",
+            churn.completed, churn.started, churn.leaver_chosen_after_departure
+        );
+    }
+
+    println!("done. see EXPERIMENTS.md for the shape criteria each artifact must satisfy.");
+}

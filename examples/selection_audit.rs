@@ -1,0 +1,92 @@
+//! Selection audit: *why* did each model pick its peer?
+//!
+//! Recreates the Fig 6 decision moment — warm history for all eight SCs,
+//! a backlog on the historically-fastest peer — and prints every model's
+//! score for every candidate, so the information asymmetry behind the
+//! paper's ordering is visible number by number.
+//!
+//! ```text
+//! cargo run --release --example selection_audit
+//! ```
+
+use netsim::node::NodeId;
+use netsim::time::{SimDuration, SimTime};
+use overlay::selector::{CandidateView, InteractionHistory, Purpose, SelectionRequest};
+use overlay::stats::StatsSnapshot;
+use peer_selection::model::ScoringModel;
+use peer_selection::prelude::*;
+use planetlab::calibration::{sc_profiles, PAPER_FIG2_PETITION_SECS, SC_LABELS};
+use workloads::spec::MB;
+
+/// Builds the candidate set as the broker would see it at the Fig 6
+/// decision moment: throughput/wake-up history from a warm-up, SC4
+/// backlogged with 25 MB.
+fn fig6_candidates() -> Vec<CandidateView> {
+    let mut g = overlay::id::IdGenerator::new(1);
+    sc_profiles()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut history = InteractionHistory::empty();
+            // Warm-up observations ≈ the profile's ground truth.
+            history.observe_throughput(p.down_bytes_per_sec() * 0.8, 1.0);
+            history.observe_petition(PAPER_FIG2_PETITION_SECS[i], 1.0);
+            if i == 3 {
+                // SC4 carries the 25 MB background backlog.
+                history.queued_bytes = 25 * MB;
+            }
+            let mut snapshot = StatsSnapshot::empty(p.cpu_gops);
+            snapshot.msg_success_total = Some(100.0);
+            snapshot.files_sent_total = Some(100.0);
+            snapshot.pending_transfers = if i == 3 { 1.0 } else { 0.0 };
+            CandidateView {
+                peer: overlay::id::PeerId::generate(&mut g),
+                node: NodeId(i as u32 + 1),
+                name: SC_LABELS[i].to_string(),
+                cpu_gops: p.cpu_gops,
+                snapshot,
+                history,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let candidates = fig6_candidates();
+    let req = SelectionRequest {
+        now: SimTime::ZERO + SimDuration::from_secs(662),
+        purpose: Purpose::FileTransfer { bytes: 10 * MB },
+        candidates: &candidates,
+    };
+
+    let mut models: Vec<(&str, Box<dyn ScoringModel>)> = vec![
+        ("economic", Box::new(EconomicModel::new())),
+        ("same-priority", Box::new(DataEvaluatorModel::same_priority())),
+        ("quick-peer", Box::new(UserPreferenceModel::quick_peer())),
+    ];
+
+    println!("deciding: 10 MB transfer; SC4 is historically fastest but backlogged\n");
+    print!("{:<16}", "model \\ peer");
+    for c in &candidates {
+        print!("{:>9}", c.name);
+    }
+    println!("{:>10}", "pick");
+    for (name, model) in &mut models {
+        let scores = model.scores(&req);
+        let pick = peer_selection::model::argmax_with_tiebreak(&req, &scores).unwrap();
+        print!("{name:<16}");
+        // Normalize for display so different score units compare visually.
+        let mut display = scores.clone();
+        peer_selection::model::min_max_normalize(&mut display);
+        for s in &display {
+            print!("{s:>9.3}");
+        }
+        println!("{:>10}", candidates[pick].name);
+    }
+
+    println!(
+        "\neconomic sees SC4's backlog AND wake-up history → picks a prompt idle peer;\n\
+         same-priority sees only the §2.2 statistics → cpu tie-break lands on SC5 (5.19 s wake);\n\
+         quick-peer sees only history → returns to the backlogged SC4."
+    );
+}

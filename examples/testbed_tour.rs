@@ -1,0 +1,47 @@
+//! Tour of the synthetic PlanetLab testbed: the Table-1 roster, the
+//! calibrated SC profiles, and the synthesized RTT matrix between the
+//! broker and every measured peer.
+//!
+//! ```text
+//! cargo run --release --example testbed_tour
+//! ```
+
+use planetlab::builder::{build, TestbedConfig};
+use planetlab::rtt::RttModel;
+use planetlab::sites::{simple_clients, BROKER};
+use workloads::experiments::table1;
+
+fn main() {
+    println!("{}", table1::run());
+
+    // Pairwise RTT matrix over the measured peers.
+    let rtt = RttModel::default();
+    let scs = simple_clients();
+    println!("== Synthesized RTT matrix (ms) ==");
+    print!("{:>8}", "");
+    for j in 1..=scs.len() {
+        print!("{:>8}", format!("SC{j}"));
+    }
+    println!();
+    for (i, a) in scs.iter().enumerate() {
+        print!("{:>8}", format!("SC{}", i + 1));
+        for b in &scs {
+            print!("{:>8.1}", rtt.rtt_ms(a, b));
+        }
+        println!();
+    }
+    print!("{:>8}", "broker");
+    for b in &scs {
+        print!("{:>8.1}", rtt.rtt_ms(&BROKER, b));
+    }
+    println!("\n");
+
+    // Full-slice build: all 25 Table-1 hosts plus the broker.
+    let full = build(&TestbedConfig::full_slice());
+    println!(
+        "full slice: {} hosts ({} SCs, {} other members, 1 broker)",
+        full.len(),
+        full.scs.len(),
+        full.others.len()
+    );
+}

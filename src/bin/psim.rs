@@ -1,0 +1,300 @@
+//! `psim` — command-line front end to the peer-selection study.
+//!
+//! ```text
+//! psim table1                               # the slice roster + testbed
+//! psim fig all --quick                      # reproduce every figure
+//! psim fig 5                                # one figure, paper settings
+//! psim extensions --quick                   # future-work studies
+//! psim transfer --size-mb 50 --parts 50     # one blind distribution
+//! psim transfer --model economic ...        # one selected transfer
+//! psim csv --out target/figures --quick     # machine-readable series
+//! ```
+
+use std::collections::HashMap;
+
+use netsim::time::SimDuration;
+use overlay::broker::{BrokerCommand, TargetSpec};
+use overlay::selector::PeerSelector;
+use peer_selection::prelude::*;
+use workloads::experiments::{self, ablation, adaptation, extensions, fig5, fig6, fig7, table1, transfer_study};
+use workloads::scenario::{run_scenario, ScenarioConfig};
+use workloads::spec::{ExperimentSpec, MB};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            usage();
+            return;
+        }
+    };
+    let flags = parse_flags(rest);
+    let spec = if flags.contains_key("quick") {
+        ExperimentSpec::quick()
+    } else {
+        ExperimentSpec::paper_defaults()
+    };
+    match command {
+        "table1" => println!("{}", table1::run()),
+        "fig" => cmd_fig(rest.first().map(String::as_str).unwrap_or("all"), &spec),
+        "extensions" => cmd_extensions(&spec),
+        "ablation" => println!("{}", ablation::run(&spec).render()),
+        "transfer" => cmd_transfer(&flags),
+        "task" => cmd_task(&flags),
+        "csv" => cmd_csv(&flags, &spec),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "psim — peer selection study (ICPPW'07 reproduction)\n\n\
+         commands:\n\
+         \x20 table1                      print the slice roster and calibrated testbed\n\
+         \x20 fig <2|3|4|5|6|7|all>       reproduce a figure (add --quick for 2 reps)\n\
+         \x20 extensions                  run the future-work studies\n\
+         \x20 ablation                    transport-model ablation table\n\
+         \x20 transfer [opts]             run one file distribution\n\
+         \x20    --size-mb N (10)  --parts P (10)  --seed S (1)\n\
+         \x20    --model <economic|evaluator|quick-peer|random>   (default: blind, all peers)\n\
+         \x20 task [opts]                 run one task campaign\n\
+         \x20    --work G (120)  --input-mb N (0)  --seed S (1)  --model <...>\n\
+         \x20 csv --out DIR               write every figure's series as CSV\n\
+         \x20 help                        this text"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".to_string());
+            if value != "true" {
+                i += 1;
+            }
+            flags.insert(name.to_string(), value);
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> f64 {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[allow(clippy::type_complexity)] // mirrors workloads::scenario::SelectorFactory
+fn selector_for(model: &str) -> Option<Box<dyn Fn(u64) -> Box<dyn PeerSelector> + Sync>> {
+    let model = model.to_string();
+    match model.as_str() {
+        "economic" | "evaluator" | "quick-peer" | "random" | "ucb1" => {
+            Some(Box::new(move |seed| -> Box<dyn PeerSelector> {
+                match model.as_str() {
+                    "economic" => Box::new(Scored::new(EconomicModel::new())),
+                    "evaluator" => Box::new(Scored::new(DataEvaluatorModel::same_priority())),
+                    "quick-peer" => Box::new(Scored::new(UserPreferenceModel::quick_peer())),
+                    "ucb1" => Box::new(Ucb1Selector::new(std::f64::consts::SQRT_2, 2e6)),
+                    _ => Box::new(RandomSelector::new(seed)),
+                }
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn cmd_fig(which: &str, spec: &ExperimentSpec) {
+    let needs_study = matches!(which, "2" | "3" | "4" | "all");
+    let study = needs_study.then(|| transfer_study::run(spec));
+    match which {
+        "2" => println!("{}", experiments::fig2::report(study.as_ref().unwrap()).render()),
+        "3" => println!("{}", experiments::fig3::report(study.as_ref().unwrap()).render()),
+        "4" => println!("{}", experiments::fig4::report(study.as_ref().unwrap()).render()),
+        "5" => println!("{}", fig5::run(spec).render()),
+        "6" => println!("{}", fig6::run(spec).render()),
+        "7" => println!("{}", fig7::run(spec).render()),
+        "all" => {
+            let study = study.unwrap();
+            println!("{}", experiments::fig2::report(&study).render());
+            println!("{}", experiments::fig3::report(&study).render());
+            println!("{}", experiments::fig4::report(&study).render());
+            println!("{}", fig5::run(spec).render());
+            println!("{}", fig6::run(spec).render());
+            println!("{}", fig7::run(spec).render());
+        }
+        other => {
+            eprintln!("unknown figure: {other} (expected 2..7 or all)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_extensions(spec: &ExperimentSpec) {
+    println!("{}", extensions::scaling::run(spec).render());
+    println!("{}", extensions::request::run(spec).render());
+    println!("{}", extensions::profiles::run(spec).render());
+    println!("{}", adaptation::run(spec).render());
+    let churn = extensions::churn::run_experiment(1);
+    println!("== Extension: churn ==");
+    println!(
+        "selected transfers: {}/{} completed; departed peer re-selected: {}",
+        churn.completed, churn.started, churn.leaver_chosen_after_departure
+    );
+}
+
+fn cmd_transfer(flags: &HashMap<String, String>) {
+    let size = (flag_f64(flags, "size-mb", 10.0).max(0.001) * MB as f64) as u64;
+    let parts = flag_f64(flags, "parts", 10.0).max(1.0) as u32;
+    let seed = flag_f64(flags, "seed", 1.0) as u64;
+    let model = flags.get("model").cloned();
+
+    let mut cfg = ScenarioConfig::measurement_setup();
+    match model.as_deref().and_then(selector_for) {
+        Some(factory) => {
+            cfg.selector = Some(factory);
+            cfg = cfg
+                .at(
+                    SimDuration::from_secs(60),
+                    BrokerCommand::DistributeFile {
+                        target: TargetSpec::AllClients,
+                        size_bytes: 4 * MB,
+                        num_parts: 4,
+                        label: "warmup".into(),
+                    },
+                )
+                .at(
+                    SimDuration::from_secs(400),
+                    BrokerCommand::DistributeFile {
+                        target: TargetSpec::Selected,
+                        size_bytes: size,
+                        num_parts: parts,
+                        label: "cli".into(),
+                    },
+                );
+        }
+        None => {
+            cfg = cfg.at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: size,
+                    num_parts: parts,
+                    label: "cli".into(),
+                },
+            );
+        }
+    }
+    let result = run_scenario(&cfg, seed);
+    println!(
+        "{:<28} {:>12} {:>12} {:>10} {:>9}",
+        "peer", "petition(s)", "total(s)", "MB/s", "status"
+    );
+    for t in result.log.transfers.iter().filter(|t| t.label == "cli") {
+        println!(
+            "{:<28} {:>12.2} {:>12.2} {:>10.2} {:>9}",
+            t.to_name,
+            t.petition_latency_secs().unwrap_or(f64::NAN),
+            t.total_secs().unwrap_or(f64::NAN),
+            t.throughput_bytes_per_sec().unwrap_or(0.0) / 1e6,
+            if t.cancelled {
+                "cancelled"
+            } else if t.completed_at.is_some() {
+                "ok"
+            } else {
+                "pending"
+            }
+        );
+    }
+    for s in &result.log.selections {
+        println!("selected by {}: {}", s.model, s.chosen_name);
+    }
+}
+
+fn cmd_task(flags: &HashMap<String, String>) {
+    let work = flag_f64(flags, "work", 120.0).max(0.001);
+    let input = (flag_f64(flags, "input-mb", 0.0).max(0.0) * MB as f64) as u64;
+    let seed = flag_f64(flags, "seed", 1.0) as u64;
+    let model = flags.get("model").cloned();
+
+    let target = if model.is_some() {
+        TargetSpec::Selected
+    } else {
+        TargetSpec::AllClients
+    };
+    let mut cfg = ScenarioConfig::measurement_setup();
+    if let Some(factory) = model.as_deref().and_then(selector_for) {
+        cfg.selector = Some(factory);
+        cfg = cfg.at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 4 * MB,
+                num_parts: 4,
+                label: "warmup".into(),
+            },
+        );
+    }
+    cfg = cfg.at(
+        SimDuration::from_secs(400),
+        BrokerCommand::SubmitTask {
+            target,
+            work_gops: work,
+            input_bytes: input,
+            input_parts: 16,
+            label: "cli-task".into(),
+        },
+    );
+    let result = run_scenario(&cfg, seed);
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>8}",
+        "peer", "exec(min)", "total(min)", "xfer(min)", "ok"
+    );
+    for t in result.log.tasks.iter().filter(|t| t.label == "cli-task") {
+        let xfer = t
+            .input_done_at
+            .map(|d| d.duration_since(t.submitted_at).as_secs_f64() / 60.0);
+        println!(
+            "{:<28} {:>10.2} {:>12.2} {:>12} {:>8}",
+            t.on_name,
+            t.exec_secs.unwrap_or(f64::NAN) / 60.0,
+            t.total_secs().unwrap_or(f64::NAN) / 60.0,
+            xfer.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+            t.success
+        );
+    }
+}
+
+fn cmd_csv(flags: &HashMap<String, String>, spec: &ExperimentSpec) {
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "target/figures".to_string());
+    std::fs::create_dir_all(&out).expect("create output dir");
+    let study = transfer_study::run(spec);
+    let reports = vec![
+        ("fig2", experiments::fig2::report(&study)),
+        ("fig3", experiments::fig3::report(&study)),
+        ("fig4", experiments::fig4::report(&study)),
+        ("fig5", fig5::run(spec)),
+        ("fig6", fig6::run(spec)),
+        ("fig7", fig7::run(spec)),
+    ];
+    for (name, report) in reports {
+        let path = format!("{out}/{name}.csv");
+        std::fs::write(&path, report.to_csv()).expect("write csv");
+        println!("wrote {path}");
+    }
+}

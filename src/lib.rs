@@ -1,0 +1,22 @@
+//! # p2p-peer-selection — facade crate
+//!
+//! Re-exports the whole stack of the ICPPW'07 peer-selection reproduction:
+//!
+//! * [`netsim`] — deterministic discrete-event network simulator;
+//! * [`planetlab`] — the synthetic PlanetLab testbed (Table-1 catalog,
+//!   calibrated SC1…SC8 profiles, geographic RTT synthesis);
+//! * [`overlay`] — the JXTA-Overlay reimplementation (broker, clients,
+//!   chunked file transfer, tasks, statistics, federation);
+//! * [`peer_selection`] — the paper's three selection models plus the
+//!   adaptive/composite/sticky extensions;
+//! * [`workloads`] — experiment drivers reproducing every table and figure.
+//!
+//! See `README.md` for the architecture and `EXPERIMENTS.md` for
+//! paper-vs-measured results. The `psim` binary in this package drives
+//! everything from the command line.
+
+pub use netsim;
+pub use overlay;
+pub use peer_selection;
+pub use planetlab;
+pub use workloads;

@@ -1,0 +1,80 @@
+//! Reproducibility guarantees across the whole stack: a run is a pure
+//! function of its seed.
+
+use netsim::time::SimDuration;
+use overlay::broker::{BrokerCommand, TargetSpec};
+use workloads::scenario::{run_scenario, ScenarioConfig};
+use workloads::spec::MB;
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig::measurement_setup()
+        .at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 12 * MB,
+                num_parts: 12,
+                label: "det".into(),
+            },
+        )
+        .at(
+            SimDuration::from_secs(70),
+            BrokerCommand::SubmitTask {
+                target: TargetSpec::AllClients,
+                work_gops: 30.0,
+                input_bytes: 0,
+                input_parts: 1,
+                label: "det-task".into(),
+            },
+        )
+}
+
+fn fingerprint(seed: u64) -> Vec<u64> {
+    let r = run_scenario(&scenario(), seed);
+    let mut fp = vec![r.elapsed.as_nanos()];
+    for t in &r.log.transfers {
+        fp.push(t.completed_at.map(|x| x.as_nanos()).unwrap_or(0));
+        fp.push(t.petition_acked_at.map(|x| x.as_nanos()).unwrap_or(0));
+        for p in &t.parts {
+            fp.push(p.confirmed_at.map(|x| x.as_nanos()).unwrap_or(0));
+        }
+    }
+    for t in &r.log.tasks {
+        fp.push(t.result_at.map(|x| x.as_nanos()).unwrap_or(0));
+    }
+    fp
+}
+
+#[test]
+fn identical_seeds_identical_histories() {
+    assert_eq!(fingerprint(1), fingerprint(1));
+    assert_eq!(fingerprint(77), fingerprint(77));
+}
+
+#[test]
+fn different_seeds_different_histories() {
+    assert_ne!(fingerprint(1), fingerprint(2));
+}
+
+#[test]
+fn parallel_replication_matches_sequential() {
+    let seeds = [3u64, 4, 5];
+    let parallel = workloads::runner::run_replications(&seeds, fingerprint);
+    let sequential: Vec<Vec<u64>> = seeds.iter().map(|&s| fingerprint(s)).collect();
+    assert_eq!(parallel, sequential);
+}
+
+#[test]
+fn experiment_aggregates_are_reproducible() {
+    use workloads::experiments::fig5;
+    use workloads::spec::ExperimentSpec;
+    let spec = ExperimentSpec {
+        seeds: vec![2],
+        ..ExperimentSpec::quick()
+    };
+    let a = fig5::run_experiment(&spec);
+    let b = fig5::run_experiment(&spec);
+    for (sa, sb) in a.per_granularity.iter().zip(&b.per_granularity) {
+        assert_eq!(sa.means(), sb.means());
+    }
+}
