@@ -40,18 +40,27 @@ fn mean_transfer_secs(cfg: &ScenarioConfig, seed: u64) -> f64 {
 fn ablation_transport(c: &mut Criterion) {
     let variants: Vec<(&str, TransportConfig)> = vec![
         ("full", TransportConfig::default()),
-        ("no_tcp_bound", TransportConfig {
-            enable_tcp_bound: false,
-            ..TransportConfig::default()
-        }),
-        ("no_slow_start", TransportConfig {
-            enable_slow_start: false,
-            ..TransportConfig::default()
-        }),
-        ("no_large_msg_penalty", TransportConfig {
-            enable_large_msg_penalty: false,
-            ..TransportConfig::default()
-        }),
+        (
+            "no_tcp_bound",
+            TransportConfig {
+                enable_tcp_bound: false,
+                ..TransportConfig::default()
+            },
+        ),
+        (
+            "no_slow_start",
+            TransportConfig {
+                enable_slow_start: false,
+                ..TransportConfig::default()
+            },
+        ),
+        (
+            "no_large_msg_penalty",
+            TransportConfig {
+                enable_large_msg_penalty: false,
+                ..TransportConfig::default()
+            },
+        ),
         ("ideal", TransportConfig::ideal()),
     ];
     // Print the ablation table once: the headline effect sizes.
@@ -279,8 +288,7 @@ fn ablation_history_window(c: &mut Criterion) {
                     stats.record_message(t, !rng.next_u32().is_multiple_of(10));
                 }
             }
-            let now = netsim::time::SimTime::ZERO
-                + netsim::time::SimDuration::from_secs(48 * 3600);
+            let now = netsim::time::SimTime::ZERO + netsim::time::SimDuration::from_secs(48 * 3600);
             b.iter(|| stats.snapshot(now, k).msg_success_last_k)
         });
     }
@@ -289,8 +297,7 @@ fn ablation_history_window(c: &mut Criterion) {
         b.iter(|| {
             let mut w = WindowedRatio::new(48);
             for i in 0..1000u64 {
-                let t = netsim::time::SimTime::ZERO
-                    + netsim::time::SimDuration::from_secs(i * 180);
+                let t = netsim::time::SimTime::ZERO + netsim::time::SimDuration::from_secs(i * 180);
                 w.record(t, i % 7 != 0);
             }
             w.percent_last_hours(

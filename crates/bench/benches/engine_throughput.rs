@@ -1,0 +1,49 @@
+//! Engine hot-path throughput: the bench tracking the zero-allocation
+//! per-event path across PRs. Drives ≥1M events through a ping-pong actor
+//! pair and the full 8-client broker scenario, plus the isolated metrics
+//! layer (string-keyed vs interned). `psim bench-engine` renders the same
+//! measurements into `BENCH_engine.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use workloads::enginebench;
+
+fn engine_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    g.bench_function(BenchmarkId::new("pingpong", "1M_events"), |b| {
+        b.iter(|| enginebench::pingpong(black_box(1_000_000), 1).events)
+    });
+    g.bench_function(
+        BenchmarkId::new("pingpong_string_metrics", "1M_events"),
+        |b| b.iter(|| enginebench::pingpong_string_metrics(black_box(1_000_000), 1).events),
+    );
+    g.finish();
+}
+
+fn engine_broker_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    g.bench_function(BenchmarkId::new("broker", "8_clients"), |b| {
+        b.iter(|| enginebench::broker_scenario(black_box(3), 1).events)
+    });
+    g.finish();
+}
+
+fn metrics_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics_layer");
+    g.bench_function("string_vs_interned_1M_events", |b| {
+        b.iter(|| enginebench::metrics_overhead(black_box(1_000_000)).speedup())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engine_throughput,
+    engine_pingpong,
+    engine_broker_scenario,
+    metrics_layer
+);
+criterion_main!(engine_throughput);

@@ -108,8 +108,20 @@ fn bench_engine(c: &mut Criterion) {
             let z = topo.add_node(NodeSpec::responsive("b"), AccessLink::default());
             topo.set_path_symmetric(a, z, PathSpec::from_owd_ms(5.0, 0.0));
             let mut engine = Engine::new(topo, TransportConfig::ideal(), 5);
-            engine.register(a, Box::new(Bouncer { peer: z, remaining: 10_000 }));
-            engine.register(z, Box::new(Bouncer { peer: a, remaining: 0 }));
+            engine.register(
+                a,
+                Box::new(Bouncer {
+                    peer: z,
+                    remaining: 10_000,
+                }),
+            );
+            engine.register(
+                z,
+                Box::new(Bouncer {
+                    peer: a,
+                    remaining: 0,
+                }),
+            );
             engine.run();
             engine.now().as_nanos()
         })

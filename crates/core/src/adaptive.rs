@@ -118,8 +118,7 @@ impl Ucb1Selector {
             None => f64::INFINITY, // untried arms first
             Some((mean, pulls)) => {
                 let t = (self.total_pulls.max(1)) as f64;
-                mean / self.reward_scale
-                    + self.exploration * (t.ln() / *pulls as f64).sqrt()
+                mean / self.reward_scale + self.exploration * (t.ln() / *pulls as f64).sqrt()
             }
         }
     }
@@ -210,8 +209,7 @@ mod tests {
     fn epsilon_greedy_converges_to_best_arm() {
         let mut s = EpsilonGreedySelector::new(0.1, 42);
         let picks = drive(&mut s, 400);
-        let best_share =
-            picks.iter().filter(|&&p| p == 2).count() as f64 / picks.len() as f64;
+        let best_share = picks.iter().filter(|&&p| p == 2).count() as f64 / picks.len() as f64;
         assert!(best_share > 0.7, "best arm share {best_share}");
         assert!(s.mean_reward(NodeId(2)).unwrap() > s.mean_reward(NodeId(0)).unwrap());
     }

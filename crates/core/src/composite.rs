@@ -123,8 +123,8 @@ mod tests {
     #[test]
     fn single_part_composite_equals_part() {
         let c = candidates(3);
-        let mut composite = CompositeModel::new("solo")
-            .plus(Box::new(Fixed("a", vec![0.2, 0.9, 0.4])), 1.0);
+        let mut composite =
+            CompositeModel::new("solo").plus(Box::new(Fixed("a", vec![0.2, 0.9, 0.4])), 1.0);
         let scores = composite.scores(&req(&c));
         // Normalized ordering preserved.
         assert!(scores[1] > scores[2] && scores[2] > scores[0]);
@@ -184,8 +184,8 @@ mod tests {
     #[test]
     fn nan_subscores_count_as_worst() {
         let c = candidates(2);
-        let mut composite = CompositeModel::new("nan")
-            .plus(Box::new(Fixed("a", vec![f64::NAN, 1.0])), 1.0);
+        let mut composite =
+            CompositeModel::new("nan").plus(Box::new(Fixed("a", vec![f64::NAN, 1.0])), 1.0);
         let scores = composite.scores(&req(&c));
         assert!(scores[1] > scores[0]);
         assert_eq!(scores[0], 0.0);

@@ -9,7 +9,7 @@
 //! by CPU speed — exactly the paper's "additional data and criteria such as
 //! CPU speed".
 
-use overlay::selector::{SelectionRequest, SelectionOutcome};
+use overlay::selector::{SelectionOutcome, SelectionRequest};
 
 use crate::estimate::{completion_secs, Priors};
 use crate::model::ScoringModel;

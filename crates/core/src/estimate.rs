@@ -78,12 +78,7 @@ pub fn service_secs(c: &CandidateView, purpose: Purpose, priors: &Priors) -> f64
 
 /// Predicted completion time (seconds from `now`) of `purpose` on this peer:
 /// ready + wake-up + service.
-pub fn completion_secs(
-    now: SimTime,
-    c: &CandidateView,
-    purpose: Purpose,
-    priors: &Priors,
-) -> f64 {
+pub fn completion_secs(now: SimTime, c: &CandidateView, purpose: Purpose, priors: &Priors) -> f64 {
     ready_secs(now, &c.history, priors)
         + petition_secs(&c.history, priors)
         + service_secs(c, purpose, priors)

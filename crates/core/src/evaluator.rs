@@ -10,8 +10,8 @@
 //! presets; the paper's measured configuration is *same priority mode*,
 //! i.e. every criterion weighted equally.
 
-use overlay::stats::Criterion;
 use overlay::selector::SelectionRequest;
+use overlay::stats::Criterion;
 
 use crate::model::{min_max_normalize, ScoringModel};
 
@@ -102,7 +102,10 @@ pub struct DataEvaluatorModel {
 impl DataEvaluatorModel {
     /// Creates the model in the paper's *same priority* mode.
     pub fn same_priority() -> Self {
-        DataEvaluatorModel::with_profile("data-evaluator(same-priority)", WeightProfile::same_priority())
+        DataEvaluatorModel::with_profile(
+            "data-evaluator(same-priority)",
+            WeightProfile::same_priority(),
+        )
     }
 
     /// Creates the model with a custom weight profile.
@@ -282,7 +285,10 @@ mod tests {
         let s1 = DataEvaluatorModel::with_profile("p1", p1).scores(&req(&c));
         let s2 = DataEvaluatorModel::with_profile("p2", p2).scores(&req(&c));
         for (x, y) in s1.iter().zip(&s2) {
-            assert!((x - y).abs() < 1e-12, "scaling weights must not change scores");
+            assert!(
+                (x - y).abs() < 1e-12,
+                "scaling weights must not change scores"
+            );
         }
     }
 

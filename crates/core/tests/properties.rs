@@ -3,7 +3,9 @@
 use netsim::node::NodeId;
 use netsim::time::SimTime;
 use overlay::id::{IdGenerator, PeerId};
-use overlay::selector::{CandidateView, InteractionHistory, PeerSelector, Purpose, SelectionRequest};
+use overlay::selector::{
+    CandidateView, InteractionHistory, PeerSelector, Purpose, SelectionRequest,
+};
 use overlay::stats::StatsSnapshot;
 use peer_selection::economic::EconomicModel;
 use peer_selection::evaluator::{DataEvaluatorModel, WeightProfile};

@@ -1,0 +1,229 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the real criterion cannot
+//! be fetched. This crate vendors the subset of its API that the workspace's
+//! benches use — `Criterion`, `BenchmarkGroup`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple wall-clock runner: each bench is warmed up
+//! once, then timed over a small time budget, and the mean ns/iter is printed.
+//!
+//! It does no statistical analysis, outlier rejection, or HTML reporting.
+//! `sample_size`/`measurement_time` are accepted and loosely honored (the
+//! time budget is capped so `cargo bench` stays fast). Set
+//! `CRITERION_SHIM_BUDGET_MS` to change the per-bench budget (default 200).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+/// Identifies a bench within a group, e.g. `push_pop/1024`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("push_pop", 1024)` → `push_pop/1024`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(1024)` → `1024`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs and times the routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness's time budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up (and a guaranteed single execution even if the clock is coarse).
+        black_box(routine());
+        let budget = budget();
+        let start = Instant::now();
+        let mut iters = 1u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one(full_name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let ns = b.total.as_nanos() as f64 / b.iters as f64;
+        println!(
+            "bench {full_name:<60} {ns:>14.1} ns/iter ({} iters)",
+            b.iters
+        );
+    } else {
+        println!("bench {full_name:<60} (no measurement)");
+    }
+}
+
+/// A named collection of related benches.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's runner is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim caps the per-bench budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs `f` with a borrowed input under `id` within this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Group teardown; a no-op in the shim.
+    pub fn finish(self) {}
+}
+
+/// The bench harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a harness with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named bench group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone bench.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.to_string(), f);
+        self
+    }
+}
+
+/// Mirrors criterion's group macro (simple `(name, fn, ...)` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors criterion's main macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        std::env::set_var("CRITERION_SHIM_BUDGET_MS", "1");
+        let mut c = Criterion::new();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10).measurement_time(Duration::from_secs(1));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.bench_function(BenchmarkId::from_parameter("p"), |b| {
+            b.iter(|| black_box(0))
+        });
+        g.finish();
+    }
+}

@@ -9,7 +9,7 @@
 use std::collections::HashSet;
 
 use crate::event::EventQueue;
-use crate::metrics::Metrics;
+use crate::metrics::{MetricId, Metrics, StatId};
 use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -82,6 +82,32 @@ pub enum RunOutcome {
     EventLimit,
 }
 
+/// Metric handles the per-event path needs, resolved once at engine
+/// construction so sends/deliveries never walk the name maps.
+struct HotIds {
+    messages_sent: MetricId,
+    bytes_sent: MetricId,
+    messages_lost: MetricId,
+    messages_delivered: MetricId,
+    messages_dropped_no_actor: MetricId,
+    timers_pending_hwm: MetricId,
+    delivery_secs: StatId,
+}
+
+impl HotIds {
+    fn resolve(metrics: &mut Metrics) -> Self {
+        HotIds {
+            messages_sent: metrics.counter_id("net.messages_sent"),
+            bytes_sent: metrics.counter_id("net.bytes_sent"),
+            messages_lost: metrics.counter_id("net.messages_lost"),
+            messages_delivered: metrics.counter_id("net.messages_delivered"),
+            messages_dropped_no_actor: metrics.counter_id("net.messages_dropped_no_actor"),
+            timers_pending_hwm: metrics.counter_id("engine.timers_pending_hwm"),
+            delivery_secs: metrics.stat_id("net.delivery_secs"),
+        }
+    }
+}
+
 struct EngineCore<M> {
     topo: Topology,
     queue: EventQueue<Ev<M>>,
@@ -89,9 +115,16 @@ struct EngineCore<M> {
     planner: TransferPlanner,
     node_rngs: Vec<SimRng>,
     net_rng: SimRng,
-    cancelled: HashSet<u64>,
+    /// Timers scheduled but not yet fired or cancelled. A timer fires only
+    /// while its id is in this set, so cancellation is `remove` and firing
+    /// purges as it goes — no tombstones, bounded by in-flight timers.
+    pending_timers: HashSet<u64>,
+    /// High-water mark of `pending_timers.len()`, flushed to the
+    /// `engine.timers_pending_hwm` counter when a run step returns.
+    timers_pending_hwm: usize,
     next_timer: u64,
     metrics: Metrics,
+    ids: HotIds,
     trace: Trace,
     stop_requested: bool,
     current: NodeId,
@@ -142,7 +175,7 @@ impl<'a, M: Payload> Context<'a, M> {
         // Whole-message loss (overlay-visible; protocols must retransmit).
         let drop_p = self.core.planner.config().message_drop_probability;
         if drop_p > 0.0 && from != to && self.core.net_rng.bernoulli(drop_p) {
-            self.core.metrics.incr("net.messages_lost", 1);
+            self.core.metrics.incr_id(self.core.ids.messages_lost, 1);
             if self.core.trace.is_enabled() {
                 self.core.trace.record(
                     self.core.clock,
@@ -179,20 +212,30 @@ impl<'a, M: Payload> Context<'a, M> {
             ServiceClass::Bulk => 0.0,
         };
         let deliver = timing.deliver + SimDuration::from_secs_f64(service);
-        self.core.metrics.incr("net.messages_sent", 1);
-        self.core.metrics.incr("net.bytes_sent", size);
-        self.core
-            .metrics
-            .observe("net.delivery_secs", deliver.duration_since(self.core.clock).as_secs_f64());
+        self.core.metrics.incr_id(self.core.ids.messages_sent, 1);
+        self.core.metrics.incr_id(self.core.ids.bytes_sent, size);
+        self.core.metrics.observe_id(
+            self.core.ids.delivery_secs,
+            deliver.duration_since(self.core.clock).as_secs_f64(),
+        );
         if self.core.trace.is_enabled() {
             self.core.trace.record(
                 self.core.clock,
                 from,
                 "send",
-                format!("{}→{} {} {}B deliver@{}", from, to, msg.kind(), size, deliver),
+                format!(
+                    "{}→{} {} {}B deliver@{}",
+                    from,
+                    to,
+                    msg.kind(),
+                    size,
+                    deliver
+                ),
             );
         }
-        self.core.queue.schedule(deliver, Ev::Deliver { to, from, msg });
+        self.core
+            .queue
+            .schedule(deliver, Ev::Deliver { to, from, msg });
     }
 
     /// Schedules a timer on the current node after `delay`, carrying `tag`.
@@ -200,15 +243,22 @@ impl<'a, M: Payload> Context<'a, M> {
         let id = TimerId(self.core.next_timer);
         self.core.next_timer += 1;
         let node = self.core.current;
+        self.core.pending_timers.insert(id.0);
+        if self.core.pending_timers.len() > self.core.timers_pending_hwm {
+            self.core.timers_pending_hwm = self.core.pending_timers.len();
+        }
         self.core
             .queue
             .schedule(self.core.clock + delay, Ev::Timer { node, id, tag });
         id
     }
 
-    /// Cancels a previously scheduled timer (no-op if already fired).
+    /// Cancels a previously scheduled timer. A no-op when the timer already
+    /// fired or was never scheduled — in particular it leaves no
+    /// bookkeeping behind, so cancelling stale handles cannot grow engine
+    /// state.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.cancelled.insert(id.0);
+        self.core.pending_timers.remove(&id.0);
     }
 
     /// Samples the wall time this node needs to execute `work_gops`
@@ -264,6 +314,8 @@ impl<M: Payload> Engine<M> {
         let node_rngs = (0..n).map(|i| master.split(i as u64)).collect();
         let net_rng = master.split(u64::MAX);
         let actors = (0..n).map(|_| None).collect();
+        let mut metrics = Metrics::new();
+        let ids = HotIds::resolve(&mut metrics);
         Engine {
             core: EngineCore {
                 planner: TransferPlanner::new(config, n),
@@ -272,9 +324,11 @@ impl<M: Payload> Engine<M> {
                 clock: SimTime::ZERO,
                 node_rngs,
                 net_rng,
-                cancelled: HashSet::new(),
+                pending_timers: HashSet::new(),
+                timers_pending_hwm: 0,
                 next_timer: 0,
-                metrics: Metrics::new(),
+                ids,
+                metrics,
                 trace: Trace::disabled(),
                 stop_requested: false,
                 current: NodeId(0),
@@ -340,16 +394,45 @@ impl<M: Payload> Engine<M> {
         for i in 0..self.actors.len() {
             if let Some(mut actor) = self.actors[i].take() {
                 self.core.current = NodeId(i as u32);
-                let mut ctx = Context { core: &mut self.core };
+                let mut ctx = Context {
+                    core: &mut self.core,
+                };
                 actor.on_start(&mut ctx);
                 self.actors[i] = Some(actor);
             }
         }
     }
 
+    /// Number of timers currently scheduled and neither fired nor
+    /// cancelled. Engine timer bookkeeping is bounded by this count — a
+    /// cancelled or fired timer leaves nothing behind.
+    pub fn pending_timer_count(&self) -> usize {
+        self.core.pending_timers.len()
+    }
+
+    /// Total events processed so far across all run calls.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Largest number of events ever pending at once in the queue.
+    pub fn peak_queue_len(&self) -> usize {
+        self.core.queue.peak_len()
+    }
+
     /// Runs until the queue drains, a stop is requested, the event limit
     /// trips, or virtual time would pass `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let outcome = self.run_until_inner(horizon);
+        // Flush the timer high-water mark so post-run metric readers see it.
+        self.core.metrics.set_max_id(
+            self.core.ids.timers_pending_hwm,
+            self.core.timers_pending_hwm as u64,
+        );
+        outcome
+    }
+
+    fn run_until_inner(&mut self, horizon: SimTime) -> RunOutcome {
         self.start_if_needed();
         loop {
             if self.core.stop_requested {
@@ -371,7 +454,9 @@ impl<M: Payload> Engine<M> {
             self.events_processed += 1;
             match ev {
                 Ev::Deliver { to, from, msg } => {
-                    self.core.metrics.incr("net.messages_delivered", 1);
+                    self.core
+                        .metrics
+                        .incr_id(self.core.ids.messages_delivered, 1);
                     if self.core.trace.is_enabled() {
                         self.core.trace.record(
                             time,
@@ -382,20 +467,29 @@ impl<M: Payload> Engine<M> {
                     }
                     if let Some(mut actor) = self.actors[to.index()].take() {
                         self.core.current = to;
-                        let mut ctx = Context { core: &mut self.core };
+                        let mut ctx = Context {
+                            core: &mut self.core,
+                        };
                         actor.on_message(&mut ctx, from, msg);
                         self.actors[to.index()] = Some(actor);
                     } else {
-                        self.core.metrics.incr("net.messages_dropped_no_actor", 1);
+                        self.core
+                            .metrics
+                            .incr_id(self.core.ids.messages_dropped_no_actor, 1);
                     }
                 }
                 Ev::Timer { node, id, tag } => {
-                    if self.core.cancelled.remove(&id.0) {
+                    // Fire only if still pending; removal doubles as the
+                    // tombstone purge (cancelled timers were removed at
+                    // cancel time, fired timers are removed here).
+                    if !self.core.pending_timers.remove(&id.0) {
                         continue;
                     }
                     if let Some(mut actor) = self.actors[node.index()].take() {
                         self.core.current = node;
-                        let mut ctx = Context { core: &mut self.core };
+                        let mut ctx = Context {
+                            core: &mut self.core,
+                        };
                         actor.on_timer(&mut ctx, id, tag);
                         self.actors[node.index()] = Some(actor);
                     }
@@ -556,8 +650,7 @@ mod tests {
     fn service_delay_inflates_delivery() {
         let mut t = Topology::new();
         let a = t.add_node(NodeSpec::responsive("a"), AccessLink::default());
-        let slow = NodeSpec::responsive("b")
-            .with_service_delay(DelayDistribution::Constant(5.0));
+        let slow = NodeSpec::responsive("b").with_service_delay(DelayDistribution::Constant(5.0));
         let b = t.add_node(slow, AccessLink::default());
         t.set_path_symmetric(a, b, PathSpec::from_owd_ms(1.0, 0.0));
         let mut e = Engine::new(t, TransportConfig::ideal(), 5);
@@ -611,6 +704,102 @@ mod tests {
         // Inspect the actor through the trait-object accessor by re-boxing:
         // simplest is to re-run without cancel and compare times.
         assert_eq!(e.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn cancel_after_fire_leaves_no_tombstone() {
+        // Regression: cancelling a timer that already fired used to insert
+        // its id into a tombstone set that was never purged, growing
+        // engine state forever under schedule/fire/cancel churn.
+        struct LateCanceller {
+            first: Option<TimerId>,
+        }
+        impl Actor<Ping> for LateCanceller {
+            fn on_start(&mut self, ctx: &mut Context<Ping>) {
+                self.first = Some(ctx.schedule_timer(SimDuration::from_secs(1), 1));
+                ctx.schedule_timer(SimDuration::from_secs(2), 2);
+            }
+            fn on_message(&mut self, _: &mut Context<Ping>, _: NodeId, _: Ping) {}
+            fn on_timer(&mut self, ctx: &mut Context<Ping>, _: TimerId, tag: u64) {
+                if tag == 2 {
+                    // The 1 s timer fired long ago; cancelling it now must
+                    // be a no-op that records nothing.
+                    ctx.cancel_timer(self.first.expect("scheduled at start"));
+                    // Cancelling a handle that was never scheduled (forged
+                    // id) must also record nothing.
+                    ctx.cancel_timer(TimerId(u64::MAX));
+                }
+            }
+        }
+        let (t, a, _b) = topo(10.0);
+        let mut e = Engine::new(t, TransportConfig::ideal(), 11);
+        e.register(a, Box::new(LateCanceller { first: None }));
+        e.run();
+        assert_eq!(
+            e.pending_timer_count(),
+            0,
+            "fired + cancelled timers must leave no bookkeeping behind"
+        );
+        assert_eq!(e.metrics().counter("engine.timers_pending_hwm"), 2);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire_and_is_purged() {
+        struct CancelImmediately {
+            fired: bool,
+        }
+        impl Actor<Ping> for CancelImmediately {
+            fn on_start(&mut self, ctx: &mut Context<Ping>) {
+                let id = ctx.schedule_timer(SimDuration::from_secs(1), 7);
+                ctx.cancel_timer(id);
+            }
+            fn on_message(&mut self, _: &mut Context<Ping>, _: NodeId, _: Ping) {}
+            fn on_timer(&mut self, ctx: &mut Context<Ping>, _: TimerId, _: u64) {
+                self.fired = true;
+                ctx.metrics().incr("test.timer_fired", 1);
+            }
+        }
+        let (t, a, _b) = topo(10.0);
+        let mut e = Engine::new(t, TransportConfig::ideal(), 12);
+        e.register(a, Box::new(CancelImmediately { fired: false }));
+        e.run();
+        assert_eq!(e.pending_timer_count(), 0);
+        assert_eq!(
+            e.metrics().counter("test.timer_fired"),
+            0,
+            "cancelled timer must not fire"
+        );
+    }
+
+    #[test]
+    fn pending_timer_set_stays_bounded_under_churn() {
+        // Schedule-and-fire many timers one after another; in-flight count
+        // never exceeds the overlap, and the high-water metric records it.
+        struct Chain {
+            remaining: u32,
+        }
+        impl Actor<Ping> for Chain {
+            fn on_start(&mut self, ctx: &mut Context<Ping>) {
+                ctx.schedule_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_message(&mut self, _: &mut Context<Ping>, _: NodeId, _: Ping) {}
+            fn on_timer(&mut self, ctx: &mut Context<Ping>, _: TimerId, _: u64) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.schedule_timer(SimDuration::from_millis(1), 0);
+                }
+            }
+        }
+        let (t, a, _b) = topo(10.0);
+        let mut e = Engine::new(t, TransportConfig::ideal(), 13);
+        e.register(a, Box::new(Chain { remaining: 10_000 }));
+        e.run();
+        assert_eq!(e.pending_timer_count(), 0);
+        assert_eq!(
+            e.metrics().counter("engine.timers_pending_hwm"),
+            1,
+            "chained timers never overlap"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     scheduled_total: u64,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -60,6 +61,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             scheduled_total: 0,
+            peak_len: 0,
         }
     }
 
@@ -70,6 +72,9 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.heap.push(Entry { time, seq, payload });
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+        }
     }
 
     /// Removes and returns the earliest event, if any.
@@ -97,7 +102,16 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
-    /// Drops all pending events.
+    /// Largest number of events that were ever pending at once. Like
+    /// [`EventQueue::scheduled_total`], monotone over the queue's lifetime
+    /// and not reset by [`EventQueue::clear`].
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Drops all pending events. Lifetime counters
+    /// ([`EventQueue::scheduled_total`], [`EventQueue::peak_len`]) are
+    /// preserved.
     pub fn clear(&mut self) {
         self.heap.clear();
     }
@@ -164,6 +178,41 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 2, "total is monotone, not reset");
+    }
+
+    #[test]
+    fn clear_preserves_lifetime_counters_and_queue_still_works() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(t(i), i);
+        }
+        q.pop();
+        q.clear();
+        assert_eq!(q.scheduled_total(), 5);
+        assert_eq!(q.peak_len(), 5);
+        // Scheduling after clear keeps counting from where it left off.
+        q.schedule(t(9), 9);
+        assert_eq!(q.scheduled_total(), 6);
+        assert_eq!(q.peak_len(), 5, "peak not beaten by a single event");
+        assert_eq!(q.pop(), Some((t(9), 9)));
+    }
+
+    #[test]
+    fn peak_len_tracks_maximum_occupancy() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        q.schedule(t(3), 3);
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        assert_eq!(q.peak_len(), 3, "peak is monotone");
+        q.schedule(t(4), 4);
+        assert_eq!(q.peak_len(), 3, "occupancy 2 does not beat peak 3");
+        q.schedule(t(5), 5);
+        q.schedule(t(6), 6);
+        assert_eq!(q.peak_len(), 4, "new maximum recorded");
     }
 
     #[test]

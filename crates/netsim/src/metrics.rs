@@ -200,14 +200,35 @@ impl Histogram {
     }
 }
 
+/// Interned handle to a named counter (see [`Metrics::counter_id`]).
+///
+/// Resolving a name costs one `BTreeMap` walk; every [`Metrics::incr_id`]
+/// through the handle afterwards is a single indexed add with no hashing,
+/// no tree traversal, and no allocation. Handles are only meaningful for
+/// the [`Metrics`] registry that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(u32);
+
+/// Interned handle to a named statistic (see [`Metrics::stat_id`]).
+///
+/// Same contract as [`MetricId`], for [`RunningStat`] observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatId(u32);
+
 /// Per-run metrics registry: named counters and named statistics.
 ///
-/// Keys are plain strings; the registry is deliberately simple — experiments
-/// read it once at the end of a run.
+/// Names are interned: the name→slot maps are consulted only when a name is
+/// first resolved (or through the string-keyed compatibility API); values
+/// live in flat vectors indexed by [`MetricId`]/[`StatId`]. Hot paths
+/// resolve their handles once at construction and then update in O(1)
+/// without touching the heap. Iteration order (and therefore any rendered
+/// report) is by name, so interning order never leaks into output.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    stats: BTreeMap<String, RunningStat>,
+    counter_index: BTreeMap<String, u32>,
+    counter_values: Vec<u64>,
+    stat_index: BTreeMap<String, u32>,
+    stat_values: Vec<RunningStat>,
 }
 
 impl Metrics {
@@ -216,47 +237,168 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Resolves (interning if new) the handle for counter `name`.
+    ///
+    /// The counter is created at zero on first resolution, so a resolved
+    /// name always appears in [`Metrics::counter_names`] even if never
+    /// incremented.
+    pub fn counter_id(&mut self, name: &str) -> MetricId {
+        if let Some(&slot) = self.counter_index.get(name) {
+            return MetricId(slot);
+        }
+        let slot = u32::try_from(self.counter_values.len()).expect("too many counters");
+        self.counter_values.push(0);
+        self.counter_index.insert(name.to_string(), slot);
+        MetricId(slot)
+    }
+
+    /// Resolves (interning if new) the handle for statistic `name`.
+    ///
+    /// The statistic is created empty on first resolution, so a resolved
+    /// name always appears in [`Metrics::stat_names`] even if never
+    /// observed.
+    pub fn stat_id(&mut self, name: &str) -> StatId {
+        if let Some(&slot) = self.stat_index.get(name) {
+            return StatId(slot);
+        }
+        let slot = u32::try_from(self.stat_values.len()).expect("too many stats");
+        self.stat_values.push(RunningStat::new());
+        self.stat_index.insert(name.to_string(), slot);
+        StatId(slot)
+    }
+
+    /// Adds `delta` to the counter behind `id`. O(1), allocation-free.
+    #[inline]
+    pub fn incr_id(&mut self, id: MetricId, delta: u64) {
+        self.counter_values[id.0 as usize] += delta;
+    }
+
+    /// Raises the counter behind `id` to `value` if it is currently lower
+    /// (for high-water-mark style counters). O(1), allocation-free.
+    #[inline]
+    pub fn set_max_id(&mut self, id: MetricId, value: u64) {
+        let slot = &mut self.counter_values[id.0 as usize];
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Current value of the counter behind `id`. O(1).
+    #[inline]
+    pub fn counter_by_id(&self, id: MetricId) -> u64 {
+        self.counter_values[id.0 as usize]
+    }
+
+    /// Records an observation on the statistic behind `id`. O(1),
+    /// allocation-free.
+    #[inline]
+    pub fn observe_id(&mut self, id: StatId, value: f64) {
+        self.stat_values[id.0 as usize].record(value);
+    }
+
+    /// Reads the statistic behind `id`. O(1).
+    #[inline]
+    pub fn stat_by_id(&self, id: StatId) -> &RunningStat {
+        &self.stat_values[id.0 as usize]
+    }
+
+    /// Mutable access to the statistic behind `id`, e.g. to
+    /// [`RunningStat::merge`] externally accumulated observations in. O(1).
+    #[inline]
+    pub fn stat_by_id_mut(&mut self, id: StatId) -> &mut RunningStat {
+        &mut self.stat_values[id.0 as usize]
+    }
+
     /// Adds `delta` to counter `name`, creating it at zero if absent.
+    ///
+    /// String-keyed compatibility wrapper: resolves then delegates to
+    /// [`Metrics::incr_id`]. Fine for cold paths; per-event code should
+    /// hold a [`MetricId`] instead.
     pub fn incr(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        let id = self.counter_id(name);
+        self.incr_id(id, delta);
     }
 
     /// Current counter value (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_index
+            .get(name)
+            .map(|&slot| self.counter_values[slot as usize])
+            .unwrap_or(0)
     }
 
     /// Records an observation under statistic `name`.
+    ///
+    /// String-keyed compatibility wrapper: resolves then delegates to
+    /// [`Metrics::observe_id`]. Fine for cold paths; per-event code should
+    /// hold a [`StatId`] instead.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.stats
-            .entry(name.to_string())
-            .or_default()
-            .record(value);
+        let id = self.stat_id(name);
+        self.observe_id(id, value);
     }
 
     /// Reads a statistic (empty stat when absent).
     pub fn stat(&self, name: &str) -> RunningStat {
-        self.stats.get(name).cloned().unwrap_or_default()
+        self.stat_index
+            .get(name)
+            .map(|&slot| self.stat_values[slot as usize].clone())
+            .unwrap_or_default()
     }
 
     /// All counter names, sorted.
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
-        self.counters.keys().map(|s| s.as_str())
+        self.counter_index.keys().map(|s| s.as_str())
     }
 
     /// All statistic names, sorted.
     pub fn stat_names(&self) -> impl Iterator<Item = &str> {
-        self.stats.keys().map(|s| s.as_str())
+        self.stats_sorted().map(|(name, _)| name)
     }
 
-    /// Merges another registry into this one (sums counters, merges stats).
+    /// `(name, value)` pairs for all counters, sorted by name.
+    pub fn counters_sorted(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_index
+            .iter()
+            .map(|(name, &slot)| (name.as_str(), self.counter_values[slot as usize]))
+    }
+
+    /// `(name, stat)` pairs for all statistics, sorted by name.
+    pub fn stats_sorted(&self) -> impl Iterator<Item = (&str, &RunningStat)> {
+        self.stat_index
+            .iter()
+            .map(|(name, &slot)| (name.as_str(), &self.stat_values[slot as usize]))
+    }
+
+    /// Merges another registry into this one: counters are summed, stats
+    /// are merged via [`RunningStat::merge`]. Names absent on either side
+    /// are treated as zero/empty. Merging is keyed by name (never by
+    /// handle), so registries with different interning orders combine
+    /// correctly; iteration stays name-sorted afterwards.
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (name, value) in other.counters_sorted() {
+            let id = self.counter_id(name);
+            self.incr_id(id, value);
         }
-        for (k, s) in &other.stats {
-            self.stats.entry(k.clone()).or_default().merge(s);
+        for (name, &slot) in &other.stat_index {
+            let id = self.stat_id(name);
+            self.stat_values[id.0 as usize].merge(&other.stat_values[slot as usize]);
         }
+    }
+
+    /// Deterministic text rendering of the whole registry, sorted by name.
+    /// Two registries with equal contents render byte-identically
+    /// regardless of interning or insertion order — the basis of the
+    /// golden-metrics determinism tests.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in self.counters_sorted() {
+            writeln!(out, "counter {name} = {value}").expect("string write");
+        }
+        for (name, stat) in self.stats_sorted() {
+            writeln!(out, "stat {name}: {stat}").expect("string write");
+        }
+        out
     }
 }
 
@@ -380,6 +522,88 @@ mod tests {
         assert!((m.stat("latency").mean() - 1.0).abs() < 1e-12);
         assert_eq!(m.counter_names().collect::<Vec<_>>(), vec!["sent"]);
         assert_eq!(m.stat_names().collect::<Vec<_>>(), vec!["latency"]);
+    }
+
+    #[test]
+    fn interned_and_string_paths_share_storage() {
+        let mut m = Metrics::new();
+        let id = m.counter_id("net.messages_sent");
+        m.incr_id(id, 3);
+        m.incr("net.messages_sent", 2);
+        assert_eq!(m.counter("net.messages_sent"), 5);
+        assert_eq!(m.counter_by_id(id), 5);
+        assert_eq!(
+            m.counter_id("net.messages_sent"),
+            id,
+            "resolution is stable"
+        );
+
+        let sid = m.stat_id("lat");
+        m.observe_id(sid, 1.0);
+        m.observe("lat", 3.0);
+        assert_eq!(m.stat("lat").count(), 2);
+        assert!((m.stat_by_id(sid).mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolution_creates_zeroed_entries() {
+        let mut m = Metrics::new();
+        let id = m.counter_id("never_bumped");
+        m.stat_id("never_observed");
+        assert_eq!(m.counter_by_id(id), 0);
+        assert_eq!(m.counter_names().collect::<Vec<_>>(), vec!["never_bumped"]);
+        assert_eq!(m.stat_names().collect::<Vec<_>>(), vec!["never_observed"]);
+    }
+
+    #[test]
+    fn set_max_only_raises() {
+        let mut m = Metrics::new();
+        let id = m.counter_id("hwm");
+        m.set_max_id(id, 5);
+        m.set_max_id(id, 3);
+        assert_eq!(m.counter_by_id(id), 5);
+        m.set_max_id(id, 9);
+        assert_eq!(m.counter_by_id(id), 9);
+    }
+
+    #[test]
+    fn render_is_independent_of_interning_order() {
+        let mut a = Metrics::new();
+        a.counter_id("zeta");
+        a.counter_id("alpha");
+        a.incr("zeta", 1);
+        a.observe("s2", 4.0);
+        a.observe("s1", 2.0);
+
+        let mut b = Metrics::new();
+        b.incr("alpha", 0);
+        b.observe("s1", 2.0);
+        b.incr("zeta", 1);
+        b.observe("s2", 4.0);
+
+        assert_eq!(a.render(), b.render(), "name-sorted output, not slot order");
+        assert!(a
+            .render()
+            .starts_with("counter alpha = 0\ncounter zeta = 1\n"));
+    }
+
+    #[test]
+    fn merge_is_id_order_agnostic() {
+        // Registries interned in different orders must merge by name.
+        let mut a = Metrics::new();
+        a.counter_id("x");
+        a.counter_id("y");
+        a.incr("x", 1);
+
+        let mut b = Metrics::new();
+        b.counter_id("y"); // y gets slot 0 here, x had slot 0 in `a`
+        b.counter_id("x");
+        b.incr("y", 10);
+        b.incr("x", 2);
+
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 10);
     }
 
     #[test]

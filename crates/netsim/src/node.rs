@@ -130,12 +130,7 @@ impl CpuModel {
 
     /// Like [`CpuModel::execution_time`], with time context so diurnal load
     /// models see the clock.
-    pub fn execution_time_at(
-        &self,
-        work_gops: f64,
-        now: SimTime,
-        rng: &mut SimRng,
-    ) -> SimDuration {
+    pub fn execution_time_at(&self, work_gops: f64, now: SimTime, rng: &mut SimRng) -> SimDuration {
         if work_gops <= 0.0 || self.base_gops <= 0.0 {
             return SimDuration::ZERO;
         }
@@ -228,7 +223,10 @@ mod tests {
     #[test]
     fn load_samples_clamped() {
         let mut rng = SimRng::new(3);
-        let m = LoadModel::Normal { mean: 0.9, std_dev: 0.5 };
+        let m = LoadModel::Normal {
+            mean: 0.9,
+            std_dev: 0.5,
+        };
         for _ in 0..2000 {
             let l = m.sample(&mut rng);
             assert!((0.0..=0.99).contains(&l));
@@ -256,9 +254,7 @@ mod tests {
             peak_hour: 14.0,
         };
         let mut rng = SimRng::new(7);
-        let mut at = |h: f64| {
-            m.sample_at(SimTime::from_secs_f64(h * 3600.0), &mut rng)
-        };
+        let mut at = |h: f64| m.sample_at(SimTime::from_secs_f64(h * 3600.0), &mut rng);
         let peak = at(14.0);
         let trough = at(2.0);
         assert!((peak - 0.8).abs() < 1e-9, "peak {peak}");

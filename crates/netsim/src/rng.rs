@@ -233,9 +233,7 @@ impl DelayDistribution {
             DelayDistribution::ShiftedExponential { base, mean_extra } => {
                 base + rng.exponential(mean_extra)
             }
-            DelayDistribution::Lognormal { median, sigma } => {
-                rng.lognormal_median(median, sigma)
-            }
+            DelayDistribution::Lognormal { median, sigma } => rng.lognormal_median(median, sigma),
             DelayDistribution::Uniform { lo, hi } => rng.uniform_range(lo, hi),
         };
         if v.is_finite() {
@@ -277,7 +275,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -408,8 +408,14 @@ mod tests {
         let mut rng = SimRng::new(47);
         let dists = [
             DelayDistribution::Constant(0.25),
-            DelayDistribution::ShiftedExponential { base: 0.01, mean_extra: 0.05 },
-            DelayDistribution::Lognormal { median: 0.1, sigma: 1.2 },
+            DelayDistribution::ShiftedExponential {
+                base: 0.01,
+                mean_extra: 0.05,
+            },
+            DelayDistribution::Lognormal {
+                median: 0.1,
+                sigma: 1.2,
+            },
             DelayDistribution::Uniform { lo: 0.0, hi: 2.0 },
         ];
         for d in &dists {
@@ -424,18 +430,31 @@ mod tests {
     fn delay_distribution_means() {
         assert_eq!(DelayDistribution::Constant(2.0).mean_secs(), 2.0);
         assert_eq!(
-            DelayDistribution::ShiftedExponential { base: 1.0, mean_extra: 0.5 }.mean_secs(),
+            DelayDistribution::ShiftedExponential {
+                base: 1.0,
+                mean_extra: 0.5
+            }
+            .mean_secs(),
             1.5
         );
-        assert_eq!(DelayDistribution::Uniform { lo: 1.0, hi: 3.0 }.mean_secs(), 2.0);
-        let ln = DelayDistribution::Lognormal { median: 1.0, sigma: 0.0 };
+        assert_eq!(
+            DelayDistribution::Uniform { lo: 1.0, hi: 3.0 }.mean_secs(),
+            2.0
+        );
+        let ln = DelayDistribution::Lognormal {
+            median: 1.0,
+            sigma: 0.0,
+        };
         assert!((ln.mean_secs() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn lognormal_empirical_mean_tracks_formula() {
         let mut rng = SimRng::new(53);
-        let d = DelayDistribution::Lognormal { median: 0.2, sigma: 0.6 };
+        let d = DelayDistribution::Lognormal {
+            median: 0.2,
+            sigma: 0.6,
+        };
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| d.sample_secs(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - d.mean_secs()).abs() / d.mean_secs() < 0.03);

@@ -309,12 +309,18 @@ mod tests {
 
     #[test]
     fn duration_arithmetic_saturates() {
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
         assert_eq!(
             SimDuration::from_secs(1) - SimDuration::from_secs(2),
             SimDuration::ZERO
         );
-        assert_eq!(SimDuration::MAX.checked_add(SimDuration::from_nanos(1)), None);
+        assert_eq!(
+            SimDuration::MAX.checked_add(SimDuration::from_nanos(1)),
+            None
+        );
     }
 
     #[test]

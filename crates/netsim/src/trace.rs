@@ -25,7 +25,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} {}: {}", self.time, self.node, self.kind, self.detail)
+        write!(
+            f,
+            "[{}] {} {}: {}",
+            self.time, self.node, self.kind, self.detail
+        )
     }
 }
 

@@ -122,6 +122,7 @@ pub struct TransferTiming {
 
 impl TransferTiming {
     /// End-to-end latency from the plan request to delivery.
+    #[inline]
     pub fn total_from(&self, sent_at: SimTime) -> SimDuration {
         self.deliver.duration_since(sent_at)
     }
@@ -150,6 +151,7 @@ impl TransferPlanner {
     }
 
     /// The active configuration.
+    #[inline]
     pub fn config(&self) -> &TransportConfig {
         &self.config
     }
@@ -164,12 +166,14 @@ impl TransferPlanner {
     }
 
     /// Combined loss probability of two access links in series.
+    #[inline]
     fn path_loss(a: &AccessLink, b: &AccessLink) -> f64 {
         1.0 - (1.0 - a.loss) * (1.0 - b.loss)
     }
 
     /// The Mathis TCP throughput bound in bytes/second, or `+inf` when loss
     /// is zero or the bound is disabled.
+    #[inline]
     fn tcp_bound(&self, rtt_secs: f64, loss: f64) -> f64 {
         if !self.config.enable_tcp_bound || loss <= 0.0 || rtt_secs <= 0.0 {
             return f64::INFINITY;
@@ -178,6 +182,7 @@ impl TransferPlanner {
     }
 
     /// Effective path throughput for a message of `size` bytes.
+    #[inline]
     pub fn effective_throughput(
         &self,
         topo: &Topology,
@@ -198,11 +203,14 @@ impl TransferPlanner {
     }
 
     /// Extra time short transfers spend in TCP slow start.
+    #[inline]
     fn slow_start_penalty(&self, rtt: SimDuration, size: f64) -> SimDuration {
         if !self.config.enable_slow_start || size <= 0.0 {
             return SimDuration::ZERO;
         }
-        let rounds = (1.0 + size / self.config.initial_window_bytes).log2().ceil();
+        let rounds = (1.0 + size / self.config.initial_window_bytes)
+            .log2()
+            .ceil();
         rtt.mul_f64(rounds.clamp(0.0, 12.0))
     }
 
@@ -219,7 +227,10 @@ impl TransferPlanner {
     ) -> TransferTiming {
         if from == to {
             let deliver = now + self.config.loopback_delay;
-            return TransferTiming { tx_start: now, deliver };
+            return TransferTiming {
+                tx_start: now,
+                deliver,
+            };
         }
         let size = (payload_bytes + self.config.per_message_overhead_bytes) as f64;
 
@@ -277,9 +288,7 @@ impl TransferPlanner {
         let path = topo.path(from, to);
         let latency = path.one_way_delay + path.jitter.mul_f64(0.5);
         let thr = self.effective_throughput(topo, from, to, size);
-        latency
-            + SimDuration::from_secs_f64(size / thr)
-            + self.slow_start_penalty(path.rtt(), size)
+        latency + SimDuration::from_secs_f64(size / thr) + self.slow_start_penalty(path.rtt(), size)
     }
 }
 
@@ -362,8 +371,8 @@ mod tests {
         );
         // Per-byte cost: time(100MB)/time(4×25MB) should exceed 1.
         let t_whole = 100.0 * 1024.0 * 1024.0 / big;
-        let t_quarter = 25.0 * 1024.0 * 1024.0
-            / p.effective_throughput(&t, a, b, 25.0 * 1024.0 * 1024.0);
+        let t_quarter =
+            25.0 * 1024.0 * 1024.0 / p.effective_throughput(&t, a, b, 25.0 * 1024.0 * 1024.0);
         assert!(t_whole > 4.0 * t_quarter);
     }
 
@@ -382,9 +391,18 @@ mod tests {
     #[test]
     fn receiver_fifo_queues_concurrent_arrivals() {
         let mut t = Topology::new();
-        let a = t.add_node(NodeSpec::responsive("a"), AccessLink::symmetric_mbps(8.0, 0.0));
-        let b = t.add_node(NodeSpec::responsive("b"), AccessLink::symmetric_mbps(8.0, 0.0));
-        let c = t.add_node(NodeSpec::responsive("c"), AccessLink::symmetric_mbps(8.0, 0.0));
+        let a = t.add_node(
+            NodeSpec::responsive("a"),
+            AccessLink::symmetric_mbps(8.0, 0.0),
+        );
+        let b = t.add_node(
+            NodeSpec::responsive("b"),
+            AccessLink::symmetric_mbps(8.0, 0.0),
+        );
+        let c = t.add_node(
+            NodeSpec::responsive("c"),
+            AccessLink::symmetric_mbps(8.0, 0.0),
+        );
         t.set_path_symmetric(a, c, PathSpec::from_owd_ms(10.0, 0.0));
         t.set_path_symmetric(b, c, PathSpec::from_owd_ms(10.0, 0.0));
         let mut p = TransferPlanner::new(TransportConfig::ideal(), t.len());
@@ -466,10 +484,24 @@ mod tests {
         let mut ps2 = TransferPlanner::new(ps_cfg2, t.len());
         let mut rng = SimRng::new(11);
         let fa = fifo2.plan(&t, SimTime::ZERO, a, b, 100_000, &mut rng);
-        let fb = fifo2.plan(&t, fa.deliver + SimDuration::from_secs(5), a, b, 100_000, &mut rng);
+        let fb = fifo2.plan(
+            &t,
+            fa.deliver + SimDuration::from_secs(5),
+            a,
+            b,
+            100_000,
+            &mut rng,
+        );
         let mut rng = SimRng::new(11);
         let pa = ps2.plan(&t, SimTime::ZERO, a, b, 100_000, &mut rng);
-        let pb = ps2.plan(&t, pa.deliver + SimDuration::from_secs(5), a, b, 100_000, &mut rng);
+        let pb = ps2.plan(
+            &t,
+            pa.deliver + SimDuration::from_secs(5),
+            a,
+            b,
+            100_000,
+            &mut rng,
+        );
         assert_eq!(fa.deliver, pa.deliver);
         assert_eq!(fb.deliver, pb.deliver);
     }

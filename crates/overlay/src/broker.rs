@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use netsim::engine::{Actor, Context, TimerId};
+use netsim::metrics::{MetricId, Metrics};
 use netsim::node::NodeId;
 use netsim::time::{SimDuration, SimTime};
 
@@ -20,7 +21,9 @@ use crate::filetransfer::{FileMeta, OutboundTransfer};
 use crate::group::GroupRegistry;
 use crate::id::{ContentId, IdGenerator, PeerId, TaskId, TransferId};
 use crate::message::OverlayMsg;
-use crate::records::{JobRecord, PartRecord, RecordSink, SelectionRecord, TaskRecord, TransferRecord};
+use crate::records::{
+    JobRecord, PartRecord, RecordSink, SelectionRecord, TaskRecord, TransferRecord,
+};
 use crate::selector::{
     CandidateView, InteractionHistory, PeerSelector, Purpose, SelectionOutcome, SelectionRequest,
 };
@@ -171,6 +174,49 @@ struct PeerEntry {
     history: InteractionHistory,
 }
 
+/// Pre-resolved handles for the broker's protocol counters, interned once
+/// per run (see [`Metrics::counter_id`]) so milestone accounting on busy
+/// paths never re-walks the metric name map.
+struct BrokerCounters {
+    transfers_started: MetricId,
+    transfers_completed: MetricId,
+    transfers_cancelled: MetricId,
+    tasks_submitted: MetricId,
+    tasks_completed: MetricId,
+    tasks_failed: MetricId,
+    tasks_timed_out: MetricId,
+    joins: MetricId,
+    content_published: MetricId,
+    file_requests_served: MetricId,
+    file_requests_unserved: MetricId,
+    jobs_unplaced: MetricId,
+    gossip_received: MetricId,
+    retransmissions: MetricId,
+    retries_exhausted: MetricId,
+}
+
+impl BrokerCounters {
+    fn resolve(metrics: &mut Metrics) -> Self {
+        BrokerCounters {
+            transfers_started: metrics.counter_id("overlay.transfers_started"),
+            transfers_completed: metrics.counter_id("overlay.transfers_completed"),
+            transfers_cancelled: metrics.counter_id("overlay.transfers_cancelled"),
+            tasks_submitted: metrics.counter_id("overlay.tasks_submitted"),
+            tasks_completed: metrics.counter_id("overlay.tasks_completed"),
+            tasks_failed: metrics.counter_id("overlay.tasks_failed"),
+            tasks_timed_out: metrics.counter_id("overlay.tasks_timed_out"),
+            joins: metrics.counter_id("overlay.joins"),
+            content_published: metrics.counter_id("overlay.content_published"),
+            file_requests_served: metrics.counter_id("overlay.file_requests_served"),
+            file_requests_unserved: metrics.counter_id("overlay.file_requests_unserved"),
+            jobs_unplaced: metrics.counter_id("overlay.jobs_unplaced"),
+            gossip_received: metrics.counter_id("overlay.gossip_received"),
+            retransmissions: metrics.counter_id("overlay.retransmissions"),
+            retries_exhausted: metrics.counter_id("overlay.retries_exhausted"),
+        }
+    }
+}
+
 /// The broker actor.
 pub struct Broker {
     cfg: BrokerConfig,
@@ -198,6 +244,7 @@ pub struct Broker {
     /// Armed retransmission probes by timer tag.
     retry_probes: HashMap<u64, RetryProbe>,
     next_retry_tag: u64,
+    counters: Option<BrokerCounters>,
     sink: RecordSink,
 }
 
@@ -231,6 +278,16 @@ struct JobInfo {
 }
 
 impl Broker {
+    /// Bumps the protocol counter picked by `which`, resolving the handle
+    /// set on first use.
+    fn bump(&mut self, ctx: &mut Context<OverlayMsg>, which: fn(&BrokerCounters) -> MetricId) {
+        let ids = self
+            .counters
+            .get_or_insert_with(|| BrokerCounters::resolve(ctx.metrics()));
+        let id = which(ids);
+        ctx.metrics().incr_id(id, 1);
+    }
+
     /// Creates a broker writing records into `sink`.
     pub fn new(cfg: BrokerConfig, sink: RecordSink) -> Self {
         let id_seed = cfg.id_seed;
@@ -255,6 +312,7 @@ impl Broker {
             remote_peers: HashMap::new(),
             retry_probes: HashMap::new(),
             next_retry_tag: RETRY_TAG_BASE,
+            counters: None,
             sink: sink.clone(),
         }
     }
@@ -350,12 +408,7 @@ impl Broker {
     /// Selection restricted to `nodes` (used for file requests with several
     /// owners). Falls back to least-pending-transfers when no selector is
     /// installed. Records the decision when a selector was consulted.
-    fn select_among(
-        &mut self,
-        now: SimTime,
-        nodes: &[NodeId],
-        purpose: Purpose,
-    ) -> Option<NodeId> {
+    fn select_among(&mut self, now: SimTime, nodes: &[NodeId], purpose: Purpose) -> Option<NodeId> {
         if nodes.is_empty() {
             return None;
         }
@@ -459,7 +512,7 @@ impl Broker {
         self.next_watchdog_tag += 1;
         self.watchdog_for.insert(tag, id);
         ctx.schedule_timer(self.cfg.transfer_timeout, tag);
-        ctx.metrics().incr("overlay.transfers_started", 1);
+        self.bump(ctx, |c| c.transfers_started);
         id
     }
 
@@ -575,13 +628,13 @@ impl Broker {
                 bytes: size,
             });
         }
-        ctx.metrics().incr(
+        self.bump(
+            ctx,
             if completed {
-                "overlay.transfers_completed"
+                |c: &BrokerCounters| c.transfers_completed
             } else {
-                "overlay.transfers_cancelled"
+                |c: &BrokerCounters| c.transfers_cancelled
             },
-            1,
         );
 
         // If this transfer was a task's input shipment, advance the task.
@@ -630,10 +683,7 @@ impl Broker {
             tracking.phase = TaskPhase::Failed;
         }
         if let Some(job) = self.job_for_task.remove(&task_id) {
-            let total_secs = ctx
-                .now()
-                .duration_since(job.submitted_at)
-                .as_secs_f64();
+            let total_secs = ctx.now().duration_since(job.submitted_at).as_secs_f64();
             ctx.send(
                 job.submitter_node,
                 OverlayMsg::JobDone {
@@ -660,7 +710,7 @@ impl Broker {
                 rec.result_at = None;
             }
         });
-        ctx.metrics().incr("overlay.tasks_failed", 1);
+        self.bump(ctx, |c| c.tasks_failed);
         self.maybe_stop(ctx);
     }
 
@@ -713,7 +763,7 @@ impl Broker {
             self.tasks.insert(task_id, tracking);
             self.offer_task(ctx, task_id);
         }
-        ctx.metrics().incr("overlay.tasks_submitted", 1);
+        self.bump(ctx, |c| c.tasks_submitted);
     }
 
     fn execute_command(&mut self, ctx: &mut Context<OverlayMsg>, cmd: BrokerCommand) {
@@ -749,7 +799,12 @@ impl Broker {
                     bytes: text.len() as u64,
                 };
                 for node in self.resolve_targets(ctx, &target, purpose) {
-                    ctx.send(node, OverlayMsg::Instant { text: clone_text(&text) });
+                    ctx.send(
+                        node,
+                        OverlayMsg::Instant {
+                            text: clone_text(&text),
+                        },
+                    );
                 }
             }
         }
@@ -782,6 +837,7 @@ fn clone_text(t: &str) -> String {
 
 impl Actor<OverlayMsg> for Broker {
     fn on_start(&mut self, ctx: &mut Context<OverlayMsg>) {
+        self.counters = Some(BrokerCounters::resolve(ctx.metrics()));
         let commands = std::mem::take(&mut self.cfg.commands);
         for (i, (delay, _cmd)) in commands.iter().enumerate() {
             ctx.schedule_timer(*delay, CMD_TAG_BASE + i as u64);
@@ -807,7 +863,7 @@ impl Actor<OverlayMsg> for Broker {
                 });
                 let group = self.groups.admit(peer);
                 ctx.send(from, OverlayMsg::JoinAck { group });
-                ctx.metrics().incr("overlay.joins", 1);
+                self.bump(ctx, |c| c.joins);
             }
             OverlayMsg::Leave { peer } => {
                 if let Some(entry) = self.peers.remove(&peer) {
@@ -877,9 +933,7 @@ impl Actor<OverlayMsg> for Broker {
             OverlayMsg::PartConfirm { transfer, index } => {
                 self.sink.with(|log| {
                     if let Some(rec) = log.transfer_mut(transfer) {
-                        if let Some(part) =
-                            rec.parts.iter_mut().find(|p| p.index == index)
-                        {
+                        if let Some(part) = rec.parts.iter_mut().find(|p| p.index == index) {
                             part.confirmed_at = Some(now);
                         }
                     }
@@ -990,25 +1044,27 @@ impl Actor<OverlayMsg> for Broker {
                         }
                     });
                 }
-                ctx.metrics().incr("overlay.tasks_completed", 1);
+                self.bump(ctx, |c| c.tasks_completed);
                 self.maybe_stop(ctx);
             }
-            OverlayMsg::PublishContent(adv)
-                if self.peers.contains_key(&adv.owner) => {
-                    let node = self
-                        .peers
-                        .get(&adv.owner)
-                        .map(|e| e.adv.node)
-                        .unwrap_or(from);
-                    self.content.entry(adv.name.clone()).or_default().push(Holding {
+            OverlayMsg::PublishContent(adv) if self.peers.contains_key(&adv.owner) => {
+                let node = self
+                    .peers
+                    .get(&adv.owner)
+                    .map(|e| e.adv.node)
+                    .unwrap_or(from);
+                self.content
+                    .entry(adv.name.clone())
+                    .or_default()
+                    .push(Holding {
                         peer: adv.owner,
                         node,
                         content: adv.content,
                         size: adv.size_bytes,
                         adv,
                     });
-                    ctx.metrics().incr("overlay.content_published", 1);
-                }
+                self.bump(ctx, |c| c.content_published);
+            }
             OverlayMsg::DiscoverContent { pattern } => {
                 let adverts: Vec<crate::advertisement::ContentAdvertisement> = self
                     .content
@@ -1021,9 +1077,7 @@ impl Actor<OverlayMsg> for Broker {
                 ctx.send(from, OverlayMsg::DiscoverContentResponse { adverts });
             }
             OverlayMsg::FileRequest { requester, name } => {
-                let Some(requester_node) =
-                    self.peers.get(&requester).map(|e| e.adv.node)
-                else {
+                let Some(requester_node) = self.peers.get(&requester).map(|e| e.adv.node) else {
                     return;
                 };
                 let holders: Vec<Holding> = self
@@ -1039,7 +1093,7 @@ impl Actor<OverlayMsg> for Broker {
                     })
                     .unwrap_or_default();
                 if holders.is_empty() {
-                    ctx.metrics().incr("overlay.file_requests_unserved", 1);
+                    self.bump(ctx, |c| c.file_requests_unserved);
                     return;
                 }
                 let nodes: Vec<NodeId> = holders.iter().map(|h| h.node).collect();
@@ -1066,7 +1120,7 @@ impl Actor<OverlayMsg> for Broker {
                     },
                 );
                 self.instructed_pending += 1;
-                ctx.metrics().incr("overlay.file_requests_served", 1);
+                self.bump(ctx, |c| c.file_requests_served);
             }
             OverlayMsg::TransferReport {
                 ok,
@@ -1106,9 +1160,7 @@ impl Actor<OverlayMsg> for Broker {
                 input_parts,
                 label,
             } => {
-                let Some(submitter_node) =
-                    self.peers.get(&submitter).map(|e| e.adv.node)
-                else {
+                let Some(submitter_node) = self.peers.get(&submitter).map(|e| e.adv.node) else {
                     return;
                 };
                 // Execute anywhere except the submitter itself.
@@ -1122,7 +1174,7 @@ impl Actor<OverlayMsg> for Broker {
                     input_bytes,
                 };
                 let Some(executor) = self.select_among(now, &candidates, purpose) else {
-                    ctx.metrics().incr("overlay.jobs_unplaced", 1);
+                    self.bump(ctx, |c| c.jobs_unplaced);
                     return;
                 };
                 self.sink.with(|log| {
@@ -1138,11 +1190,9 @@ impl Actor<OverlayMsg> for Broker {
                 self.submit_task(ctx, executor, work_gops, input_bytes, input_parts, &label);
                 // Remember which task realises this job: it is the one just
                 // inserted with this label and executor.
-                if let Some((task_id, _)) = self
-                    .tasks
-                    .iter()
-                    .find(|(_, t)| t.spec.label == label && t.node == executor && t.result_at.is_none())
-                {
+                if let Some((task_id, _)) = self.tasks.iter().find(|(_, t)| {
+                    t.spec.label == label && t.node == executor && t.result_at.is_none()
+                }) {
                     self.job_for_task.insert(
                         *task_id,
                         JobInfo {
@@ -1160,7 +1210,7 @@ impl Actor<OverlayMsg> for Broker {
                         self.remote_peers.insert(view.peer, view);
                     }
                 }
-                ctx.metrics().incr("overlay.gossip_received", 1);
+                self.bump(ctx, |c| c.gossip_received);
             }
             OverlayMsg::Ping { nonce, sent_at } => {
                 ctx.send(from, OverlayMsg::Pong { nonce, sent_at });
@@ -1215,12 +1265,11 @@ impl Actor<OverlayMsg> for Broker {
                 if let Some(t) = self.outbound.get_mut(&probe.transfer) {
                     t.cancel();
                 }
-                ctx.metrics().incr("overlay.retries_exhausted", 1);
+                self.bump(ctx, |c| c.retries_exhausted);
                 self.finish_transfer(ctx, probe.transfer, false);
                 return;
             }
             let to = outbound.to;
-            ctx.metrics().incr("overlay.retransmissions", 1);
             match probe.kind {
                 RetryKind::Petition => {
                     let file = outbound.file.clone();
@@ -1247,6 +1296,7 @@ impl Actor<OverlayMsg> for Broker {
                     );
                 }
             }
+            self.bump(ctx, |c| c.retransmissions);
             self.arm_retry(ctx, probe.transfer, probe.kind, probe.attempt + 1);
             return;
         }
@@ -1258,7 +1308,7 @@ impl Actor<OverlayMsg> for Broker {
                     .map(|t| !matches!(t.phase, TaskPhase::Completed | TaskPhase::Failed))
                     .unwrap_or(false);
                 if unfinished {
-                    ctx.metrics().incr("overlay.tasks_timed_out", 1);
+                    self.bump(ctx, |c| c.tasks_timed_out);
                     self.fail_task(ctx, task_id);
                 }
             }
@@ -1365,7 +1415,11 @@ mod tests {
         let log = sink.drain();
         assert_eq!(log.transfers.len(), 2);
         for t in &log.transfers {
-            assert!(t.completed_at.is_some(), "transfer to {} incomplete", t.to_name);
+            assert!(
+                t.completed_at.is_some(),
+                "transfer to {} incomplete",
+                t.to_name
+            );
             assert!(!t.cancelled);
             assert_eq!(t.parts.len(), 4);
             assert!(t.parts.iter().all(|p| p.confirmed_at.is_some()));
@@ -1546,9 +1600,7 @@ mod tests {
         });
         engine.run_until(SimTime::from_secs_f64(120.0));
         for &c in &clients {
-            let got = engine
-                .with_actor(c, |_a| ())
-                .is_some();
+            let got = engine.with_actor(c, |_a| ()).is_some();
             assert!(got);
         }
         assert!(engine.metrics().counter("net.messages_sent") > 0);
@@ -1625,10 +1677,7 @@ mod tests {
         assert_eq!(xfer.to, clients[1], "file flows to the requester");
         assert!(xfer.completed_at.is_some());
         assert!(!xfer.cancelled);
-        assert_eq!(
-            engine.metrics().counter("overlay.file_requests_served"),
-            1
-        );
+        assert_eq!(engine.metrics().counter("overlay.file_requests_served"), 1);
         assert_eq!(engine.metrics().counter("overlay.content_published"), 1);
     }
 
@@ -1792,7 +1841,10 @@ mod tests {
             let broker = if i < 2 { broker_a } else { broker_b };
             engine.register(
                 c,
-                Box::new(SimpleClient::new(ClientConfig::new(broker), 3000 + i as u64)),
+                Box::new(SimpleClient::new(
+                    ClientConfig::new(broker),
+                    3000 + i as u64,
+                )),
             );
         }
         engine.run_until(SimTime::from_secs_f64(400.0));
@@ -1841,11 +1893,17 @@ mod tests {
         bcfg.task_timeout = SimDuration::from_secs(60);
         let mut engine = Engine::new(topo, TransportConfig::default(), 13);
         engine.register(broker_node, Box::new(Broker::new(bcfg, sink.clone())));
-        engine.register(alive, Box::new(SimpleClient::new(ClientConfig::new(broker_node), 50)));
+        engine.register(
+            alive,
+            Box::new(SimpleClient::new(ClientConfig::new(broker_node), 50)),
+        );
         // `dead` has no actor registered.
         let outcome = engine.run_until(SimTime::from_secs_f64(600.0));
         assert_eq!(outcome, RunOutcome::Stopped, "broker stops after timeout");
-        assert!(engine.now().as_secs_f64() < 120.0, "watchdog fired at ~65 s");
+        assert!(
+            engine.now().as_secs_f64() < 120.0,
+            "watchdog fired at ~65 s"
+        );
         assert_eq!(engine.metrics().counter("overlay.tasks_timed_out"), 1);
         let log = sink.drain();
         assert_eq!(log.tasks.len(), 1);
@@ -1906,7 +1964,10 @@ mod tests {
             SimDuration::from_mins(60),
         );
         engine.run_until(SimTime::from_secs_f64(3600.0));
-        assert!(engine.metrics().counter("net.messages_lost") > 0, "loss occurred");
+        assert!(
+            engine.metrics().counter("net.messages_lost") > 0,
+            "loss occurred"
+        );
         assert!(
             engine.metrics().counter("overlay.retransmissions") > 0,
             "retries fired"
@@ -1984,7 +2045,10 @@ mod tests {
         );
         bcfg.transfer_timeout = SimDuration::from_secs(60);
         engine.register(broker_node, Box::new(Broker::new(bcfg, sink.clone())));
-        engine.register(c, Box::new(SimpleClient::new(ClientConfig::new(broker_node), 44)));
+        engine.register(
+            c,
+            Box::new(SimpleClient::new(ClientConfig::new(broker_node), 44)),
+        );
         engine.run_until(SimTime::from_secs_f64(7200.0));
         let log = sink.drain();
         assert_eq!(log.transfers.len(), 1);

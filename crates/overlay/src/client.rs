@@ -194,11 +194,19 @@ impl SimpleClient {
         let load = (self.inbound.len() + self.running.len()) as u32;
         if let Some(stats) = &mut self.stats {
             stats.inbox.set(now, load);
-            stats.outbox.set(now, (self.running.len() + self.outbound.len()) as u32);
+            stats
+                .outbox
+                .set(now, (self.running.len() + self.outbound.len()) as u32);
         }
     }
 
-    fn record_part_sent(&self, transfer: TransferId, index: u32, size: u64, now: netsim::time::SimTime) {
+    fn record_part_sent(
+        &self,
+        transfer: TransferId,
+        index: u32,
+        size: u64,
+        now: netsim::time::SimTime,
+    ) {
         if let Some(sink) = &self.sink {
             sink.with(|log| {
                 if let Some(rec) = log.transfer_mut(transfer) {
@@ -332,8 +340,7 @@ impl Actor<OverlayMsg> for SimpleClient {
                 }
                 // Parts for unknown transfers are silently dropped (stale).
             }
-            OverlayMsg::TransferComplete { transfer }
-            | OverlayMsg::TransferCancel { transfer } => {
+            OverlayMsg::TransferComplete { transfer } | OverlayMsg::TransferCancel { transfer } => {
                 let completed = matches!(
                     self.inbound.remove(&transfer),
                     Some(inb) if inb.received >= inb.expected_parts
@@ -350,8 +357,7 @@ impl Actor<OverlayMsg> for SimpleClient {
                 num_parts,
             } => {
                 let id = TransferId::generate(&mut self.ids);
-                let outbound =
-                    OutboundTransfer::new(id, file.clone(), to_node, num_parts, now);
+                let outbound = OutboundTransfer::new(id, file.clone(), to_node, num_parts, now);
                 let actual_parts = outbound.num_parts();
                 if let Some(sink) = &self.sink {
                     let to_name = ctx.node_name(to_node).to_string();
@@ -405,7 +411,14 @@ impl Actor<OverlayMsg> for SimpleClient {
                     .and_then(|t| t.on_petition_ack(accepted));
                 if let Some((index, size)) = next {
                     self.record_part_sent(transfer, index, size, now);
-                    ctx.send(from, OverlayMsg::FilePart { transfer, index, size });
+                    ctx.send(
+                        from,
+                        OverlayMsg::FilePart {
+                            transfer,
+                            index,
+                            size,
+                        },
+                    );
                 } else if !accepted {
                     if let Some(t) = self.outbound.remove(&transfer) {
                         let started = self.outbound_started.remove(&transfer);
@@ -488,8 +501,8 @@ impl Actor<OverlayMsg> for SimpleClient {
                 }
             }
             OverlayMsg::TaskOffer { task, .. } => {
-                let accept = self.cfg.accepts_tasks
-                    && ctx.rng().bernoulli(self.cfg.task_accept_probability);
+                let accept =
+                    self.cfg.accepts_tasks && ctx.rng().bernoulli(self.cfg.task_accept_probability);
                 if !accept {
                     ctx.send(from, OverlayMsg::TaskReject { task: task.id });
                     return;

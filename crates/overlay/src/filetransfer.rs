@@ -255,6 +255,34 @@ mod tests {
         assert!(parts.len() <= 3);
     }
 
+    #[test]
+    fn split_parts_size_smaller_than_num_parts() {
+        // base = 0, remainder = size: everything lands in the last slot,
+        // empty slots are dropped, so the result is a single full part.
+        assert_eq!(split_parts(3, 16), vec![3]);
+        assert_eq!(split_parts(1, 2), vec![1]);
+        // Exactly one byte per part at the boundary.
+        assert_eq!(split_parts(4, 4), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn split_parts_zero_parts_requested() {
+        // num_parts = 0 is clamped to one part, for any size.
+        assert_eq!(split_parts(0, 0), vec![0]);
+        assert_eq!(split_parts(7, 0), vec![7]);
+        assert_eq!(split_parts(u64::MAX, 0), vec![u64::MAX]);
+    }
+
+    #[test]
+    fn split_parts_remainder_absorbed_by_last_part() {
+        // All non-final parts stay at the base size; only the last grows.
+        let parts = split_parts(1009, 10);
+        assert_eq!(parts.len(), 10);
+        assert!(parts[..9].iter().all(|&p| p == 100));
+        assert_eq!(*parts.last().unwrap(), 109);
+        assert_eq!(parts.iter().sum::<u64>(), 1009);
+    }
+
     fn outbound(size: u64, n: u32) -> OutboundTransfer {
         let mut g = IdGenerator::new(2);
         OutboundTransfer::new(

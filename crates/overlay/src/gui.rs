@@ -91,10 +91,7 @@ impl GuiClient {
 
     fn schedule_next_action(&self, ctx: &mut Context<OverlayMsg>) {
         let think = ctx.rng().exponential(self.behavior.mean_think_secs);
-        ctx.schedule_timer(
-            SimDuration::from_secs_f64(think.max(1.0)),
-            USER_TIMER_TAG,
-        );
+        ctx.schedule_timer(SimDuration::from_secs_f64(think.max(1.0)), USER_TIMER_TAG);
     }
 
     fn act(&mut self, ctx: &mut Context<OverlayMsg>) {
@@ -241,11 +238,8 @@ mod tests {
         engine.register(
             other,
             Box::new(
-                SimpleClient::new(
-                    ClientConfig::new(broker).sharing("notes.pdf", 1 << 20),
-                    8,
-                )
-                .with_sink(sink.clone()),
+                SimpleClient::new(ClientConfig::new(broker).sharing("notes.pdf", 1 << 20), 8)
+                    .with_sink(sink.clone()),
             ),
         );
         engine.run_until(SimTime::from_secs_f64(horizon_secs));

@@ -42,8 +42,8 @@ pub mod task;
 pub mod prelude {
     pub use crate::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
     pub use crate::client::{ClientCommand, ClientConfig, SimpleClient};
-    pub use crate::gui::{GuiClient, UserBehavior};
     pub use crate::filetransfer::{split_parts, FileMeta};
+    pub use crate::gui::{GuiClient, UserBehavior};
     pub use crate::id::{GroupId, PeerId, TaskId, TransferId};
     pub use crate::message::OverlayMsg;
     pub use crate::records::{JobRecord, RecordSink, RunLog, TaskRecord, TransferRecord};

@@ -258,7 +258,10 @@ impl Payload for OverlayMsg {
             OverlayMsg::JobSubmit { label, .. } => 56 + label.len() as u64,
             OverlayMsg::JobDone { label, .. } => 40 + label.len() as u64,
             OverlayMsg::BrokerGossip { roster, .. } => {
-                24 + roster.iter().map(|c| 200 + c.name.len() as u64).sum::<u64>()
+                24 + roster
+                    .iter()
+                    .map(|c| 200 + c.name.len() as u64)
+                    .sum::<u64>()
             }
         }
     }
@@ -378,10 +381,7 @@ mod tests {
     #[test]
     fn kinds_are_stable_labels() {
         assert_eq!(OverlayMsg::DiscoverPeers.kind(), "discover");
-        assert_eq!(
-            OverlayMsg::Instant { text: "hi".into() }.kind(),
-            "instant"
-        );
+        assert_eq!(OverlayMsg::Instant { text: "hi".into() }.kind(), "instant");
     }
 
     #[test]
@@ -396,8 +396,12 @@ mod tests {
             published: SimTime::ZERO,
             lifetime: crate::advertisement::DEFAULT_LIFETIME,
         };
-        let small = OverlayMsg::DiscoverPeersResponse { adverts: vec![adv.clone()] };
-        let large = OverlayMsg::DiscoverPeersResponse { adverts: vec![adv.clone(); 10] };
+        let small = OverlayMsg::DiscoverPeersResponse {
+            adverts: vec![adv.clone()],
+        };
+        let large = OverlayMsg::DiscoverPeersResponse {
+            adverts: vec![adv.clone(); 10],
+        };
         assert!(large.wire_size() > 5 * small.wire_size());
     }
 }

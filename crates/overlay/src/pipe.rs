@@ -130,7 +130,14 @@ mod tests {
     #[test]
     fn open_resolve_close() {
         let (mut reg, mut ids, owner) = setup();
-        let pipe = reg.open(&mut ids, owner, NodeId(3), "ctl", t(0), SimDuration::from_secs(100));
+        let pipe = reg.open(
+            &mut ids,
+            owner,
+            NodeId(3),
+            "ctl",
+            t(0),
+            SimDuration::from_secs(100),
+        );
         assert_eq!(reg.resolve(pipe, t(10)), Some(NodeId(3)));
         assert_eq!(reg.len(), 1);
         let closed = reg.close(pipe).unwrap();
@@ -142,7 +149,14 @@ mod tests {
     #[test]
     fn expired_pipes_do_not_resolve() {
         let (mut reg, mut ids, owner) = setup();
-        let pipe = reg.open(&mut ids, owner, NodeId(1), "x", t(0), SimDuration::from_secs(10));
+        let pipe = reg.open(
+            &mut ids,
+            owner,
+            NodeId(1),
+            "x",
+            t(0),
+            SimDuration::from_secs(10),
+        );
         assert_eq!(reg.resolve(pipe, t(5)), Some(NodeId(1)));
         assert_eq!(reg.resolve(pipe, t(11)), None);
         assert_eq!(reg.purge_expired(t(11)), 1);
@@ -152,7 +166,14 @@ mod tests {
     #[test]
     fn accounting_accumulates() {
         let (mut reg, mut ids, owner) = setup();
-        let pipe = reg.open(&mut ids, owner, NodeId(2), "data", t(0), SimDuration::from_secs(100));
+        let pipe = reg.open(
+            &mut ids,
+            owner,
+            NodeId(2),
+            "data",
+            t(0),
+            SimDuration::from_secs(100),
+        );
         reg.account(pipe, 500);
         reg.account(pipe, 1500);
         let ep = reg.close(pipe).unwrap();
@@ -164,9 +185,30 @@ mod tests {
     fn owned_by_filters() {
         let (mut reg, mut ids, owner) = setup();
         let other = PeerId::generate(&mut ids);
-        reg.open(&mut ids, owner, NodeId(1), "a", t(0), SimDuration::from_secs(100));
-        reg.open(&mut ids, owner, NodeId(1), "b", t(0), SimDuration::from_secs(100));
-        reg.open(&mut ids, other, NodeId(2), "c", t(0), SimDuration::from_secs(100));
+        reg.open(
+            &mut ids,
+            owner,
+            NodeId(1),
+            "a",
+            t(0),
+            SimDuration::from_secs(100),
+        );
+        reg.open(
+            &mut ids,
+            owner,
+            NodeId(1),
+            "b",
+            t(0),
+            SimDuration::from_secs(100),
+        );
+        reg.open(
+            &mut ids,
+            other,
+            NodeId(2),
+            "c",
+            t(0),
+            SimDuration::from_secs(100),
+        );
         assert_eq!(reg.owned_by(owner).count(), 2);
         assert_eq!(reg.owned_by(other).count(), 1);
     }

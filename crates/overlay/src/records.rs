@@ -5,11 +5,10 @@
 //! broker writes as protocol milestones happen. After the run, the
 //! experiment drains the log and computes the figure series.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use netsim::node::NodeId;
 use netsim::time::SimTime;
-use parking_lot::Mutex;
 
 use crate::id::{TaskId, TransferId};
 
@@ -232,17 +231,17 @@ impl RecordSink {
 
     /// Runs `f` with mutable access to the log.
     pub fn with<R>(&self, f: impl FnOnce(&mut RunLog) -> R) -> R {
-        f(&mut self.0.lock())
+        f(&mut self.0.lock().expect("record sink poisoned"))
     }
 
     /// Takes the entire log, leaving it empty (post-run drain).
     pub fn drain(&self) -> RunLog {
-        std::mem::take(&mut *self.0.lock())
+        std::mem::take(&mut *self.0.lock().expect("record sink poisoned"))
     }
 
     /// Snapshot counts: (transfers, tasks, selections).
     pub fn counts(&self) -> (usize, usize, usize) {
-        let log = self.0.lock();
+        let log = self.0.lock().expect("record sink poisoned");
         (log.transfers.len(), log.tasks.len(), log.selections.len())
     }
 }
@@ -270,8 +269,18 @@ mod tests {
             petition_handled_at: Some(t(1.5)),
             petition_acked_at: Some(t(1.6)),
             parts: vec![
-                PartRecord { index: 0, size: 50, sent_at: t(1.6), confirmed_at: Some(t(3.0)) },
-                PartRecord { index: 1, size: 50, sent_at: t(3.0), confirmed_at: Some(t(4.6)) },
+                PartRecord {
+                    index: 0,
+                    size: 50,
+                    sent_at: t(1.6),
+                    confirmed_at: Some(t(3.0)),
+                },
+                PartRecord {
+                    index: 1,
+                    size: 50,
+                    sent_at: t(3.0),
+                    confirmed_at: Some(t(4.6)),
+                },
             ],
             completed_at: Some(t(4.6)),
             cancelled: false,

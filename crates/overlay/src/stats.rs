@@ -493,7 +493,7 @@ mod tests {
         let mut g = QueueGauge::new(t(0));
         g.set(t(0), 2); // length 2 for 10 s
         g.set(t(10), 4); // length 4 for 10 s
-        // Average over [0, 20] = (2·10 + 4·10)/20 = 3.
+                         // Average over [0, 20] = (2·10 + 4·10)/20 = 3.
         assert!((g.average(t(20)) - 3.0).abs() < 1e-12);
         assert_eq!(g.current(), 4);
     }

@@ -9,8 +9,7 @@ use crate::rtt::RttModel;
 use crate::sites::{Role, Site, BROKER, TABLE1};
 
 /// What to build.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TestbedConfig {
     /// The RTT synthesis model.
     pub rtt: RttModel,
@@ -23,7 +22,6 @@ pub struct TestbedConfig {
     /// Profile overrides by hostname, applied last.
     pub overrides: Vec<(String, NodeProfile)>,
 }
-
 
 impl TestbedConfig {
     /// The paper's measurement setup: broker + SC1…SC8.

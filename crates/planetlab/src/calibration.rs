@@ -24,8 +24,7 @@ use crate::profile::NodeProfile;
 
 /// Fig 2 — "time in receiving the petition" per SC peer, seconds
 /// (SC1…SC8, exactly as printed on the figure).
-pub const PAPER_FIG2_PETITION_SECS: [f64; 8] =
-    [12.86, 0.04, 2.79, 0.07, 5.19, 0.35, 27.13, 0.06];
+pub const PAPER_FIG2_PETITION_SECS: [f64; 8] = [12.86, 0.04, 2.79, 0.07, 5.19, 0.35, 27.13, 0.06];
 
 /// Fig 6 — file transmission time by selection model, **4-part** division,
 /// seconds: economic, data evaluator (same priority), user preference
@@ -66,7 +65,9 @@ const SC_RESP_SIGMA: [f64; 8] = [0.8, 0.3, 0.6, 0.3, 0.7, 0.4, 0.9, 0.3];
 const SC_BANDWIDTH_MBPS: [f64; 8] = [7.2, 11.2, 8.8, 12.0, 8.0, 9.6, 1.76, 10.8];
 
 /// Access-link loss probability per SC (SC7's path was visibly lossy).
-const SC_LOSS: [f64; 8] = [0.0010, 0.0003, 0.0005, 0.0003, 0.0008, 0.0004, 0.0040, 0.0003];
+const SC_LOSS: [f64; 8] = [
+    0.0010, 0.0003, 0.0005, 0.0003, 0.0008, 0.0004, 0.0040, 0.0003,
+];
 
 /// Idle CPU rate (gops) per SC. Advertised CPU deliberately does not track
 /// network quality — SC5 has the biggest CPU but sluggish wake-ups — which

@@ -131,7 +131,13 @@ pub fn synthetic_profile(hostname: &str) -> NodeProfile {
             sigma: 0.6,
         })
         .with_loss(loss)
-        .with_cpu(cpu, LoadModel::Uniform { lo: load_mean - 0.1, hi: load_mean + 0.1 })
+        .with_cpu(
+            cpu,
+            LoadModel::Uniform {
+                lo: load_mean - 0.1,
+                hi: load_mean + 0.1,
+            },
+        )
 }
 
 #[cfg(test)]

@@ -134,8 +134,16 @@ mod tests {
     #[test]
     fn inflation_scales_rtt() {
         let a = find("planetlab1.hiit.fi").unwrap();
-        let flat = RttModel { path_inflation: 1.0, floor_ms: 0.0, jitter_frac: 0.0 };
-        let inflated = RttModel { path_inflation: 3.0, floor_ms: 0.0, jitter_frac: 0.0 };
+        let flat = RttModel {
+            path_inflation: 1.0,
+            floor_ms: 0.0,
+            jitter_frac: 0.0,
+        };
+        let inflated = RttModel {
+            path_inflation: 3.0,
+            floor_ms: 0.0,
+            jitter_frac: 0.0,
+        };
         let r1 = flat.rtt_ms(&BROKER, a);
         let r3 = inflated.rtt_ms(&BROKER, a);
         assert!((r3 / r1 - 3.0).abs() < 1e-9);

@@ -58,31 +58,206 @@ pub const BROKER: Site = Site {
 /// All 25 PlanetLab hosts of Table 1, in the paper's reading order
 /// (left column top-to-bottom, then right column).
 pub const TABLE1: [Site; 25] = [
-    Site { hostname: "ait05.us.es", city: "Seville", country: "ES", lat: 37.389, lon: -5.986, role: Role::SimpleClient(1) },
-    Site { hostname: "planet1.cs.huji.ac.il", city: "Jerusalem", country: "IL", lat: 31.776, lon: 35.198, role: Role::SliceMember },
-    Site { hostname: "system18.ncl-ext.net", city: "Newcastle", country: "GB", lat: 54.980, lon: -1.615, role: Role::SliceMember },
-    Site { hostname: "planetlab01.cs.tcd.ie", city: "Dublin", country: "IE", lat: 53.344, lon: -6.254, role: Role::SimpleClient(3) },
-    Site { hostname: "planetlab01.ethz.ch", city: "Zurich", country: "CH", lat: 47.377, lon: 8.548, role: Role::SliceMember },
-    Site { hostname: "planetlab1.esi.ucm.es", city: "Madrid", country: "ES", lat: 40.452, lon: -3.728, role: Role::SliceMember },
-    Site { hostname: "planetlab1.poly.edu", city: "New York", country: "US", lat: 40.694, lon: -73.987, role: Role::SliceMember },
-    Site { hostname: "planetlab2.ls.fi.upm.es", city: "Madrid", country: "ES", lat: 40.405, lon: -3.839, role: Role::SliceMember },
-    Site { hostname: "planetlab2.upc.es", city: "Barcelona", country: "ES", lat: 41.389, lon: 2.113, role: Role::SliceMember },
-    Site { hostname: "lsirextpc01.epfl.ch", city: "Lausanne", country: "CH", lat: 46.519, lon: 6.567, role: Role::SimpleClient(6) },
-    Site { hostname: "ricepl1.cs.rice.edu", city: "Houston", country: "US", lat: 29.717, lon: -95.402, role: Role::SliceMember },
-    Site { hostname: "planet2.seattle.intel-research.net", city: "Seattle", country: "US", lat: 47.610, lon: -122.333, role: Role::SliceMember },
-    Site { hostname: "edi.tkn.tu-berlin.de", city: "Berlin", country: "DE", lat: 52.512, lon: 13.327, role: Role::SimpleClient(5) },
-    Site { hostname: "planet01.hhi.fraunhofer.de", city: "Berlin", country: "DE", lat: 52.525, lon: 13.314, role: Role::SliceMember },
-    Site { hostname: "planet1.manchester.ac.uk", city: "Manchester", country: "GB", lat: 53.467, lon: -2.234, role: Role::SliceMember },
-    Site { hostname: "planetlab1.net-research.org.uk", city: "London", country: "GB", lat: 51.507, lon: -0.128, role: Role::SliceMember },
-    Site { hostname: "planet2.scs.stanford.edu", city: "Stanford", country: "US", lat: 37.428, lon: -122.169, role: Role::SliceMember },
-    Site { hostname: "planetlab1.ssvl.kth.se", city: "Stockholm", country: "SE", lat: 59.347, lon: 18.073, role: Role::SimpleClient(8) },
-    Site { hostname: "planetlab1.csg.unizh.ch", city: "Zurich", country: "CH", lat: 47.374, lon: 8.551, role: Role::SimpleClient(4) },
-    Site { hostname: "planetlab1.cslab.ece.ntua.gr", city: "Athens", country: "GR", lat: 37.979, lon: 23.783, role: Role::SliceMember },
-    Site { hostname: "planetlab1.eecs.iu-bremen.de", city: "Bremen", country: "DE", lat: 53.168, lon: 8.652, role: Role::SliceMember },
-    Site { hostname: "planetlab1.hiit.fi", city: "Helsinki", country: "FI", lat: 60.187, lon: 24.821, role: Role::SimpleClient(2) },
-    Site { hostname: "planetlab5.upc.es", city: "Barcelona", country: "ES", lat: 41.389, lon: 2.113, role: Role::SliceMember },
-    Site { hostname: "planetlab1.itwm.fhg.de", city: "Kaiserslautern", country: "DE", lat: 49.430, lon: 7.752, role: Role::SimpleClient(7) },
-    Site { hostname: "planetlab1.informatik.uni-erlangen.de", city: "Erlangen", country: "DE", lat: 49.573, lon: 11.028, role: Role::SliceMember },
+    Site {
+        hostname: "ait05.us.es",
+        city: "Seville",
+        country: "ES",
+        lat: 37.389,
+        lon: -5.986,
+        role: Role::SimpleClient(1),
+    },
+    Site {
+        hostname: "planet1.cs.huji.ac.il",
+        city: "Jerusalem",
+        country: "IL",
+        lat: 31.776,
+        lon: 35.198,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "system18.ncl-ext.net",
+        city: "Newcastle",
+        country: "GB",
+        lat: 54.980,
+        lon: -1.615,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab01.cs.tcd.ie",
+        city: "Dublin",
+        country: "IE",
+        lat: 53.344,
+        lon: -6.254,
+        role: Role::SimpleClient(3),
+    },
+    Site {
+        hostname: "planetlab01.ethz.ch",
+        city: "Zurich",
+        country: "CH",
+        lat: 47.377,
+        lon: 8.548,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab1.esi.ucm.es",
+        city: "Madrid",
+        country: "ES",
+        lat: 40.452,
+        lon: -3.728,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab1.poly.edu",
+        city: "New York",
+        country: "US",
+        lat: 40.694,
+        lon: -73.987,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab2.ls.fi.upm.es",
+        city: "Madrid",
+        country: "ES",
+        lat: 40.405,
+        lon: -3.839,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab2.upc.es",
+        city: "Barcelona",
+        country: "ES",
+        lat: 41.389,
+        lon: 2.113,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "lsirextpc01.epfl.ch",
+        city: "Lausanne",
+        country: "CH",
+        lat: 46.519,
+        lon: 6.567,
+        role: Role::SimpleClient(6),
+    },
+    Site {
+        hostname: "ricepl1.cs.rice.edu",
+        city: "Houston",
+        country: "US",
+        lat: 29.717,
+        lon: -95.402,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planet2.seattle.intel-research.net",
+        city: "Seattle",
+        country: "US",
+        lat: 47.610,
+        lon: -122.333,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "edi.tkn.tu-berlin.de",
+        city: "Berlin",
+        country: "DE",
+        lat: 52.512,
+        lon: 13.327,
+        role: Role::SimpleClient(5),
+    },
+    Site {
+        hostname: "planet01.hhi.fraunhofer.de",
+        city: "Berlin",
+        country: "DE",
+        lat: 52.525,
+        lon: 13.314,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planet1.manchester.ac.uk",
+        city: "Manchester",
+        country: "GB",
+        lat: 53.467,
+        lon: -2.234,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab1.net-research.org.uk",
+        city: "London",
+        country: "GB",
+        lat: 51.507,
+        lon: -0.128,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planet2.scs.stanford.edu",
+        city: "Stanford",
+        country: "US",
+        lat: 37.428,
+        lon: -122.169,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab1.ssvl.kth.se",
+        city: "Stockholm",
+        country: "SE",
+        lat: 59.347,
+        lon: 18.073,
+        role: Role::SimpleClient(8),
+    },
+    Site {
+        hostname: "planetlab1.csg.unizh.ch",
+        city: "Zurich",
+        country: "CH",
+        lat: 47.374,
+        lon: 8.551,
+        role: Role::SimpleClient(4),
+    },
+    Site {
+        hostname: "planetlab1.cslab.ece.ntua.gr",
+        city: "Athens",
+        country: "GR",
+        lat: 37.979,
+        lon: 23.783,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab1.eecs.iu-bremen.de",
+        city: "Bremen",
+        country: "DE",
+        lat: 53.168,
+        lon: 8.652,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab1.hiit.fi",
+        city: "Helsinki",
+        country: "FI",
+        lat: 60.187,
+        lon: 24.821,
+        role: Role::SimpleClient(2),
+    },
+    Site {
+        hostname: "planetlab5.upc.es",
+        city: "Barcelona",
+        country: "ES",
+        lat: 41.389,
+        lon: 2.113,
+        role: Role::SliceMember,
+    },
+    Site {
+        hostname: "planetlab1.itwm.fhg.de",
+        city: "Kaiserslautern",
+        country: "DE",
+        lat: 49.430,
+        lon: 7.752,
+        role: Role::SimpleClient(7),
+    },
+    Site {
+        hostname: "planetlab1.informatik.uni-erlangen.de",
+        city: "Erlangen",
+        country: "DE",
+        lat: 49.573,
+        lon: 11.028,
+        role: Role::SliceMember,
+    },
 ];
 
 /// The eight SimpleClient hosts, ordered SC1…SC8 (as §4.1 lists them).
@@ -105,9 +280,7 @@ pub fn find(hostname: &str) -> Option<&'static Site> {
 
 /// Looks up the SCn site (n in 1..=8).
 pub fn simple_client(n: u8) -> Option<&'static Site> {
-    TABLE1
-        .iter()
-        .find(|s| s.role == Role::SimpleClient(n))
+    TABLE1.iter().find(|s| s.role == Role::SimpleClient(n))
 }
 
 #[cfg(test)]
@@ -180,6 +353,9 @@ mod tests {
     fn labels_render() {
         assert_eq!(BROKER.label(), "broker");
         assert_eq!(simple_client(3).unwrap().label(), "SC3");
-        assert_eq!(find("ricepl1.cs.rice.edu").unwrap().label(), "ricepl1.cs.rice.edu");
+        assert_eq!(
+            find("ricepl1.cs.rice.edu").unwrap().label(),
+            "ricepl1.cs.rice.edu"
+        );
     }
 }

@@ -73,10 +73,7 @@ impl SliverContention {
         let k = self.hot_competitors();
         let median = base_secs * (1.0 + k);
         let sigma = 0.3 + 0.7 * (k / MAX_SLIVERS as f64).min(1.0);
-        DelayDistribution::Lognormal {
-            median,
-            sigma,
-        }
+        DelayDistribution::Lognormal { median, sigma }
     }
 }
 
@@ -108,7 +105,10 @@ mod tests {
             SliverContention::quiet(),
             SliverContention::typical(),
             SliverContention::overloaded(),
-            SliverContention { active_slivers: 500, hot_fraction: 1.0 },
+            SliverContention {
+                active_slivers: 500,
+                hot_fraction: 1.0,
+            },
         ] {
             if let LoadModel::Uniform { lo, hi } = c.load_model() {
                 assert!(lo >= 0.0 && hi <= 0.99 && lo <= hi);
@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn sliver_population_clamped() {
-        let c = SliverContention { active_slivers: 1000, hot_fraction: 1.0 };
+        let c = SliverContention {
+            active_slivers: 1000,
+            hot_fraction: 1.0,
+        };
         assert_eq!(c.hot_competitors(), MAX_SLIVERS as f64);
     }
 
@@ -128,8 +131,11 @@ mod tests {
     fn responsiveness_median_scales_linearly() {
         let q = SliverContention::quiet().responsiveness(0.01);
         let o = SliverContention::overloaded().responsiveness(0.01);
-        let (DelayDistribution::Lognormal { median: mq, .. },
-             DelayDistribution::Lognormal { median: mo, .. }) = (q, o) else {
+        let (
+            DelayDistribution::Lognormal { median: mq, .. },
+            DelayDistribution::Lognormal { median: mo, .. },
+        ) = (q, o)
+        else {
             panic!("expected lognormal");
         };
         assert!(mo > 10.0 * mq);
@@ -139,8 +145,11 @@ mod tests {
     fn responsiveness_tail_heavier_when_loaded() {
         let q = SliverContention::quiet().responsiveness(0.01);
         let o = SliverContention::overloaded().responsiveness(0.01);
-        let (DelayDistribution::Lognormal { sigma: sq, .. },
-             DelayDistribution::Lognormal { sigma: so, .. }) = (q, o) else {
+        let (
+            DelayDistribution::Lognormal { sigma: sq, .. },
+            DelayDistribution::Lognormal { sigma: so, .. },
+        ) = (q, o)
+        else {
             panic!("expected lognormal");
         };
         assert!(so > sq);

@@ -3,7 +3,7 @@
 use planetlab::builder::{build, TestbedConfig};
 use planetlab::profile::{synthetic_profile, NodeProfile};
 use planetlab::rtt::{haversine_km, RttModel};
-use planetlab::sites::{Site, Role};
+use planetlab::sites::{Role, Site};
 use proptest::prelude::*;
 
 fn site(lat: f64, lon: f64) -> Site {

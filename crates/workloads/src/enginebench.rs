@@ -1,0 +1,367 @@
+//! Engine throughput measurement: the data source for the
+//! `engine_throughput` criterion bench and the `psim bench-engine`
+//! subcommand (which renders `BENCH_engine.json`).
+//!
+//! Two workloads are driven through the real engine:
+//!
+//! * a ping-pong actor pair — the pure event-loop hot path (send → plan →
+//!   deliver) with nothing else on it, and
+//! * the paper's 8-client broker scenario — the full overlay protocol stack.
+//!
+//! A third measurement isolates the metrics layer: the same bookkeeping the
+//! engine does per event (two counter bumps and one observation), once
+//! through the legacy string-keyed path (per-event key allocation plus a
+//! `BTreeMap` walk, as before interning) and once through the interned
+//! [`MetricId`](netsim::metrics::MetricId) path the hot loop uses now.
+
+use std::time::Instant;
+
+use netsim::engine::{Actor, Context, Engine, Payload};
+use netsim::link::{AccessLink, PathSpec};
+use netsim::metrics::Metrics;
+use netsim::node::{NodeId, NodeSpec};
+use netsim::time::SimDuration;
+use netsim::topology::Topology;
+use netsim::transport::TransportConfig;
+use overlay::broker::{BrokerCommand, TargetSpec};
+
+use crate::scenario::{run_scenario, ScenarioConfig};
+use crate::spec::MB;
+
+/// One timed engine run.
+#[derive(Debug, Clone)]
+pub struct EngineBenchResult {
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Largest number of simultaneously pending events.
+    pub peak_queue_len: usize,
+}
+
+impl EngineBenchResult {
+    /// Events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Nanoseconds of wall time per event.
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events > 0 {
+            self.wall_secs * 1e9 / self.events as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Packet;
+
+impl Payload for Packet {
+    fn wire_size(&self) -> u64 {
+        64
+    }
+    fn kind(&self) -> &'static str {
+        "pkt"
+    }
+}
+
+/// How much extra per-event metrics work a ping-pong actor performs, to
+/// compare the engine's current interned bookkeeping against the
+/// string-keyed bookkeeping it replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsProbe {
+    /// No extra work: the engine's own (interned) bookkeeping only.
+    None,
+    /// Replays the pre-interning per-event cost on top: for each message,
+    /// two counter increments and one observation through string keys,
+    /// each paying the key allocation the old `Metrics::incr` did.
+    LegacyStrings,
+}
+
+struct Bouncer {
+    peer: NodeId,
+    remaining: u64,
+    probe: MetricsProbe,
+}
+
+impl Actor<Packet> for Bouncer {
+    fn on_start(&mut self, ctx: &mut Context<Packet>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(self.peer, Packet);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<Packet>, from: NodeId, _msg: Packet) {
+        if self.probe == MetricsProbe::LegacyStrings {
+            let sent = String::from("legacy.messages_sent");
+            let bytes = String::from("legacy.bytes_sent");
+            let secs = String::from("legacy.delivery_secs");
+            let m = ctx.metrics();
+            m.incr(&sent, 1);
+            m.incr(&bytes, 64);
+            m.observe(&secs, 0.005);
+        }
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(from, Packet);
+        }
+    }
+}
+
+fn run_pingpong(messages: u64, seed: u64, probe: MetricsProbe) -> EngineBenchResult {
+    let mut topo = Topology::new();
+    let a = topo.add_node(NodeSpec::responsive("a"), AccessLink::default());
+    let b = topo.add_node(NodeSpec::responsive("b"), AccessLink::default());
+    topo.set_path_symmetric(a, b, PathSpec::from_owd_ms(5.0, 0.0));
+    let mut engine = Engine::new(topo, TransportConfig::ideal(), seed);
+    engine.set_event_limit(messages.saturating_mul(4).max(1_000));
+    engine.register(
+        a,
+        Box::new(Bouncer {
+            peer: b,
+            remaining: messages / 2 + messages % 2,
+            probe,
+        }),
+    );
+    engine.register(
+        b,
+        Box::new(Bouncer {
+            peer: a,
+            remaining: messages / 2,
+            probe,
+        }),
+    );
+    let start = Instant::now();
+    engine.run();
+    let wall_secs = start.elapsed().as_secs_f64();
+    EngineBenchResult {
+        events: engine.events_processed(),
+        wall_secs,
+        peak_queue_len: engine.peak_queue_len(),
+    }
+}
+
+/// Drives `messages` messages through a two-node ping-pong pair and times
+/// the run. Every message is one deliver event, so `messages = 1_000_000`
+/// puts at least a million events through the engine.
+pub fn pingpong(messages: u64, seed: u64) -> EngineBenchResult {
+    run_pingpong(messages, seed, MetricsProbe::None)
+}
+
+/// The same ping-pong run, with the pre-interning string-keyed metrics cost
+/// replayed per message — the "before" side of the optimization, measured
+/// in the same binary.
+pub fn pingpong_string_metrics(messages: u64, seed: u64) -> EngineBenchResult {
+    run_pingpong(messages, seed, MetricsProbe::LegacyStrings)
+}
+
+/// Runs the paper's 8-client measurement setup through a multi-round file
+/// distribution plus a task campaign, and times the engine.
+pub fn broker_scenario(rounds: u32, seed: u64) -> EngineBenchResult {
+    let mut cfg = ScenarioConfig::measurement_setup();
+    for round in 0..rounds {
+        cfg = cfg.at(
+            SimDuration::from_secs(60 + round as u64 * 600),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 12 * MB,
+                num_parts: 12,
+                label: format!("bench-{round}"),
+            },
+        );
+    }
+    cfg = cfg.at(
+        SimDuration::from_secs(60 + rounds as u64 * 600),
+        BrokerCommand::SubmitTask {
+            target: TargetSpec::AllClients,
+            work_gops: 120.0,
+            input_bytes: 2 * MB,
+            input_parts: 4,
+            label: "bench-task".into(),
+        },
+    );
+    let start = Instant::now();
+    let result = run_scenario(&cfg, seed);
+    let wall_secs = start.elapsed().as_secs_f64();
+    EngineBenchResult {
+        events: result.events_processed,
+        wall_secs,
+        peak_queue_len: result.peak_queue_len,
+    }
+}
+
+/// Per-operation cost of the metrics layer, string-keyed vs interned.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsOverhead {
+    /// ns per (incr, incr, observe) triple through the string API with a
+    /// per-event key allocation (the pre-interning engine pattern).
+    pub string_ns_per_event: f64,
+    /// ns per identical triple through pre-resolved ids.
+    pub interned_ns_per_event: f64,
+}
+
+impl MetricsOverhead {
+    /// How many times faster the interned path is.
+    pub fn speedup(&self) -> f64 {
+        if self.interned_ns_per_event > 0.0 {
+            self.string_ns_per_event / self.interned_ns_per_event
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures `events` repetitions of the engine's per-send bookkeeping
+/// (two counter increments and one observation) through both metric paths.
+/// The registry is pre-populated with a realistic name set so the string
+/// path pays representative map depth.
+pub fn metrics_overhead(events: u64) -> MetricsOverhead {
+    let populate = |m: &mut Metrics| {
+        for name in [
+            "engine.timers_pending_hwm",
+            "net.bytes_sent",
+            "net.messages_delivered",
+            "net.messages_dropped_no_actor",
+            "net.messages_lost",
+            "net.messages_sent",
+            "overlay.content_published",
+            "overlay.file_requests_served",
+            "overlay.file_requests_unserved",
+            "overlay.gossip_received",
+            "overlay.jobs_unplaced",
+            "overlay.joins",
+            "overlay.retransmissions",
+            "overlay.retries_exhausted",
+            "overlay.tasks_completed",
+            "overlay.tasks_failed",
+            "overlay.tasks_submitted",
+            "overlay.tasks_timed_out",
+            "overlay.transfers_cancelled",
+            "overlay.transfers_completed",
+            "overlay.transfers_started",
+        ] {
+            m.counter_id(name);
+        }
+        m.stat_id("net.delivery_secs");
+    };
+
+    let mut m = Metrics::new();
+    populate(&mut m);
+    let start = Instant::now();
+    for i in 0..events {
+        // The allocation mirrors the `name.to_string()` the old
+        // `Metrics::incr` performed on every call.
+        let sent = String::from("net.messages_sent");
+        let bytes = String::from("net.bytes_sent");
+        let secs = String::from("net.delivery_secs");
+        m.incr(&sent, 1);
+        m.incr(&bytes, 64);
+        m.observe(&secs, i as f64 * 1e-6);
+    }
+    let string_ns_per_event = start.elapsed().as_secs_f64() * 1e9 / events.max(1) as f64;
+    assert_eq!(m.counter("net.messages_sent"), events);
+
+    let mut m = Metrics::new();
+    populate(&mut m);
+    let sent = m.counter_id("net.messages_sent");
+    let bytes = m.counter_id("net.bytes_sent");
+    let secs = m.stat_id("net.delivery_secs");
+    let start = Instant::now();
+    for i in 0..events {
+        m.incr_id(sent, 1);
+        m.incr_id(bytes, 64);
+        m.observe_id(secs, i as f64 * 1e-6);
+    }
+    let interned_ns_per_event = start.elapsed().as_secs_f64() * 1e9 / events.max(1) as f64;
+    assert_eq!(m.counter("net.messages_sent"), events);
+
+    MetricsOverhead {
+        string_ns_per_event,
+        interned_ns_per_event,
+    }
+}
+
+/// Renders the `BENCH_engine.json` document tracking the engine's
+/// performance trajectory across PRs.
+pub fn render_json(
+    pingpong_interned: &EngineBenchResult,
+    pingpong_strings: &EngineBenchResult,
+    broker: &EngineBenchResult,
+    overhead: &MetricsOverhead,
+) -> String {
+    let section = |r: &EngineBenchResult| {
+        format!(
+            "{{\"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \"ns_per_event\": {:.1}, \"peak_queue_len\": {}}}",
+            r.events,
+            r.wall_secs,
+            r.events_per_sec(),
+            r.ns_per_event(),
+            r.peak_queue_len
+        )
+    };
+    let speedup = if pingpong_interned.ns_per_event() > 0.0 {
+        pingpong_strings.ns_per_event() / pingpong_interned.ns_per_event()
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"pingpong\": {},\n  \"pingpong_string_metrics_baseline\": {},\n  \"engine_speedup_vs_string_baseline\": {:.2},\n  \"broker_8_clients\": {},\n  \"metrics_layer\": {{\"string_ns_per_event\": {:.1}, \"interned_ns_per_event\": {:.1}, \"speedup\": {:.2}}}\n}}\n",
+        section(pingpong_interned),
+        section(pingpong_strings),
+        speedup,
+        section(broker),
+        overhead.string_ns_per_event,
+        overhead.interned_ns_per_event,
+        overhead.speedup()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pingpong_counts_every_message() {
+        let r = pingpong(10_000, 1);
+        assert_eq!(r.events, 10_000, "one deliver event per message");
+        assert!(r.peak_queue_len >= 1);
+        assert!(r.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn string_probe_runs_same_schedule() {
+        let a = pingpong(2_000, 3);
+        let b = pingpong_string_metrics(2_000, 3);
+        assert_eq!(
+            a.events, b.events,
+            "probe must not change the event history"
+        );
+    }
+
+    #[test]
+    fn interned_path_is_faster() {
+        let o = metrics_overhead(200_000);
+        assert!(
+            o.speedup() > 1.0,
+            "interned ids should beat string keys ({:.1} vs {:.1} ns)",
+            o.string_ns_per_event,
+            o.interned_ns_per_event
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = pingpong(1_000, 1);
+        let o = metrics_overhead(10_000);
+        let json = render_json(&r, &r, &r, &o);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("events_per_sec").count(), 3);
+        assert!(json.contains("metrics_layer"));
+    }
+}

@@ -88,9 +88,7 @@ fn one_run(model: &'static str, seed: u64) -> Vec<f64> {
     // measured round, so the backlog is always visible at selection time.
     for k in 0..4u64 {
         cfg = cfg.at(
-            SimDuration::from_secs(
-                campaign_start + ROUND_SPACING * (SHIFT_START + 2 * k) - 5,
-            ),
+            SimDuration::from_secs(campaign_start + ROUND_SPACING * (SHIFT_START + 2 * k) - 5),
             BrokerCommand::DistributeFile {
                 target: TargetSpec::Node(netsim::node::NodeId(4)),
                 size_bytes: 120 * MB,

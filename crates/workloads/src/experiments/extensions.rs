@@ -319,7 +319,9 @@ pub mod profiles {
                 "message-oriented" => WeightProfile::message_oriented(),
                 _ => WeightProfile::same_priority(),
             };
-            Box::new(Scored::new(DataEvaluatorModel::with_profile(which, profile)))
+            Box::new(Scored::new(DataEvaluatorModel::with_profile(
+                which, profile,
+            )))
         })
     }
 
@@ -375,8 +377,7 @@ pub mod profiles {
             .iter()
             .filter(|t| t.label.starts_with("camp-"))
             .collect();
-        xfers.iter().filter(|t| t.completed_at.is_some()).count() as f64
-            / xfers.len().max(1) as f64
+        xfers.iter().filter(|t| t.completed_at.is_some()).count() as f64 / xfers.len().max(1) as f64
     }
 
     /// Success rate of a selected-task campaign under `which` profile.
@@ -433,7 +434,12 @@ pub mod profiles {
             .collect();
         let rate = xfers.iter().filter(|t| t.completed_at.is_some()).count() as f64
             / xfers.len().max(1) as f64;
-        let picks = result.log.selections.iter().map(|s| s.chosen_name.clone()).collect();
+        let picks = result
+            .log
+            .selections
+            .iter()
+            .map(|s| s.chosen_name.clone())
+            .collect();
         (rate, picks)
     }
 
@@ -447,15 +453,26 @@ pub mod profiles {
             profiles.iter().map(|p| p.to_string()).collect(),
         );
         let xfer_rows: Vec<Vec<f64>> = run_replications(&spec.seeds, |seed| {
-            profiles.iter().map(|p| transfer_campaign(p, seed)).collect()
+            profiles
+                .iter()
+                .map(|p| transfer_campaign(p, seed))
+                .collect()
         });
         let task_rows: Vec<Vec<f64>> = run_replications(&spec.seeds, |seed| {
             profiles.iter().map(|p| task_campaign(p, seed)).collect()
         });
         let xa = SeriesAggregate::from_replications(&xfer_rows);
         let ta = SeriesAggregate::from_replications(&task_rows);
-        f.push(SeriesRow::with_sd("transfer campaign", xa.means(), xa.std_devs()));
-        f.push(SeriesRow::with_sd("compute campaign", ta.means(), ta.std_devs()));
+        f.push(SeriesRow::with_sd(
+            "transfer campaign",
+            xa.means(),
+            xa.std_devs(),
+        ));
+        f.push(SeriesRow::with_sd(
+            "compute campaign",
+            ta.means(),
+            ta.std_devs(),
+        ));
         f.note("the paper's conclusion, quantified: each profile wins the application it was designed for");
         f
     }
@@ -503,10 +520,7 @@ mod tests {
         let r = request::run_experiment(&spec);
         let means = r.seconds.means();
         // economic < random (random sometimes serves from SC7).
-        assert!(
-            means[0] < means[2],
-            "economic {means:?} should beat random"
-        );
+        assert!(means[0] < means[2], "economic {means:?} should beat random");
         for m in &means {
             assert!(m.is_finite() && *m > 0.0);
         }

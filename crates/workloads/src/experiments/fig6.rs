@@ -270,7 +270,10 @@ mod tests {
         let r = result();
         // Economic avoids the backlogged SC2 and the sluggish peers.
         for names in &r.chosen[0][0] {
-            assert_ne!(names, FASTEST_PEER, "economic must avoid the backlogged peer");
+            assert_ne!(
+                names, FASTEST_PEER,
+                "economic must avoid the backlogged peer"
+            );
             assert_ne!(names, "planetlab1.itwm.fhg.de", "economic must avoid SC7");
         }
         // Quick-peer goes to its stale favourite SC2.

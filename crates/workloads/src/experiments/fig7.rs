@@ -119,11 +119,7 @@ pub fn report(result: &Fig7Result) -> FigureReport {
     ));
     let exec = result.exec_only.means();
     let trans = result.trans_exec.means();
-    let overhead: Vec<f64> = exec
-        .iter()
-        .zip(&trans)
-        .map(|(e, t)| t - e)
-        .collect();
+    let overhead: Vec<f64> = exec.iter().zip(&trans).map(|(e, t)| t - e).collect();
     let mean_overhead = overhead.iter().sum::<f64>() / overhead.len() as f64;
     f.note(format!(
         "mean transmission overhead: {mean_overhead:.2} min; SC7 dominates both bars \

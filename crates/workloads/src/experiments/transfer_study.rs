@@ -58,9 +58,8 @@ pub fn run(spec: &ExperimentSpec) -> TransferStudy {
             }))
             .map(|(&sc, lat)| lat - broker_owd_secs(&result, sc))
             .collect::<Vec<f64>>();
-        let total_min = per_sc_transfer_metric(&result, LABEL, |t| {
-            t.total_secs().map(|s| s / 60.0)
-        });
+        let total_min =
+            per_sc_transfer_metric(&result, LABEL, |t| t.total_secs().map(|s| s / 60.0));
         let last_mb = per_sc_transfer_metric(&result, LABEL, |t| t.last_part_secs());
         (petition, total_min, last_mb)
     });
@@ -94,10 +93,7 @@ pub mod fig2 {
             "seconds",
             sc_labels(),
         );
-        f.push(SeriesRow::new(
-            "paper",
-            PAPER_FIG2_PETITION_SECS.to_vec(),
-        ));
+        f.push(SeriesRow::new("paper", PAPER_FIG2_PETITION_SECS.to_vec()));
         f.push(SeriesRow::with_sd(
             "measured",
             study.petition.means(),
@@ -130,7 +126,9 @@ pub mod fig3 {
             study.total_min.means(),
             study.total_min.std_devs(),
         ));
-        f.note("paper publishes this figure as a chart without numbers; expected shape: SC7 slowest");
+        f.note(
+            "paper publishes this figure as a chart without numbers; expected shape: SC7 slowest",
+        );
         f
     }
 }

@@ -4,8 +4,9 @@
 //!
 //! * [`spec`] — units and the paper's 5-repetition methodology.
 //! * [`scenario`] — wiring: testbed → engine → broker/clients → records.
-//! * [`runner`] — parallel replication over seeds (crossbeam scoped threads).
+//! * [`runner`] — parallel replication over seeds (std scoped threads).
 //! * [`report`] — paper-vs-measured table rendering and shape statistics.
+//! * [`enginebench`] — engine throughput measurement (`BENCH_engine.json`).
 //! * [`experiments`] — one module per artifact: `table1`, `fig2`…`fig7`.
 //!
 //! ```no_run
@@ -18,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod enginebench;
 pub mod experiments;
 pub mod report;
 pub mod runner;

@@ -242,7 +242,11 @@ mod tests {
             vec!["SC1".into(), "SC2".into()],
         );
         f.push(SeriesRow::new("paper", vec![12.86, 0.04]));
-        f.push(SeriesRow::with_sd("measured", vec![12.5, 0.05], vec![1.0, 0.01]));
+        f.push(SeriesRow::with_sd(
+            "measured",
+            vec![12.5, 0.05],
+            vec![1.0, 0.01],
+        ));
         f.note("means over 5 repetitions");
         f
     }

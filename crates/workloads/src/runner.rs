@@ -2,8 +2,8 @@
 //!
 //! The paper repeats every experiment five times and averages. Replications
 //! are embarrassingly parallel (one independent simulation per seed), so we
-//! fan them out over crossbeam scoped threads and merge the results in seed
-//! order — parallelism never changes the numbers.
+//! fan them out over scoped threads and merge the results in seed order —
+//! parallelism never changes the numbers.
 
 use netsim::metrics::RunningStat;
 
@@ -17,22 +17,26 @@ where
         return seeds.iter().map(|&s| f(s)).collect();
     }
     let mut slots: Vec<Option<R>> = (0..seeds.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &seed) in slots.iter_mut().zip(seeds) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(seed));
             });
         }
-    })
-    .expect("replication thread panicked");
+    });
     slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 
 /// Aggregates one named series across replications: each replication
 /// produces a vector of values (one per label); the aggregate keeps a
 /// [`RunningStat`] per label.
+///
+/// Aggregation is order-insensitive in the mean (Welford merging), so
+/// folding replications as they finish in parallel produces the same
+/// figures as folding them in seed order.
 #[derive(Debug, Clone)]
+#[must_use = "an aggregate carries the replication statistics; dropping it discards the experiment's numbers"]
 pub struct SeriesAggregate {
     /// Per-label statistics, indexed like the input vectors.
     pub stats: Vec<RunningStat>,
@@ -54,7 +58,9 @@ impl SeriesAggregate {
         }
     }
 
-    /// Aggregates many replications at once.
+    /// Aggregates many replications at once. The label count is taken
+    /// from the first row; every row must match it (see
+    /// [`SeriesAggregate::add`]).
     pub fn from_replications(rows: &[Vec<f64>]) -> Self {
         let n = rows.first().map(|r| r.len()).unwrap_or(0);
         let mut agg = SeriesAggregate::new(n);
@@ -65,11 +71,14 @@ impl SeriesAggregate {
     }
 
     /// Mean per label.
+    #[must_use]
     pub fn means(&self) -> Vec<f64> {
         self.stats.iter().map(|s| s.mean()).collect()
     }
 
-    /// Standard deviation per label.
+    /// Standard deviation (Bessel-corrected, matching the paper's
+    /// 5-repetition error bars) per label.
+    #[must_use]
     pub fn std_devs(&self) -> Vec<f64> {
         self.stats.iter().map(|s| s.std_dev()).collect()
     }

@@ -86,6 +86,10 @@ pub struct ScenarioResult {
     pub elapsed: SimTime,
     /// How the run ended.
     pub outcome: RunOutcome,
+    /// Events the engine processed.
+    pub events_processed: u64,
+    /// Largest number of simultaneously pending events.
+    pub peak_queue_len: usize,
     /// The testbed (for node-id → SC mapping in report code).
     pub testbed: Testbed,
 }
@@ -153,6 +157,8 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> ScenarioResult {
         metrics: engine.metrics().clone(),
         elapsed: engine.now(),
         outcome,
+        events_processed: engine.events_processed(),
+        peak_queue_len: engine.peak_queue_len(),
         testbed,
     }
 }

@@ -71,7 +71,9 @@ mod tests {
 
     #[test]
     fn quick_is_smaller() {
-        assert!(ExperimentSpec::quick().repetitions() < ExperimentSpec::paper_defaults().repetitions());
+        assert!(
+            ExperimentSpec::quick().repetitions() < ExperimentSpec::paper_defaults().repetitions()
+        );
     }
 
     #[test]

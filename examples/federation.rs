@@ -32,10 +32,7 @@ fn main() {
     // throughput history it gossips.
     let mut tb_cfg = TestbedConfig::slice_with_others(1);
     let broker_b_host = "planet1.cs.huji.ac.il";
-    tb_cfg = tb_cfg.with_override(
-        broker_b_host,
-        planetlab::calibration::broker_profile(),
-    );
+    tb_cfg = tb_cfg.with_override(broker_b_host, planetlab::calibration::broker_profile());
     let tb = build(&tb_cfg);
     let broker_a = tb.broker;
     let broker_b = tb.others[0]; // the promoted governor
@@ -94,8 +91,7 @@ fn main() {
     cfg_b.gossip_interval = SimDuration::from_secs(30);
     cfg_b.stop_when_idle = false;
 
-    let mut engine: Engine<OverlayMsg> =
-        Engine::new(tb.topology.clone(), Default::default(), 11);
+    let mut engine: Engine<OverlayMsg> = Engine::new(tb.topology.clone(), Default::default(), 11);
     engine.register(broker_a, Box::new(Broker::new(cfg_a, sink.clone())));
     engine.register(broker_b, Box::new(Broker::new(cfg_b, sink.clone())));
     for (i, &sc) in tb.scs.iter().enumerate() {
@@ -111,7 +107,10 @@ fn main() {
 
     println!("broker A governs SC1–SC4; broker B governs SC5–SC8\n");
     println!("selected transfers placed by broker A (economic model):");
-    println!("{:<8} {:<28} {:>10} {:>12}", "round", "chosen peer", "domain", "transfer(s)");
+    println!(
+        "{:<8} {:<28} {:>10} {:>12}",
+        "round", "chosen peer", "domain", "transfer(s)"
+    );
     for (sel, xfer) in log
         .selections
         .iter()

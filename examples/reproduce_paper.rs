@@ -9,7 +9,9 @@
 //! Output: one paper-vs-measured block per artifact, suitable for pasting
 //! into EXPERIMENTS.md.
 
-use workloads::experiments::{self, ablation, adaptation, extensions, fig5, fig6, fig7, table1, transfer_study};
+use workloads::experiments::{
+    self, ablation, adaptation, extensions, fig5, fig6, fig7, table1, transfer_study,
+};
 use workloads::spec::ExperimentSpec;
 
 fn main() {

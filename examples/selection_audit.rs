@@ -61,7 +61,10 @@ fn main() {
 
     let mut models: Vec<(&str, Box<dyn ScoringModel>)> = vec![
         ("economic", Box::new(EconomicModel::new())),
-        ("same-priority", Box::new(DataEvaluatorModel::same_priority())),
+        (
+            "same-priority",
+            Box::new(DataEvaluatorModel::same_priority()),
+        ),
         ("quick-peer", Box::new(UserPreferenceModel::quick_peer())),
     ];
 

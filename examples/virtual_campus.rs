@@ -74,15 +74,11 @@ fn campaign(model: &'static str, seed: u64) -> (f64, f64, usize) {
                     .unwrap_or(netsim::time::SimTime::ZERO),
             )
             .as_secs_f64()
-            / 60.0
+                / 60.0
         })
         .unwrap_or(f64::NAN);
-    let mean_job: f64 = done
-        .iter()
-        .filter_map(|t| t.total_secs())
-        .sum::<f64>()
-        / done.len().max(1) as f64
-        / 60.0;
+    let mean_job: f64 =
+        done.iter().filter_map(|t| t.total_secs()).sum::<f64>() / done.len().max(1) as f64 / 60.0;
     (makespan, mean_job, done.len())
 }
 

@@ -16,7 +16,9 @@ use netsim::time::SimDuration;
 use overlay::broker::{BrokerCommand, TargetSpec};
 use overlay::selector::PeerSelector;
 use peer_selection::prelude::*;
-use workloads::experiments::{self, ablation, adaptation, extensions, fig5, fig6, fig7, table1, transfer_study};
+use workloads::experiments::{
+    self, ablation, adaptation, extensions, fig5, fig6, fig7, table1, transfer_study,
+};
 use workloads::scenario::{run_scenario, ScenarioConfig};
 use workloads::spec::{ExperimentSpec, MB};
 
@@ -43,6 +45,7 @@ fn main() {
         "transfer" => cmd_transfer(&flags),
         "task" => cmd_task(&flags),
         "csv" => cmd_csv(&flags, &spec),
+        "bench-engine" => cmd_bench_engine(&flags),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -66,6 +69,8 @@ fn usage() {
          \x20 task [opts]                 run one task campaign\n\
          \x20    --work G (120)  --input-mb N (0)  --seed S (1)  --model <...>\n\
          \x20 csv --out DIR               write every figure's series as CSV\n\
+         \x20 bench-engine [opts]         measure engine throughput, write BENCH_engine.json\n\
+         \x20    --messages N (1000000)  --out FILE (BENCH_engine.json)\n\
          \x20 help                        this text"
     );
 }
@@ -120,9 +125,18 @@ fn cmd_fig(which: &str, spec: &ExperimentSpec) {
     let needs_study = matches!(which, "2" | "3" | "4" | "all");
     let study = needs_study.then(|| transfer_study::run(spec));
     match which {
-        "2" => println!("{}", experiments::fig2::report(study.as_ref().unwrap()).render()),
-        "3" => println!("{}", experiments::fig3::report(study.as_ref().unwrap()).render()),
-        "4" => println!("{}", experiments::fig4::report(study.as_ref().unwrap()).render()),
+        "2" => println!(
+            "{}",
+            experiments::fig2::report(study.as_ref().unwrap()).render()
+        ),
+        "3" => println!(
+            "{}",
+            experiments::fig3::report(study.as_ref().unwrap()).render()
+        ),
+        "4" => println!(
+            "{}",
+            experiments::fig4::report(study.as_ref().unwrap()).render()
+        ),
         "5" => println!("{}", fig5::run(spec).render()),
         "6" => println!("{}", fig6::run(spec).render()),
         "7" => println!("{}", fig7::run(spec).render()),
@@ -271,10 +285,61 @@ fn cmd_task(flags: &HashMap<String, String>) {
             t.on_name,
             t.exec_secs.unwrap_or(f64::NAN) / 60.0,
             t.total_secs().unwrap_or(f64::NAN) / 60.0,
-            xfer.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+            xfer.map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into()),
             t.success
         );
     }
+}
+
+fn cmd_bench_engine(flags: &HashMap<String, String>) {
+    use workloads::enginebench;
+
+    let messages = flag_f64(flags, "messages", 1_000_000.0).max(1_000.0) as u64;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    eprintln!("bench-engine: ping-pong {messages} messages (interned metrics) ...");
+    let interned = enginebench::pingpong(messages, 1);
+    eprintln!(
+        "  {:>12.0} events/sec  {:>8.1} ns/event  peak queue {}",
+        interned.events_per_sec(),
+        interned.ns_per_event(),
+        interned.peak_queue_len
+    );
+    eprintln!("bench-engine: ping-pong {messages} messages (string-keyed baseline) ...");
+    let strings = enginebench::pingpong_string_metrics(messages, 1);
+    eprintln!(
+        "  {:>12.0} events/sec  {:>8.1} ns/event",
+        strings.events_per_sec(),
+        strings.ns_per_event()
+    );
+    eprintln!("bench-engine: 8-client broker scenario ...");
+    let broker = enginebench::broker_scenario(3, 1);
+    eprintln!(
+        "  {:>12.0} events/sec  {:>8.1} ns/event  {} events  peak queue {}",
+        broker.events_per_sec(),
+        broker.ns_per_event(),
+        broker.events,
+        broker.peak_queue_len
+    );
+    eprintln!("bench-engine: metrics layer (string vs interned) ...");
+    let overhead = enginebench::metrics_overhead(2_000_000);
+    eprintln!(
+        "  string {:.1} ns/event, interned {:.1} ns/event — {:.2}x",
+        overhead.string_ns_per_event,
+        overhead.interned_ns_per_event,
+        overhead.speedup()
+    );
+
+    let json = enginebench::render_json(&interned, &strings, &broker, &overhead);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
 }
 
 fn cmd_csv(flags: &HashMap<String, String>, spec: &ExperimentSpec) {

@@ -65,6 +65,54 @@ fn parallel_replication_matches_sequential() {
 }
 
 #[test]
+fn golden_metrics_render_is_reproducible() {
+    // The full metrics report — every counter and stat the engine and
+    // broker recorded through the interned-id fast path — must come out
+    // byte-identical for the same seed.
+    let a = run_scenario(&scenario(), 11);
+    let b = run_scenario(&scenario(), 11);
+    assert_eq!(a.metrics.render(), b.metrics.render());
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.peak_queue_len, b.peak_queue_len);
+}
+
+#[test]
+fn golden_metrics_interned_and_string_paths_agree() {
+    // Replaying one run's counters/stats through the string-keyed
+    // compatibility API must render byte-identically to the interned-id
+    // original: the id layer is an encoding, not a semantic change.
+    use netsim::metrics::Metrics;
+    let run = run_scenario(&scenario(), 11);
+    let counter_names: Vec<String> = run.metrics.counter_names().map(String::from).collect();
+    let stat_names: Vec<String> = run.metrics.stat_names().map(String::from).collect();
+
+    let mut via_strings = Metrics::new();
+    for name in &counter_names {
+        via_strings.incr(name, run.metrics.counter(name));
+    }
+    for name in &stat_names {
+        let id = via_strings.stat_id(name);
+        via_strings
+            .stat_by_id_mut(id)
+            .merge(&run.metrics.stat(name));
+    }
+    assert_eq!(run.metrics.render(), via_strings.render());
+
+    // And a fresh registry populated in reverse name order still renders
+    // the same report: output ordering is by name, never by intern order.
+    let mut reversed = Metrics::new();
+    for name in counter_names.iter().rev() {
+        let id = reversed.counter_id(name);
+        reversed.incr_id(id, run.metrics.counter(name));
+    }
+    for name in stat_names.iter().rev() {
+        let id = reversed.stat_id(name);
+        reversed.stat_by_id_mut(id).merge(&run.metrics.stat(name));
+    }
+    assert_eq!(run.metrics.render(), reversed.render());
+}
+
+#[test]
 fn experiment_aggregates_are_reproducible() {
     use workloads::experiments::fig5;
     use workloads::spec::ExperimentSpec;

@@ -49,19 +49,17 @@ fn file_request_flows_peer_to_peer_on_the_testbed() {
         assert_eq!(t.to, result.testbed.sc(1));
         assert!(t.completed_at.is_some(), "request unserved");
     }
-    assert_eq!(
-        result.metrics.counter("overlay.file_requests_served"),
-        2
-    );
+    assert_eq!(result.metrics.counter("overlay.file_requests_served"), 2);
 }
 
 #[test]
 fn client_job_runs_remotely_with_selection() {
     // SC5 submits a job; the economic selector places it on a fast peer,
     // never on the submitter or SC7.
-    let mut cfg = ScenarioConfig::measurement_setup().with_selector(Box::new(
-        |_| -> Box<dyn PeerSelector> { Box::new(Scored::new(EconomicModel::new())) },
-    ));
+    let mut cfg =
+        ScenarioConfig::measurement_setup().with_selector(Box::new(|_| -> Box<dyn PeerSelector> {
+            Box::new(Scored::new(EconomicModel::new()))
+        }));
     cfg.client_commands_by_sc = Some(vec![(
         5,
         SimDuration::from_secs(200),
@@ -91,8 +89,7 @@ fn gui_user_session_on_the_testbed() {
     let sink = RecordSink::new();
     let mut bcfg = BrokerConfig::new(71);
     bcfg.stop_when_idle = false;
-    let mut engine: Engine<OverlayMsg> =
-        Engine::new(tb.topology.clone(), Default::default(), 21);
+    let mut engine: Engine<OverlayMsg> = Engine::new(tb.topology.clone(), Default::default(), 21);
     engine.register(tb.broker, Box::new(Broker::new(bcfg, sink.clone())));
     for (i, &sc) in tb.scs.iter().enumerate() {
         if i == 5 {
@@ -164,7 +161,10 @@ fn lossy_testbed_still_reproduces_fig2_shape() {
         for (i, node) in tb.clients().into_iter().enumerate() {
             engine.register(
                 node,
-                Box::new(SimpleClient::new(ClientConfig::new(tb.broker), 700 + i as u64)),
+                Box::new(SimpleClient::new(
+                    ClientConfig::new(tb.broker),
+                    700 + i as u64,
+                )),
             );
         }
         engine.run_until(SimTime::from_secs_f64(7200.0));
@@ -176,7 +176,10 @@ fn lossy_testbed_still_reproduces_fig2_shape() {
         .iter()
         .filter(|t| t.completed_at.is_some())
         .count();
-    assert!(completed >= 7, "loss must not break most transfers: {completed}/8");
+    assert!(
+        completed >= 7,
+        "loss must not break most transfers: {completed}/8"
+    );
     // SC7 still slowest among completed transfers.
     let sc7_total = log
         .transfers
