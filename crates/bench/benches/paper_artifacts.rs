@@ -59,7 +59,12 @@ fn bench_fig5(c: &mut Criterion) {
 }
 
 fn bench_fig6(c: &mut Criterion) {
-    println!("{}", fig6::run(&ExperimentSpec::quick()).render());
+    println!(
+        "{}",
+        fig6::run(&ExperimentSpec::quick())
+            .expect("built-in models")
+            .render()
+    );
     let mut g = c.benchmark_group("fig6");
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(12));
@@ -67,7 +72,10 @@ fn bench_fig6(c: &mut Criterion) {
     g.bench_function("selection_models_one_seed", |b| {
         b.iter(|| {
             seed += 1;
-            fig6::run_experiment(&one_seed(seed)).seconds[0].means()
+            fig6::run_experiment(&one_seed(seed))
+                .expect("built-in models")
+                .seconds[0]
+                .means()
         })
     });
     g.finish();

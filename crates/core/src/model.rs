@@ -83,6 +83,13 @@ impl<M: ScoringModel> PeerSelector for Scored<M> {
         argmax_with_tiebreak(req, &scores)
     }
 
+    fn candidate_costs(&mut self, req: &SelectionRequest<'_>) -> Option<Vec<f64>> {
+        // Scores are higher-is-better; the observability layer reports
+        // costs (lower-is-better), so negate. Non-finite stays non-finite
+        // (ineligible either way).
+        Some(self.model.scores(req).into_iter().map(|s| -s).collect())
+    }
+
     fn on_outcome(&mut self, outcome: &SelectionOutcome) {
         self.model.on_outcome(outcome);
     }
@@ -178,6 +185,17 @@ mod tests {
         assert_eq!(s.select(&req(&c)), Some(1));
         let mut all_bad = Scored::new(Fixed(vec![f64::NAN, f64::NAN, f64::NAN]));
         assert_eq!(all_bad.select(&req(&c)), None);
+    }
+
+    #[test]
+    fn scored_exposes_candidate_costs() {
+        let c = mk_candidates(3);
+        let mut s = Scored::new(Fixed(vec![0.1, 0.9, f64::NAN]));
+        let costs = s.candidate_costs(&req(&c)).unwrap();
+        assert_eq!(costs.len(), 3);
+        assert_eq!(costs[0], -0.1);
+        assert_eq!(costs[1], -0.9, "best score maps to lowest cost");
+        assert!(costs[2].is_nan());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceEventKind};
 use crate::transport::{TransferPlanner, TransportConfig};
 
 /// How a message interacts with the destination host's scheduler.
@@ -180,8 +180,11 @@ impl<'a, M: Payload> Context<'a, M> {
                 self.core.trace.record(
                     self.core.clock,
                     from,
-                    "lost",
-                    format!("{}→{} {} {}B", from, to, msg.kind(), size),
+                    TraceEventKind::MessageLost {
+                        to,
+                        msg: msg.kind(),
+                        bytes: size,
+                    },
                 );
             }
             return;
@@ -222,15 +225,13 @@ impl<'a, M: Payload> Context<'a, M> {
             self.core.trace.record(
                 self.core.clock,
                 from,
-                "send",
-                format!(
-                    "{}→{} {} {}B deliver@{}",
-                    from,
+                TraceEventKind::MessageSent {
                     to,
-                    msg.kind(),
-                    size,
-                    deliver
-                ),
+                    msg: msg.kind(),
+                    bytes: size,
+                    tx_start: timing.tx_start,
+                    deliver_at: deliver,
+                },
             );
         }
         self.core
@@ -247,9 +248,21 @@ impl<'a, M: Payload> Context<'a, M> {
         if self.core.pending_timers.len() > self.core.timers_pending_hwm {
             self.core.timers_pending_hwm = self.core.pending_timers.len();
         }
+        let fire_at = self.core.clock + delay;
+        if self.core.trace.is_enabled() {
+            self.core.trace.record(
+                self.core.clock,
+                node,
+                TraceEventKind::TimerArmed {
+                    timer: id.0,
+                    tag,
+                    fire_at,
+                },
+            );
+        }
         self.core
             .queue
-            .schedule(self.core.clock + delay, Ev::Timer { node, id, tag });
+            .schedule(fire_at, Ev::Timer { node, id, tag });
         id
     }
 
@@ -258,7 +271,13 @@ impl<'a, M: Payload> Context<'a, M> {
     /// bookkeeping behind, so cancelling stale handles cannot grow engine
     /// state.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.pending_timers.remove(&id.0);
+        if self.core.pending_timers.remove(&id.0) && self.core.trace.is_enabled() {
+            self.core.trace.record(
+                self.core.clock,
+                self.core.current,
+                TraceEventKind::TimerCancelled { timer: id.0 },
+            );
+        }
     }
 
     /// Samples the wall time this node needs to execute `work_gops`
@@ -283,11 +302,26 @@ impl<'a, M: Payload> Context<'a, M> {
         &mut self.core.metrics
     }
 
-    /// Appends a custom trace row (no-op when tracing is disabled).
-    pub fn trace(&mut self, kind: &'static str, detail: String) {
+    /// Whether structured tracing is enabled. Callers building non-trivial
+    /// events (anything that allocates) should branch on this first so the
+    /// disabled path stays allocation-free.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace.is_enabled()
+    }
+
+    /// Appends a typed trace event at the current time on the current node
+    /// (no-op when tracing is disabled).
+    pub fn trace_event(&mut self, kind: TraceEventKind) {
         let t = self.core.clock;
         let n = self.core.current;
-        self.core.trace.record(t, n, kind, detail);
+        self.core.trace.record(t, n, kind);
+    }
+
+    /// Appends a free-form trace row (no-op when tracing is disabled).
+    /// Prefer [`Context::trace_event`] with a typed kind; this is the
+    /// escape hatch for ad-hoc instrumentation.
+    pub fn trace(&mut self, kind: &'static str, detail: String) {
+        self.trace_event(TraceEventKind::Custom { kind, detail });
     }
 
     /// Asks the engine to stop after the current event.
@@ -461,8 +495,10 @@ impl<M: Payload> Engine<M> {
                         self.core.trace.record(
                             time,
                             to,
-                            "deliver",
-                            format!("{}→{} {}", from, to, msg.kind()),
+                            TraceEventKind::MessageDelivered {
+                                from,
+                                msg: msg.kind(),
+                            },
                         );
                     }
                     if let Some(mut actor) = self.actors[to.index()].take() {
@@ -484,6 +520,13 @@ impl<M: Payload> Engine<M> {
                     // cancel time, fired timers are removed here).
                     if !self.core.pending_timers.remove(&id.0) {
                         continue;
+                    }
+                    if self.core.trace.is_enabled() {
+                        self.core.trace.record(
+                            time,
+                            node,
+                            TraceEventKind::TimerFired { timer: id.0, tag },
+                        );
                     }
                     if let Some(mut actor) = self.actors[node.index()].take() {
                         self.core.current = node;

@@ -1,35 +1,488 @@
-//! Structured event tracing for debugging and determinism tests.
+//! Structured event tracing: the observability layer of the simulator.
 //!
-//! The trace is a bounded ring buffer of `(time, node, kind, detail)` rows.
-//! It is disabled by default (zero cost beyond a branch); tests enable it to
-//! assert that two runs with the same seed produce identical histories.
+//! The trace is a bounded ring buffer of typed [`TraceEvent`] rows covering
+//! the engine (message send/deliver/loss, timer arm/fire/cancel) and the
+//! protocols built on top (petitions, parts, confirms, selections,
+//! retransmissions, watchdogs, pipes — emitted by the overlay crate through
+//! [`crate::engine::Context::trace_event`]). It is disabled by default and
+//! costs exactly one branch per would-be event when off; tests enable it to
+//! assert that two runs with the same seed produce identical histories, and
+//! the `psim trace` command exports it as deterministic JSONL.
+//!
+//! Span-style begin/end pairs ([`TraceEventKind::SpanBegin`] /
+//! [`TraceEventKind::SpanEnd`]) let consumers reconstruct per-transfer and
+//! per-selection timelines with durations; [`Trace::spans`] does the
+//! pairing.
 
 use std::collections::VecDeque;
-use std::fmt;
+use std::fmt::{self, Write as _};
 
 use crate::node::NodeId;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
+
+/// What kind of activity a span covers (used to pair begin/end events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One file transfer, keyed by its transfer id.
+    Transfer,
+    /// One selection decision and the work it placed.
+    Selection,
+    /// One task execution.
+    Task,
+}
+
+impl SpanKind {
+    /// Stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Transfer => "transfer",
+            SpanKind::Selection => "selection",
+            SpanKind::Task => "task",
+        }
+    }
+}
+
+/// A typed trace event.
+///
+/// Engine events are emitted by `netsim` itself; protocol events use only
+/// primitive fields (`u128` ids, node ids, indices) so this crate stays
+/// ignorant of the overlay types that produce them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// A message left this node for `to`.
+    MessageSent {
+        /// Destination host.
+        to: NodeId,
+        /// Payload kind label.
+        msg: &'static str,
+        /// Wire size in bytes.
+        bytes: u64,
+        /// When the transport starts transmitting (queueing excluded).
+        tx_start: SimTime,
+        /// When the destination will receive it (incl. service delay).
+        deliver_at: SimTime,
+    },
+    /// A message from `from` was delivered to this node.
+    MessageDelivered {
+        /// Origin host.
+        from: NodeId,
+        /// Payload kind label.
+        msg: &'static str,
+    },
+    /// A message to `to` was dropped by the lossy transport.
+    MessageLost {
+        /// Intended destination.
+        to: NodeId,
+        /// Payload kind label.
+        msg: &'static str,
+        /// Wire size in bytes.
+        bytes: u64,
+    },
+    /// A timer was scheduled on this node.
+    TimerArmed {
+        /// Engine-unique timer id.
+        timer: u64,
+        /// Caller-supplied tag.
+        tag: u64,
+        /// When it will fire.
+        fire_at: SimTime,
+    },
+    /// A pending timer fired on this node.
+    TimerFired {
+        /// Engine-unique timer id.
+        timer: u64,
+        /// Caller-supplied tag.
+        tag: u64,
+    },
+    /// A pending timer was cancelled before firing.
+    TimerCancelled {
+        /// Engine-unique timer id.
+        timer: u64,
+    },
+    /// A file-transfer petition was sent.
+    PetitionSent {
+        /// Transfer id (raw 128-bit form).
+        transfer: u128,
+        /// Destination host.
+        to: NodeId,
+        /// Total file size in bytes.
+        bytes: u64,
+        /// Number of parts.
+        parts: u32,
+    },
+    /// A petition ack arrived back at the sender.
+    PetitionAcked {
+        /// Transfer id.
+        transfer: u128,
+        /// Whether the peer accepted the transfer.
+        accepted: bool,
+    },
+    /// A file part was transmitted.
+    PartSent {
+        /// Transfer id.
+        transfer: u128,
+        /// Part index.
+        index: u32,
+        /// Part size in bytes.
+        bytes: u64,
+    },
+    /// A part confirm arrived at the sender.
+    PartConfirmed {
+        /// Transfer id.
+        transfer: u128,
+        /// Confirmed part index.
+        index: u32,
+        /// Whether the state machine accepted it (false = stale/duplicate).
+        accepted: bool,
+    },
+    /// The receiver saw a part index beyond the next expected one.
+    PartGap {
+        /// Transfer id.
+        transfer: u128,
+        /// The out-of-order index that arrived.
+        index: u32,
+        /// The index that was expected next.
+        expected: u32,
+    },
+    /// A petition or part was retransmitted after a silent timeout.
+    Retransmission {
+        /// Transfer id.
+        transfer: u128,
+        /// Part index, or `None` when the petition was retransmitted.
+        part: Option<u32>,
+        /// Send attempt number this retransmission starts (2 = first retry).
+        attempt: u32,
+    },
+    /// The transfer watchdog gave up on a transfer.
+    WatchdogFired {
+        /// Transfer id.
+        transfer: u128,
+    },
+    /// A transfer finished.
+    TransferCompleted {
+        /// Transfer id.
+        transfer: u128,
+        /// True when every part was confirmed; false when cancelled.
+        ok: bool,
+    },
+    /// A selection model picked a peer.
+    SelectionDecided {
+        /// Model name.
+        model: String,
+        /// The chosen host.
+        chosen: NodeId,
+        /// Per-candidate costs (lower = better), parallel to the candidate
+        /// set in node-id order; empty when the model exposes none.
+        costs: Vec<(NodeId, f64)>,
+    },
+    /// A unicast pipe was opened.
+    PipeOpened {
+        /// Pipe id (raw 128-bit form).
+        pipe: u128,
+        /// Host the pipe resolves to.
+        node: NodeId,
+    },
+    /// A unicast pipe was closed, with its final traffic accounting.
+    PipeClosed {
+        /// Pipe id.
+        pipe: u128,
+        /// Messages routed through it.
+        messages: u64,
+        /// Bytes routed through it.
+        bytes: u64,
+    },
+    /// A span began (pair with [`TraceEventKind::SpanEnd`] on same key).
+    SpanBegin {
+        /// What the span covers.
+        span: SpanKind,
+        /// Caller-chosen key, unique per (kind, lifetime).
+        key: u128,
+    },
+    /// A span ended.
+    SpanEnd {
+        /// What the span covers.
+        span: SpanKind,
+        /// The key given at begin.
+        key: u128,
+        /// Whether the spanned work succeeded.
+        ok: bool,
+    },
+    /// Free-form escape hatch for ad-hoc instrumentation.
+    Custom {
+        /// Short machine-readable kind.
+        kind: &'static str,
+        /// Free-form detail.
+        detail: String,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable machine-readable label (the `"ev"` field of the JSONL form).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::MessageSent { .. } => "message_sent",
+            TraceEventKind::MessageDelivered { .. } => "message_delivered",
+            TraceEventKind::MessageLost { .. } => "message_lost",
+            TraceEventKind::TimerArmed { .. } => "timer_armed",
+            TraceEventKind::TimerFired { .. } => "timer_fired",
+            TraceEventKind::TimerCancelled { .. } => "timer_cancelled",
+            TraceEventKind::PetitionSent { .. } => "petition_sent",
+            TraceEventKind::PetitionAcked { .. } => "petition_acked",
+            TraceEventKind::PartSent { .. } => "part_sent",
+            TraceEventKind::PartConfirmed { .. } => "part_confirmed",
+            TraceEventKind::PartGap { .. } => "part_gap",
+            TraceEventKind::Retransmission { .. } => "retransmission",
+            TraceEventKind::WatchdogFired { .. } => "watchdog_fired",
+            TraceEventKind::TransferCompleted { .. } => "transfer_completed",
+            TraceEventKind::SelectionDecided { .. } => "selection_decided",
+            TraceEventKind::PipeOpened { .. } => "pipe_opened",
+            TraceEventKind::PipeClosed { .. } => "pipe_closed",
+            TraceEventKind::SpanBegin { .. } => "span_begin",
+            TraceEventKind::SpanEnd { .. } => "span_end",
+            TraceEventKind::Custom { .. } => "custom",
+        }
+    }
+}
 
 /// One trace row.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// When it happened.
     pub time: SimTime,
-    /// The node it happened on (or was addressed to).
+    /// The node it happened on.
     pub node: NodeId,
-    /// Short machine-readable kind, e.g. `"deliver"`, `"timer"`.
-    pub kind: &'static str,
-    /// Free-form detail.
-    pub detail: String,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl TraceEvent {
+    /// Renders the event as one deterministic JSON object (no trailing
+    /// newline). Field order is fixed; 128-bit ids are emitted as strings
+    /// so any JSON reader round-trips them exactly.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(96);
+        let _ = write!(
+            o,
+            "{{\"t\":{},\"n\":{},\"ev\":\"{}\"",
+            self.time.as_nanos(),
+            self.node.0,
+            self.kind.label()
+        );
+        match &self.kind {
+            TraceEventKind::MessageSent {
+                to,
+                msg,
+                bytes,
+                tx_start,
+                deliver_at,
+            } => {
+                let _ = write!(
+                    o,
+                    ",\"to\":{},\"msg\":\"{}\",\"bytes\":{},\"tx_start\":{},\"deliver_at\":{}",
+                    to.0,
+                    msg,
+                    bytes,
+                    tx_start.as_nanos(),
+                    deliver_at.as_nanos()
+                );
+            }
+            TraceEventKind::MessageDelivered { from, msg } => {
+                let _ = write!(o, ",\"from\":{},\"msg\":\"{}\"", from.0, msg);
+            }
+            TraceEventKind::MessageLost { to, msg, bytes } => {
+                let _ = write!(
+                    o,
+                    ",\"to\":{},\"msg\":\"{}\",\"bytes\":{}",
+                    to.0, msg, bytes
+                );
+            }
+            TraceEventKind::TimerArmed {
+                timer,
+                tag,
+                fire_at,
+            } => {
+                let _ = write!(
+                    o,
+                    ",\"timer\":{},\"tag\":{},\"fire_at\":{}",
+                    timer,
+                    tag,
+                    fire_at.as_nanos()
+                );
+            }
+            TraceEventKind::TimerFired { timer, tag } => {
+                let _ = write!(o, ",\"timer\":{timer},\"tag\":{tag}");
+            }
+            TraceEventKind::TimerCancelled { timer } => {
+                let _ = write!(o, ",\"timer\":{timer}");
+            }
+            TraceEventKind::PetitionSent {
+                transfer,
+                to,
+                bytes,
+                parts,
+            } => {
+                let _ = write!(
+                    o,
+                    ",\"xfer\":\"{}\",\"to\":{},\"bytes\":{},\"parts\":{}",
+                    transfer, to.0, bytes, parts
+                );
+            }
+            TraceEventKind::PetitionAcked { transfer, accepted } => {
+                let _ = write!(o, ",\"xfer\":\"{transfer}\",\"accepted\":{accepted}");
+            }
+            TraceEventKind::PartSent {
+                transfer,
+                index,
+                bytes,
+            } => {
+                let _ = write!(
+                    o,
+                    ",\"xfer\":\"{transfer}\",\"index\":{index},\"bytes\":{bytes}"
+                );
+            }
+            TraceEventKind::PartConfirmed {
+                transfer,
+                index,
+                accepted,
+            } => {
+                let _ = write!(
+                    o,
+                    ",\"xfer\":\"{transfer}\",\"index\":{index},\"accepted\":{accepted}"
+                );
+            }
+            TraceEventKind::PartGap {
+                transfer,
+                index,
+                expected,
+            } => {
+                let _ = write!(
+                    o,
+                    ",\"xfer\":\"{transfer}\",\"index\":{index},\"expected\":{expected}"
+                );
+            }
+            TraceEventKind::Retransmission {
+                transfer,
+                part,
+                attempt,
+            } => {
+                let _ = write!(o, ",\"xfer\":\"{transfer}\",\"part\":");
+                match part {
+                    Some(i) => {
+                        let _ = write!(o, "{i}");
+                    }
+                    None => o.push_str("null"),
+                }
+                let _ = write!(o, ",\"attempt\":{attempt}");
+            }
+            TraceEventKind::WatchdogFired { transfer } => {
+                let _ = write!(o, ",\"xfer\":\"{transfer}\"");
+            }
+            TraceEventKind::TransferCompleted { transfer, ok } => {
+                let _ = write!(o, ",\"xfer\":\"{transfer}\",\"ok\":{ok}");
+            }
+            TraceEventKind::SelectionDecided {
+                model,
+                chosen,
+                costs,
+            } => {
+                o.push_str(",\"model\":");
+                push_json_str(&mut o, model);
+                let _ = write!(o, ",\"chosen\":{},\"costs\":[", chosen.0);
+                for (i, (node, cost)) in costs.iter().enumerate() {
+                    if i > 0 {
+                        o.push(',');
+                    }
+                    let _ = write!(o, "[{},", node.0);
+                    push_json_f64(&mut o, *cost);
+                    o.push(']');
+                }
+                o.push(']');
+            }
+            TraceEventKind::PipeOpened { pipe, node } => {
+                let _ = write!(o, ",\"pipe\":\"{}\",\"node\":{}", pipe, node.0);
+            }
+            TraceEventKind::PipeClosed {
+                pipe,
+                messages,
+                bytes,
+            } => {
+                let _ = write!(
+                    o,
+                    ",\"pipe\":\"{pipe}\",\"messages\":{messages},\"bytes\":{bytes}"
+                );
+            }
+            TraceEventKind::SpanBegin { span, key } => {
+                let _ = write!(o, ",\"span\":\"{}\",\"key\":\"{}\"", span.label(), key);
+            }
+            TraceEventKind::SpanEnd { span, key, ok } => {
+                let _ = write!(
+                    o,
+                    ",\"span\":\"{}\",\"key\":\"{}\",\"ok\":{}",
+                    span.label(),
+                    key,
+                    ok
+                );
+            }
+            TraceEventKind::Custom { kind, detail } => {
+                let _ = write!(o, ",\"kind\":\"{kind}\",\"detail\":");
+                push_json_str(&mut o, detail);
+            }
+        }
+        o.push('}');
+        o
+    }
 }
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}] {} {}: {}",
-            self.time, self.node, self.kind, self.detail
-        )
+        write!(f, "[{}] {} {}", self.time, self.node, self.to_json())
+    }
+}
+
+/// A reconstructed begin/end pair (or a begin that never closed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// What the span covers.
+    pub kind: SpanKind,
+    /// The pairing key.
+    pub key: u128,
+    /// Node that opened the span.
+    pub node: NodeId,
+    /// When it began.
+    pub begin: SimTime,
+    /// When it ended (`None` = still open when the trace stopped).
+    pub end: Option<SimTime>,
+    /// Whether the spanned work succeeded (false while open).
+    pub ok: bool,
+}
+
+impl Span {
+    /// Begin→end duration, if closed.
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.end.map(|e| e.duration_since(self.begin))
     }
 }
 
@@ -69,7 +522,7 @@ impl Trace {
     }
 
     /// Records an event (no-op when disabled).
-    pub fn record(&mut self, time: SimTime, node: NodeId, kind: &'static str, detail: String) {
+    pub fn record(&mut self, time: SimTime, node: NodeId, kind: TraceEventKind) {
         if !self.enabled {
             return;
         }
@@ -77,12 +530,7 @@ impl Trace {
             self.events.pop_front();
             self.dropped += 1;
         }
-        self.events.push_back(TraceEvent {
-            time,
-            node,
-            kind,
-            detail,
-        });
+        self.events.push_back(TraceEvent { time, node, kind });
     }
 
     /// The retained events, oldest first.
@@ -105,20 +553,56 @@ impl Trace {
         self.dropped
     }
 
-    /// A stable digest of the retained history — cheap equality proxy for
-    /// determinism assertions.
+    /// Renders the retained history as JSON Lines (one event per line,
+    /// trailing newline after each). The output is a pure function of the
+    /// event history, so two same-seed runs yield byte-identical JSONL.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Pairs [`TraceEventKind::SpanBegin`]/[`TraceEventKind::SpanEnd`]
+    /// events into [`Span`]s, in begin order. Unmatched ends are ignored;
+    /// unmatched begins stay open (`end: None`).
+    pub fn spans(&self) -> Vec<Span> {
+        let mut spans: Vec<Span> = Vec::new();
+        for e in &self.events {
+            match &e.kind {
+                TraceEventKind::SpanBegin { span, key } => spans.push(Span {
+                    kind: *span,
+                    key: *key,
+                    node: e.node,
+                    begin: e.time,
+                    end: None,
+                    ok: false,
+                }),
+                TraceEventKind::SpanEnd { span, key, ok } => {
+                    if let Some(open) = spans
+                        .iter_mut()
+                        .rev()
+                        .find(|s| s.kind == *span && s.key == *key && s.end.is_none())
+                    {
+                        open.end = Some(e.time);
+                        open.ok = *ok;
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans
+    }
+
+    /// A stable digest of the retained history — a cheap equality proxy for
+    /// determinism assertions. Computed over the JSONL rendering, so digest
+    /// equality and byte-identical [`Trace::to_jsonl`] output coincide.
     pub fn digest(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for e in &self.events {
-            for b in e
-                .time
-                .as_nanos()
-                .to_le_bytes()
-                .iter()
-                .chain(e.node.0.to_le_bytes().iter())
-                .chain(e.kind.as_bytes())
-                .chain(e.detail.as_bytes())
-            {
+            for b in e.to_json().as_bytes().iter().chain(std::iter::once(&b'\n')) {
                 h ^= *b as u64;
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
@@ -130,53 +614,150 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
 
     fn ev(trace: &mut Trace, secs: u64, detail: &str) {
         trace.record(
-            SimTime::ZERO + SimDuration::from_secs(secs),
+            t(secs),
             NodeId(0),
-            "test",
-            detail.to_string(),
+            TraceEventKind::Custom {
+                kind: "test",
+                detail: detail.to_string(),
+            },
         );
     }
 
     #[test]
     fn disabled_records_nothing() {
-        let mut t = Trace::disabled();
-        ev(&mut t, 1, "x");
-        assert!(t.is_empty());
-        assert!(!t.is_enabled());
+        let mut tr = Trace::disabled();
+        ev(&mut tr, 1, "x");
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+        assert!(tr.to_jsonl().is_empty());
     }
 
     #[test]
     fn ring_buffer_evicts_oldest() {
-        let mut t = Trace::with_capacity(2);
-        ev(&mut t, 1, "a");
-        ev(&mut t, 2, "b");
-        ev(&mut t, 3, "c");
-        assert_eq!(t.len(), 2);
-        assert_eq!(t.dropped(), 1);
-        let details: Vec<&str> = t.events().map(|e| e.detail.as_str()).collect();
-        assert_eq!(details, vec!["b", "c"]);
+        let mut tr = Trace::with_capacity(2);
+        ev(&mut tr, 1, "a");
+        ev(&mut tr, 2, "b");
+        ev(&mut tr, 3, "c");
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 1);
+        let details: Vec<String> = tr.events().map(|e| e.to_json()).collect();
+        assert!(details[0].contains("\"b\""));
+        assert!(details[1].contains("\"c\""));
     }
 
     #[test]
-    fn digest_distinguishes_histories() {
+    fn digest_matches_iff_jsonl_matches() {
         let mut a = Trace::with_capacity(16);
         let mut b = Trace::with_capacity(16);
         ev(&mut a, 1, "x");
         ev(&mut b, 1, "x");
         assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
         ev(&mut b, 2, "y");
         assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut tr = Trace::with_capacity(4);
+        ev(&mut tr, 1, "quote\" slash\\ ctrl\n");
+        let line = tr.events().next().unwrap().to_json();
+        assert!(line.contains("quote\\\" slash\\\\ ctrl\\u000a"));
+    }
+
+    #[test]
+    fn typed_events_render_their_fields() {
+        let mut tr = Trace::with_capacity(16);
+        tr.record(
+            t(1),
+            NodeId(0),
+            TraceEventKind::MessageSent {
+                to: NodeId(2),
+                msg: "petition",
+                bytes: 64,
+                tx_start: t(1),
+                deliver_at: t(2),
+            },
+        );
+        tr.record(
+            t(2),
+            NodeId(0),
+            TraceEventKind::SelectionDecided {
+                model: "economic".into(),
+                chosen: NodeId(3),
+                costs: vec![(NodeId(1), 0.5), (NodeId(3), f64::INFINITY)],
+            },
+        );
+        tr.record(
+            t(3),
+            NodeId(0),
+            TraceEventKind::Retransmission {
+                transfer: 7,
+                part: None,
+                attempt: 2,
+            },
+        );
+        let lines: Vec<String> = tr.events().map(|e| e.to_json()).collect();
+        assert!(lines[0].contains("\"ev\":\"message_sent\""));
+        assert!(lines[0].contains("\"deliver_at\":2000000000"));
+        assert!(lines[1].contains("\"costs\":[[1,0.5],[3,null]]"));
+        assert!(lines[2].contains("\"part\":null"));
+        assert!(lines[2].contains("\"attempt\":2"));
+    }
+
+    #[test]
+    fn spans_pair_begin_and_end() {
+        let mut tr = Trace::with_capacity(16);
+        tr.record(
+            t(1),
+            NodeId(0),
+            TraceEventKind::SpanBegin {
+                span: SpanKind::Transfer,
+                key: 42,
+            },
+        );
+        tr.record(
+            t(2),
+            NodeId(0),
+            TraceEventKind::SpanBegin {
+                span: SpanKind::Task,
+                key: 42,
+            },
+        );
+        tr.record(
+            t(5),
+            NodeId(0),
+            TraceEventKind::SpanEnd {
+                span: SpanKind::Transfer,
+                key: 42,
+                ok: true,
+            },
+        );
+        let spans = tr.spans();
+        assert_eq!(spans.len(), 2);
+        let xfer = &spans[0];
+        assert_eq!(xfer.kind, SpanKind::Transfer);
+        assert!(xfer.ok);
+        assert_eq!(xfer.duration(), Some(SimDuration::from_secs(4)));
+        let task = &spans[1];
+        assert_eq!(task.kind, SpanKind::Task, "keys pair within a kind only");
+        assert_eq!(task.end, None);
+        assert_eq!(task.duration(), None);
     }
 
     #[test]
     fn display_is_readable() {
-        let mut t = Trace::with_capacity(4);
-        ev(&mut t, 1, "hello");
-        let s = t.events().next().unwrap().to_string();
+        let mut tr = Trace::with_capacity(4);
+        ev(&mut tr, 1, "hello");
+        let s = tr.events().next().unwrap().to_string();
         assert!(s.contains("n0"));
         assert!(s.contains("hello"));
     }

@@ -15,12 +15,14 @@ use netsim::engine::{Actor, Context, TimerId};
 use netsim::metrics::{MetricId, Metrics};
 use netsim::node::NodeId;
 use netsim::time::{SimDuration, SimTime};
+use netsim::trace::{SpanKind, TraceEventKind};
 
 use crate::advertisement::PeerAdvertisement;
 use crate::filetransfer::{FileMeta, OutboundTransfer};
 use crate::group::GroupRegistry;
-use crate::id::{ContentId, IdGenerator, PeerId, TaskId, TransferId};
+use crate::id::{ContentId, IdGenerator, PeerId, PipeId, TaskId, TransferId};
 use crate::message::OverlayMsg;
+use crate::pipe::PipeRegistry;
 use crate::records::{
     JobRecord, PartRecord, RecordSink, SelectionRecord, TaskRecord, TransferRecord,
 };
@@ -244,6 +246,10 @@ pub struct Broker {
     /// Armed retransmission probes by timer tag.
     retry_probes: HashMap<u64, RetryProbe>,
     next_retry_tag: u64,
+    /// Open unicast pipes: one data pipe per live outbound transfer.
+    pipes: PipeRegistry,
+    /// Data pipe backing each live outbound transfer.
+    pipe_for: HashMap<TransferId, PipeId>,
     counters: Option<BrokerCounters>,
     sink: RecordSink,
 }
@@ -312,9 +318,16 @@ impl Broker {
             remote_peers: HashMap::new(),
             retry_probes: HashMap::new(),
             next_retry_tag: RETRY_TAG_BASE,
+            pipes: PipeRegistry::new(),
+            pipe_for: HashMap::new(),
             counters: None,
             sink: sink.clone(),
         }
+    }
+
+    /// Number of currently open data pipes (one per live transfer).
+    pub fn open_pipe_count(&self) -> usize {
+        self.pipes.len()
     }
 
     /// Number of registered peers.
@@ -397,6 +410,9 @@ impl Broker {
                                 candidates: candidates.len(),
                             })
                         });
+                        if ctx.trace_enabled() {
+                            trace_selection(ctx, &mut **selector, &req, chosen.node);
+                        }
                         vec![chosen.node]
                     }
                     _ => Vec::new(),
@@ -408,7 +424,13 @@ impl Broker {
     /// Selection restricted to `nodes` (used for file requests with several
     /// owners). Falls back to least-pending-transfers when no selector is
     /// installed. Records the decision when a selector was consulted.
-    fn select_among(&mut self, now: SimTime, nodes: &[NodeId], purpose: Purpose) -> Option<NodeId> {
+    fn select_among(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        nodes: &[NodeId],
+        purpose: Purpose,
+    ) -> Option<NodeId> {
+        let now = ctx.now();
         if nodes.is_empty() {
             return None;
         }
@@ -438,6 +460,9 @@ impl Broker {
                             candidates: candidates.len(),
                         };
                         self.sink.with(|log| log.selections.push(record));
+                        if ctx.trace_enabled() {
+                            trace_selection(ctx, &mut **selector, &req, chosen.node);
+                        }
                         return Some(chosen.node);
                     }
                 }
@@ -488,6 +513,7 @@ impl Broker {
                 parts: Vec::with_capacity(actual_parts as usize),
                 completed_at: None,
                 cancelled: false,
+                receiver_bytes: None,
             })
         });
         if let Some(peer) = self.by_node.get(&to).copied() {
@@ -496,6 +522,35 @@ impl Broker {
                 entry.stats.outbox.incr(now);
                 entry.history.queued_bytes += size_bytes;
             }
+            // Open the transfer's data pipe (the JXTA unicast channel the
+            // parts notionally flow through); closed in finish_transfer.
+            let pipe = self.pipes.open(
+                &mut self.ids,
+                peer,
+                to,
+                label,
+                now,
+                self.cfg.transfer_timeout,
+            );
+            self.pipe_for.insert(id, pipe);
+            if ctx.trace_enabled() {
+                ctx.trace_event(TraceEventKind::PipeOpened {
+                    pipe: pipe.raw(),
+                    node: to,
+                });
+            }
+        }
+        if ctx.trace_enabled() {
+            ctx.trace_event(TraceEventKind::SpanBegin {
+                span: SpanKind::Transfer,
+                key: id.raw(),
+            });
+            ctx.trace_event(TraceEventKind::PetitionSent {
+                transfer: id.raw(),
+                to,
+                bytes: size_bytes,
+                parts: actual_parts,
+            });
         }
         ctx.send(
             to,
@@ -560,6 +615,16 @@ impl Broker {
                 });
             }
         });
+        if let Some(&pipe) = self.pipe_for.get(&transfer) {
+            self.pipes.account(pipe, size);
+        }
+        if ctx.trace_enabled() {
+            ctx.trace_event(TraceEventKind::PartSent {
+                transfer: transfer.raw(),
+                index,
+                bytes: size,
+            });
+        }
         ctx.send(
             to,
             OverlayMsg::FilePart {
@@ -583,6 +648,28 @@ impl Broker {
         };
         let to = outbound.to;
         let size = outbound.file.size_bytes;
+        if let Some(pipe) = self.pipe_for.remove(&transfer) {
+            if let Some(ep) = self.pipes.close(pipe) {
+                if ctx.trace_enabled() {
+                    ctx.trace_event(TraceEventKind::PipeClosed {
+                        pipe: pipe.raw(),
+                        messages: ep.messages,
+                        bytes: ep.bytes,
+                    });
+                }
+            }
+        }
+        if ctx.trace_enabled() {
+            ctx.trace_event(TraceEventKind::TransferCompleted {
+                transfer: transfer.raw(),
+                ok: completed,
+            });
+            ctx.trace_event(TraceEventKind::SpanEnd {
+                span: SpanKind::Transfer,
+                key: transfer.raw(),
+                ok: completed,
+            });
+        }
         ctx.send(
             to,
             if completed {
@@ -831,6 +918,27 @@ fn ctx_name(ctx: &Context<OverlayMsg>, node: NodeId) -> String {
     ctx.node_name(node).to_string()
 }
 
+/// Emits a [`TraceEventKind::SelectionDecided`] event with per-candidate
+/// costs. Callers must check `ctx.trace_enabled()` first — cost extraction
+/// re-runs the model's scoring pass, which is fine for observability (the
+/// pass is read-only w.r.t. the simulation) but wasted work when disabled.
+fn trace_selection(
+    ctx: &mut Context<OverlayMsg>,
+    selector: &mut dyn PeerSelector,
+    req: &SelectionRequest<'_>,
+    chosen: NodeId,
+) {
+    let costs = selector
+        .candidate_costs(req)
+        .map(|cs| req.candidates.iter().map(|c| c.node).zip(cs).collect())
+        .unwrap_or_default();
+    ctx.trace_event(TraceEventKind::SelectionDecided {
+        model: selector.name().to_string(),
+        chosen,
+        costs,
+    });
+}
+
 fn clone_text(t: &str) -> String {
     t.to_string()
 }
@@ -899,6 +1007,12 @@ impl Actor<OverlayMsg> for Broker {
                     .get(&transfer)
                     .map(|t| t.phase == crate::filetransfer::TransferPhase::AwaitingPetitionAck)
                     .unwrap_or(false);
+                if ctx.trace_enabled() {
+                    ctx.trace_event(TraceEventKind::PetitionAcked {
+                        transfer: transfer.raw(),
+                        accepted,
+                    });
+                }
                 if first_ack {
                     self.sink.with(|log| {
                         if let Some(rec) = log.transfer_mut(transfer) {
@@ -931,13 +1045,34 @@ impl Actor<OverlayMsg> for Broker {
                 }
             }
             OverlayMsg::PartConfirm { transfer, index } => {
-                self.sink.with(|log| {
-                    if let Some(rec) = log.transfer_mut(transfer) {
-                        if let Some(part) = rec.parts.iter_mut().find(|p| p.index == index) {
-                            part.confirmed_at = Some(now);
+                // First-confirm-wins: validate against the stop-and-wait
+                // window BEFORE touching the record. A late duplicate
+                // confirm (retransmitted part → receiver confirmed twice)
+                // must not overwrite the original confirmed_at — that
+                // inflates Fig 4's last_part_secs.
+                let accepted = self
+                    .outbound
+                    .get(&transfer)
+                    .map(|t| t.accepts_confirm(index))
+                    .unwrap_or(false);
+                if ctx.trace_enabled() {
+                    ctx.trace_event(TraceEventKind::PartConfirmed {
+                        transfer: transfer.raw(),
+                        index,
+                        accepted,
+                    });
+                }
+                if accepted {
+                    self.sink.with(|log| {
+                        if let Some(rec) = log.transfer_mut(transfer) {
+                            if let Some(part) = rec.parts.iter_mut().find(|p| p.index == index) {
+                                if part.confirmed_at.is_none() {
+                                    part.confirmed_at = Some(now);
+                                }
+                            }
                         }
-                    }
-                });
+                    });
+                }
                 let outcome = self
                     .outbound
                     .get_mut(&transfer)
@@ -1099,7 +1234,7 @@ impl Actor<OverlayMsg> for Broker {
                 let nodes: Vec<NodeId> = holders.iter().map(|h| h.node).collect();
                 let size = holders[0].size;
                 let Some(owner_node) =
-                    self.select_among(now, &nodes, Purpose::FileTransfer { bytes: size })
+                    self.select_among(ctx, &nodes, Purpose::FileTransfer { bytes: size })
                 else {
                     return;
                 };
@@ -1173,7 +1308,7 @@ impl Actor<OverlayMsg> for Broker {
                     work_gops: work_gops as u64,
                     input_bytes,
                 };
-                let Some(executor) = self.select_among(now, &candidates, purpose) else {
+                let Some(executor) = self.select_among(ctx, &candidates, purpose) else {
                     self.bump(ctx, |c| c.jobs_unplaced);
                     return;
                 };
@@ -1270,6 +1405,16 @@ impl Actor<OverlayMsg> for Broker {
                 return;
             }
             let to = outbound.to;
+            if ctx.trace_enabled() {
+                ctx.trace_event(TraceEventKind::Retransmission {
+                    transfer: probe.transfer.raw(),
+                    part: match probe.kind {
+                        RetryKind::Petition => None,
+                        RetryKind::Part { index, .. } => Some(index),
+                    },
+                    attempt: probe.attempt + 1,
+                });
+            }
             match probe.kind {
                 RetryKind::Petition => {
                     let file = outbound.file.clone();
@@ -1322,6 +1467,11 @@ impl Actor<OverlayMsg> for Broker {
                     .map(|t| !t.is_complete())
                     .unwrap_or(false);
                 if still_running {
+                    if ctx.trace_enabled() {
+                        ctx.trace_event(TraceEventKind::WatchdogFired {
+                            transfer: transfer.raw(),
+                        });
+                    }
                     if let Some(t) = self.outbound.get_mut(&transfer) {
                         t.cancel();
                     }
@@ -1649,9 +1799,14 @@ mod tests {
     #[test]
     fn file_request_is_served_peer_to_peer() {
         let sink = RecordSink::new();
+        // Keep the run alive past the sender's TransferReport: stopping at
+        // the broker's first idle moment would strand the in-flight
+        // TransferComplete that carries the receiver's byte tally.
+        let mut bcfg = BrokerConfig::new(21);
+        bcfg.stop_when_idle = false;
         let (mut engine, _b, clients) = star_with(
             2,
-            BrokerConfig::new(21),
+            bcfg,
             |i, broker| {
                 let cfg = ClientConfig::new(broker);
                 if i == 0 {
@@ -1677,6 +1832,11 @@ mod tests {
         assert_eq!(xfer.to, clients[1], "file flows to the requester");
         assert!(xfer.completed_at.is_some());
         assert!(!xfer.cancelled);
+        assert_eq!(
+            xfer.receiver_bytes,
+            Some(2 << 20),
+            "receiver tallies every byte exactly once"
+        );
         assert_eq!(engine.metrics().counter("overlay.file_requests_served"), 1);
         assert_eq!(engine.metrics().counter("overlay.content_published"), 1);
     }
@@ -2053,5 +2213,150 @@ mod tests {
         let log = sink.drain();
         assert_eq!(log.transfers.len(), 1);
         assert!(log.transfers[0].cancelled, "watchdog should cancel");
+    }
+
+    /// A hostile receiver that confirms every part twice. The duplicate
+    /// confirm arrives after the sender has already advanced its window;
+    /// before the first-confirm-wins fix the broker stamped `confirmed_at`
+    /// prior to validating the confirm, so the duplicate dragged the
+    /// milestone forward — past the next part's send instant, and past
+    /// `completed_at` for the final part (inflating `last_part_secs`).
+    struct DoubleConfirmClient {
+        peer: PeerId,
+        broker: NodeId,
+    }
+
+    impl Actor<OverlayMsg> for DoubleConfirmClient {
+        fn on_start(&mut self, ctx: &mut Context<OverlayMsg>) {
+            let adv = PeerAdvertisement {
+                peer: self.peer,
+                node: ctx.self_id(),
+                name: ctx.node_name(ctx.self_id()).to_string(),
+                cpu_gops: 1.0,
+                accepts_tasks: false,
+                published: ctx.now(),
+                lifetime: crate::advertisement::DEFAULT_LIFETIME,
+            };
+            ctx.send(self.broker, OverlayMsg::Join(adv));
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<OverlayMsg>, from: NodeId, msg: OverlayMsg) {
+            match msg {
+                OverlayMsg::FilePetition {
+                    transfer, sent_at, ..
+                } => {
+                    ctx.send(
+                        from,
+                        OverlayMsg::PetitionAck {
+                            transfer,
+                            accepted: true,
+                            petition_sent_at: sent_at,
+                            handled_at: ctx.now(),
+                        },
+                    );
+                }
+                OverlayMsg::FilePart {
+                    transfer, index, ..
+                } => {
+                    ctx.send(from, OverlayMsg::PartConfirm { transfer, index });
+                    ctx.send(from, OverlayMsg::PartConfirm { transfer, index });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_confirms_do_not_move_part_milestones() {
+        let mut topo = Topology::new();
+        let broker_node = topo.add_node(
+            NodeSpec::responsive("broker"),
+            AccessLink::symmetric_mbps(80.0, 0.0001),
+        );
+        let c = topo.add_node(
+            NodeSpec::responsive("doubler"),
+            AccessLink::symmetric_mbps(8.0, 0.0003),
+        );
+        topo.set_path_symmetric(broker_node, c, PathSpec::from_owd_ms(20.0, 0.0));
+        let sink = RecordSink::new();
+        let mut engine = Engine::new(topo, TransportConfig::default(), 17);
+        let bcfg = BrokerConfig::new(61).at(
+            SimDuration::from_secs(1),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 4 << 20,
+                num_parts: 4,
+                label: "dup".into(),
+            },
+        );
+        engine.register(broker_node, Box::new(Broker::new(bcfg, sink.clone())));
+        let mut ids = IdGenerator::new(7);
+        engine.register(
+            c,
+            Box::new(DoubleConfirmClient {
+                peer: PeerId::generate(&mut ids),
+                broker: broker_node,
+            }),
+        );
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.transfers.len(), 1);
+        let rec = &log.transfers[0];
+        let completed = rec.completed_at.expect("transfer completes");
+        assert_eq!(rec.parts.len(), 4);
+        for pair in rec.parts.windows(2) {
+            let confirmed = pair[0].confirmed_at.expect("confirmed");
+            assert!(
+                confirmed <= pair[1].sent_at,
+                "part {} confirm ({:?}) must not postdate part {} send ({:?})",
+                pair[0].index,
+                confirmed,
+                pair[1].index,
+                pair[1].sent_at,
+            );
+        }
+        let last = rec.parts.last().unwrap();
+        assert!(
+            last.confirmed_at.unwrap() <= completed,
+            "last confirm must not postdate completion (first-confirm-wins)"
+        );
+        assert_eq!(
+            last.confirmed_at,
+            Some(completed),
+            "completion is stamped at the accepted (first) confirm"
+        );
+        assert!(rec.last_part_secs().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn lossy_retransmissions_keep_first_confirm_milestones() {
+        // Lossy network + retries ⇒ duplicate parts and duplicate confirms
+        // on the wire. First-confirm-wins must keep per-part milestones
+        // causally ordered: each confirm at or before the next part's send.
+        let (mut engine, sink) = lossy_star(
+            0.10,
+            Some(RetryPolicy {
+                timeout: SimDuration::from_secs(20),
+                max_attempts: 8,
+            }),
+            SimDuration::from_mins(60),
+        );
+        engine.run_until(SimTime::from_secs_f64(3600.0));
+        let log = sink.drain();
+        assert_eq!(log.transfers.len(), 1);
+        let rec = &log.transfers[0];
+        assert!(rec.completed_at.is_some(), "transfer completes under loss");
+        for p in &rec.parts {
+            let confirmed = p.confirmed_at.expect("every part confirmed");
+            assert!(confirmed >= p.sent_at, "confirm cannot precede send");
+        }
+        for pair in rec.parts.windows(2) {
+            assert!(
+                pair[0].confirmed_at.unwrap() <= pair[1].sent_at,
+                "stale duplicate confirm moved part {} milestone",
+                pair[0].index
+            );
+            assert!(pair[0].index < pair[1].index, "indices strictly increase");
+        }
     }
 }

@@ -16,9 +16,10 @@ use std::collections::HashMap;
 use netsim::engine::{Actor, Context, TimerId};
 use netsim::node::NodeId;
 use netsim::time::SimDuration;
+use netsim::trace::{SpanKind, TraceEventKind};
 
 use crate::advertisement::{ContentAdvertisement, PeerAdvertisement, DEFAULT_LIFETIME};
-use crate::filetransfer::{InboundTransfer, OutboundTransfer, PartReceipt};
+use crate::filetransfer::{InboundTransfer, OutboundTransfer, PartReceipt, TransferPhase};
 use crate::id::{ContentId, IdGenerator, PeerId, TaskId, TransferId};
 use crate::message::OverlayMsg;
 use crate::records::{PartRecord, RecordSink, TransferRecord};
@@ -334,17 +335,53 @@ impl Actor<OverlayMsg> for SimpleClient {
             } => {
                 if let Some(inb) = self.inbound.get_mut(&transfer) {
                     // Duplicates still get a confirm — the original confirm
-                    // may have been lost — but are not counted twice.
-                    let _receipt: PartReceipt = inb.on_part(index, size);
-                    ctx.send(from, OverlayMsg::PartConfirm { transfer, index });
+                    // may have been lost — but are not counted twice. Gaps
+                    // (an index ahead of the stop-and-wait window) are
+                    // rejected and never confirmed: confirming one would
+                    // advance the sender past a part we don't have.
+                    let receipt = inb.on_part(index, size);
+                    if receipt == PartReceipt::Gap {
+                        let expected = inb.received;
+                        if ctx.trace_enabled() {
+                            ctx.trace_event(TraceEventKind::PartGap {
+                                transfer: transfer.raw(),
+                                index,
+                                expected,
+                            });
+                        }
+                    } else {
+                        if receipt == PartReceipt::Last {
+                            // The receiver-side tally is complete the moment
+                            // the last part lands; don't wait for
+                            // TransferComplete, which is unacked and can be
+                            // lost on a lossy transport.
+                            let bytes = inb.bytes;
+                            if let Some(sink) = &self.sink {
+                                sink.with(|log| {
+                                    if let Some(rec) = log.transfer_mut(transfer) {
+                                        rec.receiver_bytes = Some(bytes);
+                                    }
+                                });
+                            }
+                        }
+                        ctx.send(from, OverlayMsg::PartConfirm { transfer, index });
+                    }
                 }
                 // Parts for unknown transfers are silently dropped (stale).
             }
             OverlayMsg::TransferComplete { transfer } | OverlayMsg::TransferCancel { transfer } => {
-                let completed = matches!(
-                    self.inbound.remove(&transfer),
-                    Some(inb) if inb.received >= inb.expected_parts
-                );
+                let inb = self.inbound.remove(&transfer);
+                let completed = inb.as_ref().is_some_and(|i| i.received >= i.expected_parts);
+                // Report the receiver-side byte tally back into the shared
+                // record: experiments cross-check it against file_size.
+                if let (Some(sink), Some(inb)) = (&self.sink, inb.as_ref()) {
+                    let bytes = inb.bytes;
+                    sink.with(|log| {
+                        if let Some(rec) = log.transfer_mut(transfer) {
+                            rec.receiver_bytes = Some(bytes);
+                        }
+                    });
+                }
                 if let Some(stats) = &mut self.stats {
                     stats.record_file_send(completed);
                 }
@@ -375,7 +412,20 @@ impl Actor<OverlayMsg> for SimpleClient {
                             parts: Vec::new(),
                             completed_at: None,
                             cancelled: false,
+                            receiver_bytes: None,
                         });
+                    });
+                }
+                if ctx.trace_enabled() {
+                    ctx.trace_event(TraceEventKind::SpanBegin {
+                        span: SpanKind::Transfer,
+                        key: id.raw(),
+                    });
+                    ctx.trace_event(TraceEventKind::PetitionSent {
+                        transfer: id.raw(),
+                        to: to_node,
+                        bytes: file.size_bytes,
+                        parts: actual_parts,
                     });
                 }
                 ctx.send(
@@ -397,13 +447,27 @@ impl Actor<OverlayMsg> for SimpleClient {
                 handled_at,
                 ..
             } => {
-                if let Some(sink) = &self.sink {
-                    sink.with(|log| {
-                        if let Some(rec) = log.transfer_mut(transfer) {
-                            rec.petition_handled_at = Some(handled_at);
-                            rec.petition_acked_at = Some(now);
-                        }
+                // Only the first ack carries timing information; a duplicate
+                // (retransmitted petition) must not overwrite the milestones.
+                let first_ack = self
+                    .outbound
+                    .get(&transfer)
+                    .is_some_and(|t| t.phase == TransferPhase::AwaitingPetitionAck);
+                if ctx.trace_enabled() {
+                    ctx.trace_event(TraceEventKind::PetitionAcked {
+                        transfer: transfer.raw(),
+                        accepted,
                     });
+                }
+                if first_ack {
+                    if let Some(sink) = &self.sink {
+                        sink.with(|log| {
+                            if let Some(rec) = log.transfer_mut(transfer) {
+                                rec.petition_handled_at = Some(handled_at);
+                                rec.petition_acked_at = Some(now);
+                            }
+                        });
+                    }
                 }
                 let next = self
                     .outbound
@@ -411,6 +475,13 @@ impl Actor<OverlayMsg> for SimpleClient {
                     .and_then(|t| t.on_petition_ack(accepted));
                 if let Some((index, size)) = next {
                     self.record_part_sent(transfer, index, size, now);
+                    if ctx.trace_enabled() {
+                        ctx.trace_event(TraceEventKind::PartSent {
+                            transfer: transfer.raw(),
+                            index,
+                            bytes: size,
+                        });
+                    }
                     ctx.send(
                         from,
                         OverlayMsg::FilePart {
@@ -440,18 +511,49 @@ impl Actor<OverlayMsg> for SimpleClient {
                                 }
                             });
                         }
+                        if ctx.trace_enabled() {
+                            ctx.trace_event(TraceEventKind::TransferCompleted {
+                                transfer: transfer.raw(),
+                                ok: false,
+                            });
+                            ctx.trace_event(TraceEventKind::SpanEnd {
+                                span: SpanKind::Transfer,
+                                key: transfer.raw(),
+                                ok: false,
+                            });
+                        }
                     }
                 }
             }
             OverlayMsg::PartConfirm { transfer, index } => {
-                if let Some(sink) = &self.sink {
-                    sink.with(|log| {
-                        if let Some(rec) = log.transfer_mut(transfer) {
-                            if let Some(part) = rec.parts.iter_mut().find(|p| p.index == index) {
-                                part.confirmed_at = Some(now);
-                            }
-                        }
+                // First-confirm-wins: validate against the stop-and-wait
+                // window BEFORE touching the record, so a duplicate confirm
+                // (the retransmitted original racing a resent part's ack)
+                // cannot move `confirmed_at` forward.
+                let accepted = self
+                    .outbound
+                    .get(&transfer)
+                    .is_some_and(|t| t.accepts_confirm(index));
+                if ctx.trace_enabled() {
+                    ctx.trace_event(TraceEventKind::PartConfirmed {
+                        transfer: transfer.raw(),
+                        index,
+                        accepted,
                     });
+                }
+                if accepted {
+                    if let Some(sink) = &self.sink {
+                        sink.with(|log| {
+                            if let Some(rec) = log.transfer_mut(transfer) {
+                                if let Some(part) = rec.parts.iter_mut().find(|p| p.index == index)
+                                {
+                                    if part.confirmed_at.is_none() {
+                                        part.confirmed_at = Some(now);
+                                    }
+                                }
+                            }
+                        });
+                    }
                 }
                 let outcome = self
                     .outbound
@@ -460,6 +562,13 @@ impl Actor<OverlayMsg> for SimpleClient {
                 match outcome {
                     Some((Some((next_index, size)), _)) => {
                         self.record_part_sent(transfer, next_index, size, now);
+                        if ctx.trace_enabled() {
+                            ctx.trace_event(TraceEventKind::PartSent {
+                                transfer: transfer.raw(),
+                                index: next_index,
+                                bytes: size,
+                            });
+                        }
                         ctx.send(
                             from,
                             OverlayMsg::FilePart {
@@ -472,6 +581,17 @@ impl Actor<OverlayMsg> for SimpleClient {
                     Some((None, true)) => {
                         let t = self.outbound.remove(&transfer).expect("present");
                         let started = self.outbound_started.remove(&transfer);
+                        if ctx.trace_enabled() {
+                            ctx.trace_event(TraceEventKind::TransferCompleted {
+                                transfer: transfer.raw(),
+                                ok: true,
+                            });
+                            ctx.trace_event(TraceEventKind::SpanEnd {
+                                span: SpanKind::Transfer,
+                                key: transfer.raw(),
+                                ok: true,
+                            });
+                        }
                         ctx.send(from, OverlayMsg::TransferComplete { transfer });
                         let elapsed = started
                             .map(|s| now.duration_since(s).as_secs_f64())

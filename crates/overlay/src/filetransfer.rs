@@ -123,15 +123,19 @@ impl OutboundTransfer {
         Some((0, self.parts[0]))
     }
 
+    /// Whether a confirm for part `index` would advance the window right
+    /// now. Record keepers use this to validate a confirm *before* mutating
+    /// timing records: a stale or duplicate confirm must not touch them.
+    pub fn accepts_confirm(&self, index: u32) -> bool {
+        self.phase == TransferPhase::Sending && index + 1 == self.next_part
+    }
+
     /// The peer confirmed part `index`: returns the next part to send, or
     /// `None` when the transfer just completed (or the confirm was stale).
     pub fn on_part_confirm(&mut self, index: u32) -> Option<(u32, u64)> {
-        if self.phase != TransferPhase::Sending {
-            return None;
-        }
         // Stop-and-wait: only the confirm for the most recently sent part
         // advances the window.
-        if index + 1 != self.next_part {
+        if !self.accepts_confirm(index) {
             return None;
         }
         if (self.next_part as usize) < self.parts.len() {
@@ -182,6 +186,10 @@ pub enum PartReceipt {
     /// A retransmission of an already-received part (re-confirm it; the
     /// sender's confirm may have been lost).
     Duplicate,
+    /// An index beyond the next expected one: impossible under faithful
+    /// stop-and-wait, so the part is rejected — counting it would drift
+    /// `received`/`bytes` past reality. Do not confirm it.
+    Gap,
 }
 
 impl InboundTransfer {
@@ -197,10 +205,14 @@ impl InboundTransfer {
     }
 
     /// Records part `index`; stop-and-wait means parts arrive in order, so
-    /// any index below the next expected one is a retransmission.
+    /// any index below the next expected one is a retransmission and any
+    /// index above it is a gap (rejected without touching the tallies).
     pub fn on_part(&mut self, index: u32, size: u64) -> PartReceipt {
         if index < self.received {
             return PartReceipt::Duplicate;
+        }
+        if index > self.received {
+            return PartReceipt::Gap;
         }
         self.received += 1;
         self.bytes += size;
@@ -357,6 +369,48 @@ mod tests {
         assert_eq!(r.on_part(2, 12), PartReceipt::Last);
         assert_eq!(r.bytes, 32);
         assert_eq!(r.received, 3);
+    }
+
+    #[test]
+    fn inbound_rejects_index_gaps() {
+        let mut g = IdGenerator::new(4);
+        let mut r = InboundTransfer::new(TransferId::generate(&mut g), 4, SimTime::ZERO);
+        assert_eq!(r.on_part(0, 10), PartReceipt::New);
+        // Index 2 while expecting 1: a gap must not advance the tallies.
+        assert_eq!(r.on_part(2, 10), PartReceipt::Gap);
+        assert_eq!(r.received, 1);
+        assert_eq!(r.bytes, 10);
+        // The expected part still goes through normally afterwards.
+        assert_eq!(r.on_part(1, 10), PartReceipt::New);
+        assert_eq!(r.on_part(2, 10), PartReceipt::New);
+        assert_eq!(r.on_part(3, 12), PartReceipt::Last);
+        assert_eq!(r.received, 4);
+        assert_eq!(r.bytes, 42);
+    }
+
+    #[test]
+    fn inbound_duplicate_of_last_part_stays_duplicate() {
+        let mut g = IdGenerator::new(5);
+        let mut r = InboundTransfer::new(TransferId::generate(&mut g), 2, SimTime::ZERO);
+        assert_eq!(r.on_part(0, 10), PartReceipt::New);
+        assert_eq!(r.on_part(1, 10), PartReceipt::Last);
+        // A retransmitted final part must read as a duplicate, not as a
+        // fresh (or gap) part, and must leave the tallies untouched.
+        assert_eq!(r.on_part(1, 10), PartReceipt::Duplicate);
+        assert_eq!(r.received, 2);
+        assert_eq!(r.bytes, 20);
+    }
+
+    #[test]
+    fn accepts_confirm_matches_window() {
+        let mut t = outbound(100, 4);
+        assert!(!t.accepts_confirm(0), "not accepting before petition ack");
+        t.on_petition_ack(true);
+        assert!(t.accepts_confirm(0));
+        assert!(!t.accepts_confirm(1), "future confirm rejected");
+        t.on_part_confirm(0);
+        assert!(!t.accepts_confirm(0), "duplicate confirm rejected");
+        assert!(t.accepts_confirm(1));
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct TransferRecord {
     pub completed_at: Option<SimTime>,
     /// Whether the transfer was cancelled.
     pub cancelled: bool,
+    /// Bytes the receiver actually tallied (reported when the transfer
+    /// closes); `None` while in flight or when the receiver kept no state.
+    pub receiver_bytes: Option<u64>,
 }
 
 /// Milestones of one part.
@@ -284,6 +287,7 @@ mod tests {
             ],
             completed_at: Some(t(4.6)),
             cancelled: false,
+            receiver_bytes: Some(100),
         }
     }
 

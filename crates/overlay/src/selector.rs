@@ -140,6 +140,14 @@ pub trait PeerSelector: Send {
     /// refuse (no viable peer).
     fn select(&mut self, req: &SelectionRequest<'_>) -> Option<usize>;
 
+    /// Per-candidate cost estimates for observability, parallel to
+    /// `req.candidates` (lower = better; non-finite = ineligible). Models
+    /// that don't score candidates return `None` (the default). Only
+    /// consulted when tracing is enabled, so implementations may recompute.
+    fn candidate_costs(&mut self, _req: &SelectionRequest<'_>) -> Option<Vec<f64>> {
+        None
+    }
+
     /// Feedback after the selected work finished (default: ignored).
     fn on_outcome(&mut self, _outcome: &SelectionOutcome) {}
 }

@@ -62,17 +62,63 @@ pub fn model_names() -> Vec<String> {
     ]
 }
 
-fn factory_for(model: &str) -> SelectorFactory {
-    let model = model.to_string();
-    Box::new(move |seed| -> Box<dyn PeerSelector> {
-        match model.as_str() {
-            "economic" => Box::new(Scored::new(EconomicModel::new())),
-            "same-priority" => Box::new(Scored::new(DataEvaluatorModel::same_priority())),
-            "quick-peer" => Box::new(Scored::new(UserPreferenceModel::quick_peer())),
-            "random" => Box::new(RandomSelector::new(seed ^ 0xF166)),
-            other => panic!("unknown model {other}"),
+/// An unrecognized selection-model name. Carries the valid list so callers
+/// (psim, reproduce_paper) can point the user at the accepted spellings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModelError {
+    /// The name that failed to resolve.
+    pub model: String,
+}
+
+impl UnknownModelError {
+    /// The accepted model names, report order.
+    pub fn valid_models(&self) -> Vec<String> {
+        model_names()
+    }
+}
+
+impl std::fmt::Display for UnknownModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown selection model `{}`; valid models: {}",
+            self.model,
+            model_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownModelError {}
+
+#[derive(Clone, Copy)]
+enum ModelKind {
+    Economic,
+    SamePriority,
+    QuickPeer,
+    Random,
+}
+
+/// Resolves a model name to a selector factory, or reports the valid list.
+pub fn try_factory_for(model: &str) -> Result<SelectorFactory, UnknownModelError> {
+    let kind = match model {
+        "economic" => ModelKind::Economic,
+        "same-priority" => ModelKind::SamePriority,
+        "quick-peer" => ModelKind::QuickPeer,
+        "random" => ModelKind::Random,
+        other => {
+            return Err(UnknownModelError {
+                model: other.to_string(),
+            })
         }
-    })
+    };
+    Ok(Box::new(move |seed| -> Box<dyn PeerSelector> {
+        match kind {
+            ModelKind::Economic => Box::new(Scored::new(EconomicModel::new())),
+            ModelKind::SamePriority => Box::new(Scored::new(DataEvaluatorModel::same_priority())),
+            ModelKind::QuickPeer => Box::new(Scored::new(UserPreferenceModel::quick_peer())),
+            ModelKind::Random => Box::new(RandomSelector::new(seed ^ 0xF166)),
+        }
+    }))
 }
 
 /// Typed result.
@@ -85,8 +131,10 @@ pub struct Fig6Result {
     pub chosen: Vec<Vec<Vec<String>>>,
 }
 
-/// Runs the experiment.
-pub fn run_experiment(spec: &ExperimentSpec) -> Fig6Result {
+/// Runs the experiment. Fails with [`UnknownModelError`] if any compared
+/// model name doesn't resolve (cannot happen for the built-in list, but the
+/// same resolution path serves user-supplied names in psim).
+pub fn run_experiment(spec: &ExperimentSpec) -> Result<Fig6Result, UnknownModelError> {
     let models = model_names();
     let mut seconds = Vec::new();
     let mut chosen = Vec::new();
@@ -94,6 +142,10 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Fig6Result {
         let mut rows: Vec<Vec<f64>> = vec![Vec::new(); spec.seeds.len()];
         let mut chosen_g: Vec<Vec<String>> = vec![Vec::new(); models.len()];
         for (mi, model) in models.iter().enumerate() {
+            // Resolve once, up front: a bad name must surface as an error
+            // before any replication thread spins up, not as a panic inside
+            // one.
+            drop(try_factory_for(model)?);
             let per_seed = run_replications(&spec.seeds, |seed| {
                 let t0 = spec.warmup;
                 let t_bg = t0 + SimDuration::from_secs(600);
@@ -108,7 +160,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Fig6Result {
                             label: "warmup".into(),
                         },
                     )
-                    .with_selector(factory_for(model));
+                    .with_selector(try_factory_for(model).expect("validated above"));
                 // Warm-up tasks populate the §2.2 task-acceptance statistics.
                 for k in 0..5u64 {
                     cfg = cfg.at(
@@ -168,16 +220,16 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Fig6Result {
         seconds.push(SeriesAggregate::from_replications(&rows));
         chosen.push(chosen_g);
     }
-    Fig6Result {
+    Ok(Fig6Result {
         models,
         seconds,
         chosen,
-    }
+    })
 }
 
 /// Runs the experiment and builds the report.
-pub fn run(spec: &ExperimentSpec) -> FigureReport {
-    report(&run_experiment(spec))
+pub fn run(spec: &ExperimentSpec) -> Result<FigureReport, UnknownModelError> {
+    Ok(report(&run_experiment(spec)?))
 }
 
 /// Builds the Fig 6 report from a typed result.
@@ -227,7 +279,22 @@ mod tests {
     fn result() -> &'static Fig6Result {
         use std::sync::OnceLock;
         static R: OnceLock<Fig6Result> = OnceLock::new();
-        R.get_or_init(|| run_experiment(&ExperimentSpec::quick()))
+        R.get_or_init(|| run_experiment(&ExperimentSpec::quick()).expect("built-in models"))
+    }
+
+    #[test]
+    fn unknown_model_is_an_error_not_a_panic() {
+        let err = match try_factory_for("psychic") {
+            Ok(_) => panic!("`psychic` must not resolve to a selector"),
+            Err(e) => e,
+        };
+        assert_eq!(err.model, "psychic");
+        let msg = err.to_string();
+        assert!(msg.contains("psychic"));
+        for m in err.valid_models() {
+            assert!(msg.contains(&m), "error lists valid model {m}");
+        }
+        assert!(try_factory_for("economic").is_ok());
     }
 
     #[test]

@@ -1,7 +1,14 @@
 //! Report rendering: aligned text tables comparing measured series against
-//! the paper's published values.
+//! the paper's published values, plus trace post-processing (per-transfer
+//! timelines reconstructed from typed events) and a deterministic metrics
+//! snapshot for `psim report`.
 
 use std::fmt::Write as _;
+
+use netsim::metrics::Metrics;
+use netsim::node::NodeId;
+use netsim::time::SimTime;
+use netsim::trace::{Trace, TraceEventKind};
 
 /// One named series of values aligned with a report's labels.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +158,222 @@ impl FigureReport {
         }
         out
     }
+}
+
+/// One part's milestones, reconstructed from `part_sent`/`part_confirmed`
+/// trace events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartTimeline {
+    /// Part index within the transfer.
+    pub index: u32,
+    /// Part size in bytes.
+    pub bytes: u64,
+    /// When the sender first transmitted this part.
+    pub sent_at: SimTime,
+    /// When the first *accepted* confirm arrived (first-confirm-wins: later
+    /// duplicates never move this).
+    pub confirmed_at: Option<SimTime>,
+}
+
+/// One transfer's life, reconstructed from the typed trace
+/// (`petition_sent` → parts → `transfer_completed`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferTimeline {
+    /// Raw transfer id (matches the `xfer` JSONL field).
+    pub transfer: u128,
+    /// The sending node.
+    pub sender: NodeId,
+    /// The receiving node.
+    pub to: NodeId,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// Announced part count.
+    pub num_parts: u32,
+    /// When the petition was sent.
+    pub began_at: SimTime,
+    /// First petition-ack verdict seen, if any.
+    pub acked: Option<bool>,
+    /// When the transfer closed (complete or cancelled).
+    pub ended_at: Option<SimTime>,
+    /// Whether it completed successfully (`None` while open).
+    pub ok: Option<bool>,
+    /// Per-part milestones, in first-send order.
+    pub parts: Vec<PartTimeline>,
+    /// Retransmissions attributed to this transfer.
+    pub retransmissions: u32,
+}
+
+impl TransferTimeline {
+    /// End-to-end duration in seconds, if the transfer closed.
+    pub fn duration_secs(&self) -> Option<f64> {
+        self.ended_at
+            .map(|t| t.duration_since(self.began_at).as_secs_f64())
+    }
+
+    /// Final part's send → first accepted confirm, in seconds (the trace
+    /// view of the paper's Fig 4 metric).
+    pub fn last_part_secs(&self) -> Option<f64> {
+        let last = self.parts.iter().max_by_key(|p| p.index)?;
+        last.confirmed_at
+            .map(|t| t.duration_since(last.sent_at).as_secs_f64())
+    }
+}
+
+/// Reconstructs per-transfer timelines from a typed trace, in the order
+/// transfers first appear. Duplicate `part_sent` rows (retransmissions)
+/// keep the first send instant; only accepted confirms stamp
+/// `confirmed_at`, and only the first of those wins.
+pub fn transfer_timelines(trace: &Trace) -> Vec<TransferTimeline> {
+    let mut order: Vec<u128> = Vec::new();
+    let mut by_id: std::collections::HashMap<u128, TransferTimeline> =
+        std::collections::HashMap::new();
+    for ev in trace.events() {
+        match &ev.kind {
+            TraceEventKind::PetitionSent {
+                transfer,
+                to,
+                bytes,
+                parts,
+            } => {
+                by_id.entry(*transfer).or_insert_with(|| {
+                    order.push(*transfer);
+                    TransferTimeline {
+                        transfer: *transfer,
+                        sender: ev.node,
+                        to: *to,
+                        bytes: *bytes,
+                        num_parts: *parts,
+                        began_at: ev.time,
+                        acked: None,
+                        ended_at: None,
+                        ok: None,
+                        parts: Vec::new(),
+                        retransmissions: 0,
+                    }
+                });
+            }
+            TraceEventKind::PetitionAcked { transfer, accepted } => {
+                if let Some(t) = by_id.get_mut(transfer) {
+                    if t.acked.is_none() {
+                        t.acked = Some(*accepted);
+                    }
+                }
+            }
+            TraceEventKind::PartSent {
+                transfer,
+                index,
+                bytes,
+            } => {
+                if let Some(t) = by_id.get_mut(transfer) {
+                    if !t.parts.iter().any(|p| p.index == *index) {
+                        t.parts.push(PartTimeline {
+                            index: *index,
+                            bytes: *bytes,
+                            sent_at: ev.time,
+                            confirmed_at: None,
+                        });
+                    }
+                }
+            }
+            TraceEventKind::PartConfirmed {
+                transfer,
+                index,
+                accepted: true,
+            } => {
+                if let Some(t) = by_id.get_mut(transfer) {
+                    if let Some(p) = t.parts.iter_mut().find(|p| p.index == *index) {
+                        if p.confirmed_at.is_none() {
+                            p.confirmed_at = Some(ev.time);
+                        }
+                    }
+                }
+            }
+            TraceEventKind::Retransmission { transfer, .. } => {
+                if let Some(t) = by_id.get_mut(transfer) {
+                    t.retransmissions += 1;
+                }
+            }
+            TraceEventKind::TransferCompleted { transfer, ok } => {
+                if let Some(t) = by_id.get_mut(transfer) {
+                    if t.ended_at.is_none() {
+                        t.ended_at = Some(ev.time);
+                        t.ok = Some(*ok);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    order
+        .into_iter()
+        .filter_map(|id| by_id.remove(&id))
+        .collect()
+}
+
+/// Renders transfer timelines as an aligned text table.
+pub fn render_timelines(timelines: &[TransferTimeline]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>6} -> {:>6}  {:>10}  {:>5}  {:>7}  {:>9}  {:>9}  {:>6}",
+        "#", "from", "to", "bytes", "parts", "retx", "total_s", "last_p_s", "ok"
+    );
+    for (i, t) in timelines.iter().enumerate() {
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(s) => format!("{s:.3}"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>6} -> {:>6}  {:>10}  {:>5}  {:>7}  {:>9}  {:>9}  {:>6}",
+            i,
+            t.sender.0,
+            t.to.0,
+            t.bytes,
+            t.parts.len(),
+            t.retransmissions,
+            fmt_opt(t.duration_secs()),
+            fmt_opt(t.last_part_secs()),
+            t.ok.map(|ok| ok.to_string()).unwrap_or_else(|| "-".into()),
+        );
+    }
+    out
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders a deterministic JSON snapshot of the engine metrics: counters
+/// and stats in sorted name order, fixed field order, non-finite values as
+/// `null`. Two same-seed runs produce byte-identical snapshots.
+pub fn metrics_snapshot_json(metrics: &Metrics) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in metrics.counters_sorted().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{v}");
+    }
+    out.push_str("},\"stats\":{");
+    for (i, (name, s)) in metrics.stats_sorted().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{{\"count\":{},\"mean\":", s.count());
+        push_json_f64(&mut out, s.mean());
+        out.push_str(",\"min\":");
+        push_json_f64(&mut out, s.min());
+        out.push_str(",\"max\":");
+        push_json_f64(&mut out, s.max());
+        out.push('}');
+    }
+    out.push_str("}}");
+    out
 }
 
 fn format_value(v: f64) -> String {
@@ -315,5 +538,180 @@ mod tests {
         assert_eq!(format_value(0.123), "0.123");
         assert_eq!(format_value(5.5), "5.50");
         assert_eq!(format_value(123.456), "123.5");
+    }
+
+    use netsim::time::SimDuration;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::with_capacity(64);
+        let sender = NodeId(0);
+        tr.record(
+            t(1.0),
+            sender,
+            TraceEventKind::PetitionSent {
+                transfer: 42,
+                to: NodeId(3),
+                bytes: 200,
+                parts: 2,
+            },
+        );
+        tr.record(
+            t(1.5),
+            sender,
+            TraceEventKind::PetitionAcked {
+                transfer: 42,
+                accepted: true,
+            },
+        );
+        tr.record(
+            t(1.5),
+            sender,
+            TraceEventKind::PartSent {
+                transfer: 42,
+                index: 0,
+                bytes: 100,
+            },
+        );
+        tr.record(
+            t(2.0),
+            sender,
+            TraceEventKind::PartConfirmed {
+                transfer: 42,
+                index: 0,
+                accepted: true,
+            },
+        );
+        tr.record(
+            t(2.0),
+            sender,
+            TraceEventKind::PartSent {
+                transfer: 42,
+                index: 1,
+                bytes: 100,
+            },
+        );
+        // A retransmission of part 1: duplicate send, then two confirms —
+        // only the first accepted confirm may stamp the milestone.
+        tr.record(
+            t(4.0),
+            sender,
+            TraceEventKind::Retransmission {
+                transfer: 42,
+                part: Some(1),
+                attempt: 2,
+            },
+        );
+        tr.record(
+            t(4.0),
+            sender,
+            TraceEventKind::PartSent {
+                transfer: 42,
+                index: 1,
+                bytes: 100,
+            },
+        );
+        tr.record(
+            t(4.5),
+            sender,
+            TraceEventKind::PartConfirmed {
+                transfer: 42,
+                index: 1,
+                accepted: true,
+            },
+        );
+        tr.record(
+            t(4.5),
+            sender,
+            TraceEventKind::TransferCompleted {
+                transfer: 42,
+                ok: true,
+            },
+        );
+        tr.record(
+            t(5.0),
+            sender,
+            TraceEventKind::PartConfirmed {
+                transfer: 42,
+                index: 1,
+                accepted: false,
+            },
+        );
+        tr
+    }
+
+    #[test]
+    fn timelines_reconstruct_first_confirm_wins() {
+        let tls = transfer_timelines(&sample_trace());
+        assert_eq!(tls.len(), 1);
+        let tl = &tls[0];
+        assert_eq!(tl.transfer, 42);
+        assert_eq!(tl.to, NodeId(3));
+        assert_eq!(tl.acked, Some(true));
+        assert_eq!(tl.ok, Some(true));
+        assert_eq!(tl.retransmissions, 1);
+        assert_eq!(tl.parts.len(), 2);
+        // Part 1 keeps its first send (t=2.0) and its first accepted
+        // confirm (t=4.5); the rejected duplicate at t=5.0 is ignored.
+        assert_eq!(tl.parts[1].sent_at, t(2.0));
+        assert_eq!(tl.parts[1].confirmed_at, Some(t(4.5)));
+        assert!((tl.last_part_secs().unwrap() - 2.5).abs() < 1e-9);
+        assert!((tl.duration_secs().unwrap() - 3.5).abs() < 1e-9);
+        let rendered = render_timelines(&tls);
+        assert!(rendered.contains("3.500"), "total seconds rendered");
+        assert!(rendered.contains("true"));
+    }
+
+    #[test]
+    fn timelines_leave_open_transfers_unfinished() {
+        let mut tr = Trace::with_capacity(8);
+        tr.record(
+            t(0.0),
+            NodeId(1),
+            TraceEventKind::PetitionSent {
+                transfer: 7,
+                to: NodeId(2),
+                bytes: 10,
+                parts: 1,
+            },
+        );
+        let tls = transfer_timelines(&tr);
+        assert_eq!(tls.len(), 1);
+        assert_eq!(tls[0].ended_at, None);
+        assert_eq!(tls[0].ok, None);
+        assert_eq!(tls[0].duration_secs(), None);
+        assert_eq!(tls[0].last_part_secs(), None);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_sorted_and_deterministic() {
+        let mut m = Metrics::new();
+        m.incr("zeta", 2);
+        m.incr("alpha", 1);
+        m.observe("lat", 1.5);
+        m.observe("lat", 2.5);
+        let a = metrics_snapshot_json(&m);
+        let b = metrics_snapshot_json(&m);
+        assert_eq!(a, b);
+        let alpha = a.find("\"alpha\"").unwrap();
+        let zeta = a.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "counters sorted by name");
+        assert!(a.contains("\"lat\":{\"count\":2,\"mean\":2,\"min\":1.5,\"max\":2.5}"));
+        assert!(a.starts_with("{\"counters\":{"));
+        assert!(a.ends_with("}}"));
+    }
+
+    #[test]
+    fn json_f64_renders_non_finite_as_null() {
+        let mut s = String::new();
+        push_json_f64(&mut s, f64::NAN);
+        s.push(',');
+        push_json_f64(&mut s, f64::INFINITY);
+        s.push(',');
+        push_json_f64(&mut s, 1.25);
+        assert_eq!(s, "null,null,1.25");
     }
 }

@@ -7,6 +7,38 @@
 
 use netsim::metrics::RunningStat;
 
+use crate::scenario::{run_scenario_traced, ScenarioConfig, ScenarioResult};
+
+/// Default trace ring-buffer size for [`run_traced`]: large enough to hold
+/// every event of the paper's single-transfer scenarios.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// One traced replication: the deterministic JSONL export, its FNV digest
+/// (equal digests ⇔ byte-identical JSONL), and the full scenario result.
+pub struct TracedRun {
+    /// One JSON object per line, in event order.
+    pub jsonl: String,
+    /// FNV-1a digest over the JSONL bytes.
+    pub digest: u64,
+    /// The underlying scenario result (log, metrics, trace).
+    pub result: ScenarioResult,
+}
+
+/// Runs one replication of `cfg` under `seed` with tracing forced on
+/// (`cfg.trace_capacity`, or [`DEFAULT_TRACE_CAPACITY`] when unset) and
+/// exports the trace as deterministic JSONL.
+pub fn run_traced(cfg: &ScenarioConfig, seed: u64) -> TracedRun {
+    let capacity = cfg.trace_capacity.unwrap_or(DEFAULT_TRACE_CAPACITY);
+    let result = run_scenario_traced(cfg, seed, capacity);
+    let jsonl = result.trace.to_jsonl();
+    let digest = result.trace.digest();
+    TracedRun {
+        jsonl,
+        digest,
+        result,
+    }
+}
+
 /// Runs `f` once per seed, in parallel, returning results in seed order.
 pub fn run_replications<R, F>(seeds: &[u64], f: F) -> Vec<R>
 where

@@ -3,8 +3,9 @@
 use netsim::engine::{Engine, RunOutcome};
 use netsim::metrics::Metrics;
 use netsim::time::{SimDuration, SimTime};
+use netsim::trace::Trace;
 use netsim::transport::TransportConfig;
-use overlay::broker::{Broker, BrokerCommand, BrokerConfig};
+use overlay::broker::{Broker, BrokerCommand, BrokerConfig, RetryPolicy, TargetSpec};
 use overlay::client::{ClientCommand, ClientConfig, SimpleClient};
 use overlay::message::OverlayMsg;
 use overlay::records::{RecordSink, RunLog};
@@ -43,6 +44,13 @@ pub struct ScenarioConfig {
     /// Disable when clients schedule their own commands (the broker cannot
     /// see those) and bound the run with `horizon` instead.
     pub stop_when_idle: bool,
+    /// Retransmission policy handed to the broker (needed for lossy
+    /// transports; `None` = no retries).
+    pub retry: Option<RetryPolicy>,
+    /// When `Some(n)`, the engine records the last `n` typed trace events
+    /// and [`ScenarioResult::trace`] carries them out. `None` (the default)
+    /// keeps the allocation-free disabled path.
+    pub trace_capacity: Option<usize>,
 }
 
 impl ScenarioConfig {
@@ -60,6 +68,57 @@ impl ScenarioConfig {
             client_commands_by_sc: None,
             shared_files_by_sc: None,
             stop_when_idle: true,
+            retry: None,
+            trace_capacity: None,
+        }
+    }
+
+    /// Enables typed tracing with a ring buffer of `capacity` events.
+    pub fn traced(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// The scenarios `psim trace`/`psim report` (and the CI determinism
+    /// check) know by name. `None` for an unknown name; see
+    /// [`named_scenario_list`] for the valid spellings.
+    pub fn named(name: &str) -> Option<Self> {
+        use crate::spec::MB;
+        let base = ScenarioConfig::measurement_setup();
+        match name {
+            "smoke" => Some(base.at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: MB,
+                    num_parts: 1,
+                    label: "smoke".into(),
+                },
+            )),
+            "fig5" => Some(base.at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 100 * MB,
+                    num_parts: 16,
+                    label: "fig5-16".into(),
+                },
+            )),
+            "fig5-lossy" => {
+                let mut cfg = base.at(
+                    SimDuration::from_secs(60),
+                    BrokerCommand::DistributeFile {
+                        target: TargetSpec::AllClients,
+                        size_bytes: 100 * MB,
+                        num_parts: 16,
+                        label: "fig5-16".into(),
+                    },
+                );
+                cfg.transport.message_drop_probability = 0.05;
+                cfg.retry = Some(RetryPolicy::default());
+                Some(cfg)
+            }
+            _ => None,
         }
     }
 
@@ -74,6 +133,11 @@ impl ScenarioConfig {
         self.selector = Some(f);
         self
     }
+}
+
+/// The names [`ScenarioConfig::named`] accepts.
+pub fn named_scenario_list() -> &'static [&'static str] {
+    &["smoke", "fig5", "fig5-lossy"]
 }
 
 /// The observable outputs of one replication.
@@ -92,10 +156,28 @@ pub struct ScenarioResult {
     pub peak_queue_len: usize,
     /// The testbed (for node-id → SC mapping in report code).
     pub testbed: Testbed,
+    /// The run's typed trace (empty and disabled unless
+    /// [`ScenarioConfig::trace_capacity`] was set).
+    pub trace: Trace,
 }
 
 /// Runs one replication of `cfg` under `seed`.
 pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> ScenarioResult {
+    run_scenario_inner(cfg, seed, cfg.trace_capacity)
+}
+
+/// Runs one replication with tracing forced on at `capacity` events,
+/// regardless of `cfg.trace_capacity`. Used by the traced runner so callers
+/// don't have to mutate a shared config.
+pub fn run_scenario_traced(cfg: &ScenarioConfig, seed: u64, capacity: usize) -> ScenarioResult {
+    run_scenario_inner(cfg, seed, Some(capacity))
+}
+
+fn run_scenario_inner(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    trace_capacity: Option<usize>,
+) -> ScenarioResult {
     let testbed = build(&cfg.testbed);
     let sink = RecordSink::new();
 
@@ -103,12 +185,16 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> ScenarioResult {
     broker_cfg.commands = cfg.commands.clone();
     broker_cfg.transfer_timeout = cfg.transfer_timeout;
     broker_cfg.stop_when_idle = cfg.stop_when_idle;
+    broker_cfg.retry = cfg.retry;
     if let Some(factory) = &cfg.selector {
         broker_cfg.selector = Some(factory(seed));
     }
 
     let mut engine: Engine<OverlayMsg> =
         Engine::new(testbed.topology.clone(), cfg.transport.clone(), seed);
+    if let Some(capacity) = trace_capacity {
+        engine.enable_trace(capacity);
+    }
     engine.register(
         testbed.broker,
         Box::new(Broker::new(broker_cfg, sink.clone())),
@@ -159,6 +245,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> ScenarioResult {
         outcome,
         events_processed: engine.events_processed(),
         peak_queue_len: engine.peak_queue_len(),
+        trace: engine.trace().clone(),
         testbed,
     }
 }

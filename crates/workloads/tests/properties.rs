@@ -1,8 +1,12 @@
 //! Property-based tests for the experiment harness.
 
+use netsim::time::SimDuration;
+use overlay::broker::{BrokerCommand, RetryPolicy, TargetSpec};
 use proptest::prelude::*;
 use workloads::report::{argmax, argmin, spearman, FigureReport, SeriesRow};
 use workloads::runner::{run_replications, SeriesAggregate};
+use workloads::scenario::{run_scenario, ScenarioConfig};
+use workloads::spec::MB;
 
 proptest! {
     /// Aggregating rows one-by-one equals bulk aggregation; means lie
@@ -58,6 +62,71 @@ proptest! {
         for v in &values {
             prop_assert!(values[imax] >= *v);
             prop_assert!(values[imin] <= *v);
+        }
+    }
+
+    /// Sweeping the transport drop probability: every transfer the sender
+    /// records as completed keeps its stop-and-wait invariants, no matter
+    /// how lossy the network was.
+    #[test]
+    fn lossy_completed_transfers_keep_invariants(
+        drop_p in 0.0f64..0.30,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ScenarioConfig::measurement_setup().at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 8 * MB,
+                num_parts: 8,
+                label: "prop".into(),
+            },
+        );
+        cfg.transport.message_drop_probability = drop_p;
+        cfg.retry = Some(RetryPolicy {
+            timeout: SimDuration::from_secs(60),
+            max_attempts: 8,
+        });
+        // Keep the run alive past the sender's broker report so in-flight
+        // receiver-side messages land; bound it with the horizon instead.
+        cfg.stop_when_idle = false;
+        cfg.horizon = SimDuration::from_mins(120);
+
+        let result = run_scenario(&cfg, seed);
+        for t in result
+            .log
+            .transfers
+            .iter()
+            .filter(|t| t.completed_at.is_some() && !t.cancelled)
+        {
+            for p in &t.parts {
+                let confirmed = p.confirmed_at.expect("completed transfer confirms every part");
+                prop_assert!(
+                    confirmed >= p.sent_at,
+                    "part {} confirmed {:?} before send {:?} (drop_p {drop_p}, seed {seed})",
+                    p.index, confirmed, p.sent_at,
+                );
+            }
+            for w in t.parts.windows(2) {
+                prop_assert!(
+                    w[1].index > w[0].index,
+                    "part indices not strictly increasing: {} then {}",
+                    w[0].index, w[1].index,
+                );
+            }
+            let throughput = t
+                .throughput_bytes_per_sec()
+                .expect("completed transfer has a throughput");
+            prop_assert!(
+                throughput.is_finite() && throughput > 0.0,
+                "non-finite throughput {throughput}",
+            );
+            prop_assert_eq!(
+                t.receiver_bytes,
+                Some(t.file_size),
+                "receiver tally disagrees with file size (drop_p {}, seed {})",
+                drop_p, seed,
+            );
         }
     }
 

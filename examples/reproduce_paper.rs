@@ -36,7 +36,13 @@ fn main() {
     println!("{}", experiments::fig4::report(&study).render());
 
     println!("{}", fig5::run(&spec).render());
-    println!("{}", fig6::run(&spec).render());
+    match fig6::run(&spec) {
+        Ok(report) => println!("{}", report.render()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     println!("{}", fig7::run(&spec).render());
 
     if with_extensions {

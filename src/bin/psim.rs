@@ -19,7 +19,9 @@ use peer_selection::prelude::*;
 use workloads::experiments::{
     self, ablation, adaptation, extensions, fig5, fig6, fig7, table1, transfer_study,
 };
-use workloads::scenario::{run_scenario, ScenarioConfig};
+use workloads::report::{metrics_snapshot_json, render_timelines, transfer_timelines};
+use workloads::runner::run_traced;
+use workloads::scenario::{named_scenario_list, run_scenario, ScenarioConfig};
 use workloads::spec::{ExperimentSpec, MB};
 
 fn main() {
@@ -46,6 +48,8 @@ fn main() {
         "task" => cmd_task(&flags),
         "csv" => cmd_csv(&flags, &spec),
         "bench-engine" => cmd_bench_engine(&flags),
+        "trace" => cmd_trace(rest, &flags),
+        "report" => cmd_report(rest, &flags),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -71,6 +75,10 @@ fn usage() {
          \x20 csv --out DIR               write every figure's series as CSV\n\
          \x20 bench-engine [opts]         measure engine throughput, write BENCH_engine.json\n\
          \x20    --messages N (1000000)  --out FILE (BENCH_engine.json)\n\
+         \x20 trace <scenario> [opts]     run a traced scenario, emit JSONL events\n\
+         \x20    scenarios: smoke, fig5, fig5-lossy   --seed S (1)  --out FILE (stdout)\n\
+         \x20 report <scenario> [opts]    traced run → metrics snapshot + transfer timelines\n\
+         \x20    --seed S (1)\n\
          \x20 help                        this text"
     );
 }
@@ -102,6 +110,27 @@ fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Models `psim transfer`/`psim task` accept (a superset of the fig6
+/// figure models — the CLI also exposes the evaluator and UCB1 selectors).
+const CLI_MODELS: &str = "economic, evaluator, quick-peer, random, ucb1";
+
+/// Resolves `--model` for the one-shot commands, exiting with the valid
+/// list when the spelling is unknown (silently running blind instead
+/// would misattribute the numbers).
+#[allow(clippy::type_complexity)] // mirrors workloads::scenario::SelectorFactory
+fn selector_or_exit(
+    model: Option<&str>,
+) -> Option<Box<dyn Fn(u64) -> Box<dyn PeerSelector> + Sync>> {
+    let name = model?;
+    match selector_for(name) {
+        Some(factory) => Some(factory),
+        None => {
+            eprintln!("unknown model `{name}`; valid models: {CLI_MODELS}");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[allow(clippy::type_complexity)] // mirrors workloads::scenario::SelectorFactory
 fn selector_for(model: &str) -> Option<Box<dyn Fn(u64) -> Box<dyn PeerSelector> + Sync>> {
     let model = model.to_string();
@@ -118,6 +147,20 @@ fn selector_for(model: &str) -> Option<Box<dyn Fn(u64) -> Box<dyn PeerSelector> 
             }))
         }
         _ => None,
+    }
+}
+
+/// Unwraps a fig6 run, reporting unknown-model errors (with the valid
+/// model list) instead of panicking.
+fn fig6_or_exit(
+    result: Result<workloads::report::FigureReport, fig6::UnknownModelError>,
+) -> workloads::report::FigureReport {
+    match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -138,7 +181,7 @@ fn cmd_fig(which: &str, spec: &ExperimentSpec) {
             experiments::fig4::report(study.as_ref().unwrap()).render()
         ),
         "5" => println!("{}", fig5::run(spec).render()),
-        "6" => println!("{}", fig6::run(spec).render()),
+        "6" => println!("{}", fig6_or_exit(fig6::run(spec)).render()),
         "7" => println!("{}", fig7::run(spec).render()),
         "all" => {
             let study = study.unwrap();
@@ -146,7 +189,7 @@ fn cmd_fig(which: &str, spec: &ExperimentSpec) {
             println!("{}", experiments::fig3::report(&study).render());
             println!("{}", experiments::fig4::report(&study).render());
             println!("{}", fig5::run(spec).render());
-            println!("{}", fig6::run(spec).render());
+            println!("{}", fig6_or_exit(fig6::run(spec)).render());
             println!("{}", fig7::run(spec).render());
         }
         other => {
@@ -176,7 +219,7 @@ fn cmd_transfer(flags: &HashMap<String, String>) {
     let model = flags.get("model").cloned();
 
     let mut cfg = ScenarioConfig::measurement_setup();
-    match model.as_deref().and_then(selector_for) {
+    match selector_or_exit(model.as_deref()) {
         Some(factory) => {
             cfg.selector = Some(factory);
             cfg = cfg
@@ -249,7 +292,7 @@ fn cmd_task(flags: &HashMap<String, String>) {
         TargetSpec::AllClients
     };
     let mut cfg = ScenarioConfig::measurement_setup();
-    if let Some(factory) = model.as_deref().and_then(selector_for) {
+    if let Some(factory) = selector_or_exit(model.as_deref()) {
         cfg.selector = Some(factory);
         cfg = cfg.at(
             SimDuration::from_secs(60),
@@ -342,6 +385,64 @@ fn cmd_bench_engine(flags: &HashMap<String, String>) {
     println!("wrote {out}");
 }
 
+/// Resolves the positional scenario-name argument for `trace`/`report`,
+/// exiting with the valid list when missing or unknown.
+fn named_scenario_or_exit(rest: &[String]) -> ScenarioConfig {
+    let name = rest.first().filter(|a| !a.starts_with("--"));
+    let valid = named_scenario_list().join(", ");
+    let Some(name) = name else {
+        eprintln!("missing scenario name; valid scenarios: {valid}");
+        std::process::exit(2);
+    };
+    match ScenarioConfig::named(name) {
+        Some(cfg) => cfg,
+        None => {
+            eprintln!("unknown scenario `{name}`; valid scenarios: {valid}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_trace(rest: &[String], flags: &HashMap<String, String>) {
+    let cfg = named_scenario_or_exit(rest);
+    let seed = flag_f64(flags, "seed", 1.0) as u64;
+    let run = run_traced(&cfg, seed);
+    let trace = &run.result.trace;
+    match flags.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &run.jsonl) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{}", run.jsonl),
+    }
+    eprintln!(
+        "trace: {} events ({} dropped), digest {:016x}, elapsed {:.1}s virtual",
+        trace.len(),
+        trace.dropped(),
+        run.digest,
+        run.result.elapsed.as_secs_f64(),
+    );
+}
+
+fn cmd_report(rest: &[String], flags: &HashMap<String, String>) {
+    let cfg = named_scenario_or_exit(rest);
+    let seed = flag_f64(flags, "seed", 1.0) as u64;
+    let run = run_traced(&cfg, seed);
+    let timelines = transfer_timelines(&run.result.trace);
+    println!("{}", metrics_snapshot_json(&run.result.metrics));
+    println!();
+    print!("{}", render_timelines(&timelines));
+    eprintln!(
+        "report: {} transfers reconstructed from {} trace events, digest {:016x}",
+        timelines.len(),
+        run.result.trace.len(),
+        run.digest,
+    );
+}
+
 fn cmd_csv(flags: &HashMap<String, String>, spec: &ExperimentSpec) {
     let out = flags
         .get("out")
@@ -354,7 +455,7 @@ fn cmd_csv(flags: &HashMap<String, String>, spec: &ExperimentSpec) {
         ("fig3", experiments::fig3::report(&study)),
         ("fig4", experiments::fig4::report(&study)),
         ("fig5", fig5::run(spec)),
-        ("fig6", fig6::run(spec)),
+        ("fig6", fig6_or_exit(fig6::run(spec))),
         ("fig7", fig7::run(spec)),
     ];
     for (name, report) in reports {

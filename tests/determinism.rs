@@ -113,6 +113,63 @@ fn golden_metrics_interned_and_string_paths_agree() {
 }
 
 #[test]
+fn traced_lossy_runs_emit_byte_identical_jsonl() {
+    // Two same-seed traced runs of the lossy Fig-5 scenario — drops,
+    // retransmissions, watchdogs and all — must export byte-for-byte
+    // identical JSONL and equal digests. This is the contract `psim trace`
+    // (and the CI determinism job) rely on.
+    use workloads::runner::run_traced;
+
+    let cfg = || ScenarioConfig::named("fig5-lossy").expect("known scenario");
+    let a = run_traced(&cfg(), 7);
+    let b = run_traced(&cfg(), 7);
+    assert!(!a.jsonl.is_empty(), "traced run produced no events");
+    assert_eq!(a.jsonl, b.jsonl, "same-seed JSONL must be byte-identical");
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.result.trace.len(), b.result.trace.len());
+
+    // Loss must actually have occurred for this to exercise anything.
+    assert!(
+        a.jsonl.contains("\"ev\":\"message_lost\""),
+        "lossy scenario lost no messages"
+    );
+    assert!(
+        a.jsonl.contains("\"ev\":\"retransmission\""),
+        "lossy scenario retransmitted nothing"
+    );
+
+    // A different seed must produce a different history.
+    let c = run_traced(&cfg(), 8);
+    assert_ne!(a.digest, c.digest, "different seeds, same trace digest");
+
+    // The reconstructed timelines agree with the sender-side records:
+    // every completed transfer's last part lands at the recorded instant.
+    let timelines = workloads::report::transfer_timelines(&a.result.trace);
+    assert_eq!(timelines.len(), 8, "one timeline per SC");
+    for tl in &timelines {
+        assert_eq!(tl.ok, Some(true));
+        let rec = a
+            .result
+            .log
+            .transfers
+            .iter()
+            .find(|t| t.id.raw() == tl.transfer)
+            .expect("timeline matches a recorded transfer");
+        let rec_last = rec
+            .parts
+            .iter()
+            .max_by_key(|p| p.index)
+            .and_then(|p| p.confirmed_at);
+        let tl_last = tl
+            .parts
+            .iter()
+            .max_by_key(|p| p.index)
+            .and_then(|p| p.confirmed_at);
+        assert_eq!(rec_last, tl_last, "last-part confirm instant diverged");
+    }
+}
+
+#[test]
 fn experiment_aggregates_are_reproducible() {
     use workloads::experiments::fig5;
     use workloads::spec::ExperimentSpec;
