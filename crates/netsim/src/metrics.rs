@@ -139,6 +139,7 @@ pub struct Histogram {
     base: f64,
     buckets: Vec<u64>,
     stat: RunningStat,
+    rejected: u64,
 }
 
 impl Histogram {
@@ -149,12 +150,16 @@ impl Histogram {
             base,
             buckets: vec![0; num_buckets],
             stat: RunningStat::new(),
+            rejected: 0,
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Non-finite and negative samples are not
+    /// silently discarded: they are tallied in [`Histogram::rejected`] so a
+    /// data-quality problem upstream stays visible in reports.
     pub fn record(&mut self, x: f64) {
         if !x.is_finite() || x < 0.0 {
+            self.rejected += 1;
             return;
         }
         self.stat.record(x);
@@ -171,14 +176,50 @@ impl Histogram {
         &self.buckets
     }
 
+    /// First value the histogram resolves (lower edge of bucket 0's nominal
+    /// range; smaller values still land in bucket 0).
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Upper bound of bucket `i` (`[base·2^i, base·2^(i+1))`); the last
+    /// bucket is a catch-all whose nominal bound this still reports.
+    pub fn bucket_upper_bound(&self, i: usize) -> f64 {
+        self.base * 2f64.powi(i as i32 + 1)
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.stat.count()
     }
 
+    /// Number of samples refused by [`Histogram::record`] (NaN, ±∞, or
+    /// negative). A nonzero count means some instrumentation point produced
+    /// garbage; [`Metrics::render`] surfaces it.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
     /// The underlying running statistic.
     pub fn stat(&self) -> &RunningStat {
         &self.stat
+    }
+
+    /// Merges another histogram into this one (parallel-reduction
+    /// friendly). Panics when the bucket layouts differ — merging
+    /// incompatible layouts would silently misplace mass.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.base, other.base, "histogram base mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket count mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.stat.merge(&other.stat);
+        self.rejected += other.rejected;
     }
 
     /// Approximate quantile from the bucket layout (upper bound of the
@@ -215,6 +256,14 @@ pub struct MetricId(u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StatId(u32);
 
+/// Interned handle to a named histogram (see [`Metrics::histogram_id`]).
+///
+/// Same contract as [`MetricId`]: resolve once (paying the `BTreeMap` walk
+/// and the bucket allocation), then every [`Metrics::record_id`] is an O(1)
+/// indexed update with no hashing and no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(u32);
+
 /// Per-run metrics registry: named counters and named statistics.
 ///
 /// Names are interned: the name→slot maps are consulted only when a name is
@@ -229,6 +278,8 @@ pub struct Metrics {
     counter_values: Vec<u64>,
     stat_index: BTreeMap<String, u32>,
     stat_values: Vec<RunningStat>,
+    histogram_index: BTreeMap<String, u32>,
+    histogram_values: Vec<Histogram>,
 }
 
 impl Metrics {
@@ -265,6 +316,47 @@ impl Metrics {
         self.stat_values.push(RunningStat::new());
         self.stat_index.insert(name.to_string(), slot);
         StatId(slot)
+    }
+
+    /// Resolves (interning if new) the handle for histogram `name`,
+    /// creating it with the given bucket layout on first resolution.
+    ///
+    /// On later resolutions the layout arguments must match the existing
+    /// histogram — two call sites disagreeing on the layout of the same
+    /// name is a bug worth failing loudly on, not averaging over.
+    pub fn histogram_id(&mut self, name: &str, base: f64, num_buckets: usize) -> HistogramId {
+        if let Some(&slot) = self.histogram_index.get(name) {
+            let existing = &self.histogram_values[slot as usize];
+            assert_eq!(
+                existing.base(),
+                base,
+                "histogram {name:?} re-registered with a different base"
+            );
+            assert_eq!(
+                existing.buckets().len(),
+                num_buckets,
+                "histogram {name:?} re-registered with a different bucket count"
+            );
+            return HistogramId(slot);
+        }
+        let slot = u32::try_from(self.histogram_values.len()).expect("too many histograms");
+        self.histogram_values
+            .push(Histogram::new(base, num_buckets));
+        self.histogram_index.insert(name.to_string(), slot);
+        HistogramId(slot)
+    }
+
+    /// Records an observation on the histogram behind `id`. O(1),
+    /// allocation-free.
+    #[inline]
+    pub fn record_id(&mut self, id: HistogramId, value: f64) {
+        self.histogram_values[id.0 as usize].record(value);
+    }
+
+    /// Reads the histogram behind `id`. O(1).
+    #[inline]
+    pub fn histogram_by_id(&self, id: HistogramId) -> &Histogram {
+        &self.histogram_values[id.0 as usize]
     }
 
     /// Adds `delta` to the counter behind `id`. O(1), allocation-free.
@@ -345,6 +437,13 @@ impl Metrics {
             .unwrap_or_default()
     }
 
+    /// Reads a histogram by name (`None` when absent).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histogram_index
+            .get(name)
+            .map(|&slot| &self.histogram_values[slot as usize])
+    }
+
     /// All counter names, sorted.
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
         self.counter_index.keys().map(|s| s.as_str())
@@ -369,6 +468,13 @@ impl Metrics {
             .map(|(name, &slot)| (name.as_str(), &self.stat_values[slot as usize]))
     }
 
+    /// `(name, histogram)` pairs for all histograms, sorted by name.
+    pub fn histograms_sorted(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histogram_index
+            .iter()
+            .map(|(name, &slot)| (name.as_str(), &self.histogram_values[slot as usize]))
+    }
+
     /// Merges another registry into this one: counters are summed, stats
     /// are merged via [`RunningStat::merge`]. Names absent on either side
     /// are treated as zero/empty. Merging is keyed by name (never by
@@ -382,6 +488,10 @@ impl Metrics {
         for (name, &slot) in &other.stat_index {
             let id = self.stat_id(name);
             self.stat_values[id.0 as usize].merge(&other.stat_values[slot as usize]);
+        }
+        for (name, hist) in other.histograms_sorted() {
+            let id = self.histogram_id(name, hist.base(), hist.buckets().len());
+            self.histogram_values[id.0 as usize].merge(hist);
         }
     }
 
@@ -397,6 +507,87 @@ impl Metrics {
         }
         for (name, stat) in self.stats_sorted() {
             writeln!(out, "stat {name}: {stat}").expect("string write");
+        }
+        for (name, hist) in self.histograms_sorted() {
+            write!(
+                out,
+                "hist {name}: n={} p50={} p95={} p99={} max={:.4}",
+                hist.count(),
+                hist.quantile_upper_bound(0.50),
+                hist.quantile_upper_bound(0.95),
+                hist.quantile_upper_bound(0.99),
+                hist.stat().max(),
+            )
+            .expect("string write");
+            if hist.rejected() > 0 {
+                write!(out, " rejected={}", hist.rejected()).expect("string write");
+            }
+            writeln!(out).expect("string write");
+        }
+        out
+    }
+
+    /// Deterministic Prometheus text exposition (version 0.0.4) of the
+    /// whole registry, sorted by name within each tier.
+    ///
+    /// Counters become `<prefix>_<name>_total` counters, statistics become
+    /// summaries with min/max as the 0/1 quantiles, histograms become
+    /// cumulative-bucket histograms plus a `<...>_rejected_total` counter.
+    /// Metric names are sanitized (`.` and other invalid characters map to
+    /// `_`). All numbers render via Rust's shortest-roundtrip `Display`, so
+    /// two equal registries expose byte-identical text — the basis of the
+    /// exposition-determinism CI job.
+    pub fn render_prometheus(&self, prefix: &str) -> String {
+        use fmt::Write as _;
+        fn sanitize(prefix: &str, name: &str) -> String {
+            let mut out = String::with_capacity(prefix.len() + 1 + name.len());
+            out.push_str(prefix);
+            out.push('_');
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, value) in self.counters_sorted() {
+            let m = sanitize(prefix, name);
+            writeln!(out, "# TYPE {m}_total counter").expect("string write");
+            writeln!(out, "{m}_total {value}").expect("string write");
+        }
+        for (name, stat) in self.stats_sorted() {
+            let m = sanitize(prefix, name);
+            writeln!(out, "# TYPE {m} summary").expect("string write");
+            writeln!(out, "{m}{{quantile=\"0\"}} {}", stat.min()).expect("string write");
+            writeln!(out, "{m}{{quantile=\"1\"}} {}", stat.max()).expect("string write");
+            writeln!(out, "{m}_sum {}", stat.sum()).expect("string write");
+            writeln!(out, "{m}_count {}", stat.count()).expect("string write");
+        }
+        for (name, hist) in self.histograms_sorted() {
+            let m = sanitize(prefix, name);
+            writeln!(out, "# TYPE {m} histogram").expect("string write");
+            let mut cumulative = 0u64;
+            for (i, &c) in hist.buckets().iter().enumerate() {
+                cumulative += c;
+                // The last bucket is the catch-all: Prometheus spells that +Inf.
+                if i + 1 == hist.buckets().len() {
+                    writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {cumulative}").expect("string write");
+                } else {
+                    writeln!(
+                        out,
+                        "{m}_bucket{{le=\"{}\"}} {cumulative}",
+                        hist.bucket_upper_bound(i)
+                    )
+                    .expect("string write");
+                }
+            }
+            writeln!(out, "{m}_sum {}", hist.stat().sum()).expect("string write");
+            writeln!(out, "{m}_count {}", hist.count()).expect("string write");
+            writeln!(out, "# TYPE {m}_rejected_total counter").expect("string write");
+            writeln!(out, "{m}_rejected_total {}", hist.rejected()).expect("string write");
         }
         out
     }
@@ -505,8 +696,89 @@ mod tests {
         let mut h = Histogram::new(1.0, 4);
         h.record(-1.0);
         h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.rejected(), 4);
         assert_eq!(h.quantile_upper_bound(0.5), 0.0);
+        h.record(2.0);
+        assert_eq!(h.count(), 1, "good samples still recorded");
+        assert_eq!(h.rejected(), 4);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(1.0, 8);
+        assert_eq!(h.quantile_upper_bound(0.0), 0.0);
+        assert_eq!(h.quantile_upper_bound(0.5), 0.0);
+        assert_eq!(h.quantile_upper_bound(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_extremes_hit_first_and_last_occupied_bucket() {
+        let mut h = Histogram::new(1.0, 8);
+        h.record(1.5); // bucket 0, upper bound 2
+        h.record(5.0); // bucket 2, upper bound 8
+        h.record(40.0); // bucket 5, upper bound 64
+                        // q=0 clamps to the first observation: the first occupied bucket.
+        assert_eq!(h.quantile_upper_bound(0.0), 2.0);
+        // q=1 must cover every observation: the last occupied bucket.
+        assert_eq!(h.quantile_upper_bound(1.0), 64.0);
+        // Out-of-range q is clamped, not propagated.
+        assert_eq!(h.quantile_upper_bound(-3.0), 2.0);
+        assert_eq!(h.quantile_upper_bound(7.0), 64.0);
+    }
+
+    #[test]
+    fn quantile_with_all_mass_in_overflow_bucket() {
+        let mut h = Histogram::new(1.0, 4);
+        for _ in 0..10 {
+            h.record(1e9); // far off the top → last (catch-all) bucket
+        }
+        let top = h.bucket_upper_bound(3); // base·2^4 = 16
+        assert_eq!(h.quantile_upper_bound(0.0), top);
+        assert_eq!(h.quantile_upper_bound(0.5), top);
+        assert_eq!(h.quantile_upper_bound(1.0), top);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::new(0.001, 24);
+        let mut rng = crate::rng::SimRng::new(7);
+        for _ in 0..5_000 {
+            h.record(rng.exponential(0.25));
+        }
+        let p50 = h.quantile_upper_bound(0.50);
+        let p95 = h.quantile_upper_bound(0.95);
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_merge_sums_buckets_and_rejections() {
+        let mut a = Histogram::new(1.0, 8);
+        let mut b = Histogram::new(1.0, 8);
+        a.record(1.5);
+        a.record(-1.0);
+        b.record(3.0);
+        b.record(f64::NAN);
+        b.record(1000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.rejected(), 2);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[1], 1);
+        assert_eq!(a.buckets()[7], 1);
+        assert_eq!(a.stat().max(), 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count mismatch")]
+    fn histogram_merge_rejects_layout_mismatch() {
+        let mut a = Histogram::new(1.0, 8);
+        let b = Histogram::new(1.0, 4);
+        a.merge(&b);
     }
 
     #[test]
@@ -604,6 +876,91 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.counter("y"), 10);
+    }
+
+    #[test]
+    fn histogram_tier_interned_and_rendered() {
+        let mut m = Metrics::new();
+        let id = m.histogram_id("attr.wakeup_seconds", 0.001, 24);
+        m.record_id(id, 27.0);
+        m.record_id(id, 27.5);
+        m.record_id(id, -1.0);
+        assert_eq!(
+            m.histogram_id("attr.wakeup_seconds", 0.001, 24),
+            id,
+            "resolution is stable"
+        );
+        let h = m.histogram("attr.wakeup_seconds").expect("registered");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.rejected(), 1);
+        assert!(m.histogram("missing").is_none());
+
+        let rendered = m.render();
+        assert!(
+            rendered.contains("hist attr.wakeup_seconds: n=2"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("rejected=1"), "{rendered}");
+
+        // Zero rejections stay out of the human-readable render.
+        let mut clean = Metrics::new();
+        let cid = clean.histogram_id("h", 1.0, 4);
+        clean.record_id(cid, 1.0);
+        assert!(!clean.render().contains("rejected"), "{}", clean.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "different base")]
+    fn histogram_reregistration_layout_must_match() {
+        let mut m = Metrics::new();
+        m.histogram_id("h", 1.0, 8);
+        m.histogram_id("h", 2.0, 8);
+    }
+
+    #[test]
+    fn metrics_merge_includes_histograms() {
+        let mut a = Metrics::new();
+        let ida = a.histogram_id("lat", 1.0, 8);
+        a.record_id(ida, 1.5);
+        let mut b = Metrics::new();
+        // Different interning order on purpose: merge is keyed by name.
+        b.histogram_id("other", 1.0, 4);
+        let idb = b.histogram_id("lat", 1.0, 8);
+        b.record_id(idb, 3.0);
+        a.merge(&b);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.histogram("other").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut m = Metrics::new();
+        m.incr("net.messages_sent", 5);
+        m.observe("broker.owd_seconds", 0.25);
+        m.observe("broker.owd_seconds", 0.75);
+        let id = m.histogram_id("attr.phase_seconds", 1.0, 3);
+        m.record_id(id, 1.5);
+        m.record_id(id, 100.0);
+        m.record_id(id, f64::NAN);
+        let text = m.render_prometheus("psim");
+        let expected = "\
+# TYPE psim_net_messages_sent_total counter
+psim_net_messages_sent_total 5
+# TYPE psim_broker_owd_seconds summary
+psim_broker_owd_seconds{quantile=\"0\"} 0.25
+psim_broker_owd_seconds{quantile=\"1\"} 0.75
+psim_broker_owd_seconds_sum 1
+psim_broker_owd_seconds_count 2
+# TYPE psim_attr_phase_seconds histogram
+psim_attr_phase_seconds_bucket{le=\"2\"} 1
+psim_attr_phase_seconds_bucket{le=\"4\"} 1
+psim_attr_phase_seconds_bucket{le=\"+Inf\"} 2
+psim_attr_phase_seconds_sum 101.5
+psim_attr_phase_seconds_count 2
+# TYPE psim_attr_phase_seconds_rejected_total counter
+psim_attr_phase_seconds_rejected_total 1
+";
+        assert_eq!(text, expected);
     }
 
     #[test]

@@ -99,6 +99,15 @@ pub enum TraceEventKind {
         /// Engine-unique timer id.
         timer: u64,
     },
+    /// A transfer request spent time queued (e.g. deferred by the broker
+    /// until a peer joined) before its petition could go out. Emitted at
+    /// petition time, pointing back at when the request was first enqueued.
+    TransferQueued {
+        /// Transfer id (raw 128-bit form).
+        transfer: u128,
+        /// When the request was first enqueued.
+        enqueued_at: SimTime,
+    },
     /// A file-transfer petition was sent.
     PetitionSent {
         /// Transfer id (raw 128-bit form).
@@ -226,6 +235,7 @@ impl TraceEventKind {
             TraceEventKind::TimerArmed { .. } => "timer_armed",
             TraceEventKind::TimerFired { .. } => "timer_fired",
             TraceEventKind::TimerCancelled { .. } => "timer_cancelled",
+            TraceEventKind::TransferQueued { .. } => "transfer_queued",
             TraceEventKind::PetitionSent { .. } => "petition_sent",
             TraceEventKind::PetitionAcked { .. } => "petition_acked",
             TraceEventKind::PartSent { .. } => "part_sent",
@@ -337,6 +347,17 @@ impl TraceEvent {
             }
             TraceEventKind::TimerCancelled { timer } => {
                 let _ = write!(o, ",\"timer\":{timer}");
+            }
+            TraceEventKind::TransferQueued {
+                transfer,
+                enqueued_at,
+            } => {
+                let _ = write!(
+                    o,
+                    ",\"xfer\":\"{}\",\"enqueued_at\":{}",
+                    transfer,
+                    enqueued_at.as_nanos()
+                );
             }
             TraceEventKind::PetitionSent {
                 transfer,

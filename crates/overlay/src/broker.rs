@@ -234,6 +234,9 @@ pub struct Broker {
     tasks: HashMap<TaskId, TaskTracking>,
     input_transfer_to_task: HashMap<TransferId, TaskId>,
     command_retries: HashMap<u64, u32>,
+    /// When each deferred command's timer first fired, so transfers it
+    /// eventually starts can attribute the wait as broker queueing.
+    command_first_due: HashMap<u64, SimTime>,
     commands_pending: usize,
     /// Published content by name → holders.
     content: HashMap<String, Vec<Holding>>,
@@ -312,6 +315,7 @@ impl Broker {
             tasks: HashMap::new(),
             input_transfer_to_task: HashMap::new(),
             command_retries: HashMap::new(),
+            command_first_due: HashMap::new(),
             content: HashMap::new(),
             instructed_pending: 0,
             job_for_task: HashMap::new(),
@@ -489,6 +493,7 @@ impl Broker {
         size_bytes: u64,
         num_parts: u32,
         label: &str,
+        enqueued_at: SimTime,
     ) -> TransferId {
         let now = ctx.now();
         let id = TransferId::generate(&mut self.ids);
@@ -545,6 +550,12 @@ impl Broker {
                 span: SpanKind::Transfer,
                 key: id.raw(),
             });
+            if enqueued_at < now {
+                ctx.trace_event(TraceEventKind::TransferQueued {
+                    transfer: id.raw(),
+                    enqueued_at,
+                });
+            }
             ctx.trace_event(TraceEventKind::PetitionSent {
                 transfer: id.raw(),
                 to,
@@ -801,6 +812,7 @@ impl Broker {
         self.maybe_stop(ctx);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn submit_task(
         &mut self,
         ctx: &mut Context<OverlayMsg>,
@@ -809,6 +821,7 @@ impl Broker {
         input_bytes: u64,
         input_parts: u32,
         label: &str,
+        enqueued_at: SimTime,
     ) {
         let now = ctx.now();
         let spec = TaskSpec {
@@ -842,6 +855,7 @@ impl Broker {
                 input_bytes,
                 input_parts,
                 &format!("{label}.input"),
+                enqueued_at,
             );
             tracking.input_transfer = Some(transfer);
             self.input_transfer_to_task.insert(transfer, task_id);
@@ -853,7 +867,12 @@ impl Broker {
         self.bump(ctx, |c| c.tasks_submitted);
     }
 
-    fn execute_command(&mut self, ctx: &mut Context<OverlayMsg>, cmd: BrokerCommand) {
+    fn execute_command(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        cmd: BrokerCommand,
+        enqueued_at: SimTime,
+    ) {
         match cmd {
             BrokerCommand::DistributeFile {
                 target,
@@ -863,7 +882,7 @@ impl Broker {
             } => {
                 let purpose = Purpose::FileTransfer { bytes: size_bytes };
                 for node in self.resolve_targets(ctx, &target, purpose) {
-                    self.start_transfer(ctx, node, size_bytes, num_parts, &label);
+                    self.start_transfer(ctx, node, size_bytes, num_parts, &label, enqueued_at);
                 }
             }
             BrokerCommand::SubmitTask {
@@ -878,7 +897,15 @@ impl Broker {
                     input_bytes,
                 };
                 for node in self.resolve_targets(ctx, &target, purpose) {
-                    self.submit_task(ctx, node, work_gops, input_bytes, input_parts, &label);
+                    self.submit_task(
+                        ctx,
+                        node,
+                        work_gops,
+                        input_bytes,
+                        input_parts,
+                        &label,
+                        enqueued_at,
+                    );
                 }
             }
             BrokerCommand::SendInstant { target, text } => {
@@ -1322,7 +1349,15 @@ impl Actor<OverlayMsg> for Broker {
                         success: false,
                     })
                 });
-                self.submit_task(ctx, executor, work_gops, input_bytes, input_parts, &label);
+                self.submit_task(
+                    ctx,
+                    executor,
+                    work_gops,
+                    input_bytes,
+                    input_parts,
+                    &label,
+                    now,
+                );
                 // Remember which task realises this job: it is the one just
                 // inserted with this label and executor.
                 if let Some((task_id, _)) = self.tasks.iter().find(|(_, t)| {
@@ -1485,6 +1520,8 @@ impl Actor<OverlayMsg> for Broker {
             let Some((_, cmd)) = self.cfg.commands.get(idx).cloned() else {
                 return;
             };
+            let now = ctx.now();
+            let enqueued_at = *self.command_first_due.entry(tag).or_insert(now);
             // Commands that need clients must wait until someone has joined.
             let needs_peers = !matches!(cmd, BrokerCommand::SendInstant { .. });
             if needs_peers && self.peers.is_empty() {
@@ -1495,8 +1532,9 @@ impl Actor<OverlayMsg> for Broker {
                     return;
                 }
             }
+            self.command_first_due.remove(&tag);
             self.commands_pending = self.commands_pending.saturating_sub(1);
-            self.execute_command(ctx, cmd);
+            self.execute_command(ctx, cmd, enqueued_at);
             self.maybe_stop(ctx);
         }
     }

@@ -14,10 +14,11 @@
 use overlay::broker::{BrokerCommand, TargetSpec};
 use planetlab::calibration::{PAPER_FIG2_PETITION_SECS, PAPER_FIG4_SC7_SLOWDOWN_BAND};
 
+use crate::attribution::{attribute_trace, Phase, TransferAttribution};
 use crate::experiments::{broker_owd_secs, per_sc_transfer_metric, sc_labels};
 use crate::report::{FigureReport, SeriesRow};
-use crate::runner::{run_replications, SeriesAggregate};
-use crate::scenario::{run_scenario, ScenarioConfig};
+use crate::runner::{run_replications, run_traced, SeriesAggregate};
+use crate::scenario::ScenarioConfig;
 use crate::spec::{ExperimentSpec, MB};
 
 const LABEL: &str = "fig234";
@@ -34,9 +35,37 @@ pub struct TransferStudy {
     pub total_min: SeriesAggregate,
     /// Last-Mb time per SC, seconds (Fig 4).
     pub last_mb: SeriesAggregate,
+    /// Attributed wake-up phase per SC, seconds (trace decomposition).
+    pub wakeup: SeriesAggregate,
+    /// Attributed transmission phase per SC, minutes.
+    pub transmission_min: SeriesAggregate,
 }
 
-/// Runs the study: one blind 50 MB distribution per seed.
+/// Per-SC mean of an attributed phase over one replication's transfers.
+fn per_sc_phase(
+    scs: &[netsim::node::NodeId],
+    attrs: &[TransferAttribution],
+    phase: Phase,
+    scale: f64,
+) -> Vec<f64> {
+    scs.iter()
+        .map(|&sc| {
+            let vals: Vec<f64> = attrs
+                .iter()
+                .filter(|a| a.to == sc)
+                .map(|a| a.phase_secs(phase) * scale)
+                .collect();
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Runs the study: one blind 50 MB distribution per seed, traced so the
+/// reports can break latency into attributed phases.
 pub fn run(spec: &ExperimentSpec) -> TransferStudy {
     let rows = run_replications(&spec.seeds, |seed| {
         let cfg = ScenarioConfig::measurement_setup().at(
@@ -48,7 +77,7 @@ pub fn run(spec: &ExperimentSpec) -> TransferStudy {
                 label: LABEL.into(),
             },
         );
-        let result = run_scenario(&cfg, seed);
+        let result = run_traced(&cfg, seed).result;
         let petition = result
             .testbed
             .scs
@@ -61,7 +90,11 @@ pub fn run(spec: &ExperimentSpec) -> TransferStudy {
         let total_min =
             per_sc_transfer_metric(&result, LABEL, |t| t.total_secs().map(|s| s / 60.0));
         let last_mb = per_sc_transfer_metric(&result, LABEL, |t| t.last_part_secs());
-        (petition, total_min, last_mb)
+        let attrs = attribute_trace(&result.trace);
+        let wakeup = per_sc_phase(&result.testbed.scs, &attrs, Phase::Wakeup, 1.0);
+        let transmission_min =
+            per_sc_phase(&result.testbed.scs, &attrs, Phase::Transmission, 1.0 / 60.0);
+        (petition, total_min, last_mb, wakeup, transmission_min)
     });
     TransferStudy {
         petition: SeriesAggregate::from_replications(
@@ -72,6 +105,12 @@ pub fn run(spec: &ExperimentSpec) -> TransferStudy {
         ),
         last_mb: SeriesAggregate::from_replications(
             &rows.iter().map(|r| r.2.clone()).collect::<Vec<_>>(),
+        ),
+        wakeup: SeriesAggregate::from_replications(
+            &rows.iter().map(|r| r.3.clone()).collect::<Vec<_>>(),
+        ),
+        transmission_min: SeriesAggregate::from_replications(
+            &rows.iter().map(|r| r.4.clone()).collect::<Vec<_>>(),
         ),
     }
 }
@@ -99,7 +138,13 @@ pub mod fig2 {
             study.petition.means(),
             study.petition.std_devs(),
         ));
+        f.push(SeriesRow::with_sd(
+            "wakeup phase",
+            study.wakeup.means(),
+            study.wakeup.std_devs(),
+        ));
         f.note("measured = petition handled at peer − petition sent − nominal one-way delay");
+        f.note("wakeup phase = attributed petition→ack share of the traced timeline");
         f
     }
 }
@@ -126,9 +171,15 @@ pub mod fig3 {
             study.total_min.means(),
             study.total_min.std_devs(),
         ));
+        f.push(SeriesRow::with_sd(
+            "transmission phase",
+            study.transmission_min.means(),
+            study.transmission_min.std_devs(),
+        ));
         f.note(
             "paper publishes this figure as a chart without numbers; expected shape: SC7 slowest",
         );
+        f.note("transmission phase = attributed productive part-transfer share (minutes)");
         f
     }
 }
@@ -167,6 +218,18 @@ pub mod fig4 {
         f.note(format!(
             "SC7 slowdown vs mean of others: {:.2}× (paper: {:.0}–{:.0}×)",
             slowdown, PAPER_FIG4_SC7_SLOWDOWN_BAND.0, PAPER_FIG4_SC7_SLOWDOWN_BAND.1
+        ));
+        let wakeup_min = study.wakeup.means()[6] / 60.0;
+        let xmit_min = study.transmission_min.means()[6];
+        f.note(format!(
+            "SC7 bulk runs are {}-dominated: {:.2} min transmission vs {:.2} min wakeup",
+            if xmit_min > wakeup_min {
+                "transmission"
+            } else {
+                "wakeup"
+            },
+            xmit_min,
+            wakeup_min
         ));
         f
     }
@@ -254,9 +317,38 @@ mod tests {
         let s = study();
         let r2 = fig2::report(s).render();
         assert!(r2.contains("Figure 2") && r2.contains("27.13"));
+        assert!(r2.contains("wakeup phase"), "{r2}");
         let r3 = fig3::report(s).render();
         assert!(r3.contains("Figure 3"));
+        assert!(r3.contains("transmission phase"), "{r3}");
         let r4 = fig4::report(s).render();
         assert!(r4.contains("slowdown"));
+        assert!(r4.contains("-dominated"), "{r4}");
+    }
+
+    #[test]
+    fn attributed_phases_match_the_paper_story() {
+        let s = study();
+        let wakeup = s.wakeup.means();
+        let xmit_min = s.transmission_min.means();
+        // Wake-up is worst on SC7 and roughly tracks the directly measured
+        // petition latency (the two observe the same protocol milestones).
+        assert_eq!(argmax(&wakeup), Some(6), "wakeup {wakeup:?}");
+        for (i, (&w, &p)) in wakeup.iter().zip(&s.petition.means()).enumerate() {
+            assert!(
+                (w - p).abs() < 1.0 + p * 0.5,
+                "SC{}: wakeup {w} vs petition {p}",
+                i + 1
+            );
+        }
+        // Bulk runs are transmission-bound everywhere, including SC7: the
+        // 50 MB payload costs minutes, the wake-up seconds.
+        for (i, (&x, &w)) in xmit_min.iter().zip(&wakeup).enumerate() {
+            assert!(
+                x * 60.0 > w,
+                "SC{}: transmission {x} min vs wakeup {w} s",
+                i + 1
+            );
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! * [`scenario`] — wiring: testbed → engine → broker/clients → records.
 //! * [`runner`] — parallel replication over seeds (std scoped threads).
 //! * [`report`] — paper-vs-measured table rendering and shape statistics.
+//! * [`attribution`] — per-transfer latency phase decomposition over traces.
 //! * [`enginebench`] — engine throughput measurement (`BENCH_engine.json`).
 //! * [`experiments`] — one module per artifact: `table1`, `fig2`…`fig7`.
 //!
@@ -19,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod enginebench;
 pub mod experiments;
 pub mod report;

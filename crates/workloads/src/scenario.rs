@@ -95,6 +95,28 @@ impl ScenarioConfig {
                     label: "smoke".into(),
                 },
             )),
+            // The Fig 2 setup distilled: one small file per SC, so the
+            // petition/wake-up wait dominates everything else on SC7.
+            "fig2" => Some(base.at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: MB,
+                    num_parts: 1,
+                    label: "fig2-petition".into(),
+                },
+            )),
+            // The Fig 3/4 bulk study: 50 MB in 1 MB parts, so data
+            // transmission dominates even on SC7.
+            "fig234" => Some(base.at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 50 * MB,
+                    num_parts: 50,
+                    label: "fig234".into(),
+                },
+            )),
             "fig5" => Some(base.at(
                 SimDuration::from_secs(60),
                 BrokerCommand::DistributeFile {
@@ -137,7 +159,7 @@ impl ScenarioConfig {
 
 /// The names [`ScenarioConfig::named`] accepts.
 pub fn named_scenario_list() -> &'static [&'static str] {
-    &["smoke", "fig5", "fig5-lossy"]
+    &["smoke", "fig2", "fig234", "fig5", "fig5-lossy"]
 }
 
 /// The observable outputs of one replication.

@@ -3,8 +3,9 @@
 use netsim::time::SimDuration;
 use overlay::broker::{BrokerCommand, RetryPolicy, TargetSpec};
 use proptest::prelude::*;
+use workloads::attribution::attribute_trace;
 use workloads::report::{argmax, argmin, spearman, FigureReport, SeriesRow};
-use workloads::runner::{run_replications, SeriesAggregate};
+use workloads::runner::{run_replications, run_traced, SeriesAggregate};
 use workloads::scenario::{run_scenario, ScenarioConfig};
 use workloads::spec::MB;
 
@@ -144,6 +145,50 @@ proptest! {
         prop_assert_eq!(csv.lines().count(), 3);
         for line in csv.lines().skip(1) {
             prop_assert_eq!(line.split(',').count(), values.len() + 1);
+        }
+    }
+}
+
+proptest! {
+
+    /// Latency attribution partitions the timeline: under an arbitrary
+    /// drop probability, every attributed transfer's five phases sum
+    /// *exactly* (integer nanoseconds) to its end-to-end latency.
+    #[test]
+    fn attribution_phases_partition_under_loss(
+        drop_p in 0.0f64..0.30,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ScenarioConfig::measurement_setup().at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 8 * MB,
+                num_parts: 8,
+                label: "attr-prop".into(),
+            },
+        );
+        cfg.transport.message_drop_probability = drop_p;
+        cfg.retry = Some(RetryPolicy {
+            timeout: SimDuration::from_secs(60),
+            max_attempts: 8,
+        });
+        cfg.stop_when_idle = false;
+        cfg.horizon = SimDuration::from_mins(120);
+
+        let run = run_traced(&cfg, seed);
+        prop_assert_eq!(run.result.trace.dropped(), 0);
+        for a in attribute_trace(&run.result.trace) {
+            let sum: SimDuration = a.phases.iter().copied().sum();
+            prop_assert_eq!(
+                sum,
+                a.end_to_end(),
+                "phase residue on {:#x} (drop_p {}, seed {})",
+                a.transfer, drop_p, seed,
+            );
+            for p in &a.phases {
+                prop_assert!(*p <= a.end_to_end());
+            }
         }
     }
 }

@@ -12,10 +12,15 @@
 
 use std::collections::HashMap;
 
+use netsim::node::NodeId;
 use netsim::time::SimDuration;
+use netsim::trace::Trace;
 use overlay::broker::{BrokerCommand, TargetSpec};
 use overlay::selector::PeerSelector;
 use peer_selection::prelude::*;
+use workloads::attribution::{
+    aggregate_metrics, attribute_trace, breakdown_by_peer, phase_table_csv, render_phase_table,
+};
 use workloads::experiments::{
     self, ablation, adaptation, extensions, fig5, fig6, fig7, table1, transfer_study,
 };
@@ -50,6 +55,7 @@ fn main() {
         "bench-engine" => cmd_bench_engine(&flags),
         "trace" => cmd_trace(rest, &flags),
         "report" => cmd_report(rest, &flags),
+        "attribute" => cmd_attribute(rest, &flags),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -76,9 +82,12 @@ fn usage() {
          \x20 bench-engine [opts]         measure engine throughput, write BENCH_engine.json\n\
          \x20    --messages N (1000000)  --out FILE (BENCH_engine.json)\n\
          \x20 trace <scenario> [opts]     run a traced scenario, emit JSONL events\n\
-         \x20    scenarios: smoke, fig5, fig5-lossy   --seed S (1)  --out FILE (stdout)\n\
+         \x20    scenarios: smoke, fig2, fig234, fig5, fig5-lossy\n\
+         \x20    --seed S (1)  --out FILE (stdout)  --strict (exit 3 on trace drops)\n\
          \x20 report <scenario> [opts]    traced run → metrics snapshot + transfer timelines\n\
-         \x20    --seed S (1)\n\
+         \x20    --seed S (1)  --strict\n\
+         \x20 attribute <scenario> [opts] traced run → per-peer latency phase breakdown\n\
+         \x20    --seed S (1)  --csv FILE  --prom FILE  --strict\n\
          \x20 help                        this text"
     );
 }
@@ -165,26 +174,24 @@ fn fig6_or_exit(
 }
 
 fn cmd_fig(which: &str, spec: &ExperimentSpec) {
-    let needs_study = matches!(which, "2" | "3" | "4" | "all");
-    let study = needs_study.then(|| transfer_study::run(spec));
+    // Figures 2–4 read off the same shared study; run it inside the arm
+    // that needs it so every dispatch path is total — no Option to unwrap,
+    // and unknown figures take the error path below instead of panicking.
     match which {
-        "2" => println!(
-            "{}",
-            experiments::fig2::report(study.as_ref().unwrap()).render()
-        ),
-        "3" => println!(
-            "{}",
-            experiments::fig3::report(study.as_ref().unwrap()).render()
-        ),
-        "4" => println!(
-            "{}",
-            experiments::fig4::report(study.as_ref().unwrap()).render()
-        ),
+        "2" | "3" | "4" => {
+            let study = transfer_study::run(spec);
+            let report = match which {
+                "2" => experiments::fig2::report(&study),
+                "3" => experiments::fig3::report(&study),
+                _ => experiments::fig4::report(&study),
+            };
+            println!("{}", report.render());
+        }
         "5" => println!("{}", fig5::run(spec).render()),
         "6" => println!("{}", fig6_or_exit(fig6::run(spec)).render()),
         "7" => println!("{}", fig7::run(spec).render()),
         "all" => {
-            let study = study.unwrap();
+            let study = transfer_study::run(spec);
             println!("{}", experiments::fig2::report(&study).render());
             println!("{}", experiments::fig3::report(&study).render());
             println!("{}", experiments::fig4::report(&study).render());
@@ -403,6 +410,24 @@ fn named_scenario_or_exit(rest: &[String]) -> ScenarioConfig {
     }
 }
 
+/// Surfaces trace-ring drops: anything derived from a truncated trace
+/// (timelines, attribution) is silently missing the evicted events. Always
+/// warns on stderr; exits 3 under `--strict`.
+fn check_trace_drops(trace: &Trace, strict: bool) {
+    let dropped = trace.dropped();
+    if dropped == 0 {
+        return;
+    }
+    eprintln!(
+        "warning: trace ring dropped {dropped} events; derived output is incomplete \
+         (raise the trace capacity to keep the full history)"
+    );
+    if strict {
+        eprintln!("error: --strict refuses a truncated trace");
+        std::process::exit(3);
+    }
+}
+
 fn cmd_trace(rest: &[String], flags: &HashMap<String, String>) {
     let cfg = named_scenario_or_exit(rest);
     let seed = flag_f64(flags, "seed", 1.0) as u64;
@@ -425,6 +450,7 @@ fn cmd_trace(rest: &[String], flags: &HashMap<String, String>) {
         run.digest,
         run.result.elapsed.as_secs_f64(),
     );
+    check_trace_drops(trace, flags.contains_key("strict"));
 }
 
 fn cmd_report(rest: &[String], flags: &HashMap<String, String>) {
@@ -438,6 +464,50 @@ fn cmd_report(rest: &[String], flags: &HashMap<String, String>) {
     eprintln!(
         "report: {} transfers reconstructed from {} trace events, digest {:016x}",
         timelines.len(),
+        run.result.trace.len(),
+        run.digest,
+    );
+    check_trace_drops(&run.result.trace, flags.contains_key("strict"));
+}
+
+fn cmd_attribute(rest: &[String], flags: &HashMap<String, String>) {
+    let cfg = named_scenario_or_exit(rest);
+    let seed = flag_f64(flags, "seed", 1.0) as u64;
+    let run = run_traced(&cfg, seed);
+    check_trace_drops(&run.result.trace, flags.contains_key("strict"));
+
+    let attrs = attribute_trace(&run.result.trace);
+    let scs = run.result.testbed.scs;
+    let label_of = |node: NodeId| {
+        scs.iter()
+            .position(|&sc| sc == node)
+            .map(|i| format!("SC{}", i + 1))
+            .unwrap_or_else(|| format!("n{}", node.0))
+    };
+    let breakdowns = breakdown_by_peer(&attrs, label_of);
+    print!("{}", render_phase_table(&breakdowns));
+
+    if let Some(path) = flags.get("csv") {
+        if let Err(e) = std::fs::write(path, phase_table_csv(&breakdowns)) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = flags.get("prom") {
+        // The exposition carries the run's engine metrics plus the
+        // attribution histograms, one deterministic text artifact.
+        let mut metrics = run.result.metrics.clone();
+        metrics.merge(&aggregate_metrics(&attrs, label_of));
+        if let Err(e) = std::fs::write(path, metrics.render_prometheus("psim")) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    eprintln!(
+        "attribute: {} transfers attributed from {} trace events, digest {:016x}",
+        attrs.len(),
         run.result.trace.len(),
         run.digest,
     );
