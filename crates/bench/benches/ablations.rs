@@ -12,17 +12,19 @@ use workloads::scenario::{run_scenario, ScenarioConfig, SelectorFactory};
 use workloads::spec::MB;
 
 fn blind_transfer_cfg(transport: TransportConfig) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::measurement_setup().at(
-        SimDuration::from_secs(60),
-        BrokerCommand::DistributeFile {
-            target: TargetSpec::AllClients,
-            size_bytes: 20 * MB,
-            num_parts: 20,
-            label: "ablate".into(),
-        },
-    );
-    cfg.transport = transport;
-    cfg
+    ScenarioConfig::builder()
+        .transport(transport)
+        .at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 20 * MB,
+                num_parts: 20,
+                label: "ablate".into(),
+            },
+        )
+        .build()
+        .expect("valid scenario")
 }
 
 fn mean_transfer_secs(cfg: &ScenarioConfig, seed: u64) -> f64 {
@@ -214,7 +216,11 @@ fn ablation_receiver_discipline(c: &mut Criterion) {
         ("fifo", ReceiverDiscipline::Fifo),
         ("processor_sharing", ReceiverDiscipline::ProcessorSharing),
     ] {
-        let mut cfg = ScenarioConfig::measurement_setup()
+        let cfg = ScenarioConfig::builder()
+            .transport(TransportConfig {
+                receiver_discipline: discipline,
+                ..TransportConfig::default()
+            })
             .at(
                 SimDuration::from_secs(60),
                 BrokerCommand::DistributeFile {
@@ -232,8 +238,9 @@ fn ablation_receiver_discipline(c: &mut Criterion) {
                     num_parts: 10,
                     label: "second".into(),
                 },
-            );
-        cfg.transport.receiver_discipline = discipline;
+            )
+            .build()
+            .expect("valid scenario");
         let r = run_scenario(&cfg, 1);
         let secs = |label: &str| {
             r.log
@@ -260,8 +267,10 @@ fn ablation_receiver_discipline(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 seed += 1;
-                let mut cfg = blind_transfer_cfg(TransportConfig::default());
-                cfg.transport.receiver_discipline = discipline;
+                let cfg = blind_transfer_cfg(TransportConfig {
+                    receiver_discipline: discipline,
+                    ..TransportConfig::default()
+                });
                 mean_transfer_secs(&cfg, seed)
             })
         });

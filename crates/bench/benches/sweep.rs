@@ -1,0 +1,74 @@
+//! Sweep-campaign scaling: cells/second of the grid driver as the worker
+//! count grows. Two modes mirror `psim bench-sweep` (which renders the
+//! same measurements into `BENCH_sweep.json`):
+//!
+//! - pool mode: wait-bound cells (the PlanetLab shape — a campaign cell is
+//!   a wall-clock-bound remote experiment), which scale with workers on
+//!   any host because sleeping threads overlap;
+//! - campaign mode: real simulated cells, which are CPU-bound and scale
+//!   only up to the host's core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use workloads::sweep::{
+    named_grid, run_campaign, CellWorkload, ModelKind, SeedScheme, SweepSpec, TestbedAxis,
+    ACCEPT_ALL,
+};
+
+/// A small Distribute grid: 2 cells x 2 reps of a 4 MB broadcast.
+fn small_grid() -> SweepSpec {
+    SweepSpec {
+        name: "bench-grid".into(),
+        workload: CellWorkload::Distribute {
+            size_bytes: 4 * workloads::spec::MB,
+        },
+        models: vec![ModelKind::Blind],
+        parts: vec![4, 16],
+        drop_probabilities: vec![0.0],
+        testbeds: vec![TestbedAxis::Measurement],
+        accept_profiles: vec![ACCEPT_ALL],
+        seeds: SeedScheme::Derived {
+            campaign_seed: 1,
+            replications: 2,
+        },
+        warmup: netsim::time::SimDuration::from_secs(60),
+    }
+}
+
+fn sweep_workers(c: &mut Criterion) {
+    let spec = small_grid();
+    let mut g = c.benchmark_group("sweep_campaign");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(10));
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("small_grid", format!("{workers}_workers")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    run_campaign(&spec, workers)
+                        .expect("valid grid")
+                        .cells
+                        .len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn sweep_named_grids(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_campaign");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    for grid in ["fig345", "fig67"] {
+        let spec = named_grid(grid, 1, 2).expect("built-in grid");
+        g.bench_with_input(BenchmarkId::new("named", grid), &spec, |b, spec| {
+            b.iter(|| run_campaign(spec, 4).expect("valid grid").cells.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sweep, sweep_workers, sweep_named_grids);
+criterion_main!(sweep);

@@ -495,6 +495,26 @@ impl Metrics {
         }
     }
 
+    /// Merges another registry in under a `tag` namespace: every one of
+    /// `other`'s names lands here as `{tag}.{name}`. A campaign folding many
+    /// per-cell registries into one uses a distinct tag per cell so cells
+    /// never collide (plain [`Metrics::merge`] would sum them together).
+    /// Like `merge`, keyed by name and name-sorted afterwards.
+    pub fn merge_tagged(&mut self, other: &Metrics, tag: &str) {
+        for (name, value) in other.counters_sorted() {
+            let id = self.counter_id(&format!("{tag}.{name}"));
+            self.incr_id(id, value);
+        }
+        for (name, &slot) in &other.stat_index {
+            let id = self.stat_id(&format!("{tag}.{name}"));
+            self.stat_values[id.0 as usize].merge(&other.stat_values[slot as usize]);
+        }
+        for (name, hist) in other.histograms_sorted() {
+            let id = self.histogram_id(&format!("{tag}.{name}"), hist.base(), hist.buckets().len());
+            self.histogram_values[id.0 as usize].merge(hist);
+        }
+    }
+
     /// Deterministic text rendering of the whole registry, sorted by name.
     /// Two registries with equal contents render byte-identically
     /// regardless of interning or insertion order — the basis of the
@@ -663,6 +683,29 @@ mod tests {
         let empty = RunningStat::new();
         a.merge(&empty);
         assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn merge_tagged_namespaces_instead_of_summing() {
+        let mut cell = Metrics::new();
+        cell.incr("events", 3);
+        cell.observe("latency", 2.0);
+        let hid = cell.histogram_id("owd", 1.0, 4);
+        cell.record_id(hid, 1.5);
+
+        let mut campaign = Metrics::new();
+        campaign.merge_tagged(&cell, "cell0");
+        campaign.merge_tagged(&cell, "cell1");
+        // Distinct tags keep cells apart where plain merge would sum them.
+        assert_eq!(campaign.counter("cell0.events"), 3);
+        assert_eq!(campaign.counter("cell1.events"), 3);
+        assert_eq!(campaign.counter("events"), 0);
+        assert_eq!(campaign.stat("cell0.latency").count(), 1);
+        assert_eq!(campaign.histogram("cell1.owd").unwrap().count(), 1);
+        // Re-merging the same tag accumulates, like merge does.
+        campaign.merge_tagged(&cell, "cell0");
+        assert_eq!(campaign.counter("cell0.events"), 6);
+        assert_eq!(campaign.stat("cell0.latency").count(), 2);
     }
 
     #[test]

@@ -209,6 +209,60 @@ impl PeerSelector for RoundRobinSelector {
     }
 }
 
+/// Identity of a selection model a campaign can sweep over.
+///
+/// This is the *axis value*, not the implementation: the overlay stays
+/// ignorant of the concrete models (they live in the `peer-selection`
+/// crate), but grid specs, CLIs, and reports need one canonical spelling
+/// per model. `Blind` means "no selector installed" — the broker
+/// broadcasts instead of choosing, the paper's Figs 2–5 mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// No selection: broadcast / scripted targets only.
+    Blind,
+    /// Economic scheduling model (Ernemann et al.).
+    Economic,
+    /// Data-evaluator model with equal criterion weights (Yu et al.).
+    SamePriority,
+    /// User-preference model favouring the quickest peer.
+    QuickPeer,
+    /// Uniform-random baseline.
+    Random,
+}
+
+impl ModelKind {
+    /// Every model, in canonical (grid-expansion and CLI listing) order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::Blind,
+        ModelKind::Economic,
+        ModelKind::SamePriority,
+        ModelKind::QuickPeer,
+        ModelKind::Random,
+    ];
+
+    /// The canonical spelling used by CLIs, CSV columns, and grid specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Blind => "blind",
+            ModelKind::Economic => "economic",
+            ModelKind::SamePriority => "same-priority",
+            ModelKind::QuickPeer => "quick-peer",
+            ModelKind::Random => "random",
+        }
+    }
+
+    /// Parses a canonical spelling back into the axis value.
+    pub fn parse(name: &str) -> Option<ModelKind> {
+        ModelKind::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +330,16 @@ mod tests {
         let picks: Vec<usize> = (0..7).map(|_| s.select(&req(&c)).unwrap()).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
         assert_eq!(s.select(&req(&[])), None);
+    }
+
+    #[test]
+    fn model_kind_names_round_trip_and_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in ModelKind::ALL {
+            assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
+            assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(ModelKind::parse("no-such-model"), None);
     }
 }

@@ -58,16 +58,19 @@ pub struct AblationPoint {
 }
 
 fn blind_mean_secs(transport: &TransportConfig, seed: u64) -> f64 {
-    let mut cfg = ScenarioConfig::measurement_setup().at(
-        netsim::time::SimDuration::from_secs(60),
-        BrokerCommand::DistributeFile {
-            target: TargetSpec::AllClients,
-            size_bytes: 20 * MB,
-            num_parts: 20,
-            label: "ablate".into(),
-        },
-    );
-    cfg.transport = transport.clone();
+    let cfg = ScenarioConfig::builder()
+        .transport(transport.clone())
+        .at(
+            netsim::time::SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 20 * MB,
+                num_parts: 20,
+                label: "ablate".into(),
+            },
+        )
+        .build()
+        .expect("ablation scenario is valid");
     let r = run_scenario(&cfg, seed);
     let ts: Vec<f64> = r
         .log
@@ -79,16 +82,19 @@ fn blind_mean_secs(transport: &TransportConfig, seed: u64) -> f64 {
 }
 
 fn sc4_transfer_min(transport: &TransportConfig, parts: u32, seed: u64) -> f64 {
-    let mut cfg = ScenarioConfig::measurement_setup().at(
-        netsim::time::SimDuration::from_secs(60),
-        BrokerCommand::DistributeFile {
-            target: TargetSpec::Node(netsim::node::NodeId(4)),
-            size_bytes: 100 * MB,
-            num_parts: parts,
-            label: "g".into(),
-        },
-    );
-    cfg.transport = transport.clone();
+    let cfg = ScenarioConfig::builder()
+        .transport(transport.clone())
+        .at(
+            netsim::time::SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::Node(netsim::node::NodeId(4)),
+                size_bytes: 100 * MB,
+                num_parts: parts,
+                label: "g".into(),
+            },
+        )
+        .build()
+        .expect("ablation scenario is valid");
     let r = run_scenario(&cfg, seed);
     r.log.transfers[0]
         .total_secs()

@@ -51,8 +51,11 @@ pub mod scaling {
     }
 
     fn one_run(model: &'static str, others: usize, seed: u64) -> f64 {
-        let mut cfg = ScenarioConfig::measurement_setup().with_selector(factory(model));
-        cfg.testbed = planetlab::builder::TestbedConfig::slice_with_others(others);
+        let mut cfg = ScenarioConfig::builder()
+            .testbed(planetlab::builder::TestbedConfig::slice_with_others(others))
+            .build()
+            .expect("scaling scenario is valid")
+            .with_selector(factory(model));
         cfg = cfg.at(
             SimDuration::from_secs(60),
             BrokerCommand::DistributeFile {
@@ -139,8 +142,11 @@ pub mod churn {
     /// while selected transfers continue every 60 s.
     pub fn run_experiment(seed: u64) -> ChurnResult {
         let leave_at = SimDuration::from_secs(700);
-        let mut cfg = ScenarioConfig::measurement_setup()
-            .with_selector(factory("economic"))
+        // SC4 leaves the overlay mid-campaign. A Leave is passive, so it
+        // coexists with the broker's idle-stop (the builder only rejects
+        // work-generating scripted clients under stop_when_idle).
+        let mut cfg = ScenarioConfig::builder()
+            .client_command(4, leave_at, ClientCommand::Leave)
             .at(
                 SimDuration::from_secs(60),
                 BrokerCommand::DistributeFile {
@@ -149,7 +155,10 @@ pub mod churn {
                     num_parts: 4,
                     label: "warmup".into(),
                 },
-            );
+            )
+            .build()
+            .expect("churn scenario is valid")
+            .with_selector(factory("economic"));
         for r in 0..8u64 {
             cfg = cfg.at(
                 SimDuration::from_secs(600 + 60 * r),
@@ -161,8 +170,6 @@ pub mod churn {
                 },
             );
         }
-        // SC4 leaves the overlay mid-campaign.
-        cfg.client_commands_by_sc = Some(vec![(4, leave_at, ClientCommand::Leave)]);
         let result = run_scenario(&cfg, seed);
         let started = result
             .log
@@ -211,35 +218,36 @@ pub mod request {
     fn one_run(model: &'static str, seed: u64) -> f64 {
         // SC2, SC4, SC6 and SC7 replicate "mirror.iso"; SC1 requests it
         // repeatedly. Good owner selection avoids SC7.
-        let mut cfg = ScenarioConfig::measurement_setup().with_selector(factory(model));
-        cfg = cfg.at(
-            SimDuration::from_secs(60),
-            BrokerCommand::DistributeFile {
-                target: TargetSpec::AllClients,
-                size_bytes: 4 * MB,
-                num_parts: 4,
-                label: "warmup".into(),
-            },
-        );
-        let mut commands = vec![];
+        let mut builder = ScenarioConfig::builder()
+            .at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 4 * MB,
+                    num_parts: 4,
+                    label: "warmup".into(),
+                },
+            )
+            // Client-initiated requests are invisible to the broker's idle
+            // detector, so the run is horizon-bounded instead.
+            .stop_when_idle(false)
+            .horizon(SimDuration::from_secs(3000));
         for r in 0..REQUESTS {
-            commands.push((
-                1u8,
+            builder = builder.client_command(
+                1,
                 SimDuration::from_secs(600 + 90 * r),
                 ClientCommand::RequestFile {
                     name: "mirror.iso".into(),
                 },
-            ));
+            );
         }
-        cfg.client_commands_by_sc = Some(commands);
-        cfg.stop_when_idle = false;
-        cfg.horizon = SimDuration::from_secs(3000);
-        cfg.shared_files_by_sc = Some(vec![
-            (2, "mirror.iso".into(), 8 * MB),
-            (4, "mirror.iso".into(), 8 * MB),
-            (6, "mirror.iso".into(), 8 * MB),
-            (7, "mirror.iso".into(), 8 * MB),
-        ]);
+        for sc in [2, 4, 6, 7] {
+            builder = builder.shared_file(sc, "mirror.iso", 8 * MB);
+        }
+        let cfg = builder
+            .build()
+            .expect("request scenario is valid")
+            .with_selector(factory(model));
         let result = run_scenario(&cfg, seed);
         let ts: Vec<f64> = result
             .log
@@ -353,12 +361,20 @@ pub mod profiles {
         cfg
     }
 
+    /// The shared campaign base: flaky-peer refusal and acceptance
+    /// profiles, validated once, plus the profile's selector.
+    fn profiled_config(which: &'static str) -> ScenarioConfig {
+        ScenarioConfig::builder()
+            .transfer_refuse_by_sc(REFUSE)
+            .task_accept_by_sc(ACCEPT)
+            .build()
+            .expect("profile scenario is valid")
+            .with_selector(profile_factory(which))
+    }
+
     /// Success rate of a selected-transfer campaign under `which` profile.
     pub fn transfer_campaign(which: &'static str, seed: u64) -> f64 {
-        let mut cfg = ScenarioConfig::measurement_setup().with_selector(profile_factory(which));
-        cfg.transfer_refuse_by_sc = Some(REFUSE);
-        cfg.task_accept_by_sc = Some(ACCEPT);
-        cfg = warmup_mixed(cfg);
+        let mut cfg = warmup_mixed(profiled_config(which));
         for r in 0..ROUNDS {
             cfg = cfg.at(
                 SimDuration::from_secs(1800 + 45 * r),
@@ -382,10 +398,7 @@ pub mod profiles {
 
     /// Success rate of a selected-task campaign under `which` profile.
     pub fn task_campaign(which: &'static str, seed: u64) -> f64 {
-        let mut cfg = ScenarioConfig::measurement_setup().with_selector(profile_factory(which));
-        cfg.transfer_refuse_by_sc = Some(REFUSE);
-        cfg.task_accept_by_sc = Some(ACCEPT);
-        cfg = warmup_mixed(cfg);
+        let mut cfg = warmup_mixed(profiled_config(which));
         for r in 0..ROUNDS {
             cfg = cfg.at(
                 SimDuration::from_secs(1800 + 45 * r),
@@ -410,10 +423,7 @@ pub mod profiles {
 
     /// Debug helper: (success_rate, chosen names) for one transfer campaign.
     pub fn transfer_campaign_debug(which: &'static str, seed: u64) -> (f64, Vec<String>) {
-        let mut cfg = ScenarioConfig::measurement_setup().with_selector(profile_factory(which));
-        cfg.transfer_refuse_by_sc = Some(REFUSE);
-        cfg.task_accept_by_sc = Some(ACCEPT);
-        cfg = warmup_mixed(cfg);
+        let mut cfg = warmup_mixed(profiled_config(which));
         for r in 0..ROUNDS {
             cfg = cfg.at(
                 SimDuration::from_secs(1800 + 45 * r),

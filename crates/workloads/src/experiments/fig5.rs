@@ -5,14 +5,13 @@
 //! not worth!" — whole-file transfer collapses (JXTA pipes buffer entire
 //! messages), while 16 × 6.25 Mb parts average ≈1.7 minutes.
 
-use overlay::broker::{BrokerCommand, TargetSpec};
 use planetlab::calibration::PAPER_FIG5_16PARTS_AVG_MIN;
 
-use crate::experiments::{per_sc_transfer_metric, sc_labels};
+use crate::experiments::sc_labels;
 use crate::report::{FigureReport, SeriesRow};
-use crate::runner::{run_replications, SeriesAggregate};
-use crate::scenario::{run_scenario, ScenarioConfig};
+use crate::runner::{default_workers, SeriesAggregate};
 use crate::spec::{ExperimentSpec, MB};
+use crate::sweep::{fig345_grid, run_campaign, SeedScheme};
 
 /// The file size of the experiment.
 pub const FILE_SIZE: u64 = 100 * MB;
@@ -33,26 +32,17 @@ impl Fig5Result {
     }
 }
 
-/// Runs the experiment: one scenario per (granularity, seed).
+/// Runs the experiment as a fig345 sweep campaign with the spec's explicit
+/// seed list: one grid cell per granularity, each replaying exactly the
+/// seeds the classic harness used, so the statistics are unchanged.
 pub fn run_experiment(spec: &ExperimentSpec) -> Fig5Result {
-    let per_granularity = GRANULARITIES
-        .iter()
-        .map(|&parts| {
-            let rows = run_replications(&spec.seeds, |seed| {
-                let label = format!("fig5-{parts}");
-                let cfg = ScenarioConfig::measurement_setup().at(
-                    spec.warmup,
-                    BrokerCommand::DistributeFile {
-                        target: TargetSpec::AllClients,
-                        size_bytes: FILE_SIZE,
-                        num_parts: parts,
-                        label: label.clone(),
-                    },
-                );
-                let result = run_scenario(&cfg, seed);
-                per_sc_transfer_metric(&result, &label, |t| t.total_secs().map(|s| s / 60.0))
-            });
-            SeriesAggregate::from_replications(&rows)
+    let grid = fig345_grid(SeedScheme::Explicit(spec.seeds.clone()), spec.warmup);
+    let campaign = run_campaign(&grid, default_workers()).expect("built-in fig345 grid is valid");
+    let per_granularity = campaign
+        .cells
+        .into_iter()
+        .map(|cell| SeriesAggregate {
+            stats: cell.rows.into_iter().map(|(_, stat)| stat).collect(),
         })
         .collect();
     Fig5Result { per_granularity }

@@ -23,16 +23,15 @@
 //! willing peer (SC5, 5.19 s wake-ups); quick-peer returns to its stale
 //! favourite (SC4) and queues behind the background transfer.
 
-use netsim::time::SimDuration;
-use overlay::broker::{BrokerCommand, TargetSpec};
-use overlay::selector::PeerSelector;
+use overlay::selector::{ModelKind, PeerSelector};
 use peer_selection::prelude::*;
 use planetlab::calibration::{PAPER_FIG6_16PARTS_SECS, PAPER_FIG6_4PARTS_SECS};
 
 use crate::report::{FigureReport, SeriesRow};
-use crate::runner::{run_replications, SeriesAggregate};
-use crate::scenario::{run_scenario, ScenarioConfig, SelectorFactory};
+use crate::runner::{default_workers, SeriesAggregate};
+use crate::scenario::SelectorFactory;
 use crate::spec::{ExperimentSpec, MB};
+use crate::sweep::{fig67_grid, run_campaign, SeedScheme};
 
 /// Size of the measured transfer.
 pub const MEASURED_SIZE: u64 = 10 * MB;
@@ -52,14 +51,24 @@ pub const FASTEST_PEER: &str = "planetlab1.csg.unizh.ch";
 /// Granularities compared, as in the paper.
 pub const GRANULARITIES: [u32; 2] = [4, 16];
 
+/// The models compared (paper's three plus a random baseline), in report
+/// order. The single source for [`model_names`] and the fig67 sweep grid.
+pub const MODELS: [ModelKind; 4] = [
+    ModelKind::Economic,
+    ModelKind::SamePriority,
+    ModelKind::QuickPeer,
+    ModelKind::Random,
+];
+
+/// The node the background transfer congests (the historically-fastest
+/// peer, SC4), for sweep cells that replicate this experiment's shape.
+pub(crate) fn fastest_peer_node() -> netsim::node::NodeId {
+    netsim::node::NodeId(FASTEST_PEER_NODE)
+}
+
 /// The models compared (paper's three plus a blind baseline).
 pub fn model_names() -> Vec<String> {
-    vec![
-        "economic".into(),
-        "same-priority".into(),
-        "quick-peer".into(),
-        "random".into(),
-    ]
+    MODELS.iter().map(|m| m.name().to_string()).collect()
 }
 
 /// An unrecognized selection-model name. Carries the valid list so callers
@@ -90,35 +99,32 @@ impl std::fmt::Display for UnknownModelError {
 
 impl std::error::Error for UnknownModelError {}
 
-#[derive(Clone, Copy)]
-enum ModelKind {
-    Economic,
-    SamePriority,
-    QuickPeer,
-    Random,
-}
-
-/// Resolves a model name to a selector factory, or reports the valid list.
-pub fn try_factory_for(model: &str) -> Result<SelectorFactory, UnknownModelError> {
-    let kind = match model {
-        "economic" => ModelKind::Economic,
-        "same-priority" => ModelKind::SamePriority,
-        "quick-peer" => ModelKind::QuickPeer,
-        "random" => ModelKind::Random,
-        other => {
-            return Err(UnknownModelError {
-                model: other.to_string(),
-            })
-        }
-    };
-    Ok(Box::new(move |seed| -> Box<dyn PeerSelector> {
+/// Builds the selector factory implementing `kind`, or `None` for
+/// [`ModelKind::Blind`] (blind mode installs no selector at all).
+pub fn factory_for_kind(kind: ModelKind) -> Option<SelectorFactory> {
+    if kind == ModelKind::Blind {
+        return None;
+    }
+    Some(Box::new(move |seed| -> Box<dyn PeerSelector> {
         match kind {
+            ModelKind::Blind => unreachable!("handled above"),
             ModelKind::Economic => Box::new(Scored::new(EconomicModel::new())),
             ModelKind::SamePriority => Box::new(Scored::new(DataEvaluatorModel::same_priority())),
             ModelKind::QuickPeer => Box::new(Scored::new(UserPreferenceModel::quick_peer())),
             ModelKind::Random => Box::new(RandomSelector::new(seed ^ 0xF166)),
         }
     }))
+}
+
+/// Resolves a model name to a selector factory, or reports the valid list.
+/// `blind` is a valid axis spelling but names no selector, so it is
+/// rejected here like any unknown name.
+pub fn try_factory_for(model: &str) -> Result<SelectorFactory, UnknownModelError> {
+    ModelKind::parse(model)
+        .and_then(factory_for_kind)
+        .ok_or_else(|| UnknownModelError {
+            model: model.to_string(),
+        })
 }
 
 /// Typed result.
@@ -131,93 +137,35 @@ pub struct Fig6Result {
     pub chosen: Vec<Vec<Vec<String>>>,
 }
 
-/// Runs the experiment. Fails with [`UnknownModelError`] if any compared
-/// model name doesn't resolve (cannot happen for the built-in list, but the
-/// same resolution path serves user-supplied names in psim).
+/// Runs the experiment as a fig67 sweep campaign with the spec's explicit
+/// seed list: each (model, granularity) grid cell replays exactly the seeds
+/// the classic harness used, so the statistics are unchanged — the sweep
+/// driver only changes who schedules the work.
+///
+/// The `Result` stays for API stability: the built-in model list always
+/// resolves, but psim funnels user-supplied names through the same
+/// [`try_factory_for`] path and needs the error type.
 pub fn run_experiment(spec: &ExperimentSpec) -> Result<Fig6Result, UnknownModelError> {
+    let grid = fig67_grid(SeedScheme::Explicit(spec.seeds.clone()), spec.warmup);
+    let campaign = run_campaign(&grid, default_workers()).expect("built-in fig67 grid is valid");
+    // Cell order is model-major, parts fastest-varying: cell index =
+    // model_index * GRANULARITIES.len() + granularity_index.
     let models = model_names();
     let mut seconds = Vec::new();
     let mut chosen = Vec::new();
-    for &parts in &GRANULARITIES {
-        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); spec.seeds.len()];
-        let mut chosen_g: Vec<Vec<String>> = vec![Vec::new(); models.len()];
-        for (mi, model) in models.iter().enumerate() {
-            // Resolve once, up front: a bad name must surface as an error
-            // before any replication thread spins up, not as a panic inside
-            // one.
-            drop(try_factory_for(model)?);
-            let per_seed = run_replications(&spec.seeds, |seed| {
-                let t0 = spec.warmup;
-                let t_bg = t0 + SimDuration::from_secs(600);
-                let t_measure = t_bg + SimDuration::from_secs(2);
-                let mut cfg = ScenarioConfig::measurement_setup()
-                    .at(
-                        t0,
-                        BrokerCommand::DistributeFile {
-                            target: TargetSpec::AllClients,
-                            size_bytes: 8 * MB,
-                            num_parts: 8,
-                            label: "warmup".into(),
-                        },
-                    )
-                    .with_selector(try_factory_for(model).expect("validated above"));
-                // Warm-up tasks populate the §2.2 task-acceptance statistics.
-                for k in 0..5u64 {
-                    cfg = cfg.at(
-                        t0 + SimDuration::from_secs(60 + 15 * k),
-                        BrokerCommand::SubmitTask {
-                            target: TargetSpec::AllClients,
-                            work_gops: 2.0,
-                            input_bytes: 0,
-                            input_parts: 1,
-                            label: format!("warmup-task-{k}"),
-                        },
-                    );
-                }
-                cfg = cfg
-                    .at(
-                        t_bg,
-                        BrokerCommand::DistributeFile {
-                            target: TargetSpec::Node(netsim::node::NodeId(FASTEST_PEER_NODE)),
-                            size_bytes: BACKGROUND_SIZE,
-                            num_parts: parts,
-                            label: "background".into(),
-                        },
-                    )
-                    .at(
-                        t_measure,
-                        BrokerCommand::DistributeFile {
-                            target: TargetSpec::Selected,
-                            size_bytes: MEASURED_SIZE,
-                            num_parts: parts,
-                            label: "fig6".into(),
-                        },
-                    );
-                cfg.task_accept_by_sc = Some(WARMUP_TASK_ACCEPT);
-                let result = run_scenario(&cfg, seed);
-                let secs = result
-                    .log
-                    .transfers
-                    .iter()
-                    .find(|t| t.label == "fig6")
-                    .and_then(|t| t.total_secs())
-                    .unwrap_or(f64::NAN);
-                let pick = result
-                    .log
-                    .selections
-                    .first()
-                    .map(|s| s.chosen_name.clone())
-                    .unwrap_or_default();
-                (secs, pick)
-            });
-            for (row, (secs, pick)) in rows.iter_mut().zip(per_seed) {
-                row.push(secs);
-                if !chosen_g[mi].contains(&pick) {
-                    chosen_g[mi].push(pick);
-                }
-            }
+    for (gi, _) in GRANULARITIES.iter().enumerate() {
+        let mut stats = Vec::with_capacity(models.len());
+        let mut chosen_g = Vec::with_capacity(models.len());
+        for mi in 0..models.len() {
+            let cell = &campaign.cells[mi * GRANULARITIES.len() + gi];
+            let (_, stat) = cell
+                .rows
+                .first()
+                .expect("selected-transfer cells have one row");
+            stats.push(stat.clone());
+            chosen_g.push(cell.chosen.clone());
         }
-        seconds.push(SeriesAggregate::from_replications(&rows));
+        seconds.push(SeriesAggregate { stats });
         chosen.push(chosen_g);
     }
     Ok(Fig6Result {

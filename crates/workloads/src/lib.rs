@@ -7,6 +7,7 @@
 //! * [`runner`] — parallel replication over seeds (std scoped threads).
 //! * [`report`] — paper-vs-measured table rendering and shape statistics.
 //! * [`attribution`] — per-transfer latency phase decomposition over traces.
+//! * [`sweep`] — grid-sweep campaigns over typed axes (`psim sweep`).
 //! * [`enginebench`] — engine throughput measurement (`BENCH_engine.json`).
 //! * [`experiments`] — one module per artifact: `table1`, `fig2`…`fig7`.
 //!
@@ -27,3 +28,4 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
+pub mod sweep;

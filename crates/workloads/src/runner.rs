@@ -28,7 +28,7 @@ pub struct TracedRun {
 /// (`cfg.trace_capacity`, or [`DEFAULT_TRACE_CAPACITY`] when unset) and
 /// exports the trace as deterministic JSONL.
 pub fn run_traced(cfg: &ScenarioConfig, seed: u64) -> TracedRun {
-    let capacity = cfg.trace_capacity.unwrap_or(DEFAULT_TRACE_CAPACITY);
+    let capacity = cfg.trace_capacity().unwrap_or(DEFAULT_TRACE_CAPACITY);
     let result = run_scenario_traced(cfg, seed, capacity);
     let jsonl = result.trace.to_jsonl();
     let digest = result.trace.digest();
@@ -45,19 +45,62 @@ where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
-    if seeds.len() <= 1 {
-        return seeds.iter().map(|&s| f(s)).collect();
+    run_indexed(seeds.len(), seeds.len(), |i| f(seeds[i]))
+}
+
+/// A sensible worker-pool width for this host: the available parallelism,
+/// capped at 8 (campaign cells are memory-hungry simulations; more workers
+/// than cores only adds scheduling noise).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs `f(0..count)` over a bounded pool of `workers` scoped threads and
+/// returns the results in index order.
+///
+/// Work-stealing over a shared atomic cursor: each worker claims the next
+/// unclaimed index as it frees up, so long tasks don't stall the queue
+/// behind them. Results land in per-index slots, so the output order — and
+/// therefore every number derived from it — is independent of the worker
+/// count and of scheduling. `workers` is clamped to `[1, count]`; with one
+/// worker (or at most one task) everything runs inline on the caller's
+/// thread.
+pub fn run_indexed<R, F>(count: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = workers.clamp(1, count.max(1));
+    if count <= 1 || workers == 1 {
+        return (0..count).map(&f).collect();
     }
-    let mut slots: Vec<Option<R>> = (0..seeds.len()).map(|_| None).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for (slot, &seed) in slots.iter_mut().zip(seeds) {
+        for _ in 0..workers {
             let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(seed));
+            let slots = &slots;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("slot lock") = Some(result);
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot lock").expect("slot filled"))
+        .collect()
 }
 
 /// Aggregates one named series across replications: each replication
@@ -156,6 +199,32 @@ mod tests {
         let parallel = run_replications(&seeds, |s| s * s + 7);
         let sequential: Vec<u64> = seeds.iter().map(|&s| s * s + 7).collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn run_indexed_order_is_worker_count_invariant() {
+        let expected: Vec<usize> = (0..23).map(|i| i * i).collect();
+        for workers in [1, 2, 4, 64] {
+            let got = run_indexed(23, workers, |i| i * i);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_runs_every_index_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..40).map(|_| AtomicU64::new(0)).collect();
+        run_indexed(40, 4, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_zero_count() {
+        let got: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -17,60 +17,401 @@ use planetlab::builder::{build, Testbed, TestbedConfig};
 pub type SelectorFactory = Box<dyn Fn(u64) -> Box<dyn PeerSelector> + Sync>;
 
 /// Everything needed to run one scenario replication.
+///
+/// Constructible only through [`ScenarioConfig::measurement_setup`] (the
+/// paper's defaults, always valid) or a [`ScenarioBuilder`], which validates
+/// the whole configuration at [`ScenarioBuilder::build`]. The fields are
+/// private on purpose: every invariant the builder checks (SC indices,
+/// probability ranges, horizon, idle-stop consistency) stays true for the
+/// config's whole life. The only post-build mutators are the invariant-safe
+/// conveniences [`at`](ScenarioConfig::at),
+/// [`with_selector`](ScenarioConfig::with_selector) and
+/// [`traced`](ScenarioConfig::traced).
 pub struct ScenarioConfig {
     /// Which testbed to build.
-    pub testbed: TestbedConfig,
+    testbed: TestbedConfig,
     /// Transport model parameters.
-    pub transport: TransportConfig,
+    transport: TransportConfig,
     /// Broker command script: `(delay from start, command)`.
-    pub commands: Vec<(SimDuration, BrokerCommand)>,
+    commands: Vec<(SimDuration, BrokerCommand)>,
     /// Optional selection model factory.
-    pub selector: Option<SelectorFactory>,
+    selector: Option<SelectorFactory>,
     /// Virtual-time safety horizon.
-    pub horizon: SimDuration,
+    horizon: SimDuration,
     /// Transfer watchdog timeout.
-    pub transfer_timeout: SimDuration,
+    transfer_timeout: SimDuration,
     /// Optional per-SC task-acceptance probability (index 0 = SC1). Lets
     /// experiments shape the §2.2 task statistics without touching the
     /// testbed; defaults to every peer accepting everything.
-    pub task_accept_by_sc: Option<[f64; 8]>,
+    task_accept_by_sc: Option<[f64; 8]>,
     /// Optional per-SC petition-refusal probability (flaky peers).
-    pub transfer_refuse_by_sc: Option<[f64; 8]>,
+    transfer_refuse_by_sc: Option<[f64; 8]>,
     /// Scripted client commands: `(sc 1..=8, delay, command)`.
-    pub client_commands_by_sc: Option<Vec<(u8, SimDuration, ClientCommand)>>,
+    client_commands_by_sc: Option<Vec<(u8, SimDuration, ClientCommand)>>,
     /// Files shared by clients at join: `(sc 1..=8, name, bytes)`.
-    pub shared_files_by_sc: Option<Vec<(u8, String, u64)>>,
+    shared_files_by_sc: Option<Vec<(u8, String, u64)>>,
     /// Whether the broker stops the run once its own scripted work is done.
-    /// Disable when clients schedule their own commands (the broker cannot
-    /// see those) and bound the run with `horizon` instead.
-    pub stop_when_idle: bool,
+    stop_when_idle: bool,
     /// Retransmission policy handed to the broker (needed for lossy
     /// transports; `None` = no retries).
-    pub retry: Option<RetryPolicy>,
+    retry: Option<RetryPolicy>,
     /// When `Some(n)`, the engine records the last `n` typed trace events
     /// and [`ScenarioResult::trace`] carries them out. `None` (the default)
     /// keeps the allocation-free disabled path.
-    pub trace_capacity: Option<usize>,
+    trace_capacity: Option<usize>,
 }
 
-impl ScenarioConfig {
-    /// The paper's measurement setup with default physics.
-    pub fn measurement_setup() -> Self {
-        ScenarioConfig {
-            testbed: TestbedConfig::measurement_setup(),
-            transport: TransportConfig::default(),
-            commands: Vec::new(),
-            selector: None,
-            horizon: SimDuration::from_mins(10 * 60),
-            transfer_timeout: SimDuration::from_mins(6 * 60),
-            task_accept_by_sc: None,
-            transfer_refuse_by_sc: None,
-            client_commands_by_sc: None,
-            shared_files_by_sc: None,
-            stop_when_idle: true,
-            retry: None,
-            trace_capacity: None,
+/// Why a [`ScenarioBuilder::build`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A scripted client command or shared file named an SC outside 1..=8.
+    ScIndexOutOfRange {
+        /// Which field carried the bad index.
+        what: &'static str,
+        /// The offending SC index.
+        sc: u8,
+    },
+    /// A probability field left [0, 1] (or was not finite).
+    ProbabilityOutOfRange {
+        /// Which probability (e.g. `task_accept_by_sc[3]`).
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The virtual-time horizon was zero: the engine would stop at t=0.
+    NonPositiveHorizon,
+    /// `stop_when_idle` was left on while a scripted client generates its
+    /// own work (`RequestFile`/`SubmitJob`): the broker cannot see that
+    /// work and would stop the run underneath it. Disable idle-stop and
+    /// bound the run with the horizon instead.
+    IdleStopWithScriptedClients {
+        /// The SC whose scripted command generates broker-invisible work.
+        sc: u8,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::ScIndexOutOfRange { what, sc } => {
+                write!(f, "{what}: SC index {sc} outside 1..=8")
+            }
+            ScenarioError::ProbabilityOutOfRange { what, value } => {
+                write!(f, "{what}: probability {value} outside [0, 1]")
+            }
+            ScenarioError::NonPositiveHorizon => {
+                write!(f, "horizon must be positive virtual time")
+            }
+            ScenarioError::IdleStopWithScriptedClients { sc } => write!(
+                f,
+                "stop_when_idle with a work-generating scripted client on SC{sc}: \
+                 the broker cannot see client-initiated work and would stop under it; \
+                 use stop_when_idle(false) and bound the run with the horizon"
+            ),
         }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Builder for [`ScenarioConfig`]: the only way to set the validated
+/// fields. Starts from the paper's measurement defaults and checks every
+/// invariant once, at [`build`](ScenarioBuilder::build).
+#[must_use = "a builder does nothing until build() is called"]
+pub struct ScenarioBuilder {
+    cfg: ScenarioConfig,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder::measurement_setup()
+    }
+}
+
+impl ScenarioBuilder {
+    /// Starts from the paper's measurement setup with default physics.
+    pub fn measurement_setup() -> Self {
+        ScenarioBuilder {
+            cfg: ScenarioConfig {
+                testbed: TestbedConfig::measurement_setup(),
+                transport: TransportConfig::default(),
+                commands: Vec::new(),
+                selector: None,
+                horizon: SimDuration::from_mins(10 * 60),
+                transfer_timeout: SimDuration::from_mins(6 * 60),
+                task_accept_by_sc: None,
+                transfer_refuse_by_sc: None,
+                client_commands_by_sc: None,
+                shared_files_by_sc: None,
+                stop_when_idle: true,
+                retry: None,
+                trace_capacity: None,
+            },
+        }
+    }
+
+    /// Replaces the testbed.
+    pub fn testbed(mut self, testbed: TestbedConfig) -> Self {
+        self.cfg.testbed = testbed;
+        self
+    }
+
+    /// Replaces the transport model wholesale.
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.cfg.transport = transport;
+        self
+    }
+
+    /// Sets the transport's message-drop probability (validated at build).
+    pub fn drop_probability(mut self, p: f64) -> Self {
+        self.cfg.transport.message_drop_probability = p;
+        self
+    }
+
+    /// Appends a broker command at `delay` from start.
+    pub fn at(mut self, delay: SimDuration, cmd: BrokerCommand) -> Self {
+        self.cfg.commands.push((delay, cmd));
+        self
+    }
+
+    /// Installs a selection-model factory.
+    pub fn selector(mut self, f: SelectorFactory) -> Self {
+        self.cfg.selector = Some(f);
+        self
+    }
+
+    /// Sets the virtual-time safety horizon.
+    pub fn horizon(mut self, horizon: SimDuration) -> Self {
+        self.cfg.horizon = horizon;
+        self
+    }
+
+    /// Sets the transfer watchdog timeout.
+    pub fn transfer_timeout(mut self, timeout: SimDuration) -> Self {
+        self.cfg.transfer_timeout = timeout;
+        self
+    }
+
+    /// Per-SC task-acceptance probabilities (index 0 = SC1).
+    pub fn task_accept_by_sc(mut self, accept: [f64; 8]) -> Self {
+        self.cfg.task_accept_by_sc = Some(accept);
+        self
+    }
+
+    /// Per-SC petition-refusal probabilities (index 0 = SC1).
+    pub fn transfer_refuse_by_sc(mut self, refuse: [f64; 8]) -> Self {
+        self.cfg.transfer_refuse_by_sc = Some(refuse);
+        self
+    }
+
+    /// Appends one scripted client command on `sc` (1..=8).
+    pub fn client_command(mut self, sc: u8, delay: SimDuration, cmd: ClientCommand) -> Self {
+        self.cfg
+            .client_commands_by_sc
+            .get_or_insert_with(Vec::new)
+            .push((sc, delay, cmd));
+        self
+    }
+
+    /// Registers a file shared by `sc` (1..=8) at join.
+    pub fn shared_file(mut self, sc: u8, name: impl Into<String>, bytes: u64) -> Self {
+        self.cfg
+            .shared_files_by_sc
+            .get_or_insert_with(Vec::new)
+            .push((sc, name.into(), bytes));
+        self
+    }
+
+    /// Whether the broker stops the run once its scripted work is done.
+    pub fn stop_when_idle(mut self, stop: bool) -> Self {
+        self.cfg.stop_when_idle = stop;
+        self
+    }
+
+    /// Retransmission policy for lossy transports.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = Some(retry);
+        self
+    }
+
+    /// Enables typed tracing with a ring buffer of `capacity` events.
+    pub fn traced(mut self, capacity: usize) -> Self {
+        self.cfg.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Validates every invariant and returns the finished config.
+    pub fn build(self) -> Result<ScenarioConfig, ScenarioError> {
+        let cfg = self.cfg;
+        if cfg.horizon == SimDuration::ZERO {
+            return Err(ScenarioError::NonPositiveHorizon);
+        }
+        let check_prob = |what: String, value: f64| {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ScenarioError::ProbabilityOutOfRange { what, value });
+            }
+            Ok(())
+        };
+        check_prob(
+            "transport.message_drop_probability".into(),
+            cfg.transport.message_drop_probability,
+        )?;
+        if let Some(accept) = &cfg.task_accept_by_sc {
+            for (i, &p) in accept.iter().enumerate() {
+                check_prob(format!("task_accept_by_sc[{i}]"), p)?;
+            }
+        }
+        if let Some(refuse) = &cfg.transfer_refuse_by_sc {
+            for (i, &p) in refuse.iter().enumerate() {
+                check_prob(format!("transfer_refuse_by_sc[{i}]"), p)?;
+            }
+        }
+        if let Some(commands) = &cfg.client_commands_by_sc {
+            for (sc, _, cmd) in commands {
+                if !(1..=8).contains(sc) {
+                    return Err(ScenarioError::ScIndexOutOfRange {
+                        what: "client_commands_by_sc",
+                        sc: *sc,
+                    });
+                }
+                // Leave/Instant are passive; only client-initiated *work*
+                // (file requests, job submissions) is invisible to the
+                // broker's idle detector.
+                let generates_work = matches!(
+                    cmd,
+                    ClientCommand::RequestFile { .. } | ClientCommand::SubmitJob { .. }
+                );
+                if generates_work && cfg.stop_when_idle {
+                    return Err(ScenarioError::IdleStopWithScriptedClients { sc: *sc });
+                }
+            }
+        }
+        if let Some(shared) = &cfg.shared_files_by_sc {
+            for (sc, _, _) in shared {
+                if !(1..=8).contains(sc) {
+                    return Err(ScenarioError::ScIndexOutOfRange {
+                        what: "shared_files_by_sc",
+                        sc: *sc,
+                    });
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// One entry of the static scenario table: both [`ScenarioConfig::named`]
+/// and [`named_scenario_list`] derive from it, so the two can never drift.
+struct NamedScenario {
+    name: &'static str,
+    build: fn() -> ScenarioConfig,
+}
+
+fn named_smoke() -> ScenarioConfig {
+    ScenarioConfig::measurement_setup().at(
+        SimDuration::from_secs(60),
+        BrokerCommand::DistributeFile {
+            target: TargetSpec::AllClients,
+            size_bytes: crate::spec::MB,
+            num_parts: 1,
+            label: "smoke".into(),
+        },
+    )
+}
+
+// The Fig 2 setup distilled: one small file per SC, so the petition/wake-up
+// wait dominates everything else on SC7.
+fn named_fig2() -> ScenarioConfig {
+    ScenarioConfig::measurement_setup().at(
+        SimDuration::from_secs(60),
+        BrokerCommand::DistributeFile {
+            target: TargetSpec::AllClients,
+            size_bytes: crate::spec::MB,
+            num_parts: 1,
+            label: "fig2-petition".into(),
+        },
+    )
+}
+
+// The Fig 3/4 bulk study: 50 MB in 1 MB parts, so data transmission
+// dominates even on SC7.
+fn named_fig234() -> ScenarioConfig {
+    ScenarioConfig::measurement_setup().at(
+        SimDuration::from_secs(60),
+        BrokerCommand::DistributeFile {
+            target: TargetSpec::AllClients,
+            size_bytes: 50 * crate::spec::MB,
+            num_parts: 50,
+            label: "fig234".into(),
+        },
+    )
+}
+
+fn named_fig5() -> ScenarioConfig {
+    ScenarioConfig::measurement_setup().at(
+        SimDuration::from_secs(60),
+        BrokerCommand::DistributeFile {
+            target: TargetSpec::AllClients,
+            size_bytes: 100 * crate::spec::MB,
+            num_parts: 16,
+            label: "fig5-16".into(),
+        },
+    )
+}
+
+fn named_fig5_lossy() -> ScenarioConfig {
+    ScenarioBuilder::measurement_setup()
+        .at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 100 * crate::spec::MB,
+                num_parts: 16,
+                label: "fig5-16".into(),
+            },
+        )
+        .drop_probability(0.05)
+        .retry(RetryPolicy::default())
+        .build()
+        .expect("fig5-lossy scenario is valid")
+}
+
+static NAMED_SCENARIOS: &[NamedScenario] = &[
+    NamedScenario {
+        name: "smoke",
+        build: named_smoke,
+    },
+    NamedScenario {
+        name: "fig2",
+        build: named_fig2,
+    },
+    NamedScenario {
+        name: "fig234",
+        build: named_fig234,
+    },
+    NamedScenario {
+        name: "fig5",
+        build: named_fig5,
+    },
+    NamedScenario {
+        name: "fig5-lossy",
+        build: named_fig5_lossy,
+    },
+];
+
+impl ScenarioConfig {
+    /// Starts a validating [`ScenarioBuilder`] from the paper's defaults.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::measurement_setup()
+    }
+
+    /// The paper's measurement setup with default physics. Equivalent to
+    /// `ScenarioConfig::builder().build()`, which cannot fail for the
+    /// defaults.
+    pub fn measurement_setup() -> Self {
+        ScenarioBuilder::measurement_setup()
+            .build()
+            .expect("measurement defaults are valid")
     }
 
     /// Enables typed tracing with a ring buffer of `capacity` events.
@@ -80,86 +421,57 @@ impl ScenarioConfig {
     }
 
     /// The scenarios `psim trace`/`psim report` (and the CI determinism
-    /// check) know by name. `None` for an unknown name; see
-    /// [`named_scenario_list`] for the valid spellings.
+    /// check) know by name, resolved from the same static table as
+    /// [`named_scenario_list`]. `None` for an unknown name.
     pub fn named(name: &str) -> Option<Self> {
-        use crate::spec::MB;
-        let base = ScenarioConfig::measurement_setup();
-        match name {
-            "smoke" => Some(base.at(
-                SimDuration::from_secs(60),
-                BrokerCommand::DistributeFile {
-                    target: TargetSpec::AllClients,
-                    size_bytes: MB,
-                    num_parts: 1,
-                    label: "smoke".into(),
-                },
-            )),
-            // The Fig 2 setup distilled: one small file per SC, so the
-            // petition/wake-up wait dominates everything else on SC7.
-            "fig2" => Some(base.at(
-                SimDuration::from_secs(60),
-                BrokerCommand::DistributeFile {
-                    target: TargetSpec::AllClients,
-                    size_bytes: MB,
-                    num_parts: 1,
-                    label: "fig2-petition".into(),
-                },
-            )),
-            // The Fig 3/4 bulk study: 50 MB in 1 MB parts, so data
-            // transmission dominates even on SC7.
-            "fig234" => Some(base.at(
-                SimDuration::from_secs(60),
-                BrokerCommand::DistributeFile {
-                    target: TargetSpec::AllClients,
-                    size_bytes: 50 * MB,
-                    num_parts: 50,
-                    label: "fig234".into(),
-                },
-            )),
-            "fig5" => Some(base.at(
-                SimDuration::from_secs(60),
-                BrokerCommand::DistributeFile {
-                    target: TargetSpec::AllClients,
-                    size_bytes: 100 * MB,
-                    num_parts: 16,
-                    label: "fig5-16".into(),
-                },
-            )),
-            "fig5-lossy" => {
-                let mut cfg = base.at(
-                    SimDuration::from_secs(60),
-                    BrokerCommand::DistributeFile {
-                        target: TargetSpec::AllClients,
-                        size_bytes: 100 * MB,
-                        num_parts: 16,
-                        label: "fig5-16".into(),
-                    },
-                );
-                cfg.transport.message_drop_probability = 0.05;
-                cfg.retry = Some(RetryPolicy::default());
-                Some(cfg)
-            }
-            _ => None,
-        }
+        NAMED_SCENARIOS
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| (s.build)())
     }
 
-    /// Appends a command.
+    /// Appends a command. Broker commands are opaque to validation
+    /// (targets resolve at run time), so this stays available post-build.
     pub fn at(mut self, delay: SimDuration, cmd: BrokerCommand) -> Self {
         self.commands.push((delay, cmd));
         self
     }
 
-    /// Installs a selector factory.
+    /// Installs a selector factory (invariant-free, so post-build is fine).
     pub fn with_selector(mut self, f: SelectorFactory) -> Self {
         self.selector = Some(f);
         self
     }
+
+    /// The testbed this scenario builds.
+    pub fn testbed(&self) -> &TestbedConfig {
+        &self.testbed
+    }
+
+    /// The transport model parameters.
+    pub fn transport(&self) -> &TransportConfig {
+        &self.transport
+    }
+
+    /// The broker command script.
+    pub fn commands(&self) -> &[(SimDuration, BrokerCommand)] {
+        &self.commands
+    }
+
+    /// The virtual-time safety horizon.
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// The trace ring-buffer capacity, when tracing is enabled.
+    pub fn trace_capacity(&self) -> Option<usize> {
+        self.trace_capacity
+    }
 }
 
-/// The names [`ScenarioConfig::named`] accepts.
-pub fn named_scenario_list() -> &'static [&'static str] {
-    &["smoke", "fig2", "fig234", "fig5", "fig5-lossy"]
+/// The names [`ScenarioConfig::named`] accepts, from the same static table.
+pub fn named_scenario_list() -> Vec<&'static str> {
+    NAMED_SCENARIOS.iter().map(|s| s.name).collect()
 }
 
 /// The observable outputs of one replication.
@@ -322,5 +634,114 @@ mod tests {
         let c = run_scenario(&mk(), 8);
         let times_c: Vec<_> = c.log.transfers.iter().map(|t| t.completed_at).collect();
         assert_ne!(times_a, times_c);
+    }
+
+    #[test]
+    fn every_listed_name_resolves() {
+        let names = named_scenario_list();
+        assert!(!names.is_empty());
+        for name in names {
+            assert!(
+                ScenarioConfig::named(name).is_some(),
+                "listed scenario {name:?} does not resolve"
+            );
+        }
+        assert!(ScenarioConfig::named("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn builder_rejects_bad_sc_index() {
+        let err = ScenarioConfig::builder()
+            .stop_when_idle(false)
+            .client_command(
+                9,
+                SimDuration::from_secs(1),
+                ClientCommand::RequestFile { name: "f".into() },
+            )
+            .build()
+            .err()
+            .expect("expected a build error");
+        assert_eq!(
+            err,
+            ScenarioError::ScIndexOutOfRange {
+                what: "client_commands_by_sc",
+                sc: 9
+            }
+        );
+        let err = ScenarioConfig::builder()
+            .shared_file(0, "f", 1)
+            .build()
+            .err()
+            .expect("expected a build error");
+        assert!(matches!(
+            err,
+            ScenarioError::ScIndexOutOfRange { sc: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_probabilities() {
+        let mut accept = [1.0; 8];
+        accept[3] = 1.5;
+        let err = ScenarioConfig::builder()
+            .task_accept_by_sc(accept)
+            .build()
+            .err()
+            .expect("expected a build error");
+        assert!(matches!(err, ScenarioError::ProbabilityOutOfRange { .. }));
+        assert!(err.to_string().contains("task_accept_by_sc[3]"));
+
+        let err = ScenarioConfig::builder()
+            .drop_probability(-0.1)
+            .build()
+            .err()
+            .expect("expected a build error");
+        assert!(matches!(err, ScenarioError::ProbabilityOutOfRange { .. }));
+
+        let err = ScenarioConfig::builder()
+            .transfer_refuse_by_sc([f64::NAN; 8])
+            .build()
+            .err()
+            .expect("expected a build error");
+        assert!(matches!(err, ScenarioError::ProbabilityOutOfRange { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_zero_horizon() {
+        let err = ScenarioConfig::builder()
+            .horizon(SimDuration::ZERO)
+            .build()
+            .err()
+            .expect("expected a build error");
+        assert_eq!(err, ScenarioError::NonPositiveHorizon);
+    }
+
+    #[test]
+    fn builder_rejects_idle_stop_with_work_generating_clients() {
+        let err = ScenarioConfig::builder()
+            .client_command(
+                2,
+                SimDuration::from_secs(1),
+                ClientCommand::RequestFile { name: "f".into() },
+            )
+            .build()
+            .err()
+            .expect("expected a build error");
+        assert_eq!(err, ScenarioError::IdleStopWithScriptedClients { sc: 2 });
+        // A passive Leave is fine under idle-stop (churn experiments rely
+        // on this), and work-generating commands pass once idle-stop is off.
+        assert!(ScenarioConfig::builder()
+            .client_command(4, SimDuration::from_secs(1), ClientCommand::Leave)
+            .build()
+            .is_ok());
+        assert!(ScenarioConfig::builder()
+            .stop_when_idle(false)
+            .client_command(
+                2,
+                SimDuration::from_secs(1),
+                ClientCommand::RequestFile { name: "f".into() },
+            )
+            .build()
+            .is_ok());
     }
 }

@@ -74,24 +74,27 @@ proptest! {
         drop_p in 0.0f64..0.30,
         seed in any::<u64>(),
     ) {
-        let mut cfg = ScenarioConfig::measurement_setup().at(
-            SimDuration::from_secs(60),
-            BrokerCommand::DistributeFile {
-                target: TargetSpec::AllClients,
-                size_bytes: 8 * MB,
-                num_parts: 8,
-                label: "prop".into(),
-            },
-        );
-        cfg.transport.message_drop_probability = drop_p;
-        cfg.retry = Some(RetryPolicy {
-            timeout: SimDuration::from_secs(60),
-            max_attempts: 8,
-        });
         // Keep the run alive past the sender's broker report so in-flight
         // receiver-side messages land; bound it with the horizon instead.
-        cfg.stop_when_idle = false;
-        cfg.horizon = SimDuration::from_mins(120);
+        let cfg = ScenarioConfig::builder()
+            .at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 8 * MB,
+                    num_parts: 8,
+                    label: "prop".into(),
+                },
+            )
+            .drop_probability(drop_p)
+            .retry(RetryPolicy {
+                timeout: SimDuration::from_secs(60),
+                max_attempts: 8,
+            })
+            .stop_when_idle(false)
+            .horizon(SimDuration::from_mins(120))
+            .build()
+            .expect("valid scenario");
 
         let result = run_scenario(&cfg, seed);
         for t in result
@@ -150,6 +153,40 @@ proptest! {
 }
 
 proptest! {
+    /// Sweep campaigns are worker-count invariant: the CSV and JSON a
+    /// campaign emits are byte-identical whether one worker runs every
+    /// cell or four workers steal them — parallelism never changes
+    /// numbers, only wall-clock time.
+    #[test]
+    fn sweep_output_is_worker_count_invariant(
+        campaign_seed in any::<u64>(),
+        size_mb in 2u64..5,
+    ) {
+        use overlay::selector::ModelKind;
+        use workloads::sweep::{
+            run_campaign, CellWorkload, SeedScheme, SweepSpec, TestbedAxis, ACCEPT_ALL,
+        };
+        let spec = SweepSpec {
+            name: "prop-grid".into(),
+            workload: CellWorkload::Distribute {
+                size_bytes: size_mb * MB,
+            },
+            models: vec![ModelKind::Blind],
+            parts: vec![1, 4],
+            drop_probabilities: vec![0.0],
+            testbeds: vec![TestbedAxis::Measurement],
+            accept_profiles: vec![ACCEPT_ALL],
+            seeds: SeedScheme::Derived {
+                campaign_seed,
+                replications: 2,
+            },
+            warmup: SimDuration::from_secs(60),
+        };
+        let serial = run_campaign(&spec, 1).expect("valid grid");
+        let parallel = run_campaign(&spec, 4).expect("valid grid");
+        prop_assert_eq!(serial.to_csv(), parallel.to_csv());
+        prop_assert_eq!(serial.to_json(), parallel.to_json());
+    }
 
     /// Latency attribution partitions the timeline: under an arbitrary
     /// drop probability, every attributed transfer's five phases sum
@@ -159,22 +196,25 @@ proptest! {
         drop_p in 0.0f64..0.30,
         seed in any::<u64>(),
     ) {
-        let mut cfg = ScenarioConfig::measurement_setup().at(
-            SimDuration::from_secs(60),
-            BrokerCommand::DistributeFile {
-                target: TargetSpec::AllClients,
-                size_bytes: 8 * MB,
-                num_parts: 8,
-                label: "attr-prop".into(),
-            },
-        );
-        cfg.transport.message_drop_probability = drop_p;
-        cfg.retry = Some(RetryPolicy {
-            timeout: SimDuration::from_secs(60),
-            max_attempts: 8,
-        });
-        cfg.stop_when_idle = false;
-        cfg.horizon = SimDuration::from_mins(120);
+        let cfg = ScenarioConfig::builder()
+            .at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 8 * MB,
+                    num_parts: 8,
+                    label: "attr-prop".into(),
+                },
+            )
+            .drop_probability(drop_p)
+            .retry(RetryPolicy {
+                timeout: SimDuration::from_secs(60),
+                max_attempts: 8,
+            })
+            .stop_when_idle(false)
+            .horizon(SimDuration::from_mins(120))
+            .build()
+            .expect("valid scenario");
 
         let run = run_traced(&cfg, seed);
         prop_assert_eq!(run.result.trace.dropped(), 0);

@@ -7,8 +7,14 @@
 //! psim extensions --quick                   # future-work studies
 //! psim transfer --size-mb 50 --parts 50     # one blind distribution
 //! psim transfer --model economic ...        # one selected transfer
+//! psim sweep fig345 --workers 4             # parallel grid campaign → CSV
+//! psim sweep fig67 --quick --json out.json  # machine-readable campaign
 //! psim csv --out target/figures --quick     # machine-readable series
 //! ```
+//!
+//! Every subcommand is described by one row of [`COMMANDS`]: the parser,
+//! the `--help` text, and the flag validation all derive from that table,
+//! so a flag cannot exist without documentation or vice versa.
 
 use std::collections::HashMap;
 
@@ -25,9 +31,362 @@ use workloads::experiments::{
     self, ablation, adaptation, extensions, fig5, fig6, fig7, table1, transfer_study,
 };
 use workloads::report::{metrics_snapshot_json, render_timelines, transfer_timelines};
-use workloads::runner::run_traced;
+use workloads::runner::{default_workers, run_traced};
 use workloads::scenario::{named_scenario_list, run_scenario, ScenarioConfig};
-use workloads::spec::{ExperimentSpec, MB};
+use workloads::spec::{ExperimentSpec, MB, PAPER_REPETITIONS};
+use workloads::sweep::{
+    measure_campaign_scaling, measure_pool_scaling, named_grid, named_grid_list,
+    render_scaling_json, run_campaign,
+};
+
+// ---------------------------------------------------------------------------
+// The declarative command table: one row per subcommand, one row per flag.
+// ---------------------------------------------------------------------------
+
+/// One `--flag` a subcommand accepts.
+struct FlagDef {
+    name: &'static str,
+    /// `true`: the flag consumes the next argument; `false`: boolean switch.
+    takes_value: bool,
+    /// Default inserted before parsing (`None` = absent unless given).
+    default: Option<&'static str>,
+    help: &'static str,
+}
+
+/// One subcommand.
+struct CommandDef {
+    name: &'static str,
+    /// Placeholder for the positional argument, if the command takes one.
+    positional: Option<&'static str>,
+    flags: &'static [FlagDef],
+    help: &'static str,
+}
+
+const SEED: FlagDef = FlagDef {
+    name: "seed",
+    takes_value: true,
+    default: Some("1"),
+    help: "RNG seed",
+};
+const QUICK: FlagDef = FlagDef {
+    name: "quick",
+    takes_value: false,
+    default: None,
+    help: "fewer repetitions (smoke settings)",
+};
+const STRICT: FlagDef = FlagDef {
+    name: "strict",
+    takes_value: false,
+    default: None,
+    help: "exit 3 when the trace ring dropped events",
+};
+
+static COMMANDS: &[CommandDef] = &[
+    CommandDef {
+        name: "table1",
+        positional: None,
+        flags: &[],
+        help: "print the slice roster and calibrated testbed",
+    },
+    CommandDef {
+        name: "fig",
+        positional: Some("<2|3|4|5|6|7|all>"),
+        flags: &[QUICK],
+        help: "reproduce a figure (default: all)",
+    },
+    CommandDef {
+        name: "extensions",
+        positional: None,
+        flags: &[QUICK],
+        help: "run the future-work studies",
+    },
+    CommandDef {
+        name: "ablation",
+        positional: None,
+        flags: &[QUICK],
+        help: "transport-model ablation table",
+    },
+    CommandDef {
+        name: "transfer",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "size-mb",
+                takes_value: true,
+                default: Some("10"),
+                help: "file size in MB",
+            },
+            FlagDef {
+                name: "parts",
+                takes_value: true,
+                default: Some("10"),
+                help: "number of file parts",
+            },
+            SEED,
+            FlagDef {
+                name: "model",
+                takes_value: true,
+                default: None,
+                help: "economic|evaluator|quick-peer|random|ucb1 (default: blind, all peers)",
+            },
+        ],
+        help: "run one file distribution",
+    },
+    CommandDef {
+        name: "task",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "work",
+                takes_value: true,
+                default: Some("120"),
+                help: "task size in Gops",
+            },
+            FlagDef {
+                name: "input-mb",
+                takes_value: true,
+                default: Some("0"),
+                help: "task input size in MB",
+            },
+            SEED,
+            FlagDef {
+                name: "model",
+                takes_value: true,
+                default: None,
+                help: "economic|evaluator|quick-peer|random|ucb1 (default: all peers)",
+            },
+        ],
+        help: "run one task campaign",
+    },
+    CommandDef {
+        name: "sweep",
+        positional: Some("<grid>"),
+        flags: &[
+            FlagDef {
+                name: "workers",
+                takes_value: true,
+                default: Some("0"),
+                help: "worker threads; 0 = auto (never changes the numbers)",
+            },
+            SEED,
+            QUICK,
+            FlagDef {
+                name: "csv",
+                takes_value: true,
+                default: None,
+                help: "also write the CSV to FILE",
+            },
+            FlagDef {
+                name: "json",
+                takes_value: true,
+                default: None,
+                help: "write the campaign JSON to FILE",
+            },
+            FlagDef {
+                name: "prom",
+                takes_value: true,
+                default: None,
+                help: "write cell-tagged metrics exposition to FILE",
+            },
+        ],
+        help: "run a named grid campaign (fig345, fig67); CSV on stdout",
+    },
+    CommandDef {
+        name: "csv",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "out",
+                takes_value: true,
+                default: Some("target/figures"),
+                help: "output directory",
+            },
+            QUICK,
+        ],
+        help: "write every figure's series as CSV",
+    },
+    CommandDef {
+        name: "bench-engine",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "messages",
+                takes_value: true,
+                default: Some("1000000"),
+                help: "ping-pong message count",
+            },
+            FlagDef {
+                name: "out",
+                takes_value: true,
+                default: Some("BENCH_engine.json"),
+                help: "output file",
+            },
+        ],
+        help: "measure engine throughput, write BENCH_engine.json",
+    },
+    CommandDef {
+        name: "bench-sweep",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "tasks",
+                takes_value: true,
+                default: Some("16"),
+                help: "wait-bound cells in the pool mode",
+            },
+            FlagDef {
+                name: "cell-ms",
+                takes_value: true,
+                default: Some("25"),
+                help: "per-cell wait in milliseconds",
+            },
+            FlagDef {
+                name: "out",
+                takes_value: true,
+                default: Some("BENCH_sweep.json"),
+                help: "output file",
+            },
+        ],
+        help: "measure sweep cells/second vs workers, write BENCH_sweep.json",
+    },
+    CommandDef {
+        name: "trace",
+        positional: Some("<scenario>"),
+        flags: &[
+            SEED,
+            FlagDef {
+                name: "out",
+                takes_value: true,
+                default: None,
+                help: "output file (default: stdout)",
+            },
+            STRICT,
+        ],
+        help: "run a traced scenario, emit JSONL events",
+    },
+    CommandDef {
+        name: "report",
+        positional: Some("<scenario>"),
+        flags: &[SEED, STRICT],
+        help: "traced run -> metrics snapshot + transfer timelines",
+    },
+    CommandDef {
+        name: "attribute",
+        positional: Some("<scenario>"),
+        flags: &[
+            SEED,
+            FlagDef {
+                name: "csv",
+                takes_value: true,
+                default: None,
+                help: "write the phase table CSV to FILE",
+            },
+            FlagDef {
+                name: "prom",
+                takes_value: true,
+                default: None,
+                help: "write metrics exposition to FILE",
+            },
+            STRICT,
+        ],
+        help: "traced run -> per-peer latency phase breakdown",
+    },
+];
+
+/// Parsed arguments for one subcommand: the table-validated flags plus the
+/// positional argument, with typed accessors that exit 2 on malformed input.
+struct Flags {
+    values: HashMap<&'static str, String>,
+    positional: Option<String>,
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    fn f64(&self, name: &str) -> f64 {
+        self.parse(name)
+    }
+
+    fn u64(&self, name: &str) -> u64 {
+        self.parse(name)
+    }
+
+    fn usize(&self, name: &str) -> usize {
+        self.parse(name)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str) -> T {
+        let raw = self.values.get(name).unwrap_or_else(|| {
+            panic!("flag --{name} read without a table default");
+        });
+        match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("invalid value `{raw}` for --{name}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Parses `args` against the command's flag table. Unknown flags, missing
+/// values, and stray extra positionals are usage errors (exit 2).
+fn parse_flags(cmd: &CommandDef, args: &[String]) -> Flags {
+    let mut values: HashMap<&'static str, String> = HashMap::new();
+    for f in cmd.flags {
+        if let Some(d) = f.default {
+            values.insert(f.name, d.to_string());
+        }
+    }
+    let mut positional = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(name) = arg.strip_prefix("--") {
+            let Some(def) = cmd.flags.iter().find(|f| f.name == name) else {
+                let valid: Vec<String> =
+                    cmd.flags.iter().map(|f| format!("--{}", f.name)).collect();
+                eprintln!(
+                    "unknown flag --{name} for `psim {}`; valid flags: {}",
+                    cmd.name,
+                    if valid.is_empty() {
+                        "(none)".to_string()
+                    } else {
+                        valid.join(", ")
+                    }
+                );
+                std::process::exit(2);
+            };
+            if def.takes_value {
+                match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(v) => {
+                        values.insert(def.name, v.clone());
+                        i += 1;
+                    }
+                    None => {
+                        eprintln!("flag --{name} requires a value");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                values.insert(def.name, "true".to_string());
+            }
+        } else if cmd.positional.is_some() && positional.is_none() {
+            positional = Some(arg.clone());
+        } else {
+            eprintln!("unexpected argument `{arg}` for `psim {}`", cmd.name);
+            std::process::exit(2);
+        }
+        i += 1;
+    }
+    Flags { values, positional }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,85 +397,87 @@ fn main() {
             return;
         }
     };
-    let flags = parse_flags(rest);
-    let spec = if flags.contains_key("quick") {
+    if matches!(command, "help" | "--help" | "-h") {
+        usage();
+        return;
+    }
+    let Some(cmd) = COMMANDS.iter().find(|c| c.name == command) else {
+        eprintln!("unknown command: {command}\n");
+        usage();
+        std::process::exit(2);
+    };
+    let flags = parse_flags(cmd, rest);
+    let spec = if flags.has("quick") {
         ExperimentSpec::quick()
     } else {
         ExperimentSpec::paper_defaults()
     };
-    match command {
+    match cmd.name {
         "table1" => println!("{}", table1::run()),
-        "fig" => cmd_fig(rest.first().map(String::as_str).unwrap_or("all"), &spec),
+        "fig" => cmd_fig(flags.positional.as_deref().unwrap_or("all"), &spec),
         "extensions" => cmd_extensions(&spec),
         "ablation" => println!("{}", ablation::run(&spec).render()),
         "transfer" => cmd_transfer(&flags),
         "task" => cmd_task(&flags),
+        "sweep" => cmd_sweep(&flags),
         "csv" => cmd_csv(&flags, &spec),
         "bench-engine" => cmd_bench_engine(&flags),
-        "trace" => cmd_trace(rest, &flags),
-        "report" => cmd_report(rest, &flags),
-        "attribute" => cmd_attribute(rest, &flags),
-        "help" | "--help" | "-h" => usage(),
-        other => {
-            eprintln!("unknown command: {other}\n");
-            usage();
-            std::process::exit(2);
-        }
+        "bench-sweep" => cmd_bench_sweep(&flags),
+        "trace" => cmd_trace(&flags),
+        "report" => cmd_report(&flags),
+        "attribute" => cmd_attribute(&flags),
+        _ => unreachable!("every table row is dispatched"),
     }
 }
 
+/// `--help` is generated from [`COMMANDS`], so it cannot drift from the
+/// parser: every command, flag, default, and the exit-code contract.
 fn usage() {
+    println!("psim — peer selection study (ICPPW'07 reproduction)\n");
+    println!("commands:");
+    for cmd in COMMANDS {
+        let head = match cmd.positional {
+            Some(p) => format!("{} {}", cmd.name, p),
+            None => cmd.name.to_string(),
+        };
+        println!("  {head:<27} {}", cmd.help);
+        for f in cmd.flags {
+            let flag = if f.takes_value {
+                format!("--{} <v>", f.name)
+            } else {
+                format!("--{}", f.name)
+            };
+            let default = match f.default {
+                Some(d) => format!(" (default: {d})"),
+                None => String::new(),
+            };
+            println!("     {flag:<24} {}{default}", f.help);
+        }
+    }
+    println!("  {:<27} this text", "help");
     println!(
-        "psim — peer selection study (ICPPW'07 reproduction)\n\n\
-         commands:\n\
-         \x20 table1                      print the slice roster and calibrated testbed\n\
-         \x20 fig <2|3|4|5|6|7|all>       reproduce a figure (add --quick for 2 reps)\n\
-         \x20 extensions                  run the future-work studies\n\
-         \x20 ablation                    transport-model ablation table\n\
-         \x20 transfer [opts]             run one file distribution\n\
-         \x20    --size-mb N (10)  --parts P (10)  --seed S (1)\n\
-         \x20    --model <economic|evaluator|quick-peer|random>   (default: blind, all peers)\n\
-         \x20 task [opts]                 run one task campaign\n\
-         \x20    --work G (120)  --input-mb N (0)  --seed S (1)  --model <...>\n\
-         \x20 csv --out DIR               write every figure's series as CSV\n\
-         \x20 bench-engine [opts]         measure engine throughput, write BENCH_engine.json\n\
-         \x20    --messages N (1000000)  --out FILE (BENCH_engine.json)\n\
-         \x20 trace <scenario> [opts]     run a traced scenario, emit JSONL events\n\
-         \x20    scenarios: smoke, fig2, fig234, fig5, fig5-lossy\n\
-         \x20    --seed S (1)  --out FILE (stdout)  --strict (exit 3 on trace drops)\n\
-         \x20 report <scenario> [opts]    traced run → metrics snapshot + transfer timelines\n\
-         \x20    --seed S (1)  --strict\n\
-         \x20 attribute <scenario> [opts] traced run → per-peer latency phase breakdown\n\
-         \x20    --seed S (1)  --csv FILE  --prom FILE  --strict\n\
-         \x20 help                        this text"
+        "\nscenarios: {}\ngrids:     {}",
+        named_scenario_list().join(", "),
+        named_grid_list().join(", ")
+    );
+    println!(
+        "\nexit codes:\n\
+         \x20 0  success\n\
+         \x20 1  I/O error (cannot write an output file)\n\
+         \x20 2  usage error (unknown command, flag, figure, model, scenario, or grid)\n\
+         \x20 3  --strict violation (truncated trace)"
     );
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .cloned()
-                .unwrap_or_else(|| "true".to_string());
-            if value != "true" {
-                i += 1;
-            }
-            flags.insert(name.to_string(), value);
-        }
-        i += 1;
+/// Writes `content` to `path`, honouring the exit-code contract (1 = I/O).
+/// The confirmation goes to stderr: stdout is reserved for the artifact
+/// itself, so two runs' stdout can be diffed byte-for-byte.
+fn write_or_exit(path: &str, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
     }
-    flags
-}
-
-fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> f64 {
-    flags
-        .get(name)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    eprintln!("wrote {path}");
 }
 
 /// Models `psim transfer`/`psim task` accept (a superset of the fig6
@@ -219,48 +580,42 @@ fn cmd_extensions(spec: &ExperimentSpec) {
     );
 }
 
-fn cmd_transfer(flags: &HashMap<String, String>) {
-    let size = (flag_f64(flags, "size-mb", 10.0).max(0.001) * MB as f64) as u64;
-    let parts = flag_f64(flags, "parts", 10.0).max(1.0) as u32;
-    let seed = flag_f64(flags, "seed", 1.0) as u64;
-    let model = flags.get("model").cloned();
+fn cmd_transfer(flags: &Flags) {
+    let size = (flags.f64("size-mb").max(0.001) * MB as f64) as u64;
+    let parts = flags.f64("parts").max(1.0) as u32;
+    let seed = flags.u64("seed");
 
-    let mut cfg = ScenarioConfig::measurement_setup();
-    match selector_or_exit(model.as_deref()) {
-        Some(factory) => {
-            cfg.selector = Some(factory);
-            cfg = cfg
-                .at(
-                    SimDuration::from_secs(60),
-                    BrokerCommand::DistributeFile {
-                        target: TargetSpec::AllClients,
-                        size_bytes: 4 * MB,
-                        num_parts: 4,
-                        label: "warmup".into(),
-                    },
-                )
-                .at(
-                    SimDuration::from_secs(400),
-                    BrokerCommand::DistributeFile {
-                        target: TargetSpec::Selected,
-                        size_bytes: size,
-                        num_parts: parts,
-                        label: "cli".into(),
-                    },
-                );
-        }
-        None => {
-            cfg = cfg.at(
+    let cfg = match selector_or_exit(flags.get("model")) {
+        Some(factory) => ScenarioConfig::measurement_setup()
+            .at(
                 SimDuration::from_secs(60),
                 BrokerCommand::DistributeFile {
                     target: TargetSpec::AllClients,
+                    size_bytes: 4 * MB,
+                    num_parts: 4,
+                    label: "warmup".into(),
+                },
+            )
+            .at(
+                SimDuration::from_secs(400),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::Selected,
                     size_bytes: size,
                     num_parts: parts,
                     label: "cli".into(),
                 },
-            );
-        }
-    }
+            )
+            .with_selector(factory),
+        None => ScenarioConfig::measurement_setup().at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: size,
+                num_parts: parts,
+                label: "cli".into(),
+            },
+        ),
+    };
     let result = run_scenario(&cfg, seed);
     println!(
         "{:<28} {:>12} {:>12} {:>10} {:>9}",
@@ -287,11 +642,11 @@ fn cmd_transfer(flags: &HashMap<String, String>) {
     }
 }
 
-fn cmd_task(flags: &HashMap<String, String>) {
-    let work = flag_f64(flags, "work", 120.0).max(0.001);
-    let input = (flag_f64(flags, "input-mb", 0.0).max(0.0) * MB as f64) as u64;
-    let seed = flag_f64(flags, "seed", 1.0) as u64;
-    let model = flags.get("model").cloned();
+fn cmd_task(flags: &Flags) {
+    let work = flags.f64("work").max(0.001);
+    let input = (flags.f64("input-mb").max(0.0) * MB as f64) as u64;
+    let seed = flags.u64("seed");
+    let model = flags.get("model");
 
     let target = if model.is_some() {
         TargetSpec::Selected
@@ -299,17 +654,18 @@ fn cmd_task(flags: &HashMap<String, String>) {
         TargetSpec::AllClients
     };
     let mut cfg = ScenarioConfig::measurement_setup();
-    if let Some(factory) = selector_or_exit(model.as_deref()) {
-        cfg.selector = Some(factory);
-        cfg = cfg.at(
-            SimDuration::from_secs(60),
-            BrokerCommand::DistributeFile {
-                target: TargetSpec::AllClients,
-                size_bytes: 4 * MB,
-                num_parts: 4,
-                label: "warmup".into(),
-            },
-        );
+    if let Some(factory) = selector_or_exit(model) {
+        cfg = cfg
+            .at(
+                SimDuration::from_secs(60),
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::AllClients,
+                    size_bytes: 4 * MB,
+                    num_parts: 4,
+                    label: "warmup".into(),
+                },
+            )
+            .with_selector(factory);
     }
     cfg = cfg.at(
         SimDuration::from_secs(400),
@@ -342,14 +698,57 @@ fn cmd_task(flags: &HashMap<String, String>) {
     }
 }
 
-fn cmd_bench_engine(flags: &HashMap<String, String>) {
+/// `psim sweep <grid>`: expand a named grid, run every cell × replication
+/// on the worker pool, and print the deterministic CSV on stdout — two runs
+/// with different `--workers` must emit identical bytes.
+fn cmd_sweep(flags: &Flags) {
+    let valid = named_grid_list().join(", ");
+    let Some(name) = flags.positional.as_deref() else {
+        eprintln!("missing grid name; valid grids: {valid}");
+        std::process::exit(2);
+    };
+    let seed = flags.u64("seed");
+    let replications = if flags.has("quick") {
+        2
+    } else {
+        PAPER_REPETITIONS
+    };
+    let Some(spec) = named_grid(name, seed, replications) else {
+        eprintln!("unknown grid `{name}`; valid grids: {valid}");
+        std::process::exit(2);
+    };
+    let workers = match flags.usize("workers") {
+        0 => default_workers(),
+        w => w,
+    };
+    let campaign = match run_campaign(&spec, workers) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: invalid grid: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", campaign.to_csv());
+    eprint!("{}", campaign.render());
+    if let Some(path) = flags.get("csv") {
+        write_or_exit(path, &campaign.to_csv());
+    }
+    if let Some(path) = flags.get("json") {
+        write_or_exit(path, &campaign.to_json());
+    }
+    if let Some(path) = flags.get("prom") {
+        write_or_exit(
+            path,
+            &campaign.merged_metrics().render_prometheus("psim_sweep"),
+        );
+    }
+}
+
+fn cmd_bench_engine(flags: &Flags) {
     use workloads::enginebench;
 
-    let messages = flag_f64(flags, "messages", 1_000_000.0).max(1_000.0) as u64;
-    let out = flags
-        .get("out")
-        .cloned()
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let messages = (flags.f64("messages") as u64).max(1_000);
+    let out = flags.get("out").expect("table default").to_string();
 
     eprintln!("bench-engine: ping-pong {messages} messages (interned metrics) ...");
     let interned = enginebench::pingpong(messages, 1);
@@ -385,19 +784,53 @@ fn cmd_bench_engine(flags: &HashMap<String, String>) {
     );
 
     let json = enginebench::render_json(&interned, &strings, &broker, &overhead);
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("error: cannot write {out}: {e}");
-        std::process::exit(1);
+    write_or_exit(&out, &json);
+}
+
+/// `psim bench-sweep`: the two scaling modes of the campaign driver.
+/// Wait-bound cells (the PlanetLab shape: wall-clock-bound remote runs)
+/// demonstrate pool scaling on any host; CPU-bound simulated cells show
+/// what the local core count allows.
+fn cmd_bench_sweep(flags: &Flags) {
+    let tasks = flags.usize("tasks").max(1);
+    let cell_ms = flags.u64("cell-ms").max(1);
+    let out = flags.get("out").expect("table default").to_string();
+    let workers_list = [1usize, 2, 4];
+
+    eprintln!("bench-sweep: pool mode, {tasks} wait-bound cells x {cell_ms} ms ...");
+    let pool = measure_pool_scaling(
+        tasks,
+        std::time::Duration::from_millis(cell_ms),
+        &workers_list,
+    );
+    for p in &pool {
+        eprintln!(
+            "  {} workers  {:>8.2} cells/s  ({:.3} s wall)",
+            p.workers, p.cells_per_sec, p.wall_secs
+        );
     }
-    println!("wrote {out}");
+
+    let grid = "fig345";
+    let spec = named_grid(grid, 1, 2).expect("built-in grid");
+    let campaign_tasks = spec.expand().map(|c| c.len()).unwrap_or(0) * spec.replications();
+    eprintln!("bench-sweep: campaign mode, {grid} x 2 reps ({campaign_tasks} sim cells) ...");
+    let campaign = measure_campaign_scaling(&spec, &workers_list).expect("built-in grid is valid");
+    for p in &campaign {
+        eprintln!(
+            "  {} workers  {:>8.2} cells/s  ({:.3} s wall)",
+            p.workers, p.cells_per_sec, p.wall_secs
+        );
+    }
+
+    let json = render_scaling_json(&pool, tasks, cell_ms, &campaign, grid, campaign_tasks);
+    write_or_exit(&out, &json);
 }
 
 /// Resolves the positional scenario-name argument for `trace`/`report`,
 /// exiting with the valid list when missing or unknown.
-fn named_scenario_or_exit(rest: &[String]) -> ScenarioConfig {
-    let name = rest.first().filter(|a| !a.starts_with("--"));
+fn named_scenario_or_exit(flags: &Flags) -> ScenarioConfig {
     let valid = named_scenario_list().join(", ");
-    let Some(name) = name else {
+    let Some(name) = flags.positional.as_deref() else {
         eprintln!("missing scenario name; valid scenarios: {valid}");
         std::process::exit(2);
     };
@@ -428,19 +861,13 @@ fn check_trace_drops(trace: &Trace, strict: bool) {
     }
 }
 
-fn cmd_trace(rest: &[String], flags: &HashMap<String, String>) {
-    let cfg = named_scenario_or_exit(rest);
-    let seed = flag_f64(flags, "seed", 1.0) as u64;
+fn cmd_trace(flags: &Flags) {
+    let cfg = named_scenario_or_exit(flags);
+    let seed = flags.u64("seed");
     let run = run_traced(&cfg, seed);
     let trace = &run.result.trace;
     match flags.get("out") {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, &run.jsonl) {
-                eprintln!("error: cannot write {path}: {e}");
-                std::process::exit(1);
-            }
-            println!("wrote {path}");
-        }
+        Some(path) => write_or_exit(path, &run.jsonl),
         None => print!("{}", run.jsonl),
     }
     eprintln!(
@@ -450,12 +877,12 @@ fn cmd_trace(rest: &[String], flags: &HashMap<String, String>) {
         run.digest,
         run.result.elapsed.as_secs_f64(),
     );
-    check_trace_drops(trace, flags.contains_key("strict"));
+    check_trace_drops(trace, flags.has("strict"));
 }
 
-fn cmd_report(rest: &[String], flags: &HashMap<String, String>) {
-    let cfg = named_scenario_or_exit(rest);
-    let seed = flag_f64(flags, "seed", 1.0) as u64;
+fn cmd_report(flags: &Flags) {
+    let cfg = named_scenario_or_exit(flags);
+    let seed = flags.u64("seed");
     let run = run_traced(&cfg, seed);
     let timelines = transfer_timelines(&run.result.trace);
     println!("{}", metrics_snapshot_json(&run.result.metrics));
@@ -467,14 +894,14 @@ fn cmd_report(rest: &[String], flags: &HashMap<String, String>) {
         run.result.trace.len(),
         run.digest,
     );
-    check_trace_drops(&run.result.trace, flags.contains_key("strict"));
+    check_trace_drops(&run.result.trace, flags.has("strict"));
 }
 
-fn cmd_attribute(rest: &[String], flags: &HashMap<String, String>) {
-    let cfg = named_scenario_or_exit(rest);
-    let seed = flag_f64(flags, "seed", 1.0) as u64;
+fn cmd_attribute(flags: &Flags) {
+    let cfg = named_scenario_or_exit(flags);
+    let seed = flags.u64("seed");
     let run = run_traced(&cfg, seed);
-    check_trace_drops(&run.result.trace, flags.contains_key("strict"));
+    check_trace_drops(&run.result.trace, flags.has("strict"));
 
     let attrs = attribute_trace(&run.result.trace);
     let scs = run.result.testbed.scs;
@@ -488,22 +915,14 @@ fn cmd_attribute(rest: &[String], flags: &HashMap<String, String>) {
     print!("{}", render_phase_table(&breakdowns));
 
     if let Some(path) = flags.get("csv") {
-        if let Err(e) = std::fs::write(path, phase_table_csv(&breakdowns)) {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        println!("wrote {path}");
+        write_or_exit(path, &phase_table_csv(&breakdowns));
     }
     if let Some(path) = flags.get("prom") {
         // The exposition carries the run's engine metrics plus the
         // attribution histograms, one deterministic text artifact.
         let mut metrics = run.result.metrics.clone();
         metrics.merge(&aggregate_metrics(&attrs, label_of));
-        if let Err(e) = std::fs::write(path, metrics.render_prometheus("psim")) {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        println!("wrote {path}");
+        write_or_exit(path, &metrics.render_prometheus("psim"));
     }
     eprintln!(
         "attribute: {} transfers attributed from {} trace events, digest {:016x}",
@@ -513,11 +932,8 @@ fn cmd_attribute(rest: &[String], flags: &HashMap<String, String>) {
     );
 }
 
-fn cmd_csv(flags: &HashMap<String, String>, spec: &ExperimentSpec) {
-    let out = flags
-        .get("out")
-        .cloned()
-        .unwrap_or_else(|| "target/figures".to_string());
+fn cmd_csv(flags: &Flags, spec: &ExperimentSpec) {
+    let out = flags.get("out").expect("table default").to_string();
     std::fs::create_dir_all(&out).expect("create output dir");
     let study = transfer_study::run(spec);
     let reports = vec![

@@ -10,16 +10,19 @@ use workloads::spec::{ExperimentSpec, MB};
 #[test]
 fn full_slice_boot_and_broadcast() {
     // All 25 Table-1 hosts plus the broker; a file reaches every client.
-    let mut cfg = ScenarioConfig::measurement_setup().at(
-        SimDuration::from_secs(60),
-        BrokerCommand::DistributeFile {
-            target: TargetSpec::AllClients,
-            size_bytes: 2 * MB,
-            num_parts: 2,
-            label: "slice-broadcast".into(),
-        },
-    );
-    cfg.testbed = planetlab::builder::TestbedConfig::full_slice();
+    let cfg = ScenarioConfig::builder()
+        .testbed(planetlab::builder::TestbedConfig::full_slice())
+        .at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: 2 * MB,
+                num_parts: 2,
+                label: "slice-broadcast".into(),
+            },
+        )
+        .build()
+        .expect("valid scenario");
     let result = run_scenario(&cfg, 3);
     assert_eq!(result.outcome, RunOutcome::Stopped);
     assert_eq!(result.testbed.len(), 26);
@@ -94,7 +97,7 @@ fn selection_on_real_testbed_avoids_the_bottleneck_peer() {
         ),
     ];
     for (name, factory) in models {
-        let mut cfg = ScenarioConfig::measurement_setup()
+        let cfg = ScenarioConfig::measurement_setup()
             .at(
                 SimDuration::from_secs(60),
                 BrokerCommand::DistributeFile {
@@ -112,8 +115,8 @@ fn selection_on_real_testbed_avoids_the_bottleneck_peer() {
                     num_parts: 8,
                     label: "selected".into(),
                 },
-            );
-        cfg.selector = Some(factory);
+            )
+            .with_selector(factory);
         let result = run_scenario(&cfg, 11);
         let pick = &result.log.selections[0];
         assert_ne!(
