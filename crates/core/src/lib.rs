@@ -23,6 +23,9 @@
 //! * [`sticky`] — hysteresis: keep the incumbent peer unless a challenger
 //!   wins by a margin (cuts cold-peer wake-up churn).
 //!
+//! [`service`] is the one name → selector table every driver (experiments,
+//! the psim CLI, sweep grids) resolves models through.
+//!
 //! All models implement [`model::ScoringModel`] and convert to the broker's
 //! [`overlay::selector::PeerSelector`] via [`model::Scored`]:
 //!
@@ -42,6 +45,7 @@ pub mod estimate;
 pub mod evaluator;
 pub mod model;
 pub mod preference;
+pub mod service;
 pub mod sticky;
 
 /// Convenient re-exports of the model types and the overlay hook.
@@ -53,6 +57,7 @@ pub mod prelude {
     pub use crate::evaluator::{DataEvaluatorModel, WeightProfile};
     pub use crate::model::{Scored, ScoringModel};
     pub use crate::preference::{PreferenceMode, UserPreferenceModel};
+    pub use crate::service::{factory_for, try_factory_for, UnknownModelError};
     pub use crate::sticky::StickySelector;
     pub use overlay::selector::{
         CandidateView, InteractionHistory, PeerSelector, Purpose, RandomSelector,

@@ -1,0 +1,67 @@
+//! Pre-resolved protocol counters (the broker's milestone accounting).
+
+use netsim::engine::Context;
+use netsim::metrics::{MetricId, Metrics};
+
+use crate::message::OverlayMsg;
+
+use super::Broker;
+
+/// Pre-resolved handles for the broker's protocol counters, interned once
+/// per run (see [`Metrics::counter_id`]) so milestone accounting on busy
+/// paths never re-walks the metric name map.
+pub(crate) struct BrokerCounters {
+    pub(crate) transfers_started: MetricId,
+    pub(crate) transfers_completed: MetricId,
+    pub(crate) transfers_cancelled: MetricId,
+    pub(crate) tasks_submitted: MetricId,
+    pub(crate) tasks_completed: MetricId,
+    pub(crate) tasks_failed: MetricId,
+    pub(crate) tasks_timed_out: MetricId,
+    pub(crate) joins: MetricId,
+    pub(crate) content_published: MetricId,
+    pub(crate) file_requests_served: MetricId,
+    pub(crate) file_requests_unserved: MetricId,
+    pub(crate) jobs_unplaced: MetricId,
+    pub(crate) gossip_received: MetricId,
+    pub(crate) retransmissions: MetricId,
+    pub(crate) retries_exhausted: MetricId,
+}
+
+impl BrokerCounters {
+    pub(crate) fn resolve(metrics: &mut Metrics) -> Self {
+        BrokerCounters {
+            transfers_started: metrics.counter_id("overlay.transfers_started"),
+            transfers_completed: metrics.counter_id("overlay.transfers_completed"),
+            transfers_cancelled: metrics.counter_id("overlay.transfers_cancelled"),
+            tasks_submitted: metrics.counter_id("overlay.tasks_submitted"),
+            tasks_completed: metrics.counter_id("overlay.tasks_completed"),
+            tasks_failed: metrics.counter_id("overlay.tasks_failed"),
+            tasks_timed_out: metrics.counter_id("overlay.tasks_timed_out"),
+            joins: metrics.counter_id("overlay.joins"),
+            content_published: metrics.counter_id("overlay.content_published"),
+            file_requests_served: metrics.counter_id("overlay.file_requests_served"),
+            file_requests_unserved: metrics.counter_id("overlay.file_requests_unserved"),
+            jobs_unplaced: metrics.counter_id("overlay.jobs_unplaced"),
+            gossip_received: metrics.counter_id("overlay.gossip_received"),
+            retransmissions: metrics.counter_id("overlay.retransmissions"),
+            retries_exhausted: metrics.counter_id("overlay.retries_exhausted"),
+        }
+    }
+}
+
+impl Broker {
+    /// Bumps the protocol counter picked by `which`, resolving the handle
+    /// set on first use.
+    pub(crate) fn bump(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        which: fn(&BrokerCounters) -> MetricId,
+    ) {
+        let ids = self
+            .counters
+            .get_or_insert_with(|| BrokerCounters::resolve(ctx.metrics()));
+        let id = which(ids);
+        ctx.metrics().incr_id(id, 1);
+    }
+}

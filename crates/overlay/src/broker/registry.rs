@@ -1,0 +1,389 @@
+//! The peer registry: who is in the overlay and what the broker knows
+//! about each member.
+//!
+//! [`PeerRegistry`] owns the peer entries (advertisement, broker-side
+//! statistics, peer-reported snapshot, observed interaction history), the
+//! published-content index, the federation roster learnt from fellow
+//! brokers, and an interned host-name cache so hot paths never re-allocate
+//! display names. The membership/discovery/statistics message handlers
+//! live here as `impl Broker` blocks; the actor merely dispatches to them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use netsim::engine::Context;
+use netsim::node::NodeId;
+use netsim::time::SimTime;
+
+use crate::advertisement::{ContentAdvertisement, PeerAdvertisement};
+use crate::id::PeerId;
+use crate::message::OverlayMsg;
+use crate::selector::{CandidateView, InteractionHistory};
+use crate::stats::{PeerStats, StatsSnapshot};
+
+use super::Broker;
+
+/// Everything the broker tracks about one registered peer.
+pub(crate) struct PeerEntry {
+    pub(crate) adv: PeerAdvertisement,
+    pub(crate) stats: PeerStats,
+    pub(crate) reported: Option<StatsSnapshot>,
+    pub(crate) history: InteractionHistory,
+}
+
+/// One published copy of a piece of content.
+#[derive(Debug, Clone)]
+pub(crate) struct Holding {
+    pub(crate) peer: PeerId,
+    pub(crate) node: NodeId,
+    pub(crate) content: crate::id::ContentId,
+    pub(crate) size: u64,
+    pub(crate) adv: ContentAdvertisement,
+}
+
+/// The membership layer: registered peers, their statistics, published
+/// content, and the federation roster.
+#[derive(Default)]
+pub(crate) struct PeerRegistry {
+    pub(crate) peers: HashMap<PeerId, PeerEntry>,
+    pub(crate) by_node: HashMap<NodeId, PeerId>,
+    /// Candidate views learnt from fellow brokers, keyed by peer.
+    pub(crate) remote_peers: HashMap<PeerId, CandidateView>,
+    /// Published content by name → holders.
+    pub(crate) content: HashMap<String, Vec<Holding>>,
+    /// Interned display names by host, so record keeping on the transfer
+    /// and task hot paths clones an `Arc` instead of allocating a String.
+    names: HashMap<NodeId, Arc<str>>,
+}
+
+impl PeerRegistry {
+    pub(crate) fn new() -> Self {
+        PeerRegistry::default()
+    }
+
+    /// Number of registered peers.
+    pub(crate) fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether any peer is registered.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Whether `peer` is a registered member.
+    pub(crate) fn has_peer(&self, peer: PeerId) -> bool {
+        self.peers.contains_key(&peer)
+    }
+
+    /// The registered peer living on `node`, if any.
+    pub(crate) fn peer_of(&self, node: NodeId) -> Option<PeerId> {
+        self.by_node.get(&node).copied()
+    }
+
+    /// Mutable access to a registered peer's entry.
+    pub(crate) fn entry_mut(&mut self, peer: PeerId) -> Option<&mut PeerEntry> {
+        self.peers.get_mut(&peer)
+    }
+
+    /// The host of a registered peer.
+    pub(crate) fn node_of(&self, peer: PeerId) -> Option<NodeId> {
+        self.peers.get(&peer).map(|e| e.adv.node)
+    }
+
+    /// The interned display name of `node`, allocated at most once per host.
+    pub(crate) fn display_name(&mut self, ctx: &Context<OverlayMsg>, node: NodeId) -> Arc<str> {
+        self.names
+            .entry(node)
+            .or_insert_with(|| Arc::from(ctx.node_name(node)))
+            .clone()
+    }
+
+    /// Admits (or refreshes) a peer from its advertisement.
+    pub(crate) fn admit(&mut self, adv: PeerAdvertisement, now: SimTime) {
+        let peer = adv.peer;
+        let cpu = adv.cpu_gops;
+        self.by_node.insert(adv.node, peer);
+        self.peers.entry(peer).or_insert_with(|| PeerEntry {
+            adv,
+            stats: PeerStats::new(now, cpu),
+            reported: None,
+            history: InteractionHistory::empty(),
+        });
+    }
+
+    /// Evicts a peer (voluntary leave), forgetting its entry and node
+    /// mapping. Content holdings are filtered lazily at discovery/serve
+    /// time via [`PeerRegistry::has_peer`].
+    pub(crate) fn expel(&mut self, peer: PeerId) -> bool {
+        if let Some(entry) = self.peers.remove(&peer) {
+            self.by_node.remove(&entry.adv.node);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All registered hosts, in deterministic order.
+    pub(crate) fn registered_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.by_node.keys().copied().collect();
+        nodes.sort(); // deterministic order
+        nodes
+    }
+
+    /// Snapshot of every known candidate (registered + federation-learnt),
+    /// sorted by node for determinism.
+    pub(crate) fn candidate_views(&self, now: SimTime, stats_k_hours: usize) -> Vec<CandidateView> {
+        let mut views: Vec<CandidateView> = self
+            .peers
+            .values()
+            .map(|entry| {
+                // Broker-side stats, with queue gauges overridden by the
+                // peer's own latest report when available.
+                let mut snapshot = entry.stats.snapshot(now, stats_k_hours);
+                if let Some(reported) = &entry.reported {
+                    snapshot.inbox_now = reported.inbox_now;
+                    snapshot.inbox_avg = reported.inbox_avg;
+                    snapshot.outbox_now = reported.outbox_now;
+                    snapshot.outbox_avg = reported.outbox_avg;
+                }
+                CandidateView {
+                    peer: entry.adv.peer,
+                    node: entry.adv.node,
+                    name: entry.adv.name.clone(),
+                    cpu_gops: entry.adv.cpu_gops,
+                    snapshot,
+                    history: entry.history.clone(),
+                }
+            })
+            .collect();
+        // Merge federation-learnt peers that are not locally registered.
+        for remote in self.remote_peers.values() {
+            if !self.by_node.contains_key(&remote.node) {
+                views.push(remote.clone());
+            }
+        }
+        views.sort_by_key(|v| v.node);
+        views
+    }
+}
+
+impl Broker {
+    pub(crate) fn on_join(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        from: NodeId,
+        adv: PeerAdvertisement,
+    ) {
+        let now = ctx.now();
+        let peer = adv.peer;
+        self.registry.admit(adv, now);
+        let group = self.groups.admit(peer);
+        ctx.send(from, OverlayMsg::JoinAck { group });
+        self.bump(ctx, |c| c.joins);
+    }
+
+    pub(crate) fn on_leave(&mut self, peer: PeerId) {
+        self.registry.expel(peer);
+        self.groups.expel(peer);
+    }
+
+    pub(crate) fn on_discover_peers(&mut self, ctx: &mut Context<OverlayMsg>, from: NodeId) {
+        let now = ctx.now();
+        let adverts: Vec<PeerAdvertisement> = self
+            .registry
+            .peers
+            .values()
+            .map(|e| e.adv.clone())
+            .filter(|a| !a.is_expired(now))
+            .collect();
+        ctx.send(from, OverlayMsg::DiscoverPeersResponse { adverts });
+    }
+
+    pub(crate) fn on_stats_report(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        peer: PeerId,
+        snapshot: StatsSnapshot,
+    ) {
+        let now = ctx.now();
+        if let Some(entry) = self.registry.entry_mut(peer) {
+            entry.reported = Some(snapshot);
+            entry.stats.record_message(now, true);
+        }
+    }
+
+    pub(crate) fn on_publish_content(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        from: NodeId,
+        adv: ContentAdvertisement,
+    ) {
+        let node = self.registry.node_of(adv.owner).unwrap_or(from);
+        self.registry
+            .content
+            .entry(adv.name.clone())
+            .or_default()
+            .push(Holding {
+                peer: adv.owner,
+                node,
+                content: adv.content,
+                size: adv.size_bytes,
+                adv,
+            });
+        self.bump(ctx, |c| c.content_published);
+    }
+
+    pub(crate) fn on_discover_content(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        from: NodeId,
+        pattern: String,
+    ) {
+        let now = ctx.now();
+        let adverts: Vec<ContentAdvertisement> = self
+            .registry
+            .content
+            .iter()
+            .filter(|(name, _)| name.contains(&pattern))
+            .flat_map(|(_, holdings)| holdings.iter())
+            .filter(|h| !h.adv.is_expired(now) && self.registry.has_peer(h.peer))
+            .map(|h| h.adv.clone())
+            .collect();
+        ctx.send(from, OverlayMsg::DiscoverContentResponse { adverts });
+    }
+
+    pub(crate) fn on_broker_gossip(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        roster: Vec<CandidateView>,
+    ) {
+        for view in roster {
+            // Never shadow a locally-registered peer with a relay.
+            if !self.registry.by_node.contains_key(&view.node) {
+                self.registry.remote_peers.insert(view.peer, view);
+            }
+        }
+        self.bump(ctx, |c| c.gossip_received);
+    }
+
+    pub(crate) fn on_gossip_timer(&mut self, ctx: &mut Context<OverlayMsg>) {
+        let roster = self
+            .registry
+            .candidate_views(ctx.now(), self.cfg.stats_k_hours);
+        // Only gossip locally-registered peers (avoid relaying relays).
+        let local: Vec<CandidateView> = roster
+            .into_iter()
+            .filter(|v| self.registry.by_node.contains_key(&v.node))
+            .collect();
+        let me = ctx.self_id();
+        for &b in &self.cfg.peer_brokers.clone() {
+            ctx.send(
+                b,
+                OverlayMsg::BrokerGossip {
+                    from_broker: me,
+                    roster: local.clone(),
+                },
+            );
+        }
+        ctx.schedule_timer(self.cfg.gossip_interval, super::GOSSIP_TAG);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertisement::DEFAULT_LIFETIME;
+    use crate::id::IdGenerator;
+    use netsim::time::SimDuration;
+
+    fn adv(ids: &mut IdGenerator, node: u32, name: &str, now: SimTime) -> PeerAdvertisement {
+        PeerAdvertisement {
+            peer: PeerId::generate(ids),
+            node: NodeId(node),
+            name: name.to_string(),
+            cpu_gops: 1.0,
+            accepts_tasks: true,
+            published: now,
+            lifetime: DEFAULT_LIFETIME,
+        }
+    }
+
+    #[test]
+    fn admit_then_expel_evicts_both_indices() {
+        let mut ids = IdGenerator::new(1);
+        let mut reg = PeerRegistry::new();
+        let a = adv(&mut ids, 1, "alpha", SimTime::ZERO);
+        let peer = a.peer;
+        reg.admit(a, SimTime::ZERO);
+        assert_eq!(reg.peer_count(), 1);
+        assert!(reg.has_peer(peer));
+        assert_eq!(reg.peer_of(NodeId(1)), Some(peer));
+        assert!(reg.expel(peer));
+        assert_eq!(reg.peer_count(), 0);
+        assert_eq!(reg.peer_of(NodeId(1)), None);
+        assert!(!reg.expel(peer), "double eviction is a no-op");
+    }
+
+    #[test]
+    fn readmission_keeps_the_original_entry() {
+        // A duplicate Join (retransmission) must not reset accumulated
+        // stats/history: `admit` only inserts fresh entries.
+        let mut ids = IdGenerator::new(2);
+        let mut reg = PeerRegistry::new();
+        let a = adv(&mut ids, 3, "beta", SimTime::ZERO);
+        let peer = a.peer;
+        reg.admit(a.clone(), SimTime::ZERO);
+        reg.entry_mut(peer).unwrap().history.transfers_completed = 7;
+        reg.admit(a, SimTime::ZERO + SimDuration::from_secs(9));
+        assert_eq!(
+            reg.entry_mut(peer).unwrap().history.transfers_completed,
+            7,
+            "re-join must not clear history"
+        );
+        assert_eq!(reg.peer_count(), 1);
+    }
+
+    #[test]
+    fn candidate_views_sorted_and_federation_merged() {
+        let mut ids = IdGenerator::new(3);
+        let mut reg = PeerRegistry::new();
+        reg.admit(adv(&mut ids, 5, "e", SimTime::ZERO), SimTime::ZERO);
+        reg.admit(adv(&mut ids, 2, "b", SimTime::ZERO), SimTime::ZERO);
+        // A remote peer on an unregistered node is merged…
+        let remote = CandidateView {
+            peer: PeerId::generate(&mut ids),
+            node: NodeId(9),
+            name: "remote".to_string(),
+            cpu_gops: 1.0,
+            snapshot: StatsSnapshot::empty(1.0),
+            history: InteractionHistory::empty(),
+        };
+        reg.remote_peers.insert(remote.peer, remote.clone());
+        // …but one shadowing a registered node is not.
+        let shadow = CandidateView {
+            node: NodeId(5),
+            ..remote.clone()
+        };
+        reg.remote_peers.insert(PeerId::generate(&mut ids), shadow);
+        let views = reg.candidate_views(SimTime::ZERO, 24);
+        let nodes: Vec<u32> = views.iter().map(|v| v.node.0).collect();
+        assert_eq!(nodes, vec![2, 5, 9], "sorted by node, shadow dropped");
+    }
+
+    #[test]
+    fn reported_snapshot_overrides_queue_gauges() {
+        let mut ids = IdGenerator::new(4);
+        let mut reg = PeerRegistry::new();
+        let a = adv(&mut ids, 1, "g", SimTime::ZERO);
+        let peer = a.peer;
+        reg.admit(a, SimTime::ZERO);
+        let mut reported = StatsSnapshot::empty(1.0);
+        reported.inbox_now = 11.0;
+        reported.outbox_avg = 2.5;
+        reg.entry_mut(peer).unwrap().reported = Some(reported);
+        let views = reg.candidate_views(SimTime::ZERO, 24);
+        assert_eq!(views[0].snapshot.inbox_now, 11.0);
+        assert_eq!(views[0].snapshot.outbox_avg, 2.5);
+    }
+}

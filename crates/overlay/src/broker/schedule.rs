@@ -1,0 +1,166 @@
+//! The scripted command schedule: deferred [`BrokerCommand`]s, their
+//! wait-for-peers retry budget, and the instant each command first came
+//! due (so queueing delay is attributed to the command, not the retries).
+
+use std::collections::HashMap;
+
+use netsim::engine::Context;
+use netsim::time::{SimDuration, SimTime};
+
+use crate::message::OverlayMsg;
+
+use super::{Broker, BrokerCommand, CMD_MAX_RETRIES, CMD_RETRY_DELAY, CMD_TAG_BASE};
+
+/// The broker's command script plus the per-command deferral state.
+pub(crate) struct CommandSchedule {
+    commands: Vec<(SimDuration, BrokerCommand)>,
+    /// Wait-for-peers retries consumed, by command timer tag.
+    retries: HashMap<u64, u32>,
+    /// When each command first came due, by command timer tag. Kept across
+    /// deferrals so the eventual execution knows its true enqueue instant.
+    first_due: HashMap<u64, SimTime>,
+    /// Commands not yet executed (drives idle detection).
+    pending: usize,
+}
+
+impl CommandSchedule {
+    pub(crate) fn new(commands: Vec<(SimDuration, BrokerCommand)>) -> Self {
+        CommandSchedule {
+            pending: commands.len(),
+            commands,
+            retries: HashMap::new(),
+            first_due: HashMap::new(),
+        }
+    }
+
+    /// Commands that have not executed yet.
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The initial `(index, delay)` pairs to arm timers for at start-up.
+    pub(crate) fn delays(&self) -> Vec<(usize, SimDuration)> {
+        self.commands
+            .iter()
+            .enumerate()
+            .map(|(i, (delay, _cmd))| (i, *delay))
+            .collect()
+    }
+
+    /// The scheduled command at `idx`, if any.
+    pub(crate) fn command(&self, idx: usize) -> Option<BrokerCommand> {
+        self.commands.get(idx).map(|(_, cmd)| cmd.clone())
+    }
+
+    /// Records (idempotently) when the command behind `tag` first came due
+    /// and returns that instant.
+    pub(crate) fn note_first_due(&mut self, tag: u64, now: SimTime) -> SimTime {
+        *self.first_due.entry(tag).or_insert(now)
+    }
+
+    /// Consumes one wait-for-peers retry for `tag`. Returns `true` while
+    /// budget remains (caller reschedules), `false` once exhausted (caller
+    /// executes regardless).
+    pub(crate) fn defer(&mut self, tag: u64) -> bool {
+        let retries = self.retries.entry(tag).or_insert(0);
+        if *retries < CMD_MAX_RETRIES {
+            *retries += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks the command behind `tag` executed.
+    pub(crate) fn mark_executed(&mut self, tag: u64) {
+        self.first_due.remove(&tag);
+        self.pending = self.pending.saturating_sub(1);
+    }
+}
+
+impl Broker {
+    pub(crate) fn on_command_due(&mut self, ctx: &mut Context<OverlayMsg>, tag: u64) {
+        let idx = (tag - CMD_TAG_BASE) as usize;
+        let Some(cmd) = self.schedule.command(idx) else {
+            return;
+        };
+        let now = ctx.now();
+        let enqueued_at = self.schedule.note_first_due(tag, now);
+        // Commands that need clients must wait until someone has joined.
+        let needs_peers = !matches!(cmd, BrokerCommand::SendInstant { .. });
+        if needs_peers && self.registry.is_empty() && self.schedule.defer(tag) {
+            ctx.schedule_timer(CMD_RETRY_DELAY, tag);
+            return;
+        }
+        self.schedule.mark_executed(tag);
+        self.execute_command(ctx, cmd, enqueued_at);
+        self.maybe_stop(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::TargetSpec;
+
+    fn instant(text: &str) -> BrokerCommand {
+        BrokerCommand::SendInstant {
+            target: TargetSpec::AllClients,
+            text: text.to_string(),
+        }
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn first_due_is_stamped_once_across_deferrals() {
+        let mut s = CommandSchedule::new(vec![(SimDuration::from_secs(1), instant("a"))]);
+        let tag = CMD_TAG_BASE;
+        assert_eq!(s.note_first_due(tag, t(1)), t(1));
+        // Later retries must keep reporting the original due instant.
+        assert_eq!(s.note_first_due(tag, t(5)), t(1));
+        s.mark_executed(tag);
+        // After execution the slate is clean (a re-fired tag re-stamps).
+        assert_eq!(s.note_first_due(tag, t(9)), t(9));
+    }
+
+    #[test]
+    fn pending_counts_down_and_saturates() {
+        let mut s = CommandSchedule::new(vec![
+            (SimDuration::from_secs(1), instant("a")),
+            (SimDuration::from_secs(2), instant("b")),
+        ]);
+        assert_eq!(s.pending(), 2);
+        assert_eq!(
+            s.delays(),
+            vec![
+                (0, SimDuration::from_secs(1)),
+                (1, SimDuration::from_secs(2))
+            ]
+        );
+        s.mark_executed(CMD_TAG_BASE);
+        s.mark_executed(CMD_TAG_BASE + 1);
+        s.mark_executed(CMD_TAG_BASE + 1); // stale duplicate
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn defer_budget_exhausts_at_cmd_max_retries() {
+        let mut s = CommandSchedule::new(vec![(SimDuration::ZERO, instant("a"))]);
+        let tag = CMD_TAG_BASE;
+        for _ in 0..CMD_MAX_RETRIES {
+            assert!(s.defer(tag), "budget remains");
+        }
+        assert!(!s.defer(tag), "budget exhausted: execute regardless");
+        assert!(!s.defer(tag), "stays exhausted");
+    }
+
+    #[test]
+    fn command_lookup_is_positional_and_cloned() {
+        let s = CommandSchedule::new(vec![(SimDuration::ZERO, instant("a"))]);
+        assert_eq!(s.command(0), Some(instant("a")));
+        assert_eq!(s.command(1), None);
+    }
+}

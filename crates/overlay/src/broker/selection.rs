@@ -1,0 +1,167 @@
+//! The selection layer: the single place where a [`PeerSelector`] is
+//! consulted, its decision recorded (and traced when tracing is on), and
+//! outcome feedback delivered back to the model.
+//!
+//! All broker-side peer choices flow through the two entry points here —
+//! [`Broker::resolve_targets`] for scripted commands and
+//! [`Broker::select_among`] for choices restricted to a candidate subset
+//! (file requests with several owners, client-submitted jobs).
+
+use netsim::engine::Context;
+use netsim::node::NodeId;
+use netsim::trace::TraceEventKind;
+
+use crate::message::OverlayMsg;
+use crate::records::SelectionRecord;
+use crate::selector::{CandidateView, PeerSelector, Purpose, SelectionOutcome, SelectionRequest};
+
+use super::{Broker, TargetSpec};
+
+/// Owns the pluggable selection model and feeds outcomes back to it.
+pub(crate) struct SelectionService {
+    pub(crate) selector: Option<Box<dyn PeerSelector>>,
+}
+
+impl SelectionService {
+    pub(crate) fn new(selector: Option<Box<dyn PeerSelector>>) -> Self {
+        SelectionService { selector }
+    }
+
+    /// Delivers outcome feedback (transfer/task finished) to the model.
+    pub(crate) fn on_outcome(&mut self, outcome: &SelectionOutcome) {
+        if let Some(selector) = self.selector.as_mut() {
+            selector.on_outcome(outcome);
+        }
+    }
+}
+
+impl Broker {
+    pub(crate) fn resolve_targets(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        target: &TargetSpec,
+        purpose: Purpose,
+    ) -> Vec<NodeId> {
+        match target {
+            TargetSpec::Node(n) => vec![*n],
+            TargetSpec::AllClients => self.registry.registered_nodes(),
+            TargetSpec::Selected => {
+                let now = ctx.now();
+                let candidates = self.registry.candidate_views(now, self.cfg.stats_k_hours);
+                if candidates.is_empty() {
+                    return Vec::new();
+                }
+                let Some(selector) = self.selection.selector.as_mut() else {
+                    return Vec::new();
+                };
+                let req = SelectionRequest {
+                    now,
+                    purpose,
+                    candidates: &candidates,
+                };
+                match selector.select(&req) {
+                    Some(i) if i < candidates.len() => {
+                        let chosen = &candidates[i];
+                        self.sink.with(|log| {
+                            log.selections.push(SelectionRecord {
+                                at: now,
+                                model: selector.name().to_string(),
+                                chosen: chosen.node,
+                                chosen_name: chosen.name.clone(),
+                                candidates: candidates.len(),
+                            })
+                        });
+                        if ctx.trace_enabled() {
+                            trace_selection(ctx, &mut **selector, &req, chosen.node);
+                        }
+                        vec![chosen.node]
+                    }
+                    _ => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Selection restricted to `nodes` (used for file requests with several
+    /// owners). Falls back to least-pending-transfers when no selector is
+    /// installed. Records the decision when a selector was consulted.
+    pub(crate) fn select_among(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        nodes: &[NodeId],
+        purpose: Purpose,
+    ) -> Option<NodeId> {
+        let now = ctx.now();
+        if nodes.is_empty() {
+            return None;
+        }
+        if nodes.len() == 1 {
+            return Some(nodes[0]);
+        }
+        let candidates: Vec<CandidateView> = self
+            .registry
+            .candidate_views(now, self.cfg.stats_k_hours)
+            .into_iter()
+            .filter(|v| nodes.contains(&v.node))
+            .collect();
+        if let Some(selector) = self.selection.selector.as_mut() {
+            if !candidates.is_empty() {
+                let req = SelectionRequest {
+                    now,
+                    purpose,
+                    candidates: &candidates,
+                };
+                if let Some(i) = selector.select(&req) {
+                    if i < candidates.len() {
+                        let chosen = &candidates[i];
+                        let record = SelectionRecord {
+                            at: now,
+                            model: selector.name().to_string(),
+                            chosen: chosen.node,
+                            chosen_name: chosen.name.clone(),
+                            candidates: candidates.len(),
+                        };
+                        self.sink.with(|log| log.selections.push(record));
+                        if ctx.trace_enabled() {
+                            trace_selection(ctx, &mut **selector, &req, chosen.node);
+                        }
+                        return Some(chosen.node);
+                    }
+                }
+            }
+        }
+        // Fallback: least currently-pending transfers, lowest node id.
+        candidates
+            .iter()
+            .min_by(|a, b| {
+                a.snapshot
+                    .pending_transfers
+                    .partial_cmp(&b.snapshot.pending_transfers)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.node.cmp(&b.node))
+            })
+            .map(|v| v.node)
+            .or_else(|| nodes.first().copied())
+    }
+}
+
+/// Emits a [`TraceEventKind::SelectionDecided`] event with per-candidate
+/// costs. Callers must check `ctx.trace_enabled()` first — cost extraction
+/// re-runs the model's scoring pass, which is fine for observability (the
+/// pass is read-only w.r.t. the simulation) but wasted work when disabled.
+fn trace_selection(
+    ctx: &mut Context<OverlayMsg>,
+    selector: &mut dyn PeerSelector,
+    req: &SelectionRequest<'_>,
+    chosen: NodeId,
+) {
+    let costs = selector
+        .candidate_costs(req)
+        .map(|cs| req.candidates.iter().map(|c| c.node).zip(cs).collect())
+        .unwrap_or_default();
+    ctx.trace_event(TraceEventKind::SelectionDecided {
+        model: selector.name().to_string(),
+        chosen,
+        costs,
+    });
+}

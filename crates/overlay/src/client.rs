@@ -19,10 +19,11 @@ use netsim::time::SimDuration;
 use netsim::trace::{SpanKind, TraceEventKind};
 
 use crate::advertisement::{ContentAdvertisement, PeerAdvertisement, DEFAULT_LIFETIME};
-use crate::filetransfer::{InboundTransfer, OutboundTransfer, PartReceipt, TransferPhase};
+use crate::filetransfer::{InboundTransfer, OutboundTransfer, PartReceipt};
 use crate::id::{ContentId, IdGenerator, PeerId, TaskId, TransferId};
 use crate::message::OverlayMsg;
-use crate::records::{PartRecord, RecordSink, TransferRecord};
+use crate::records::RecordSink;
+use crate::sendflow::SenderFlow;
 use crate::stats::PeerStats;
 
 /// Timer tag for the periodic stats report.
@@ -129,7 +130,7 @@ pub struct SimpleClient {
     joined: bool,
     inbound: HashMap<TransferId, InboundTransfer>,
     /// Transfers this peer is *sending* (instructed by the broker).
-    outbound: HashMap<TransferId, OutboundTransfer>,
+    outbound: SenderFlow,
     outbound_started: HashMap<TransferId, netsim::time::SimTime>,
     /// Running tasks keyed by their completion-timer tag.
     running: HashMap<u64, RunningTask>,
@@ -158,7 +159,7 @@ impl SimpleClient {
             cfg,
             joined: false,
             inbound: HashMap::new(),
-            outbound: HashMap::new(),
+            outbound: SenderFlow::new(),
             outbound_started: HashMap::new(),
             running: HashMap::new(),
             next_task_tag: TASK_TAG_BASE,
@@ -172,7 +173,8 @@ impl SimpleClient {
     /// Attaches a record sink so peer-to-peer transfers this client serves
     /// appear in the run log.
     pub fn with_sink(mut self, sink: RecordSink) -> Self {
-        self.sink = Some(sink);
+        self.sink = Some(sink.clone());
+        self.outbound.set_sink(sink);
         self
     }
 
@@ -198,27 +200,6 @@ impl SimpleClient {
             stats
                 .outbox
                 .set(now, (self.running.len() + self.outbound.len()) as u32);
-        }
-    }
-
-    fn record_part_sent(
-        &self,
-        transfer: TransferId,
-        index: u32,
-        size: u64,
-        now: netsim::time::SimTime,
-    ) {
-        if let Some(sink) = &self.sink {
-            sink.with(|log| {
-                if let Some(rec) = log.transfer_mut(transfer) {
-                    rec.parts.push(PartRecord {
-                        index,
-                        size,
-                        sent_at: now,
-                        confirmed_at: None,
-                    });
-                }
-            });
         }
     }
 
@@ -251,7 +232,7 @@ impl SimpleClient {
                 );
             }
             ClientCommand::Instant { to, text } => {
-                ctx.send(to, OverlayMsg::Instant { text });
+                ctx.send(to, OverlayMsg::Instant { text: text.into() });
             }
             ClientCommand::Leave => {
                 ctx.send(self.cfg.broker, OverlayMsg::Leave { peer: self.peer_id });
@@ -396,26 +377,8 @@ impl Actor<OverlayMsg> for SimpleClient {
                 let id = TransferId::generate(&mut self.ids);
                 let outbound = OutboundTransfer::new(id, file.clone(), to_node, num_parts, now);
                 let actual_parts = outbound.num_parts();
-                if let Some(sink) = &self.sink {
-                    let to_name = ctx.node_name(to_node).to_string();
-                    sink.with(|log| {
-                        log.transfers.push(TransferRecord {
-                            id,
-                            to: to_node,
-                            to_name,
-                            label: file.name.clone(),
-                            file_size: file.size_bytes,
-                            num_parts: actual_parts,
-                            petition_sent_at: now,
-                            petition_handled_at: None,
-                            petition_acked_at: None,
-                            parts: Vec::new(),
-                            completed_at: None,
-                            cancelled: false,
-                            receiver_bytes: None,
-                        });
-                    });
-                }
+                let to_name = std::sync::Arc::from(ctx.node_name(to_node));
+                self.outbound.begin(outbound, to_name, now);
                 if ctx.trace_enabled() {
                     ctx.trace_event(TraceEventKind::SpanBegin {
                         span: SpanKind::Transfer,
@@ -437,7 +400,6 @@ impl Actor<OverlayMsg> for SimpleClient {
                         sent_at: now,
                     },
                 );
-                self.outbound.insert(id, outbound);
                 self.outbound_started.insert(id, now);
                 self.touch_gauges(now);
             }
@@ -449,10 +411,7 @@ impl Actor<OverlayMsg> for SimpleClient {
             } => {
                 // Only the first ack carries timing information; a duplicate
                 // (retransmitted petition) must not overwrite the milestones.
-                let first_ack = self
-                    .outbound
-                    .get(&transfer)
-                    .is_some_and(|t| t.phase == TransferPhase::AwaitingPetitionAck);
+                let first_ack = self.outbound.is_awaiting_ack(transfer);
                 if ctx.trace_enabled() {
                     ctx.trace_event(TraceEventKind::PetitionAcked {
                         transfer: transfer.raw(),
@@ -460,21 +419,11 @@ impl Actor<OverlayMsg> for SimpleClient {
                     });
                 }
                 if first_ack {
-                    if let Some(sink) = &self.sink {
-                        sink.with(|log| {
-                            if let Some(rec) = log.transfer_mut(transfer) {
-                                rec.petition_handled_at = Some(handled_at);
-                                rec.petition_acked_at = Some(now);
-                            }
-                        });
-                    }
+                    self.outbound.note_ack_times(transfer, handled_at, now);
                 }
-                let next = self
-                    .outbound
-                    .get_mut(&transfer)
-                    .and_then(|t| t.on_petition_ack(accepted));
+                let next = self.outbound.on_ack(transfer, accepted);
                 if let Some((index, size)) = next {
-                    self.record_part_sent(transfer, index, size, now);
+                    self.outbound.note_part_sent(transfer, index, size, now);
                     if ctx.trace_enabled() {
                         ctx.trace_event(TraceEventKind::PartSent {
                             transfer: transfer.raw(),
@@ -491,7 +440,7 @@ impl Actor<OverlayMsg> for SimpleClient {
                         },
                     );
                 } else if !accepted {
-                    if let Some(t) = self.outbound.remove(&transfer) {
+                    if let Some(t) = self.outbound.finish(transfer) {
                         let started = self.outbound_started.remove(&transfer);
                         ctx.send(
                             self.cfg.broker,
@@ -504,13 +453,7 @@ impl Actor<OverlayMsg> for SimpleClient {
                                 bytes: t.file.size_bytes,
                             },
                         );
-                        if let Some(sink) = &self.sink {
-                            sink.with(|log| {
-                                if let Some(rec) = log.transfer_mut(transfer) {
-                                    rec.cancelled = true;
-                                }
-                            });
-                        }
+                        self.outbound.stamp_finished(transfer, now, false);
                         if ctx.trace_enabled() {
                             ctx.trace_event(TraceEventKind::TransferCompleted {
                                 transfer: transfer.raw(),
@@ -530,10 +473,7 @@ impl Actor<OverlayMsg> for SimpleClient {
                 // window BEFORE touching the record, so a duplicate confirm
                 // (the retransmitted original racing a resent part's ack)
                 // cannot move `confirmed_at` forward.
-                let accepted = self
-                    .outbound
-                    .get(&transfer)
-                    .is_some_and(|t| t.accepts_confirm(index));
+                let accepted = self.outbound.accepts_confirm(transfer, index);
                 if ctx.trace_enabled() {
                     ctx.trace_event(TraceEventKind::PartConfirmed {
                         transfer: transfer.raw(),
@@ -542,26 +482,13 @@ impl Actor<OverlayMsg> for SimpleClient {
                     });
                 }
                 if accepted {
-                    if let Some(sink) = &self.sink {
-                        sink.with(|log| {
-                            if let Some(rec) = log.transfer_mut(transfer) {
-                                if let Some(part) = rec.parts.iter_mut().find(|p| p.index == index)
-                                {
-                                    if part.confirmed_at.is_none() {
-                                        part.confirmed_at = Some(now);
-                                    }
-                                }
-                            }
-                        });
-                    }
+                    self.outbound.note_confirm(transfer, index, now);
                 }
-                let outcome = self
-                    .outbound
-                    .get_mut(&transfer)
-                    .map(|t| (t.on_part_confirm(index), t.is_complete()));
+                let outcome = self.outbound.on_confirm(transfer, index);
                 match outcome {
                     Some((Some((next_index, size)), _)) => {
-                        self.record_part_sent(transfer, next_index, size, now);
+                        self.outbound
+                            .note_part_sent(transfer, next_index, size, now);
                         if ctx.trace_enabled() {
                             ctx.trace_event(TraceEventKind::PartSent {
                                 transfer: transfer.raw(),
@@ -579,7 +506,7 @@ impl Actor<OverlayMsg> for SimpleClient {
                         );
                     }
                     Some((None, true)) => {
-                        let t = self.outbound.remove(&transfer).expect("present");
+                        let t = self.outbound.finish(transfer).expect("present");
                         let started = self.outbound_started.remove(&transfer);
                         if ctx.trace_enabled() {
                             ctx.trace_event(TraceEventKind::TransferCompleted {
@@ -605,13 +532,7 @@ impl Actor<OverlayMsg> for SimpleClient {
                                 bytes: t.file.size_bytes,
                             },
                         );
-                        if let Some(sink) = &self.sink {
-                            sink.with(|log| {
-                                if let Some(rec) = log.transfer_mut(transfer) {
-                                    rec.completed_at = Some(now);
-                                }
-                            });
-                        }
+                        self.outbound.stamp_finished(transfer, now, true);
                         if let Some(stats) = &mut self.stats {
                             stats.record_file_send(true);
                         }

@@ -12,7 +12,9 @@
 //! * [`stats`] — the resource-statistics interface of paper §2.2: every
 //!   criterion the data-evaluator selection model weighs.
 //! * [`filetransfer`] — the petition → ack → stop-and-wait-parts protocol
-//!   the paper measures in §4.2.
+//!   the paper measures in §4.2; [`sendflow`] — the shared sender-side
+//!   state machine (window + record invariants) both broker and client
+//!   drive it with.
 //! * [`task`] — executable-task lifecycle.
 //! * [`client`] — the SimpleClient edge peer; [`gui`] — the GUI client
 //!   (SimpleClient plus a simulated interactive user).
@@ -35,6 +37,7 @@ pub mod message;
 pub mod pipe;
 pub mod records;
 pub mod selector;
+pub mod sendflow;
 pub mod stats;
 pub mod task;
 

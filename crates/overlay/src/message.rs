@@ -6,6 +6,8 @@
 //! which messages wake the destination application (see
 //! [`netsim::engine::ServiceClass`]).
 
+use std::sync::Arc;
+
 use netsim::engine::{Payload, ServiceClass};
 use netsim::time::SimTime;
 
@@ -47,10 +49,12 @@ pub enum OverlayMsg {
     },
 
     // ---- instant communication ---------------------------------------
-    /// Peer ↔ peer instant message.
+    /// Peer ↔ peer instant message. The body is shared (`Arc<str>`) so a
+    /// broadcast to N peers bumps a refcount N times instead of allocating
+    /// N copies of the text.
     Instant {
         /// Message body.
-        text: String,
+        text: Arc<str>,
     },
     /// Liveness probe.
     Ping {

@@ -19,8 +19,9 @@ pub struct TransferRecord {
     pub id: TransferId,
     /// Destination host.
     pub to: NodeId,
-    /// Destination hostname.
-    pub to_name: String,
+    /// Destination hostname (interned — hot paths clone a refcount, not a
+    /// buffer).
+    pub to_name: Arc<str>,
     /// Workload label (the broker command's label / file name).
     pub label: String,
     /// Total file size in bytes.
@@ -110,8 +111,8 @@ pub struct TaskRecord {
     pub id: TaskId,
     /// Executing host.
     pub on: NodeId,
-    /// Executing hostname.
-    pub on_name: String,
+    /// Executing hostname (interned — see [`TransferRecord::to_name`]).
+    pub on_name: Arc<str>,
     /// Workload label (the command's label).
     pub label: String,
     /// Input bytes shipped before execution (0 = none).

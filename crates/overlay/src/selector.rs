@@ -209,6 +209,12 @@ impl PeerSelector for RoundRobinSelector {
     }
 }
 
+/// Factory producing a fresh selector per replication (selectors are
+/// stateful and not clonable). Campaign drivers call it once per run,
+/// passing that run's seed so stochastic selectors draw independent
+/// streams across replications.
+pub type SelectorFactory = Box<dyn Fn(u64) -> Box<dyn PeerSelector> + Sync>;
+
 /// Identity of a selection model a campaign can sweep over.
 ///
 /// This is the *axis value*, not the implementation: the overlay stays
@@ -228,16 +234,22 @@ pub enum ModelKind {
     QuickPeer,
     /// Uniform-random baseline.
     Random,
+    /// UCB1 bandit over observed transfer outcomes (extension).
+    Ucb1,
+    /// ε-greedy bandit (extension).
+    EpsGreedy,
 }
 
 impl ModelKind {
     /// Every model, in canonical (grid-expansion and CLI listing) order.
-    pub const ALL: [ModelKind; 5] = [
+    pub const ALL: [ModelKind; 7] = [
         ModelKind::Blind,
         ModelKind::Economic,
         ModelKind::SamePriority,
         ModelKind::QuickPeer,
         ModelKind::Random,
+        ModelKind::Ucb1,
+        ModelKind::EpsGreedy,
     ];
 
     /// The canonical spelling used by CLIs, CSV columns, and grid specs.
@@ -248,11 +260,18 @@ impl ModelKind {
             ModelKind::SamePriority => "same-priority",
             ModelKind::QuickPeer => "quick-peer",
             ModelKind::Random => "random",
+            ModelKind::Ucb1 => "ucb1",
+            ModelKind::EpsGreedy => "eps-greedy",
         }
     }
 
-    /// Parses a canonical spelling back into the axis value.
+    /// Parses a canonical spelling back into the axis value. Also accepts
+    /// `evaluator`, the CLI's historical spelling of the data-evaluator
+    /// model in same-priority mode.
     pub fn parse(name: &str) -> Option<ModelKind> {
+        if name == "evaluator" {
+            return Some(ModelKind::SamePriority);
+        }
         ModelKind::ALL.into_iter().find(|m| m.name() == name)
     }
 }
@@ -341,5 +360,10 @@ mod tests {
             assert_eq!(kind.to_string(), kind.name());
         }
         assert_eq!(ModelKind::parse("no-such-model"), None);
+    }
+
+    #[test]
+    fn evaluator_alias_parses_to_same_priority() {
+        assert_eq!(ModelKind::parse("evaluator"), Some(ModelKind::SamePriority));
     }
 }

@@ -15,8 +15,6 @@
 
 use netsim::time::SimDuration;
 use overlay::broker::{BrokerCommand, TargetSpec};
-use overlay::selector::PeerSelector;
-use peer_selection::prelude::*;
 
 use crate::report::{FigureReport, SeriesRow};
 use crate::runner::{run_replications, SeriesAggregate};
@@ -39,15 +37,13 @@ pub fn model_names() -> Vec<&'static str> {
     vec!["economic", "ucb1", "eps-greedy", "quick-peer"]
 }
 
+/// Seed salt keeping this study's random streams disjoint from the other
+/// drivers'.
+const SEED_SALT: u64 = 0xADA7;
+
 fn factory(model: &'static str) -> SelectorFactory {
-    Box::new(move |seed| -> Box<dyn PeerSelector> {
-        match model {
-            "economic" => Box::new(Scored::new(EconomicModel::new())),
-            "ucb1" => Box::new(Ucb1Selector::new(std::f64::consts::SQRT_2, 2e6)),
-            "eps-greedy" => Box::new(EpsilonGreedySelector::new(0.1, seed ^ 0xADA7)),
-            _ => Box::new(Scored::new(UserPreferenceModel::quick_peer())),
-        }
-    })
+    peer_selection::service::try_factory_for(model, SEED_SALT)
+        .expect("adaptation study uses known model names")
 }
 
 /// Per-model mean transfer seconds in each phase window.

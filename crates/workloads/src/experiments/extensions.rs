@@ -14,16 +14,13 @@ use crate::runner::{run_replications, SeriesAggregate};
 use crate::scenario::{run_scenario, ScenarioConfig, SelectorFactory};
 use crate::spec::{ExperimentSpec, MB};
 
+/// Seed salt keeping the extension studies' random streams disjoint from
+/// the other drivers'.
+const SEED_SALT: u64 = 0xEE7;
+
 fn factory(model: &'static str) -> SelectorFactory {
-    Box::new(move |seed| -> Box<dyn PeerSelector> {
-        match model {
-            "economic" => Box::new(Scored::new(EconomicModel::new())),
-            "evaluator" => Box::new(Scored::new(DataEvaluatorModel::same_priority())),
-            "quick-peer" => Box::new(Scored::new(UserPreferenceModel::quick_peer())),
-            "ucb1" => Box::new(Ucb1Selector::new(std::f64::consts::SQRT_2, 2e6)),
-            _ => Box::new(RandomSelector::new(seed ^ 0xEE7)),
-        }
-    })
+    peer_selection::service::try_factory_for(model, SEED_SALT)
+        .expect("extension studies use known model names")
 }
 
 /// Scaling study: selected-transfer quality as the peergroup grows.

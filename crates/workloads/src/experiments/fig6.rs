@@ -23,8 +23,7 @@
 //! willing peer (SC5, 5.19 s wake-ups); quick-peer returns to its stale
 //! favourite (SC4) and queues behind the background transfer.
 
-use overlay::selector::{ModelKind, PeerSelector};
-use peer_selection::prelude::*;
+use overlay::selector::ModelKind;
 use planetlab::calibration::{PAPER_FIG6_16PARTS_SECS, PAPER_FIG6_4PARTS_SECS};
 
 use crate::report::{FigureReport, SeriesRow};
@@ -71,60 +70,23 @@ pub fn model_names() -> Vec<String> {
     MODELS.iter().map(|m| m.name().to_string()).collect()
 }
 
-/// An unrecognized selection-model name. Carries the valid list so callers
-/// (psim, reproduce_paper) can point the user at the accepted spellings.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct UnknownModelError {
-    /// The name that failed to resolve.
-    pub model: String,
-}
+pub use peer_selection::service::UnknownModelError;
 
-impl UnknownModelError {
-    /// The accepted model names, report order.
-    pub fn valid_models(&self) -> Vec<String> {
-        model_names()
-    }
-}
-
-impl std::fmt::Display for UnknownModelError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "unknown selection model `{}`; valid models: {}",
-            self.model,
-            model_names().join(", ")
-        )
-    }
-}
-
-impl std::error::Error for UnknownModelError {}
+/// Seed salt mixed into this experiment's stochastic selectors, keeping
+/// its historical random streams disjoint from the other drivers'.
+const SEED_SALT: u64 = 0xF166;
 
 /// Builds the selector factory implementing `kind`, or `None` for
 /// [`ModelKind::Blind`] (blind mode installs no selector at all).
 pub fn factory_for_kind(kind: ModelKind) -> Option<SelectorFactory> {
-    if kind == ModelKind::Blind {
-        return None;
-    }
-    Some(Box::new(move |seed| -> Box<dyn PeerSelector> {
-        match kind {
-            ModelKind::Blind => unreachable!("handled above"),
-            ModelKind::Economic => Box::new(Scored::new(EconomicModel::new())),
-            ModelKind::SamePriority => Box::new(Scored::new(DataEvaluatorModel::same_priority())),
-            ModelKind::QuickPeer => Box::new(Scored::new(UserPreferenceModel::quick_peer())),
-            ModelKind::Random => Box::new(RandomSelector::new(seed ^ 0xF166)),
-        }
-    }))
+    peer_selection::service::factory_for(kind, SEED_SALT)
 }
 
 /// Resolves a model name to a selector factory, or reports the valid list.
 /// `blind` is a valid axis spelling but names no selector, so it is
 /// rejected here like any unknown name.
 pub fn try_factory_for(model: &str) -> Result<SelectorFactory, UnknownModelError> {
-    ModelKind::parse(model)
-        .and_then(factory_for_kind)
-        .ok_or_else(|| UnknownModelError {
-            model: model.to_string(),
-        })
+    peer_selection::service::try_factory_for(model, SEED_SALT)
 }
 
 /// Typed result.

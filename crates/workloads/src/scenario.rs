@@ -9,12 +9,9 @@ use overlay::broker::{Broker, BrokerCommand, BrokerConfig, RetryPolicy, TargetSp
 use overlay::client::{ClientCommand, ClientConfig, SimpleClient};
 use overlay::message::OverlayMsg;
 use overlay::records::{RecordSink, RunLog};
-use overlay::selector::PeerSelector;
 use planetlab::builder::{build, Testbed, TestbedConfig};
 
-/// Factory producing a fresh selector per replication (selectors are
-/// stateful and not clonable).
-pub type SelectorFactory = Box<dyn Fn(u64) -> Box<dyn PeerSelector> + Sync>;
+pub use overlay::selector::SelectorFactory;
 
 /// Everything needed to run one scenario replication.
 ///

@@ -22,8 +22,6 @@ use netsim::node::NodeId;
 use netsim::time::SimDuration;
 use netsim::trace::Trace;
 use overlay::broker::{BrokerCommand, TargetSpec};
-use overlay::selector::PeerSelector;
-use peer_selection::prelude::*;
 use workloads::attribution::{
     aggregate_metrics, attribute_trace, breakdown_by_peer, phase_table_csv, render_phase_table,
 };
@@ -81,6 +79,13 @@ const STRICT: FlagDef = FlagDef {
     help: "exit 3 when the trace ring dropped events",
 };
 
+/// `--model` choices shown in the flag help. The canonical table is
+/// `ModelKind::ALL` (resolved through `peer_selection::service`); the
+/// round-trip test below keeps this string in lock step with it, so the
+/// CLI cannot drift from what actually parses.
+const MODEL_FLAG_CHOICES: &str =
+    "economic|same-priority|quick-peer|random|ucb1|eps-greedy (alias: evaluator; default: blind)";
+
 static COMMANDS: &[CommandDef] = &[
     CommandDef {
         name: "table1",
@@ -127,7 +132,7 @@ static COMMANDS: &[CommandDef] = &[
                 name: "model",
                 takes_value: true,
                 default: None,
-                help: "economic|evaluator|quick-peer|random|ucb1 (default: blind, all peers)",
+                help: MODEL_FLAG_CHOICES,
             },
         ],
         help: "run one file distribution",
@@ -153,7 +158,7 @@ static COMMANDS: &[CommandDef] = &[
                 name: "model",
                 takes_value: true,
                 default: None,
-                help: "economic|evaluator|quick-peer|random|ucb1 (default: all peers)",
+                help: MODEL_FLAG_CHOICES,
             },
         ],
         help: "run one task campaign",
@@ -480,43 +485,22 @@ fn write_or_exit(path: &str, content: &str) {
     eprintln!("wrote {path}");
 }
 
-/// Models `psim transfer`/`psim task` accept (a superset of the fig6
-/// figure models — the CLI also exposes the evaluator and UCB1 selectors).
-const CLI_MODELS: &str = "economic, evaluator, quick-peer, random, ucb1";
+/// Seed salt for the CLI's stochastic selectors: zero, because the CLI
+/// predates salting and its historical random streams mix nothing in.
+const CLI_SEED_SALT: u64 = 0;
 
-/// Resolves `--model` for the one-shot commands, exiting with the valid
-/// list when the spelling is unknown (silently running blind instead
-/// would misattribute the numbers).
-#[allow(clippy::type_complexity)] // mirrors workloads::scenario::SelectorFactory
-fn selector_or_exit(
-    model: Option<&str>,
-) -> Option<Box<dyn Fn(u64) -> Box<dyn PeerSelector> + Sync>> {
+/// Resolves `--model` for the one-shot commands through the shared
+/// [`peer_selection::service`] table, exiting with the valid list when
+/// the spelling is unknown (silently running blind instead would
+/// misattribute the numbers).
+fn selector_or_exit(model: Option<&str>) -> Option<overlay::selector::SelectorFactory> {
     let name = model?;
-    match selector_for(name) {
-        Some(factory) => Some(factory),
-        None => {
-            eprintln!("unknown model `{name}`; valid models: {CLI_MODELS}");
+    match peer_selection::service::try_factory_for(name, CLI_SEED_SALT) {
+        Ok(factory) => Some(factory),
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(2);
         }
-    }
-}
-
-#[allow(clippy::type_complexity)] // mirrors workloads::scenario::SelectorFactory
-fn selector_for(model: &str) -> Option<Box<dyn Fn(u64) -> Box<dyn PeerSelector> + Sync>> {
-    let model = model.to_string();
-    match model.as_str() {
-        "economic" | "evaluator" | "quick-peer" | "random" | "ucb1" => {
-            Some(Box::new(move |seed| -> Box<dyn PeerSelector> {
-                match model.as_str() {
-                    "economic" => Box::new(Scored::new(EconomicModel::new())),
-                    "evaluator" => Box::new(Scored::new(DataEvaluatorModel::same_priority())),
-                    "quick-peer" => Box::new(Scored::new(UserPreferenceModel::quick_peer())),
-                    "ucb1" => Box::new(Ucb1Selector::new(std::f64::consts::SQRT_2, 2e6)),
-                    _ => Box::new(RandomSelector::new(seed)),
-                }
-            }))
-        }
-        _ => None,
     }
 }
 
@@ -782,8 +766,16 @@ fn cmd_bench_engine(flags: &Flags) {
         overhead.interned_ns_per_event,
         overhead.speedup()
     );
+    eprintln!("bench-engine: per-message names (String clone vs Arc<str>) ...");
+    let names = enginebench::name_clone_overhead(2_000_000);
+    eprintln!(
+        "  string {:.1} ns/event, arc {:.1} ns/event — {:.2}x",
+        names.string_ns_per_event,
+        names.arc_ns_per_event,
+        names.speedup()
+    );
 
-    let json = enginebench::render_json(&interned, &strings, &broker, &overhead);
+    let json = enginebench::render_json(&interned, &strings, &broker, &overhead, &names);
     write_or_exit(&out, &json);
 }
 
@@ -948,5 +940,58 @@ fn cmd_csv(flags: &Flags, spec: &ExperimentSpec) {
         let path = format!("{out}/{name}.csv");
         std::fs::write(&path, report.to_csv()).expect("write csv");
         println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay::selector::ModelKind;
+
+    /// Satellite of the model-name unification: every spelling the CLI
+    /// advertises round-trips through `ModelKind` and resolves through
+    /// `peer_selection::service`, and every selectable `ModelKind` is
+    /// advertised — the flag table cannot drift from the canonical list.
+    #[test]
+    fn cli_model_names_round_trip_through_model_kind() {
+        let choices = MODEL_FLAG_CHOICES
+            .split_once(" (")
+            .map(|(names, _)| names)
+            .unwrap_or(MODEL_FLAG_CHOICES);
+        let advertised: Vec<&str> = choices.split('|').collect();
+        assert!(!advertised.is_empty());
+        for name in &advertised {
+            let kind = ModelKind::parse(name)
+                .unwrap_or_else(|| panic!("advertised model `{name}` must parse"));
+            assert_eq!(kind.name(), *name, "advertised spellings are canonical");
+            assert!(
+                peer_selection::service::try_factory_for(name, CLI_SEED_SALT).is_ok(),
+                "advertised model `{name}` must resolve to a selector"
+            );
+        }
+        for name in peer_selection::service::selectable_model_names() {
+            assert!(
+                advertised.contains(&name.as_str()),
+                "selectable model `{name}` missing from MODEL_FLAG_CHOICES"
+            );
+        }
+        // The historical alias keeps working but is not canonical.
+        assert_eq!(ModelKind::parse("evaluator"), Some(ModelKind::SamePriority));
+        assert!(peer_selection::service::try_factory_for("evaluator", CLI_SEED_SALT).is_ok());
+    }
+
+    /// The flag table's `--model` entries all point at the shared help
+    /// string, so there is exactly one list to keep in sync.
+    #[test]
+    fn model_flags_share_the_single_help_string() {
+        let model_flags: Vec<&FlagDef> = COMMANDS
+            .iter()
+            .flat_map(|c| c.flags.iter())
+            .filter(|f| f.name == "model")
+            .collect();
+        assert!(model_flags.len() >= 2, "transfer and task expose --model");
+        for f in model_flags {
+            assert_eq!(f.help, MODEL_FLAG_CHOICES);
+        }
     }
 }

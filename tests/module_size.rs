@@ -1,0 +1,71 @@
+//! Module-size guard: no Rust source file under any `src/` tree may
+//! exceed [`MAX_LINES`] lines.
+//!
+//! The broker decomposition (DESIGN.md §3.3) replaced a monolithic
+//! `broker.rs` with a layered module tree; this guard keeps the next
+//! monolith from accreting. CI runs the same check as a shell job
+//! (`module-hygiene`) so the failure names the offending file even when
+//! the build is broken.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Hard cap on lines per source file, tests and comments included.
+const MAX_LINES: usize = 1_200;
+
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files_under(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_source_file_exceeds_the_module_size_cap() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut src_dirs = vec![root.join("src")];
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ exists") {
+        let src = entry.expect("readable dir entry").path().join("src");
+        if src.is_dir() {
+            src_dirs.push(src);
+        }
+    }
+
+    let mut files = Vec::new();
+    for dir in &src_dirs {
+        rust_files_under(dir, &mut files);
+    }
+    files.sort();
+    assert!(
+        files.len() > 30,
+        "guard walked only {} files — src discovery is broken",
+        files.len()
+    );
+
+    let mut oversized = Vec::new();
+    for path in &files {
+        let lines = fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+            .lines()
+            .count();
+        if lines > MAX_LINES {
+            oversized.push(format!(
+                "  {} — {lines} lines (cap {MAX_LINES})",
+                path.strip_prefix(&root).unwrap_or(path).display()
+            ));
+        }
+    }
+    assert!(
+        oversized.is_empty(),
+        "source files over the {MAX_LINES}-line cap — split them into submodules:\n{}",
+        oversized.join("\n")
+    );
+}
