@@ -104,7 +104,7 @@ mod tests {
             .map(|i| CandidateView {
                 peer: PeerId::generate(&mut g),
                 node: NodeId(i as u32),
-                name: format!("n{i}"),
+                name: format!("n{i}").into(),
                 cpu_gops: 1.0,
                 snapshot: StatsSnapshot::empty(1.0),
                 history: InteractionHistory::empty(),

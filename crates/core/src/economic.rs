@@ -105,7 +105,7 @@ mod tests {
         CandidateView {
             peer: PeerId::generate(&mut g),
             node: NodeId(node),
-            name: format!("n{node}"),
+            name: format!("n{node}").into(),
             cpu_gops: cpu,
             snapshot: StatsSnapshot::empty(cpu),
             history,

@@ -176,7 +176,7 @@ mod tests {
         CandidateView {
             peer: PeerId::generate(&mut g),
             node: NodeId(node),
-            name: format!("n{node}"),
+            name: format!("n{node}").into(),
             cpu_gops: 1.0,
             snapshot,
             history: InteractionHistory::empty(),

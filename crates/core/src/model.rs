@@ -127,7 +127,7 @@ mod tests {
             .map(|i| CandidateView {
                 peer: PeerId::generate(&mut g),
                 node: NodeId(i as u32),
-                name: format!("peer{i}"),
+                name: format!("peer{i}").into(),
                 cpu_gops: 1.0 + i as f64 * 0.1,
                 snapshot: StatsSnapshot::empty(1.0 + i as f64 * 0.1),
                 history: InteractionHistory::empty(),

@@ -74,7 +74,7 @@ impl ScoringModel for UserPreferenceModel {
                 .candidates
                 .iter()
                 .map(|c| {
-                    match names.iter().position(|n| *n == c.name) {
+                    match names.iter().position(|n| n.as_str() == &*c.name) {
                         // First-ranked gets the highest score.
                         Some(pos) => (names.len() - pos) as f64,
                         None => 0.0,

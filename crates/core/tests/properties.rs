@@ -41,7 +41,7 @@ fn candidate(
     CandidateView {
         peer: PeerId::generate(&mut g),
         node: NodeId(i as u32),
-        name: format!("peer{i}"),
+        name: format!("peer{i}").into(),
         cpu_gops: cpu,
         snapshot,
         history,

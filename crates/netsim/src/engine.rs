@@ -7,6 +7,7 @@
 //! run is a pure function of `(topology, config, seed, actors)`.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::event::EventQueue;
 use crate::metrics::{MetricId, Metrics, StatId};
@@ -69,6 +70,35 @@ enum Ev<M> {
     Timer { node: NodeId, id: TimerId, tag: u64 },
 }
 
+/// A cross-shard message caught at the shard boundary: the sender-side
+/// plan is done (uplink FIFO, propagation, service — all from sender-shard
+/// state and RNG); the destination shard applies its receiver-side
+/// queueing at incorporation time.
+pub(crate) struct RemoteEnvelope<M> {
+    pub(crate) to: NodeId,
+    pub(crate) from: NodeId,
+    pub(crate) msg: M,
+    pub(crate) bytes: u64,
+    pub(crate) sent_at: SimTime,
+    pub(crate) tx_start: SimTime,
+    pub(crate) first_byte: SimTime,
+    pub(crate) service: SimDuration,
+    /// Destination-host service delay (already sampled, sender-side RNG).
+    pub(crate) service_extra: SimDuration,
+    pub(crate) src_shard: usize,
+    /// Position in the source shard's outbox, for deterministic tie-breaks.
+    pub(crate) src_index: u64,
+}
+
+/// Shard membership of an engine acting as one shard of a
+/// [`crate::parallel::ShardedEngine`]: the fixed node→shard assignment and
+/// the outbox of boundary-crossing messages produced since the last drain.
+struct ShardState<M> {
+    assignment: Arc<Vec<usize>>,
+    shard_id: usize,
+    outbox: Vec<RemoteEnvelope<M>>,
+}
+
 /// Why [`Engine::run_until`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -128,6 +158,9 @@ struct EngineCore<M> {
     trace: Trace,
     stop_requested: bool,
     current: NodeId,
+    /// `Some` only when this engine is one shard of a sharded run; `None`
+    /// keeps the serial engine on its original, bit-identical path.
+    shard: Option<ShardState<M>>,
 }
 
 /// The API an actor sees while handling an event.
@@ -189,6 +222,12 @@ impl<'a, M: Payload> Context<'a, M> {
             }
             return;
         }
+        if let Some(shard) = &self.core.shard {
+            if shard.assignment[to.index()] != shard.shard_id {
+                self.send_remote(to, size, msg);
+                return;
+            }
+        }
         let timing = self.core.planner.plan(
             &self.core.topo,
             self.core.clock,
@@ -237,6 +276,62 @@ impl<'a, M: Payload> Context<'a, M> {
         self.core
             .queue
             .schedule(deliver, Ev::Deliver { to, from, msg });
+    }
+
+    /// Sends a message across a shard boundary: completes the sender-side
+    /// half (uplink FIFO, propagation and service samples from this
+    /// shard's planner state and RNG) and parks the envelope in the shard
+    /// outbox; the destination shard finishes the plan at incorporation.
+    /// Mirrors the arithmetic and RNG draw order of the local path in
+    /// [`Context::send`] exactly.
+    fn send_remote(&mut self, to: NodeId, size: u64, msg: M) {
+        let from = self.core.current;
+        let plan = self.core.planner.plan_remote_send(
+            &self.core.topo,
+            self.core.clock,
+            from,
+            to,
+            size,
+            &mut self.core.net_rng,
+        );
+        let service = match msg.service_class() {
+            ServiceClass::Wakeup => self
+                .core
+                .topo
+                .node(to)
+                .service_delay
+                .sample_secs(&mut self.core.net_rng),
+            ServiceClass::Fast => {
+                self.core
+                    .topo
+                    .node(to)
+                    .service_delay
+                    .sample_secs(&mut self.core.net_rng)
+                    * self.core.planner.config().fast_service_factor
+            }
+            ServiceClass::Bulk => 0.0,
+        };
+        self.core.metrics.incr_id(self.core.ids.messages_sent, 1);
+        self.core.metrics.incr_id(self.core.ids.bytes_sent, size);
+        let shard = self
+            .core
+            .shard
+            .as_mut()
+            .expect("send_remote requires shard state");
+        let src_index = shard.outbox.len() as u64;
+        shard.outbox.push(RemoteEnvelope {
+            to,
+            from,
+            msg,
+            bytes: size,
+            sent_at: self.core.clock,
+            tx_start: plan.tx_start,
+            first_byte: plan.first_byte,
+            service: plan.service,
+            service_extra: SimDuration::from_secs_f64(service),
+            src_shard: shard.shard_id,
+            src_index,
+        });
     }
 
     /// Schedules a timer on the current node after `delay`, carrying `tag`.
@@ -333,7 +428,7 @@ impl<'a, M: Payload> Context<'a, M> {
 /// The simulation engine: topology + planner + actors + event loop.
 pub struct Engine<M: Payload> {
     core: EngineCore<M>,
-    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    actors: Vec<Option<Box<dyn Actor<M> + Send>>>,
     started: bool,
     event_limit: u64,
     events_processed: u64,
@@ -366,6 +461,7 @@ impl<M: Payload> Engine<M> {
                 trace: Trace::disabled(),
                 stop_requested: false,
                 current: NodeId(0),
+                shard: None,
             },
             actors,
             started: false,
@@ -375,8 +471,9 @@ impl<M: Payload> Engine<M> {
     }
 
     /// Installs the actor for `node`. Replacing an existing actor is allowed
-    /// before the first run step.
-    pub fn register(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) {
+    /// before the first run step. Actors must be `Send` so a sharded run
+    /// can execute shards on worker threads.
+    pub fn register(&mut self, node: NodeId, actor: Box<dyn Actor<M> + Send>) {
         self.actors[node.index()] = Some(actor);
     }
 
@@ -412,12 +509,14 @@ impl<M: Payload> Engine<M> {
 
     /// Immutable access to an installed actor (for post-run inspection).
     pub fn actor(&self, node: NodeId) -> Option<&dyn Actor<M>> {
-        self.actors[node.index()].as_deref()
+        self.actors[node.index()]
+            .as_deref()
+            .map(|a| a as &dyn Actor<M>)
     }
 
     /// Downcast-style accessor: applies `f` to the actor if installed.
     pub fn with_actor<R>(&self, node: NodeId, f: impl FnOnce(&dyn Actor<M>) -> R) -> Option<R> {
-        self.actors[node.index()].as_deref().map(f)
+        self.actor(node).map(f)
     }
 
     fn start_if_needed(&mut self) {
@@ -457,16 +556,114 @@ impl<M: Payload> Engine<M> {
     /// Runs until the queue drains, a stop is requested, the event limit
     /// trips, or virtual time would pass `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
-        let outcome = self.run_until_inner(horizon);
-        // Flush the timer high-water mark so post-run metric readers see it.
+        let outcome = self.run_bounded(horizon, false);
+        self.flush_run_metrics();
+        outcome
+    }
+
+    /// Flushes run-scoped gauges (the timer high-water mark) so post-run
+    /// metric readers see them. `run_until` does this after every step; a
+    /// sharded run does it once per shard when the whole run ends.
+    pub(crate) fn flush_run_metrics(&mut self) {
         self.core.metrics.set_max_id(
             self.core.ids.timers_pending_hwm,
             self.core.timers_pending_hwm as u64,
         );
+    }
+
+    /// Marks this engine as shard `shard_id` of a sharded run: sends to
+    /// nodes owned by other shards divert into the shard outbox instead of
+    /// the local queue.
+    pub(crate) fn set_shard(&mut self, assignment: Arc<Vec<usize>>, shard_id: usize) {
+        self.core.shard = Some(ShardState {
+            assignment,
+            shard_id,
+            outbox: Vec::new(),
+        });
+    }
+
+    /// Offsets timer-id allocation so shards mint non-overlapping ids
+    /// (purely cosmetic for merged traces; ids never cross shards).
+    pub(crate) fn set_timer_base(&mut self, base: u64) {
+        self.core.next_timer = base;
+    }
+
+    /// Runs `on_start` hooks now (idempotent). A sharded run starts every
+    /// shard before computing the first window from the seeded queues.
+    pub(crate) fn start(&mut self) {
+        self.start_if_needed();
+    }
+
+    /// Drains the cross-shard outbox accumulated since the last call.
+    pub(crate) fn take_outbox(&mut self) -> Vec<RemoteEnvelope<M>> {
+        match &mut self.core.shard {
+            Some(shard) => std::mem::take(&mut shard.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether an actor requested a stop.
+    pub(crate) fn stop_requested(&self) -> bool {
+        self.core.stop_requested
+    }
+
+    /// Timestamp of the earliest pending local event.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.core.queue.peek_time()
+    }
+
+    /// Completes a cross-shard delivery on the destination shard: applies
+    /// this shard's receiver-side queueing to the sender-side plan,
+    /// records the send in this shard's trace/metrics (the delivery time
+    /// is only known here), and schedules the local delivery event.
+    pub(crate) fn incorporate_remote(&mut self, env: RemoteEnvelope<M>) {
+        let deliver = self
+            .core
+            .planner
+            .admit_remote(env.to, env.first_byte, env.service)
+            + env.service_extra;
+        self.core.metrics.observe_id(
+            self.core.ids.delivery_secs,
+            deliver.duration_since(env.sent_at).as_secs_f64(),
+        );
+        if self.core.trace.is_enabled() {
+            self.core.trace.record(
+                env.sent_at,
+                env.from,
+                TraceEventKind::MessageSent {
+                    to: env.to,
+                    msg: env.msg.kind(),
+                    bytes: env.bytes,
+                    tx_start: env.tx_start,
+                    deliver_at: deliver,
+                },
+            );
+        }
+        self.core.queue.schedule(
+            deliver,
+            Ev::Deliver {
+                to: env.to,
+                from: env.from,
+                msg: env.msg,
+            },
+        );
+    }
+
+    /// Runs one conservative-lookahead window: processes events strictly
+    /// below `end` (`exclusive`) or up to and including it, then parks the
+    /// clock at `end`. An idle shard (empty queue) still parks its clock in
+    /// an exclusive window — neighbor horizons must keep advancing. Unlike
+    /// [`Engine::run_until`] this does not flush run-scoped gauges — a
+    /// sharded run does that once at the end.
+    pub(crate) fn run_window(&mut self, end: SimTime, exclusive: bool) -> RunOutcome {
+        let outcome = self.run_bounded(end, exclusive);
+        if exclusive && outcome == RunOutcome::QueueEmpty && self.core.clock < end {
+            self.core.clock = end;
+        }
         outcome
     }
 
-    fn run_until_inner(&mut self, horizon: SimTime) -> RunOutcome {
+    fn run_bounded(&mut self, horizon: SimTime, exclusive: bool) -> RunOutcome {
         self.start_if_needed();
         loop {
             if self.core.stop_requested {
@@ -478,7 +675,7 @@ impl<M: Payload> Engine<M> {
             let Some(next_time) = self.core.queue.peek_time() else {
                 return RunOutcome::QueueEmpty;
             };
-            if next_time > horizon {
+            if next_time > horizon || (exclusive && next_time >= horizon) {
                 self.core.clock = horizon;
                 return RunOutcome::HorizonReached;
             }

@@ -59,7 +59,9 @@ pub mod event;
 pub mod link;
 pub mod metrics;
 pub mod node;
+pub mod parallel;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -71,7 +73,9 @@ pub mod prelude {
     pub use crate::link::{AccessLink, PathSpec};
     pub use crate::metrics::{Metrics, RunningStat};
     pub use crate::node::{CpuModel, LoadModel, NodeId, NodeSpec};
+    pub use crate::parallel::{ParallelError, ParallelProfile, ShardedEngine};
     pub use crate::rng::{DelayDistribution, SimRng};
+    pub use crate::shard::{shard_seed, LookaheadTable, ShardMap, ShardMapError};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::Topology;
     pub use crate::transport::{ReceiverDiscipline, TransferPlanner, TransportConfig};

@@ -617,6 +617,25 @@ impl Trace {
         spans
     }
 
+    /// Merges per-shard traces into one global history: events are stably
+    /// sorted by timestamp, so simultaneous events from different shards
+    /// keep the shard order of `parts` and same-shard events keep their
+    /// within-shard order. A pure function of the inputs — two identical
+    /// sets of shard traces merge to byte-identical JSONL.
+    pub fn merged(parts: &[&Trace]) -> Trace {
+        let mut events: Vec<TraceEvent> = Vec::with_capacity(parts.iter().map(|t| t.len()).sum());
+        for part in parts {
+            events.extend(part.events.iter().cloned());
+        }
+        events.sort_by_key(|e| e.time);
+        Trace {
+            enabled: parts.iter().any(|t| t.enabled),
+            capacity: parts.iter().map(|t| t.capacity).sum(),
+            events: events.into(),
+            dropped: parts.iter().map(|t| t.dropped).sum(),
+        }
+    }
+
     /// A stable digest of the retained history — a cheap equality proxy for
     /// determinism assertions. Computed over the JSONL rendering, so digest
     /// equality and byte-identical [`Trace::to_jsonl`] output coincide.
@@ -772,6 +791,25 @@ mod tests {
         assert_eq!(task.kind, SpanKind::Task, "keys pair within a kind only");
         assert_eq!(task.end, None);
         assert_eq!(task.duration(), None);
+    }
+
+    #[test]
+    fn merged_orders_by_time_with_shard_order_tiebreak() {
+        let mut a = Trace::with_capacity(8);
+        let mut b = Trace::with_capacity(8);
+        ev(&mut a, 1, "a1");
+        ev(&mut a, 3, "a3");
+        ev(&mut b, 1, "b1");
+        ev(&mut b, 2, "b2");
+        let m = Trace::merged(&[&a, &b]);
+        assert!(m.is_enabled());
+        assert_eq!(m.len(), 4);
+        let details: Vec<String> = m.events().map(|e| e.to_json()).collect();
+        assert!(details[0].contains("a1"), "shard 0 wins the t=1 tie");
+        assert!(details[1].contains("b1"));
+        assert!(details[2].contains("b2"));
+        assert!(details[3].contains("a3"));
+        assert_eq!(m.dropped(), 0);
     }
 
     #[test]

@@ -128,6 +128,21 @@ impl TransferTiming {
     }
 }
 
+/// The sender-side half of a cross-shard transfer plan (steps 1–4 of
+/// [`TransferPlanner::plan`]): everything decided on the sending shard.
+/// The receiving shard turns it into a delivery time with
+/// [`TransferPlanner::admit_remote`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteSendPlan {
+    /// When the sender's uplink started serializing the message.
+    pub tx_start: SimTime,
+    /// When the first byte reaches the destination host.
+    pub first_byte: SimTime,
+    /// Bottleneck service time (incl. slow-start penalty) still to be
+    /// applied under the receiver's queueing discipline.
+    pub service: SimDuration,
+}
+
 /// Stateful planner: owns per-node uplink/downlink busy horizons.
 #[derive(Debug, Clone)]
 pub struct TransferPlanner {
@@ -270,6 +285,80 @@ impl TransferPlanner {
         };
 
         TransferTiming { tx_start, deliver }
+    }
+
+    /// Sender-side half of [`TransferPlanner::plan`] for a message that
+    /// crosses a shard boundary: uplink FIFO, propagation sample, and
+    /// bottleneck/slow-start service — everything that depends only on
+    /// sender-shard state and the sender's RNG stream. The receiver-side
+    /// queueing (step 5 of `plan`) is applied later by
+    /// [`TransferPlanner::admit_remote`] on the destination shard's
+    /// planner, with identical arithmetic, so a cross-shard transfer sees
+    /// exactly the same contention model as a local one.
+    pub fn plan_remote_send(
+        &mut self,
+        topo: &Topology,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        payload_bytes: u64,
+        rng: &mut SimRng,
+    ) -> RemoteSendPlan {
+        debug_assert_ne!(from, to, "loopback messages never cross shards");
+        let size = (payload_bytes + self.config.per_message_overhead_bytes) as f64;
+
+        // 1. Uplink FIFO at the sender (sender-shard state).
+        let up_bw = topo.access(from).up_bytes_per_sec.max(1.0);
+        let tx_start = now.max(self.up_busy_until[from.index()]);
+        let serialize = SimDuration::from_secs_f64(size / up_bw);
+        self.up_busy_until[from.index()] = tx_start + serialize;
+
+        // 2. Propagation with jitter (sender-shard RNG; the draw order
+        //    matches `plan` exactly).
+        let path = topo.path(from, to);
+        let latency = path.sample_latency(rng);
+        let first_byte = tx_start + latency;
+
+        // 3. Bottleneck service.
+        let thr = self.effective_throughput(topo, from, to, size);
+        let mut service = SimDuration::from_secs_f64(size / thr);
+
+        // 4. Slow-start penalty.
+        service += self.slow_start_penalty(path.rtt(), size);
+
+        RemoteSendPlan {
+            tx_start,
+            first_byte,
+            service,
+        }
+    }
+
+    /// Receiver-side half of a cross-shard transfer: applies the
+    /// destination's queueing discipline (step 5 of
+    /// [`TransferPlanner::plan`], same arithmetic) to a sender-side plan
+    /// and returns the delivery time of the last byte.
+    pub fn admit_remote(
+        &mut self,
+        to: NodeId,
+        first_byte: SimTime,
+        service: SimDuration,
+    ) -> SimTime {
+        match self.config.receiver_discipline {
+            ReceiverDiscipline::Fifo => {
+                let service_start = first_byte.max(self.down_busy_until[to.index()]);
+                let deliver = service_start + service;
+                self.down_busy_until[to.index()] = deliver;
+                deliver
+            }
+            ReceiverDiscipline::ProcessorSharing => {
+                let inflight = &mut self.down_inflight[to.index()];
+                inflight.retain(|&done| done > first_byte);
+                let concurrency = inflight.len() as f64;
+                let deliver = first_byte + service.mul_f64(1.0 + concurrency);
+                inflight.push(deliver);
+                deliver
+            }
+        }
     }
 
     /// Non-mutating estimate of an uncontended transfer's duration
@@ -504,6 +593,48 @@ mod tests {
         );
         assert_eq!(fa.deliver, pa.deliver);
         assert_eq!(fb.deliver, pb.deliver);
+    }
+
+    #[test]
+    fn remote_split_reproduces_plan_bit_for_bit() {
+        // The sharded engine times a cross-shard message in two halves:
+        // plan_remote_send on the sender's planner, admit_remote on the
+        // receiver's. Against a single planner fed the same RNG stream the
+        // composed result must equal `plan` exactly — including under
+        // uplink FIFO pressure, receiver contention, and jitter draws.
+        for discipline in [
+            ReceiverDiscipline::Fifo,
+            ReceiverDiscipline::ProcessorSharing,
+        ] {
+            let mut t = Topology::new();
+            let a = t.add_node(
+                NodeSpec::responsive("a"),
+                AccessLink::symmetric_mbps(50.0, 0.001),
+            );
+            let b = t.add_node(
+                NodeSpec::responsive("b"),
+                AccessLink::symmetric_mbps(20.0, 0.0),
+            );
+            t.set_path_symmetric(a, b, PathSpec::from_owd_ms(30.0, 0.4));
+            let cfg = TransportConfig {
+                receiver_discipline: discipline,
+                ..TransportConfig::default()
+            };
+            let mut whole = TransferPlanner::new(cfg.clone(), t.len());
+            let mut split = TransferPlanner::new(cfg, t.len());
+            let mut rng_whole = SimRng::new(99);
+            let mut rng_split = SimRng::new(99);
+            let mut now = SimTime::ZERO;
+            for i in 0..20u64 {
+                let bytes = 10_000 + i * 700_000;
+                let reference = whole.plan(&t, now, a, b, bytes, &mut rng_whole);
+                let half = split.plan_remote_send(&t, now, a, b, bytes, &mut rng_split);
+                let deliver = split.admit_remote(b, half.first_byte, half.service);
+                assert_eq!(half.tx_start, reference.tx_start, "msg {i}");
+                assert_eq!(deliver, reference.deliver, "msg {i}");
+                now += SimDuration::from_millis(17);
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@ use super::Broker;
 /// Everything the broker tracks about one registered peer.
 pub(crate) struct PeerEntry {
     pub(crate) adv: PeerAdvertisement,
+    /// The advertised hostname, interned once at admission so per-selection
+    /// roster snapshots clone a refcount instead of a string buffer.
+    pub(crate) name: Arc<str>,
     pub(crate) stats: PeerStats,
     pub(crate) reported: Option<StatsSnapshot>,
     pub(crate) history: InteractionHistory,
@@ -105,6 +108,7 @@ impl PeerRegistry {
         let cpu = adv.cpu_gops;
         self.by_node.insert(adv.node, peer);
         self.peers.entry(peer).or_insert_with(|| PeerEntry {
+            name: Arc::from(adv.name.as_str()),
             adv,
             stats: PeerStats::new(now, cpu),
             reported: None,
@@ -150,7 +154,7 @@ impl PeerRegistry {
                 CandidateView {
                     peer: entry.adv.peer,
                     node: entry.adv.node,
-                    name: entry.adv.name.clone(),
+                    name: entry.name.clone(),
                     cpu_gops: entry.adv.cpu_gops,
                     snapshot,
                     history: entry.history.clone(),
@@ -354,7 +358,7 @@ mod tests {
         let remote = CandidateView {
             peer: PeerId::generate(&mut ids),
             node: NodeId(9),
-            name: "remote".to_string(),
+            name: "remote".into(),
             cpu_gops: 1.0,
             snapshot: StatsSnapshot::empty(1.0),
             history: InteractionHistory::empty(),

@@ -150,8 +150,9 @@ pub struct SelectionRecord {
     pub model: String,
     /// The chosen host.
     pub chosen: NodeId,
-    /// The chosen hostname.
-    pub chosen_name: String,
+    /// The chosen hostname (interned — cloned from the registry's
+    /// per-peer `Arc<str>`, never reallocated per decision).
+    pub chosen_name: Arc<str>,
     /// Number of candidates considered.
     pub candidates: usize,
 }
@@ -220,6 +221,16 @@ impl RunLog {
         self.transfers
             .iter()
             .filter(move |t| t.to == node && t.completed_at.is_some())
+    }
+
+    /// Appends every record of `other`, preserving each section's order.
+    /// A sharded run keeps one log per shard and absorbs them in shard
+    /// order afterwards, so the merged log is worker-count invariant.
+    pub fn absorb(&mut self, other: RunLog) {
+        self.transfers.extend(other.transfers);
+        self.tasks.extend(other.tasks);
+        self.selections.extend(other.selections);
+        self.jobs.extend(other.jobs);
     }
 }
 

@@ -6,6 +6,8 @@
 //! `peer-selection` crate and implement this trait. Keeping the trait here
 //! lets the substrate stay ignorant of the contribution built on top of it.
 
+use std::sync::Arc;
+
 use netsim::node::NodeId;
 use netsim::time::SimTime;
 
@@ -79,8 +81,9 @@ pub struct CandidateView {
     pub peer: PeerId,
     /// Simulated host.
     pub node: NodeId,
-    /// Hostname.
-    pub name: String,
+    /// Hostname, interned at admission — building a roster or recording a
+    /// selection clones a refcount, never a string buffer.
+    pub name: Arc<str>,
     /// Advertised CPU rate, gops.
     pub cpu_gops: f64,
     /// Latest peer-reported statistics.
@@ -293,7 +296,7 @@ mod tests {
             .map(|i| CandidateView {
                 peer: PeerId::generate(&mut g),
                 node: NodeId(i as u32),
-                name: format!("peer{i}"),
+                name: format!("peer{i}").into(),
                 cpu_gops: 1.0,
                 snapshot: StatsSnapshot::empty(1.0),
                 history: InteractionHistory::empty(),

@@ -445,7 +445,7 @@ pub mod profiles {
             .log
             .selections
             .iter()
-            .map(|s| s.chosen_name.clone())
+            .map(|s| s.chosen_name.to_string())
             .collect();
         (rate, picks)
     }

@@ -7,6 +7,7 @@
 //! * [`runner`] — parallel replication over seeds (std scoped threads).
 //! * [`report`] — paper-vs-measured table rendering and shape statistics.
 //! * [`attribution`] — per-transfer latency phase decomposition over traces.
+//! * [`multiregion`] — federated multi-region workload for the sharded engine.
 //! * [`sweep`] — grid-sweep campaigns over typed axes (`psim sweep`).
 //! * [`enginebench`] — engine throughput measurement (`BENCH_engine.json`).
 //! * [`experiments`] — one module per artifact: `table1`, `fig2`…`fig7`.
@@ -24,6 +25,7 @@
 pub mod attribution;
 pub mod enginebench;
 pub mod experiments;
+pub mod multiregion;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -1,7 +1,10 @@
 //! Scenario wiring: testbed → engine → broker + clients → run → records.
 
-use netsim::engine::{Engine, RunOutcome};
+use netsim::engine::{Actor, Engine, RunOutcome};
 use netsim::metrics::Metrics;
+use netsim::node::NodeId;
+use netsim::parallel::ShardedEngine;
+use netsim::shard::ShardMap;
 use netsim::time::{SimDuration, SimTime};
 use netsim::trace::Trace;
 use netsim::transport::TransportConfig;
@@ -56,6 +59,14 @@ pub struct ScenarioConfig {
     /// and [`ScenarioResult::trace`] carries them out. `None` (the default)
     /// keeps the allocation-free disabled path.
     trace_capacity: Option<usize>,
+    /// Shard domains for the parallel engine: 1 (the default) runs the
+    /// serial engine; > 1 partitions nodes round-robin over this many
+    /// shards and runs the conservative-lookahead windowed engine.
+    shards: usize,
+    /// Worker threads for a sharded run (clamped to the shard count).
+    /// Deterministic by construction: any worker count yields the same
+    /// history for a fixed shard count and seed.
+    shard_workers: usize,
 }
 
 /// Why a [`ScenarioBuilder::build`] was rejected.
@@ -77,6 +88,11 @@ pub enum ScenarioError {
     },
     /// The virtual-time horizon was zero: the engine would stop at t=0.
     NonPositiveHorizon,
+    /// `shards` or `shard_workers` was zero; both must be at least 1.
+    ZeroParallelism {
+        /// Which knob was zero (`"shards"` or `"shard_workers"`).
+        what: &'static str,
+    },
     /// `stop_when_idle` was left on while a scripted client generates its
     /// own work (`RequestFile`/`SubmitJob`): the broker cannot see that
     /// work and would stop the run underneath it. Disable idle-stop and
@@ -98,6 +114,9 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::NonPositiveHorizon => {
                 write!(f, "horizon must be positive virtual time")
+            }
+            ScenarioError::ZeroParallelism { what } => {
+                write!(f, "{what} must be at least 1")
             }
             ScenarioError::IdleStopWithScriptedClients { sc } => write!(
                 f,
@@ -143,8 +162,22 @@ impl ScenarioBuilder {
                 stop_when_idle: true,
                 retry: None,
                 trace_capacity: None,
+                shards: 1,
+                shard_workers: 1,
             },
         }
+    }
+
+    /// Number of shard domains (1 = serial engine; validated ≥ 1 at build).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Worker threads for a sharded run (clamped to the shard count).
+    pub fn shard_workers(mut self, workers: usize) -> Self {
+        self.cfg.shard_workers = workers;
+        self
     }
 
     /// Replaces the testbed.
@@ -242,6 +275,14 @@ impl ScenarioBuilder {
         let cfg = self.cfg;
         if cfg.horizon == SimDuration::ZERO {
             return Err(ScenarioError::NonPositiveHorizon);
+        }
+        if cfg.shards == 0 {
+            return Err(ScenarioError::ZeroParallelism { what: "shards" });
+        }
+        if cfg.shard_workers == 0 {
+            return Err(ScenarioError::ZeroParallelism {
+                what: "shard_workers",
+            });
         }
         let check_prob = |what: String, value: f64| {
             if !(0.0..=1.0).contains(&value) {
@@ -464,6 +505,24 @@ impl ScenarioConfig {
     pub fn trace_capacity(&self) -> Option<usize> {
         self.trace_capacity
     }
+
+    /// Number of shard domains (1 = serial engine).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Worker threads for a sharded run.
+    pub fn shard_workers(&self) -> usize {
+        self.shard_workers
+    }
+
+    /// Sets the shard/worker axis post-build (invariant-free apart from
+    /// being non-zero, which this clamps). 1 shard = the serial engine.
+    pub fn sharded(mut self, shards: usize, workers: usize) -> Self {
+        self.shards = shards.max(1);
+        self.shard_workers = workers.max(1);
+        self
+    }
 }
 
 /// The names [`ScenarioConfig::named`] accepts, from the same static table.
@@ -510,7 +569,12 @@ fn run_scenario_inner(
     trace_capacity: Option<usize>,
 ) -> ScenarioResult {
     let testbed = build(&cfg.testbed);
-    let sink = RecordSink::new();
+    // One record sink per shard: actors of a shard share a sink, so a
+    // threaded run never interleaves records across threads. The serial
+    // path is the single-shard special case of the same layout.
+    let map = ShardMap::modulo(testbed.len(), cfg.shards);
+    let sinks: Vec<RecordSink> = (0..map.num_shards()).map(|_| RecordSink::new()).collect();
+    let sink_of = |node: NodeId| sinks[map.shard_of(node)].clone();
 
     let mut broker_cfg = BrokerConfig::new(seed ^ 0x0B20_CE12);
     broker_cfg.commands = cfg.commands.clone();
@@ -521,15 +585,10 @@ fn run_scenario_inner(
         broker_cfg.selector = Some(factory(seed));
     }
 
-    let mut engine: Engine<OverlayMsg> =
-        Engine::new(testbed.topology.clone(), cfg.transport.clone(), seed);
-    if let Some(capacity) = trace_capacity {
-        engine.enable_trace(capacity);
-    }
-    engine.register(
+    let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = vec![(
         testbed.broker,
-        Box::new(Broker::new(broker_cfg, sink.clone())),
-    );
+        Box::new(Broker::new(broker_cfg, sink_of(testbed.broker))),
+    )];
     for (i, node) in testbed.clients().into_iter().enumerate() {
         let mut client_cfg = ClientConfig::new(testbed.broker);
         if let Some(accept) = &cfg.task_accept_by_sc {
@@ -559,24 +618,73 @@ fn run_scenario_inner(
                 }
             }
         }
-        engine.register(
+        actors.push((
             node,
             Box::new(
                 SimpleClient::new(client_cfg, seed.wrapping_mul(31).wrapping_add(i as u64))
-                    .with_sink(sink.clone()),
+                    .with_sink(sink_of(node)),
             ),
-        );
+        ));
     }
 
-    let outcome = engine.run_until(SimTime::ZERO + cfg.horizon);
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let (outcome, metrics, elapsed, events_processed, peak_queue_len, trace) =
+        if map.num_shards() == 1 {
+            let mut engine: Engine<OverlayMsg> =
+                Engine::new(testbed.topology.clone(), cfg.transport.clone(), seed);
+            if let Some(capacity) = trace_capacity {
+                engine.enable_trace(capacity);
+            }
+            for (node, actor) in actors {
+                engine.register(node, actor);
+            }
+            let outcome = engine.run_until(horizon);
+            (
+                outcome,
+                engine.metrics().clone(),
+                engine.now(),
+                engine.events_processed(),
+                engine.peak_queue_len(),
+                engine.trace().clone(),
+            )
+        } else {
+            let mut engine: ShardedEngine<OverlayMsg> = ShardedEngine::new(
+                testbed.topology.clone(),
+                cfg.transport.clone(),
+                seed,
+                map,
+                cfg.shard_workers,
+            )
+            .expect("testbed topology admits a positive cross-shard lookahead");
+            if let Some(capacity) = trace_capacity {
+                engine.enable_trace(capacity);
+            }
+            for (node, actor) in actors {
+                engine.register(node, actor);
+            }
+            let outcome = engine.run_until(horizon);
+            (
+                outcome,
+                engine.metrics(),
+                engine.now(),
+                engine.events_processed(),
+                engine.peak_queue_len(),
+                engine.trace(),
+            )
+        };
+
+    let mut log = RunLog::default();
+    for sink in &sinks {
+        log.absorb(sink.drain());
+    }
     ScenarioResult {
-        log: sink.drain(),
-        metrics: engine.metrics().clone(),
-        elapsed: engine.now(),
+        log,
+        metrics,
+        elapsed,
         outcome,
-        events_processed: engine.events_processed(),
-        peak_queue_len: engine.peak_queue_len(),
-        trace: engine.trace().clone(),
+        events_processed,
+        peak_queue_len,
+        trace,
         testbed,
     }
 }

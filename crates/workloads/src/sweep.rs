@@ -455,7 +455,7 @@ fn run_cell_rep(spec: &SweepSpec, cfg: &ScenarioConfig, seed: u64) -> RepOutcome
                 .log
                 .selections
                 .first()
-                .map(|s| s.chosen_name.clone())
+                .map(|s| s.chosen_name.to_string())
                 .unwrap_or_default();
             RepOutcome {
                 values: vec![("selected".to_string(), secs)],
@@ -864,9 +864,11 @@ pub fn render_scaling_json(
             .map(|p| p.cells_per_sec / baseline)
             .unwrap_or(f64::NAN)
     };
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host = crate::runner::detect_host_parallelism();
+    // CPU-bound cells cannot scale past the host's cores: when the bench ran
+    // with more workers than cores, flag the document so flat 0.95–1.0×
+    // campaign points read as saturation, not regression.
+    let saturated = pool.iter().chain(campaign.iter()).any(|p| p.workers > host);
     let w1 = pool.first().map(|p| p.cells_per_sec).unwrap_or(f64::NAN);
     let w4 = pool
         .iter()
@@ -875,6 +877,7 @@ pub fn render_scaling_json(
         .unwrap_or(f64::NAN);
     format!(
         "{{\"bench\":\"sweep_scaling\",\"schema\":1,\"host_parallelism\":{host},\
+         \"saturated\":{saturated},\
          \"pool_wait_bound\":{{\"note\":\"calibrated wait-bound cells (PlanetLab-style \
          wall-clock cells); isolates pool overlap from host core count\",\
          \"tasks\":{pool_tasks},\"cell_ms\":{pool_cell_ms},\"points\":[{pool_points}]}},\

@@ -3,8 +3,9 @@
 use netsim::time::SimDuration;
 use overlay::broker::{BrokerCommand, RetryPolicy, TargetSpec};
 use proptest::prelude::*;
-use workloads::attribution::attribute_trace;
-use workloads::report::{argmax, argmin, spearman, FigureReport, SeriesRow};
+use workloads::attribution::{attribute_trace, breakdown_by_peer, phase_table_csv};
+use workloads::multiregion::{run_multiregion, MultiRegionConfig};
+use workloads::report::{argmax, argmin, metrics_snapshot_json, spearman, FigureReport, SeriesRow};
 use workloads::runner::{run_replications, run_traced, SeriesAggregate};
 use workloads::scenario::{run_scenario, ScenarioConfig};
 use workloads::spec::MB;
@@ -186,6 +187,59 @@ proptest! {
         let parallel = run_campaign(&spec, 4).expect("valid grid");
         prop_assert_eq!(serial.to_csv(), parallel.to_csv());
         prop_assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    /// The sharded engine is worker-count invariant on *arbitrary*
+    /// multi-region scenarios: the traced event stream, the metrics
+    /// snapshot, and the per-peer attribution CSV are byte-identical
+    /// whether 1, 2, or 4 threads drive the shards. This is the
+    /// headline determinism guarantee of the parallel engine, checked
+    /// over random region counts, fan-outs, delays, and seeds rather
+    /// than one hand-picked topology.
+    #[test]
+    fn multiregion_outputs_are_worker_count_invariant(
+        regions in 2usize..5,
+        clients in 2usize..5,
+        inter_owd_ms in 20.0f64..80.0,
+        file_mb in 1u64..3,
+        seed in any::<u64>(),
+    ) {
+        let base = MultiRegionConfig {
+            regions,
+            clients_per_region: clients,
+            inter_owd_ms,
+            file_bytes: file_mb * MB,
+            rounds: 1,
+            horizon: SimDuration::from_secs(300),
+            trace_capacity: Some(1 << 14),
+            ..MultiRegionConfig::default()
+        };
+        let artifacts: Vec<(String, String, String, u64)> = [1usize, 2, 4]
+            .iter()
+            .map(|&w| {
+                let cfg = MultiRegionConfig { shard_workers: w, ..base.clone() };
+                let run = run_multiregion(&cfg, seed);
+                let names = run.node_names.clone();
+                let rows = breakdown_by_peer(
+                    &attribute_trace(&run.trace),
+                    |node| names[node.index()].to_string(),
+                );
+                (
+                    run.trace.to_jsonl(),
+                    metrics_snapshot_json(&run.metrics),
+                    phase_table_csv(&rows),
+                    run.events_processed,
+                )
+            })
+            .collect();
+        let (jsonl, metrics, csv, events) = &artifacts[0];
+        prop_assert!(!jsonl.is_empty(), "trace must not be empty (seed {seed})");
+        for (w, (j, m, c, e)) in [2usize, 4].iter().zip(&artifacts[1..]) {
+            prop_assert_eq!(j, jsonl, "trace diverged at {} workers (seed {})", w, seed);
+            prop_assert_eq!(m, metrics, "metrics diverged at {} workers (seed {})", w, seed);
+            prop_assert_eq!(c, csv, "attribution diverged at {} workers (seed {})", w, seed);
+            prop_assert_eq!(e, events, "event count diverged at {} workers (seed {})", w, seed);
+        }
     }
 
     /// Latency attribution partitions the timeline: under an arbitrary

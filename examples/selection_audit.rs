@@ -42,7 +42,7 @@ fn fig6_candidates() -> Vec<CandidateView> {
             CandidateView {
                 peer: overlay::id::PeerId::generate(&mut g),
                 node: NodeId(i as u32 + 1),
-                name: SC_LABELS[i].to_string(),
+                name: SC_LABELS[i].into(),
                 cpu_gops: p.cpu_gops,
                 snapshot,
                 history,

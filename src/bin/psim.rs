@@ -78,6 +78,18 @@ const STRICT: FlagDef = FlagDef {
     default: None,
     help: "exit 3 when the trace ring dropped events",
 };
+const SHARDS: FlagDef = FlagDef {
+    name: "shards",
+    takes_value: true,
+    default: Some("1"),
+    help: "shard domains for the parallel engine (1 = serial)",
+};
+const SHARD_WORKERS: FlagDef = FlagDef {
+    name: "shard-workers",
+    takes_value: true,
+    default: Some("1"),
+    help: "threads for a sharded run (never changes the numbers)",
+};
 
 /// `--model` choices shown in the flag help. The canonical table is
 /// `ModelKind::ALL` (resolved through `peer_selection::service`); the
@@ -255,6 +267,38 @@ static COMMANDS: &[CommandDef] = &[
         help: "measure sweep cells/second vs workers, write BENCH_sweep.json",
     },
     CommandDef {
+        name: "bench-parallel-engine",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "regions",
+                takes_value: true,
+                default: Some("4"),
+                help: "shard regions in the multi-region workload",
+            },
+            FlagDef {
+                name: "clients",
+                takes_value: true,
+                default: Some("8"),
+                help: "clients per region",
+            },
+            FlagDef {
+                name: "rounds",
+                takes_value: true,
+                default: Some("6"),
+                help: "distribution rounds per broker",
+            },
+            SEED,
+            FlagDef {
+                name: "out",
+                takes_value: true,
+                default: Some("BENCH_parallel_engine.json"),
+                help: "output file",
+            },
+        ],
+        help: "measure sharded-engine events/s at 1,2,4 workers",
+    },
+    CommandDef {
         name: "trace",
         positional: Some("<scenario>"),
         flags: &[
@@ -266,13 +310,15 @@ static COMMANDS: &[CommandDef] = &[
                 help: "output file (default: stdout)",
             },
             STRICT,
+            SHARDS,
+            SHARD_WORKERS,
         ],
         help: "run a traced scenario, emit JSONL events",
     },
     CommandDef {
         name: "report",
         positional: Some("<scenario>"),
-        flags: &[SEED, STRICT],
+        flags: &[SEED, STRICT, SHARDS, SHARD_WORKERS],
         help: "traced run -> metrics snapshot + transfer timelines",
     },
     CommandDef {
@@ -293,8 +339,31 @@ static COMMANDS: &[CommandDef] = &[
                 help: "write metrics exposition to FILE",
             },
             STRICT,
+            SHARDS,
+            SHARD_WORKERS,
         ],
         help: "traced run -> per-peer latency phase breakdown",
+    },
+    CommandDef {
+        name: "multiregion",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "regions",
+                takes_value: true,
+                default: Some("3"),
+                help: "regions (one shard and one broker each)",
+            },
+            FlagDef {
+                name: "clients",
+                takes_value: true,
+                default: Some("3"),
+                help: "clients per region",
+            },
+            SEED,
+            SHARD_WORKERS,
+        ],
+        help: "traced multi-region run -> JSONL + metrics + phase CSV",
     },
 ];
 
@@ -428,6 +497,8 @@ fn main() {
         "csv" => cmd_csv(&flags, &spec),
         "bench-engine" => cmd_bench_engine(&flags),
         "bench-sweep" => cmd_bench_sweep(&flags),
+        "bench-parallel-engine" => cmd_bench_parallel_engine(&flags),
+        "multiregion" => cmd_multiregion(&flags),
         "trace" => cmd_trace(&flags),
         "report" => cmd_report(&flags),
         "attribute" => cmd_attribute(&flags),
@@ -815,11 +886,116 @@ fn cmd_bench_sweep(flags: &Flags) {
     }
 
     let json = render_scaling_json(&pool, tasks, cell_ms, &campaign, grid, campaign_tasks);
+    warn_if_saturated(*workers_list.iter().max().unwrap_or(&1));
     write_or_exit(&out, &json);
 }
 
-/// Resolves the positional scenario-name argument for `trace`/`report`,
-/// exiting with the valid list when missing or unknown.
+/// Warns on stderr when a scaling bench ran with more workers than the host
+/// has cores: CPU-bound points past that are expected to be flat, and the
+/// JSON's `saturated` flag records the same condition for machine readers.
+fn warn_if_saturated(max_workers: usize) {
+    let host = workloads::runner::detect_host_parallelism();
+    if max_workers > host {
+        eprintln!(
+            "warning: bench ran with up to {max_workers} workers on a host with \
+             {host} usable core(s); CPU-bound speedups are capped at {host}x and \
+             flat points past that reflect saturation, not a regression \
+             (the JSON carries \"saturated\": true)"
+        );
+    }
+}
+
+/// `psim bench-parallel-engine`: wall-clock events/s of the sharded engine
+/// on the multi-region workload at 1, 2, and 4 workers, plus the
+/// critical-path model. Writes `BENCH_parallel_engine.json`.
+fn cmd_bench_parallel_engine(flags: &Flags) {
+    use workloads::enginebench;
+    use workloads::multiregion::MultiRegionConfig;
+
+    let cfg = MultiRegionConfig {
+        regions: flags.usize("regions").max(1),
+        clients_per_region: flags.usize("clients").max(1),
+        rounds: flags.usize("rounds").max(1),
+        ..MultiRegionConfig::default()
+    };
+    let seed = flags.u64("seed");
+    let out = flags.get("out").expect("table default").to_string();
+    let workers_list = [1usize, 2, 4];
+
+    eprintln!(
+        "bench-parallel-engine: {} regions x {} clients, {} rounds, workers 1/2/4 ...",
+        cfg.regions, cfg.clients_per_region, cfg.rounds
+    );
+    let points = enginebench::parallel_engine(&cfg, &workers_list, seed);
+    let base = points.first().map(|p| p.events_per_sec()).unwrap_or(0.0);
+    for p in &points {
+        eprintln!(
+            "  {} workers  {:>10.0} events/s  ({:.2}x measured, {:.2}x occupancy, {} rounds)",
+            p.workers,
+            p.events_per_sec(),
+            if base > 0.0 {
+                p.events_per_sec() / base
+            } else {
+                0.0
+            },
+            p.occupancy(),
+            p.rounds,
+        );
+    }
+    warn_if_saturated(*workers_list.iter().max().unwrap_or(&1));
+    let json = enginebench::render_parallel_json(&cfg, &points);
+    write_or_exit(&out, &json);
+}
+
+/// `psim multiregion`: one traced multi-region run on the sharded engine,
+/// emitting the three determinism artifacts (trace JSONL, metrics snapshot,
+/// attribution phase CSV) concatenated on stdout. The CI shard-determinism
+/// job byte-diffs this output between `--shard-workers 1` and `4`.
+fn cmd_multiregion(flags: &Flags) {
+    use workloads::multiregion::{run_multiregion, MultiRegionConfig};
+
+    let cfg = MultiRegionConfig {
+        regions: flags.usize("regions").max(1),
+        clients_per_region: flags.usize("clients").max(1),
+        shard_workers: flags.usize("shard-workers").max(1),
+        trace_capacity: Some(1 << 16),
+        ..MultiRegionConfig::default()
+    };
+    let seed = flags.u64("seed");
+    let result = run_multiregion(&cfg, seed);
+
+    let attrs = attribute_trace(&result.trace);
+    let names = result.node_names.clone();
+    let label_of = |node: NodeId| {
+        names
+            .get(node.index())
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| format!("n{}", node.0))
+    };
+    let breakdowns = breakdown_by_peer(&attrs, label_of);
+
+    print!("{}", result.trace.to_jsonl());
+    println!("{}", metrics_snapshot_json(&result.metrics));
+    print!("{}", phase_table_csv(&breakdowns));
+    eprintln!(
+        "multiregion: {:?} at t={:.1}s, {} events, {} trace events ({} dropped), \
+         digest {:016x}, {} windows, {} workers",
+        result.outcome,
+        result.elapsed.as_secs_f64(),
+        result.events_processed,
+        result.trace.len(),
+        result.trace.dropped(),
+        result.trace.digest(),
+        result.profile.rounds,
+        cfg.shard_workers,
+    );
+}
+
+/// Resolves the positional scenario-name argument for `trace`/`report`/
+/// `attribute`, exiting with the valid list when missing or unknown, and
+/// applies the shared `--shards`/`--shard-workers` axis. Any worker count
+/// yields byte-identical output for a fixed shard count and seed — the CI
+/// shard-determinism job diffs exactly that.
 fn named_scenario_or_exit(flags: &Flags) -> ScenarioConfig {
     let valid = named_scenario_list().join(", ");
     let Some(name) = flags.positional.as_deref() else {
@@ -827,7 +1003,7 @@ fn named_scenario_or_exit(flags: &Flags) -> ScenarioConfig {
         std::process::exit(2);
     };
     match ScenarioConfig::named(name) {
-        Some(cfg) => cfg,
+        Some(cfg) => cfg.sharded(flags.usize("shards"), flags.usize("shard-workers")),
         None => {
             eprintln!("unknown scenario `{name}`; valid scenarios: {valid}");
             std::process::exit(2);

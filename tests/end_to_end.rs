@@ -120,7 +120,7 @@ fn selection_on_real_testbed_avoids_the_bottleneck_peer() {
         let result = run_scenario(&cfg, 11);
         let pick = &result.log.selections[0];
         assert_ne!(
-            pick.chosen_name, "planetlab1.itwm.fhg.de",
+            &*pick.chosen_name, "planetlab1.itwm.fhg.de",
             "{name} must not pick SC7"
         );
         let selected = result

@@ -13,6 +13,18 @@ use std::path::{Path, PathBuf};
 /// Hard cap on lines per source file, tests and comments included.
 const MAX_LINES: usize = 1_200;
 
+/// Tighter cap for the sharded-engine modules: the parallel engine was
+/// born layered (shard map / lookahead table / coordinator) and this
+/// keeps each layer small enough to audit the determinism argument in
+/// one sitting.
+const SHARD_MAX_LINES: usize = 800;
+
+/// Files under the tighter cap, relative to the workspace root.
+const SHARD_MODULES: &[&str] = &[
+    "crates/netsim/src/shard.rs",
+    "crates/netsim/src/parallel.rs",
+];
+
 fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
     let entries = match fs::read_dir(dir) {
         Ok(entries) => entries,
@@ -68,4 +80,21 @@ fn no_source_file_exceeds_the_module_size_cap() {
         "source files over the {MAX_LINES}-line cap — split them into submodules:\n{}",
         oversized.join("\n")
     );
+}
+
+#[test]
+fn shard_engine_modules_stay_under_the_tight_cap() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for rel in SHARD_MODULES {
+        let path = root.join(rel);
+        let lines = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+            .lines()
+            .count();
+        assert!(
+            lines <= SHARD_MAX_LINES,
+            "{rel} has {lines} lines (cap {SHARD_MAX_LINES}) — keep the \
+             parallel-engine layers small enough to audit"
+        );
+    }
 }
