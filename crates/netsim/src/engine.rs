@@ -139,7 +139,7 @@ impl HotIds {
 }
 
 struct EngineCore<M> {
-    topo: Topology,
+    topo: Arc<Topology>,
     queue: EventQueue<Ev<M>>,
     clock: SimTime,
     planner: TransferPlanner,
@@ -438,6 +438,13 @@ impl<M: Payload> Engine<M> {
     /// Creates an engine over `topo` with the given transport config and
     /// master seed.
     pub fn new(topo: Topology, config: TransportConfig, seed: u64) -> Self {
+        Self::new_shared(Arc::new(topo), config, seed)
+    }
+
+    /// Like [`Engine::new`], but shares an existing topology. A sharded run
+    /// builds one engine per shard over the *same* million-node topology;
+    /// sharing the `Arc` keeps that O(n) total instead of O(n × shards).
+    pub fn new_shared(topo: Arc<Topology>, config: TransportConfig, seed: u64) -> Self {
         let n = topo.len();
         let master = SimRng::new(seed);
         let node_rngs = (0..n).map(|i| master.split(i as u64)).collect();

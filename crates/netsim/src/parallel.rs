@@ -162,9 +162,11 @@ impl<M: Payload + Send> ShardedEngine<M> {
             }
         }
         let assignment = Arc::new(map.assignment().to_vec());
+        let topo = Arc::new(topo);
         let mut engines = Vec::with_capacity(map.num_shards());
         for s in 0..map.num_shards() {
-            let mut e = Engine::new(topo.clone(), config.clone(), shard_seed(seed, s as u64));
+            let mut e =
+                Engine::new_shared(topo.clone(), config.clone(), shard_seed(seed, s as u64));
             e.set_shard(assignment.clone(), s);
             e.set_timer_base((s as u64) << 48);
             engines.push(Some(e));

@@ -1,7 +1,38 @@
-//! Topology: the set of simulated hosts plus the path matrix between them.
+//! Topology: the set of simulated hosts plus the path model between them.
+//!
+//! Two path representations share one [`Topology`] API:
+//!
+//! - **Dense** — an explicit `n × n` path matrix, the historical model.
+//!   Every ordered pair can carry its own [`PathSpec`]. Memory is O(n²),
+//!   which is fine up to a few thousand nodes.
+//! - **Blocked** — nodes belong to *groups* (regions/ASes) and the path
+//!   between two nodes is a function of their groups only: a `G × G`
+//!   inter-group matrix whose diagonal holds the intra-group path, plus a
+//!   zero-delay loopback. Memory is O(n + G²), which is what makes
+//!   million-node synthetic testbeds affordable.
+//!
+//! The two are deliberately *not* interconvertible at runtime: calling a
+//! per-pair mutator ([`Topology::set_path`]) on a blocked topology, or a
+//! group mutator on a dense one, panics with a clear message rather than
+//! silently densifying a million-node matrix.
 
 use crate::link::{AccessLink, PathSpec};
 use crate::node::{NodeId, NodeSpec};
+
+/// Internal path storage: dense per-pair matrix or group-blocked matrix.
+#[derive(Debug, Clone)]
+enum PathTable {
+    /// Row-major `n × n` path matrix (entry `[a][b]` is the a→b path).
+    Dense(Vec<PathSpec>),
+    /// Group-blocked storage: `group_of[node]` indexes a row-major
+    /// `G × G` inter-group matrix whose diagonal is the intra-group path.
+    Blocked {
+        group_of: Vec<u32>,
+        inter: Vec<PathSpec>,
+        loopback: PathSpec,
+        num_groups: usize,
+    },
+}
 
 /// A complete simulated network: nodes, their access links, and wide-area
 /// paths between every ordered pair.
@@ -12,29 +43,81 @@ use crate::node::{NodeId, NodeSpec};
 pub struct Topology {
     nodes: Vec<NodeSpec>,
     access: Vec<AccessLink>,
-    /// Row-major `n × n` path matrix (entry `[a][b]` is the a→b path).
-    paths: Vec<PathSpec>,
+    paths: PathTable,
 }
 
 impl Topology {
-    /// Creates an empty topology.
+    /// Creates an empty dense topology.
     pub fn new() -> Self {
         Topology {
             nodes: Vec::new(),
             access: Vec::new(),
-            paths: Vec::new(),
+            paths: PathTable::Dense(Vec::new()),
+        }
+    }
+
+    /// Creates an empty *blocked* topology with `num_groups` groups.
+    ///
+    /// All inter- and intra-group paths start at [`PathSpec::default`];
+    /// override them with [`Topology::set_group_path`]. Nodes are added
+    /// with [`Topology::add_node_in_group`]. Memory for paths is O(G²)
+    /// regardless of node count.
+    pub fn blocked(num_groups: usize) -> Self {
+        assert!(num_groups > 0, "a blocked topology needs at least 1 group");
+        Topology {
+            nodes: Vec::new(),
+            access: Vec::new(),
+            paths: PathTable::Blocked {
+                group_of: Vec::new(),
+                inter: vec![PathSpec::default(); num_groups * num_groups],
+                loopback: PathSpec {
+                    one_way_delay: crate::time::SimDuration::ZERO,
+                    jitter: crate::time::SimDuration::ZERO,
+                },
+                num_groups,
+            },
         }
     }
 
     /// Adds a node with its access link; returns its id.
     ///
-    /// The path matrix is re-extended with default paths; callers typically
-    /// add all nodes first and then fill paths with [`Topology::set_path`].
+    /// Dense topologies only — the path matrix is re-extended with default
+    /// paths; callers typically add all nodes first and then fill paths
+    /// with [`Topology::set_path`]. Panics on a blocked topology (use
+    /// [`Topology::add_node_in_group`]).
     pub fn add_node(&mut self, spec: NodeSpec, access: AccessLink) -> NodeId {
+        assert!(
+            matches!(self.paths, PathTable::Dense(_)),
+            "add_node on a blocked topology: use add_node_in_group"
+        );
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(spec);
         self.access.push(access);
         self.rebuild_paths();
+        id
+    }
+
+    /// Adds a node to `group` of a blocked topology; returns its id.
+    ///
+    /// O(1): no path storage grows. Panics on a dense topology or when
+    /// `group` is out of range.
+    pub fn add_node_in_group(&mut self, spec: NodeSpec, access: AccessLink, group: u32) -> NodeId {
+        let PathTable::Blocked {
+            group_of,
+            num_groups,
+            ..
+        } = &mut self.paths
+        else {
+            panic!("add_node_in_group on a dense topology: use add_node");
+        };
+        assert!(
+            (group as usize) < *num_groups,
+            "group {group} out of range (topology has {num_groups} groups)"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        group_of.push(group);
+        self.nodes.push(spec);
+        self.access.push(access);
         id
     }
 
@@ -56,14 +139,17 @@ impl Topology {
                 }
             }
         }
-        self.paths = paths;
+        self.paths = PathTable::Dense(paths);
     }
 
     /// Fetches the previous matrix entry during a rebuild, if it existed.
     fn path_index(&self, a: usize, b: usize) -> Option<PathSpec> {
-        let old_n = (self.paths.len() as f64).sqrt() as usize;
+        let PathTable::Dense(paths) = &self.paths else {
+            return None;
+        };
+        let old_n = (paths.len() as f64).sqrt() as usize;
         if a < old_n && b < old_n {
-            Some(self.paths[a * old_n + b].clone())
+            Some(paths[a * old_n + b].clone())
         } else {
             None
         }
@@ -96,19 +182,85 @@ impl Topology {
 
     /// The a→b wide-area path.
     pub fn path(&self, a: NodeId, b: NodeId) -> &PathSpec {
-        &self.paths[a.index() * self.nodes.len() + b.index()]
+        match &self.paths {
+            PathTable::Dense(paths) => &paths[a.index() * self.nodes.len() + b.index()],
+            PathTable::Blocked {
+                group_of,
+                inter,
+                loopback,
+                num_groups,
+            } => {
+                if a == b {
+                    loopback
+                } else {
+                    let ga = group_of[a.index()] as usize;
+                    let gb = group_of[b.index()] as usize;
+                    &inter[ga * num_groups + gb]
+                }
+            }
+        }
     }
 
-    /// Overrides the a→b path (one direction only).
+    /// Overrides the a→b path (one direction only). Dense topologies only;
+    /// panics on a blocked topology (use [`Topology::set_group_path`]).
     pub fn set_path(&mut self, a: NodeId, b: NodeId, path: PathSpec) {
         let n = self.nodes.len();
-        self.paths[a.index() * n + b.index()] = path;
+        let PathTable::Dense(paths) = &mut self.paths else {
+            panic!("set_path on a blocked topology: use set_group_path");
+        };
+        paths[a.index() * n + b.index()] = path;
     }
 
     /// Overrides both directions of the a↔b path with the same spec.
     pub fn set_path_symmetric(&mut self, a: NodeId, b: NodeId, path: PathSpec) {
         self.set_path(a, b, path.clone());
         self.set_path(b, a, path);
+    }
+
+    /// Overrides the `ga`→`gb` inter-group path of a blocked topology
+    /// (the `ga == gb` diagonal is the intra-group path). Panics on a
+    /// dense topology or out-of-range groups.
+    pub fn set_group_path(&mut self, ga: u32, gb: u32, path: PathSpec) {
+        let PathTable::Blocked {
+            inter, num_groups, ..
+        } = &mut self.paths
+        else {
+            panic!("set_group_path on a dense topology: use set_path");
+        };
+        let g = *num_groups;
+        assert!(
+            (ga as usize) < g && (gb as usize) < g,
+            "group pair ({ga}, {gb}) out of range (topology has {g} groups)"
+        );
+        inter[ga as usize * g + gb as usize] = path;
+    }
+
+    /// Overrides both directions of the `ga`↔`gb` inter-group path.
+    pub fn set_group_path_symmetric(&mut self, ga: u32, gb: u32, path: PathSpec) {
+        self.set_group_path(ga, gb, path.clone());
+        self.set_group_path(gb, ga, path);
+    }
+
+    /// The group of a node in a blocked topology; `None` on dense.
+    pub fn group_of(&self, id: NodeId) -> Option<u32> {
+        match &self.paths {
+            PathTable::Dense(_) => None,
+            PathTable::Blocked { group_of, .. } => Some(group_of[id.index()]),
+        }
+    }
+
+    /// Blocked layout, if any: `(group_of, num_groups, inter)`. Lets the
+    /// shard lookahead build its table in O(n + S²G²) instead of O(n²).
+    pub(crate) fn blocked_layout(&self) -> Option<(&[u32], usize, &[PathSpec])> {
+        match &self.paths {
+            PathTable::Dense(_) => None,
+            PathTable::Blocked {
+                group_of,
+                inter,
+                num_groups,
+                ..
+            } => Some((group_of, *num_groups, inter)),
+        }
     }
 
     /// Looks a node up by hostname.
@@ -196,5 +348,71 @@ mod tests {
         t.add_node(NodeSpec::responsive("b"), AccessLink::default());
         let ids: Vec<NodeId> = t.node_ids().collect();
         assert_eq!(ids, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn blocked_paths_follow_group_membership() {
+        let mut t = Topology::blocked(2);
+        let a = t.add_node_in_group(NodeSpec::responsive("a"), AccessLink::default(), 0);
+        let b = t.add_node_in_group(NodeSpec::responsive("b"), AccessLink::default(), 0);
+        let c = t.add_node_in_group(NodeSpec::responsive("c"), AccessLink::default(), 1);
+        t.set_group_path(0, 0, PathSpec::from_owd_ms(2.0, 0.0));
+        t.set_group_path_symmetric(0, 1, PathSpec::from_owd_ms(40.0, 0.0));
+        assert!((t.path(a, b).one_way_delay.as_secs_f64() - 0.002).abs() < 1e-9);
+        assert!((t.path(a, c).one_way_delay.as_secs_f64() - 0.040).abs() < 1e-9);
+        assert!((t.path(c, b).one_way_delay.as_secs_f64() - 0.040).abs() < 1e-9);
+        // Loopback stays zero regardless of the intra-group path.
+        assert_eq!(t.path(a, a).one_way_delay, SimDuration::ZERO);
+        assert_eq!(t.group_of(a), Some(0));
+        assert_eq!(t.group_of(c), Some(1));
+    }
+
+    #[test]
+    fn blocked_group_paths_are_directional_until_symmetric() {
+        let mut t = Topology::blocked(2);
+        let a = t.add_node_in_group(NodeSpec::responsive("a"), AccessLink::default(), 0);
+        let b = t.add_node_in_group(NodeSpec::responsive("b"), AccessLink::default(), 1);
+        t.set_group_path(0, 1, PathSpec::from_owd_ms(70.0, 0.0));
+        assert!((t.path(a, b).one_way_delay.as_secs_f64() - 0.07).abs() < 1e-9);
+        // Reverse direction still default.
+        assert!((t.path(b, a).one_way_delay.as_secs_f64() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_topology_reports_no_groups() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::responsive("a"), AccessLink::default());
+        assert_eq!(t.group_of(a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "use add_node_in_group")]
+    fn add_node_panics_on_blocked() {
+        let mut t = Topology::blocked(1);
+        t.add_node(NodeSpec::responsive("a"), AccessLink::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "use set_group_path")]
+    fn set_path_panics_on_blocked() {
+        let mut t = Topology::blocked(1);
+        let a = t.add_node_in_group(NodeSpec::responsive("a"), AccessLink::default(), 0);
+        let b = t.add_node_in_group(NodeSpec::responsive("b"), AccessLink::default(), 0);
+        t.set_path(a, b, PathSpec::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "use set_path")]
+    fn set_group_path_panics_on_dense() {
+        let mut t = Topology::new();
+        t.add_node(NodeSpec::responsive("a"), AccessLink::default());
+        t.set_group_path(0, 0, PathSpec::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_node_in_group_validates_group() {
+        let mut t = Topology::blocked(2);
+        t.add_node_in_group(NodeSpec::responsive("a"), AccessLink::default(), 2);
     }
 }

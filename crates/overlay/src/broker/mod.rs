@@ -333,7 +333,7 @@ impl Actor<OverlayMsg> for Broker {
     fn on_message(&mut self, ctx: &mut Context<OverlayMsg>, from: NodeId, msg: OverlayMsg) {
         match msg {
             OverlayMsg::Join(adv) => self.on_join(ctx, from, adv),
-            OverlayMsg::Leave { peer } => self.on_leave(peer),
+            OverlayMsg::Leave { peer } => self.on_leave(ctx, peer),
             OverlayMsg::DiscoverPeers => self.on_discover_peers(ctx, from),
             OverlayMsg::StatsReport { peer, snapshot } => self.on_stats_report(ctx, peer, snapshot),
             OverlayMsg::PetitionAck {

@@ -7,6 +7,13 @@
 //! brokers, and an interned host-name cache so hot paths never re-allocate
 //! display names. The membership/discovery/statistics message handlers
 //! live here as `impl Broker` blocks; the actor merely dispatches to them.
+//!
+//! Storage is a **slab**: entries live in one contiguous `Vec`, freed slots
+//! are recycled LIFO, and a `PeerId → slot` index provides O(1) lookup.
+//! Under churn a million-peer roster therefore occupies memory proportional
+//! to the *concurrent* population, not the total number of joins, and the
+//! entries stay cache-adjacent for the roster-snapshot scan that selection
+//! takes on every petition.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -48,12 +55,17 @@ pub(crate) struct Holding {
 /// content, and the federation roster.
 #[derive(Default)]
 pub(crate) struct PeerRegistry {
-    pub(crate) peers: HashMap<PeerId, PeerEntry>,
-    pub(crate) by_node: HashMap<NodeId, PeerId>,
+    /// Entry slab; `None` marks a recyclable slot left by an eviction.
+    entries: Vec<Option<PeerEntry>>,
+    /// Free slot indices, reused LIFO so churn does not grow the slab.
+    free: Vec<u32>,
+    /// Registered peer → slab slot.
+    index: HashMap<PeerId, u32>,
+    by_node: HashMap<NodeId, PeerId>,
     /// Candidate views learnt from fellow brokers, keyed by peer.
-    pub(crate) remote_peers: HashMap<PeerId, CandidateView>,
+    remote_peers: HashMap<PeerId, CandidateView>,
     /// Published content by name → holders.
-    pub(crate) content: HashMap<String, Vec<Holding>>,
+    content: HashMap<String, Vec<Holding>>,
     /// Interned display names by host, so record keeping on the transfer
     /// and task hot paths clones an `Arc` instead of allocating a String.
     names: HashMap<NodeId, Arc<str>>,
@@ -66,17 +78,24 @@ impl PeerRegistry {
 
     /// Number of registered peers.
     pub(crate) fn peer_count(&self) -> usize {
-        self.peers.len()
+        self.index.len()
+    }
+
+    /// Capacity of the entry slab (occupied + recyclable slots). Bounded
+    /// by the high-water mark of concurrent peers, not by total joins.
+    #[cfg(test)]
+    pub(crate) fn slab_capacity(&self) -> usize {
+        self.entries.len()
     }
 
     /// Whether any peer is registered.
     pub(crate) fn is_empty(&self) -> bool {
-        self.peers.is_empty()
+        self.index.is_empty()
     }
 
     /// Whether `peer` is a registered member.
     pub(crate) fn has_peer(&self, peer: PeerId) -> bool {
-        self.peers.contains_key(&peer)
+        self.index.contains_key(&peer)
     }
 
     /// The registered peer living on `node`, if any.
@@ -84,14 +103,33 @@ impl PeerRegistry {
         self.by_node.get(&node).copied()
     }
 
+    /// Whether a registered peer currently occupies `node`.
+    pub(crate) fn node_occupied(&self, node: NodeId) -> bool {
+        self.by_node.contains_key(&node)
+    }
+
+    /// Shared access to a registered peer's entry.
+    pub(crate) fn entry(&self, peer: PeerId) -> Option<&PeerEntry> {
+        self.index
+            .get(&peer)
+            .and_then(|&slot| self.entries[slot as usize].as_ref())
+    }
+
     /// Mutable access to a registered peer's entry.
     pub(crate) fn entry_mut(&mut self, peer: PeerId) -> Option<&mut PeerEntry> {
-        self.peers.get_mut(&peer)
+        let slot = *self.index.get(&peer)?;
+        self.entries[slot as usize].as_mut()
+    }
+
+    /// All occupied entries, in slab order (deterministic: slot assignment
+    /// is a pure function of the join/leave event order).
+    pub(crate) fn entries(&self) -> impl Iterator<Item = &PeerEntry> {
+        self.entries.iter().filter_map(|e| e.as_ref())
     }
 
     /// The host of a registered peer.
     pub(crate) fn node_of(&self, peer: PeerId) -> Option<NodeId> {
-        self.peers.get(&peer).map(|e| e.adv.node)
+        self.entry(peer).map(|e| e.adv.node)
     }
 
     /// The interned display name of `node`, allocated at most once per host.
@@ -103,29 +141,101 @@ impl PeerRegistry {
     }
 
     /// Admits (or refreshes) a peer from its advertisement.
+    ///
+    /// A re-join **refreshes** the stored advertisement, interned name,
+    /// `cpu_gops`, and the node index (unmapping the old host when the
+    /// peer moved) while preserving accumulated statistics, the last
+    /// reported snapshot, and interaction history — at the registry level
+    /// a rejoin is indistinguishable from a duplicate-Join retransmission,
+    /// so identity must survive. The peer also stops being a federation
+    /// rumor: it is now first-hand knowledge.
     pub(crate) fn admit(&mut self, adv: PeerAdvertisement, now: SimTime) {
         let peer = adv.peer;
         let cpu = adv.cpu_gops;
+        self.remote_peers.remove(&peer);
+        // A host runs one peer: a Join from a node that already carries a
+        // *different* identity supersedes the old occupant (crash-rejoin
+        // without a Leave), keeping by_node a bijection.
+        if let Some(&prev) = self.by_node.get(&adv.node) {
+            if prev != peer {
+                self.expel(prev);
+            }
+        }
+        if let Some(&slot) = self.index.get(&peer) {
+            let old_node = self.entries[slot as usize]
+                .as_ref()
+                .expect("indexed slot occupied")
+                .adv
+                .node;
+            if old_node != adv.node && self.by_node.get(&old_node) == Some(&peer) {
+                self.by_node.remove(&old_node);
+            }
+            self.by_node.insert(adv.node, peer);
+            let entry = self.entries[slot as usize].as_mut().expect("occupied");
+            if &*entry.name != adv.name.as_str() {
+                entry.name = Arc::from(adv.name.as_str());
+            }
+            entry.adv = adv;
+            entry.stats.cpu_gops = cpu;
+            return;
+        }
         self.by_node.insert(adv.node, peer);
-        self.peers.entry(peer).or_insert_with(|| PeerEntry {
+        let entry = PeerEntry {
             name: Arc::from(adv.name.as_str()),
             adv,
             stats: PeerStats::new(now, cpu),
             reported: None,
             history: InteractionHistory::empty(),
-        });
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot as usize] = Some(entry);
+                slot
+            }
+            None => {
+                self.entries.push(Some(entry));
+                (self.entries.len() - 1) as u32
+            }
+        };
+        self.index.insert(peer, slot);
     }
 
     /// Evicts a peer (voluntary leave), forgetting its entry and node
-    /// mapping. Content holdings are filtered lazily at discovery/serve
-    /// time via [`PeerRegistry::has_peer`].
+    /// mapping and recycling its slab slot. Content holdings are filtered
+    /// lazily at discovery/serve time via [`PeerRegistry::has_peer`].
     pub(crate) fn expel(&mut self, peer: PeerId) -> bool {
-        if let Some(entry) = self.peers.remove(&peer) {
+        let Some(slot) = self.index.remove(&peer) else {
+            return false;
+        };
+        let entry = self.entries[slot as usize].take().expect("indexed slot");
+        if self.by_node.get(&entry.adv.node) == Some(&peer) {
             self.by_node.remove(&entry.adv.node);
-            true
-        } else {
-            false
         }
+        self.free.push(slot);
+        true
+    }
+
+    /// Records a federation-learnt candidate view, unless it concerns a
+    /// peer already registered here or would shadow a host that has a
+    /// locally-registered peer (never trust a relay over first-hand
+    /// knowledge).
+    pub(crate) fn learn_remote(&mut self, view: CandidateView) {
+        if !self.index.contains_key(&view.peer) && !self.by_node.contains_key(&view.node) {
+            self.remote_peers.insert(view.peer, view);
+        }
+    }
+
+    /// Forgets every federation view of `peer` and of anything claiming to
+    /// live on `node` (a departed peer must not survive as a rumor).
+    pub(crate) fn purge_remote(&mut self, peer: PeerId, node: NodeId) {
+        self.remote_peers.remove(&peer);
+        self.remote_peers.retain(|_, v| v.node != node);
+    }
+
+    /// Number of federation-learnt (non-local) candidate views.
+    #[cfg(test)]
+    pub(crate) fn remote_count(&self) -> usize {
+        self.remote_peers.len()
     }
 
     /// All registered hosts, in deterministic order.
@@ -135,12 +245,32 @@ impl PeerRegistry {
         nodes
     }
 
+    /// The published holdings of `name`, if any.
+    pub(crate) fn holdings(&self, name: &str) -> Option<&Vec<Holding>> {
+        self.content.get(name)
+    }
+
+    /// Mutable access to the holdings list for `name`, creating it empty.
+    pub(crate) fn holdings_mut(&mut self, name: &str) -> &mut Vec<Holding> {
+        self.content.entry(name.to_string()).or_default()
+    }
+
+    /// Published content whose name contains `pattern`.
+    pub(crate) fn matching_holdings<'a>(
+        &'a self,
+        pattern: &'a str,
+    ) -> impl Iterator<Item = &'a Holding> + 'a {
+        self.content
+            .iter()
+            .filter(move |(name, _)| name.contains(pattern))
+            .flat_map(|(_, holdings)| holdings.iter())
+    }
+
     /// Snapshot of every known candidate (registered + federation-learnt),
     /// sorted by node for determinism.
     pub(crate) fn candidate_views(&self, now: SimTime, stats_k_hours: usize) -> Vec<CandidateView> {
         let mut views: Vec<CandidateView> = self
-            .peers
-            .values()
+            .entries()
             .map(|entry| {
                 // Broker-side stats, with queue gauges overridden by the
                 // peer's own latest report when available.
@@ -170,6 +300,40 @@ impl PeerRegistry {
         views.sort_by_key(|v| v.node);
         views
     }
+
+    /// Structural invariants, checked by tests after every mutation:
+    /// index↔slab agreement, peers↔by_node bijection, slot accounting.
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        let occupied = self.entries.iter().filter(|e| e.is_some()).count();
+        assert_eq!(occupied, self.index.len(), "index covers the slab");
+        assert_eq!(
+            self.free.len() + occupied,
+            self.entries.len(),
+            "every slot is occupied or free"
+        );
+        for (&peer, &slot) in &self.index {
+            let entry = self.entries[slot as usize]
+                .as_ref()
+                .expect("indexed slot occupied");
+            assert_eq!(entry.adv.peer, peer, "slab slot agrees with index key");
+            assert_eq!(
+                self.by_node.get(&entry.adv.node),
+                Some(&peer),
+                "registered peer's current node maps back to it"
+            );
+        }
+        for (&node, &peer) in &self.by_node {
+            let entry = self.entry(peer).expect("by_node points at a member");
+            assert_eq!(entry.adv.node, node, "no stale node mapping");
+        }
+        for view in self.remote_peers.values() {
+            assert!(
+                !self.index.contains_key(&view.peer),
+                "a registered peer is never also a federation rumor"
+            );
+        }
+    }
 }
 
 impl Broker {
@@ -187,17 +351,25 @@ impl Broker {
         self.bump(ctx, |c| c.joins);
     }
 
-    pub(crate) fn on_leave(&mut self, peer: PeerId) {
+    pub(crate) fn on_leave(&mut self, ctx: &mut Context<OverlayMsg>, peer: PeerId) {
+        let node = self.registry.node_of(peer);
         self.registry.expel(peer);
         self.groups.expel(peer);
+        if let Some(node) = node {
+            // A departed peer must vanish from every roster the broker can
+            // still hand to selection: the federation cache and the queue
+            // of deferred commands aimed at its host.
+            self.registry.purge_remote(peer, node);
+            self.schedule.cancel_for_node(node);
+        }
+        self.maybe_stop(ctx);
     }
 
     pub(crate) fn on_discover_peers(&mut self, ctx: &mut Context<OverlayMsg>, from: NodeId) {
         let now = ctx.now();
         let adverts: Vec<PeerAdvertisement> = self
             .registry
-            .peers
-            .values()
+            .entries()
             .map(|e| e.adv.clone())
             .filter(|a| !a.is_expired(now))
             .collect();
@@ -224,17 +396,13 @@ impl Broker {
         adv: ContentAdvertisement,
     ) {
         let node = self.registry.node_of(adv.owner).unwrap_or(from);
-        self.registry
-            .content
-            .entry(adv.name.clone())
-            .or_default()
-            .push(Holding {
-                peer: adv.owner,
-                node,
-                content: adv.content,
-                size: adv.size_bytes,
-                adv,
-            });
+        self.registry.holdings_mut(&adv.name).push(Holding {
+            peer: adv.owner,
+            node,
+            content: adv.content,
+            size: adv.size_bytes,
+            adv,
+        });
         self.bump(ctx, |c| c.content_published);
     }
 
@@ -247,10 +415,7 @@ impl Broker {
         let now = ctx.now();
         let adverts: Vec<ContentAdvertisement> = self
             .registry
-            .content
-            .iter()
-            .filter(|(name, _)| name.contains(&pattern))
-            .flat_map(|(_, holdings)| holdings.iter())
+            .matching_holdings(&pattern)
             .filter(|h| !h.adv.is_expired(now) && self.registry.has_peer(h.peer))
             .map(|h| h.adv.clone())
             .collect();
@@ -264,9 +429,7 @@ impl Broker {
     ) {
         for view in roster {
             // Never shadow a locally-registered peer with a relay.
-            if !self.registry.by_node.contains_key(&view.node) {
-                self.registry.remote_peers.insert(view.peer, view);
-            }
+            self.registry.learn_remote(view);
         }
         self.bump(ctx, |c| c.gossip_received);
     }
@@ -278,7 +441,7 @@ impl Broker {
         // Only gossip locally-registered peers (avoid relaying relays).
         let local: Vec<CandidateView> = roster
             .into_iter()
-            .filter(|v| self.registry.by_node.contains_key(&v.node))
+            .filter(|v| self.registry.node_occupied(v.node))
             .collect();
         let me = ctx.self_id();
         for &b in &self.cfg.peer_brokers.clone() {
@@ -299,6 +462,7 @@ mod tests {
     use super::*;
     use crate::advertisement::DEFAULT_LIFETIME;
     use crate::id::IdGenerator;
+    use netsim::rng::SimRng;
     use netsim::time::SimDuration;
 
     fn adv(ids: &mut IdGenerator, node: u32, name: &str, now: SimTime) -> PeerAdvertisement {
@@ -332,7 +496,7 @@ mod tests {
     #[test]
     fn readmission_keeps_the_original_entry() {
         // A duplicate Join (retransmission) must not reset accumulated
-        // stats/history: `admit` only inserts fresh entries.
+        // stats/history: `admit` refreshes identity fields only.
         let mut ids = IdGenerator::new(2);
         let mut reg = PeerRegistry::new();
         let a = adv(&mut ids, 3, "beta", SimTime::ZERO);
@@ -346,6 +510,86 @@ mod tests {
             "re-join must not clear history"
         );
         assert_eq!(reg.peer_count(), 1);
+    }
+
+    #[test]
+    fn readmission_refreshes_advertisement_and_node_index() {
+        // THE churn bug this PR fixes: a peer that left and rejoined from a
+        // different host (new node, new capacity) must be re-indexed. The
+        // old code's `or_insert_with` kept the stale entry, leaving a
+        // dangling `by_node` key on the old host and stale `cpu_gops`.
+        let mut ids = IdGenerator::new(7);
+        let mut reg = PeerRegistry::new();
+        let first = adv(&mut ids, 4, "gamma", SimTime::ZERO);
+        let peer = first.peer;
+        reg.admit(first, SimTime::ZERO);
+        reg.entry_mut(peer).unwrap().history.transfers_completed = 3;
+
+        let rejoin = PeerAdvertisement {
+            peer,
+            node: NodeId(9),
+            name: "gamma-prime".to_string(),
+            cpu_gops: 2.5,
+            accepts_tasks: false,
+            published: SimTime::ZERO + SimDuration::from_secs(60),
+            lifetime: DEFAULT_LIFETIME,
+        };
+        reg.admit(rejoin, SimTime::ZERO + SimDuration::from_secs(60));
+        reg.check_invariants();
+
+        let entry = reg.entry(peer).unwrap();
+        assert_eq!(entry.adv.node, NodeId(9), "advertisement refreshed");
+        assert_eq!(entry.adv.cpu_gops, 2.5, "capacity refreshed");
+        assert_eq!(entry.stats.cpu_gops, 2.5, "stats see the new capacity");
+        assert_eq!(&*entry.name, "gamma-prime", "interned name refreshed");
+        assert!(!entry.adv.accepts_tasks);
+        assert_eq!(
+            entry.history.transfers_completed, 3,
+            "history survives the move"
+        );
+        assert_eq!(reg.peer_of(NodeId(9)), Some(peer), "new host indexed");
+        assert_eq!(reg.peer_of(NodeId(4)), None, "old host unmapped");
+        assert_eq!(reg.peer_count(), 1);
+    }
+
+    #[test]
+    fn admit_forgets_the_federation_rumor() {
+        // Once a peer registers locally it must stop being served from the
+        // remote roster, even if gossip advertised it first.
+        let mut ids = IdGenerator::new(11);
+        let mut reg = PeerRegistry::new();
+        let a = adv(&mut ids, 2, "delta", SimTime::ZERO);
+        reg.learn_remote(CandidateView {
+            peer: a.peer,
+            node: NodeId(2),
+            name: "delta".into(),
+            cpu_gops: 1.0,
+            snapshot: StatsSnapshot::empty(1.0),
+            history: InteractionHistory::empty(),
+        });
+        assert_eq!(reg.remote_count(), 1);
+        reg.admit(a, SimTime::ZERO);
+        reg.check_invariants();
+        assert_eq!(reg.remote_count(), 0);
+        assert_eq!(reg.candidate_views(SimTime::ZERO, 24).len(), 1);
+    }
+
+    #[test]
+    fn expelled_slots_are_recycled() {
+        // Churn must not grow the slab: N sequential join/leave cycles
+        // keep capacity at the concurrent-population high-water mark.
+        let mut ids = IdGenerator::new(5);
+        let mut reg = PeerRegistry::new();
+        for round in 0..100 {
+            let a = adv(&mut ids, round % 3, "cycled", SimTime::ZERO);
+            let peer = a.peer;
+            reg.admit(a, SimTime::ZERO);
+            reg.check_invariants();
+            reg.expel(peer);
+            reg.check_invariants();
+        }
+        assert_eq!(reg.peer_count(), 0);
+        assert_eq!(reg.slab_capacity(), 1, "slots recycled, slab stayed flat");
     }
 
     #[test]
@@ -363,13 +607,16 @@ mod tests {
             snapshot: StatsSnapshot::empty(1.0),
             history: InteractionHistory::empty(),
         };
-        reg.remote_peers.insert(remote.peer, remote.clone());
+        reg.learn_remote(remote.clone());
         // …but one shadowing a registered node is not.
         let shadow = CandidateView {
             node: NodeId(5),
             ..remote.clone()
         };
-        reg.remote_peers.insert(PeerId::generate(&mut ids), shadow);
+        reg.learn_remote(CandidateView {
+            peer: PeerId::generate(&mut ids),
+            ..shadow
+        });
         let views = reg.candidate_views(SimTime::ZERO, 24);
         let nodes: Vec<u32> = views.iter().map(|v| v.node.0).collect();
         assert_eq!(nodes, vec![2, 5, 9], "sorted by node, shadow dropped");
@@ -389,5 +636,80 @@ mod tests {
         let views = reg.candidate_views(SimTime::ZERO, 24);
         assert_eq!(views[0].snapshot.inbox_now, 11.0);
         assert_eq!(views[0].snapshot.outbox_avg, 2.5);
+    }
+
+    #[test]
+    fn random_churn_preserves_registry_invariants() {
+        // Property test: a long random interleaving of join / leave /
+        // rejoin-elsewhere must keep the slab index, the peers↔by_node
+        // bijection, and every advertisement field coherent. Before the
+        // admit-refresh fix this trips within a handful of steps.
+        let mut rng = SimRng::new(0xC0FF_EE07);
+        let mut ids = IdGenerator::new(6);
+        let mut reg = PeerRegistry::new();
+        // Pool of identities that join, leave, and rejoin from new hosts.
+        let mut pool: Vec<PeerAdvertisement> = (0..24)
+            .map(|i| adv(&mut ids, 1000 + i, &format!("p{i}"), SimTime::ZERO))
+            .collect();
+        let mut member = vec![false; pool.len()];
+        for step in 0..2000u64 {
+            let now = SimTime::from_secs_f64(step as f64);
+            let i = rng.below(pool.len() as u64) as usize;
+            match rng.below(4) {
+                0 | 1 => {
+                    // (Re)join, usually from a brand-new host with fresh
+                    // capacity — the churn case that used to dangle.
+                    if rng.bernoulli(0.8) {
+                        pool[i].node = NodeId(2000 + rng.below(4000) as u32);
+                        pool[i].cpu_gops = 0.5 + rng.uniform() * 4.0;
+                        pool[i].name = format!("p{i}@{}", pool[i].node.0);
+                    }
+                    pool[i].published = now;
+                    reg.admit(pool[i].clone(), now);
+                    // Landing on an occupied host displaces its occupant.
+                    for j in 0..pool.len() {
+                        if j != i && member[j] && pool[j].node == pool[i].node {
+                            member[j] = false;
+                        }
+                    }
+                    member[i] = true;
+                }
+                2 => {
+                    assert_eq!(reg.expel(pool[i].peer), member[i]);
+                    member[i] = false;
+                }
+                _ => {
+                    // Gossip about a random identity; the registry must
+                    // never let a rumor shadow or outlive membership.
+                    let j = rng.below(pool.len() as u64) as usize;
+                    reg.learn_remote(CandidateView {
+                        peer: pool[j].peer,
+                        node: pool[j].node,
+                        name: Arc::from(pool[j].name.as_str()),
+                        cpu_gops: pool[j].cpu_gops,
+                        snapshot: StatsSnapshot::empty(pool[j].cpu_gops),
+                        history: InteractionHistory::empty(),
+                    });
+                    if member[j] {
+                        reg.purge_remote(pool[j].peer, pool[j].node);
+                    }
+                }
+            }
+            reg.check_invariants();
+            // No stale advertisement fields: what the registry serves for a
+            // member is exactly the latest thing that member advertised.
+            if member[i] {
+                let entry = reg.entry(pool[i].peer).unwrap();
+                assert_eq!(entry.adv.node, pool[i].node);
+                assert_eq!(entry.adv.cpu_gops, pool[i].cpu_gops);
+                assert_eq!(&*entry.name, pool[i].name.as_str());
+            }
+        }
+        assert!(
+            reg.slab_capacity() <= pool.len(),
+            "slab bounded by concurrent population ({} > {})",
+            reg.slab_capacity(),
+            pool.len()
+        );
     }
 }

@@ -9,17 +9,24 @@ use netsim::time::{SimDuration, SimTime};
 
 use crate::message::OverlayMsg;
 
-use super::{Broker, BrokerCommand, CMD_MAX_RETRIES, CMD_RETRY_DELAY, CMD_TAG_BASE};
+use netsim::node::NodeId;
+
+use super::{Broker, BrokerCommand, TargetSpec, CMD_MAX_RETRIES, CMD_RETRY_DELAY, CMD_TAG_BASE};
 
 /// The broker's command script plus the per-command deferral state.
 pub(crate) struct CommandSchedule {
     commands: Vec<(SimDuration, BrokerCommand)>,
+    /// Whether each command has executed (makes `mark_executed` idempotent
+    /// under stale duplicate timers).
+    executed: Vec<bool>,
+    /// Commands withdrawn before execution (e.g. their target departed).
+    cancelled: Vec<bool>,
     /// Wait-for-peers retries consumed, by command timer tag.
     retries: HashMap<u64, u32>,
     /// When each command first came due, by command timer tag. Kept across
     /// deferrals so the eventual execution knows its true enqueue instant.
     first_due: HashMap<u64, SimTime>,
-    /// Commands not yet executed (drives idle detection).
+    /// Commands not yet executed or cancelled (drives idle detection).
     pending: usize,
 }
 
@@ -27,6 +34,8 @@ impl CommandSchedule {
     pub(crate) fn new(commands: Vec<(SimDuration, BrokerCommand)>) -> Self {
         CommandSchedule {
             pending: commands.len(),
+            executed: vec![false; commands.len()],
+            cancelled: vec![false; commands.len()],
             commands,
             retries: HashMap::new(),
             first_due: HashMap::new(),
@@ -71,10 +80,46 @@ impl CommandSchedule {
         }
     }
 
-    /// Marks the command behind `tag` executed.
+    /// Marks the command behind `tag` executed. Idempotent: a stale
+    /// duplicate timer neither double-counts nor resurrects the command.
     pub(crate) fn mark_executed(&mut self, tag: u64) {
+        let idx = (tag - CMD_TAG_BASE) as usize;
+        if idx >= self.executed.len() || self.executed[idx] || self.cancelled[idx] {
+            return;
+        }
+        self.executed[idx] = true;
         self.first_due.remove(&tag);
         self.pending = self.pending.saturating_sub(1);
+    }
+
+    /// Whether the command behind `tag` has been withdrawn.
+    pub(crate) fn is_cancelled(&self, tag: u64) -> bool {
+        let idx = (tag - CMD_TAG_BASE) as usize;
+        self.cancelled.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Withdraws every not-yet-executed command whose explicit target is
+    /// `node` (a departed host must not receive deferred work). Returns
+    /// how many commands were cancelled.
+    pub(crate) fn cancel_for_node(&mut self, node: NodeId) -> usize {
+        let mut cancelled = 0;
+        for (idx, (_, cmd)) in self.commands.iter().enumerate() {
+            if self.executed[idx] || self.cancelled[idx] {
+                continue;
+            }
+            let target = match cmd {
+                BrokerCommand::DistributeFile { target, .. }
+                | BrokerCommand::SubmitTask { target, .. }
+                | BrokerCommand::SendInstant { target, .. } => target,
+            };
+            if *target == TargetSpec::Node(node) {
+                self.cancelled[idx] = true;
+                self.first_due.remove(&(CMD_TAG_BASE + idx as u64));
+                self.pending = self.pending.saturating_sub(1);
+                cancelled += 1;
+            }
+        }
+        cancelled
     }
 }
 
@@ -84,6 +129,12 @@ impl Broker {
         let Some(cmd) = self.schedule.command(idx) else {
             return;
         };
+        if self.schedule.is_cancelled(tag) {
+            // Withdrawn while deferred (its target departed): drop silently
+            // and let idle detection account for the vanished command.
+            self.maybe_stop(ctx);
+            return;
+        }
         let now = ctx.now();
         let enqueued_at = self.schedule.note_first_due(tag, now);
         // Commands that need clients must wait until someone has joined.
@@ -162,5 +213,34 @@ mod tests {
         let s = CommandSchedule::new(vec![(SimDuration::ZERO, instant("a"))]);
         assert_eq!(s.command(0), Some(instant("a")));
         assert_eq!(s.command(1), None);
+    }
+
+    fn to_node(node: u32, text: &str) -> BrokerCommand {
+        BrokerCommand::SendInstant {
+            target: TargetSpec::Node(netsim::node::NodeId(node)),
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn cancel_for_node_withdraws_only_matching_pending_commands() {
+        let mut s = CommandSchedule::new(vec![
+            (SimDuration::ZERO, to_node(3, "a")),
+            (SimDuration::ZERO, to_node(5, "b")),
+            (SimDuration::ZERO, to_node(3, "c")),
+            (SimDuration::ZERO, instant("broadcast")),
+        ]);
+        s.mark_executed(CMD_TAG_BASE); // "a" already ran
+        assert_eq!(s.pending(), 3);
+        assert_eq!(s.cancel_for_node(netsim::node::NodeId(3)), 1, "only c");
+        assert!(s.is_cancelled(CMD_TAG_BASE + 2));
+        assert!(!s.is_cancelled(CMD_TAG_BASE + 1));
+        assert!(!s.is_cancelled(CMD_TAG_BASE + 3), "broadcasts survive");
+        assert_eq!(s.pending(), 2);
+        // A stale timer for the cancelled command cannot resurrect it.
+        s.mark_executed(CMD_TAG_BASE + 2);
+        assert_eq!(s.pending(), 2);
+        // Cancelling again finds nothing.
+        assert_eq!(s.cancel_for_node(netsim::node::NodeId(3)), 0);
     }
 }

@@ -1,7 +1,7 @@
 //! End-to-end broker tests on loss-free star topologies.
 
 use super::*;
-use crate::client::{ClientConfig, SimpleClient};
+use crate::client::{ClientCommand, ClientConfig, SimpleClient};
 use netsim::link::{AccessLink, PathSpec};
 use netsim::node::NodeSpec;
 use netsim::prelude::*;
@@ -564,4 +564,89 @@ fn task_watchdog_fails_unanswered_offers() {
     let log = sink.drain();
     assert_eq!(log.tasks.len(), 1);
     assert!(!log.tasks[0].success);
+}
+
+#[test]
+fn departed_peer_is_never_selected() {
+    // Client 2 leaves at t=30 s; every Selected distribution after that
+    // must see only the two remaining candidates and never choose the
+    // departed host.
+    let sink = RecordSink::new();
+    let mut bcfg =
+        BrokerConfig::new(61).with_selector(Box::new(crate::selector::RoundRobinSelector::new()));
+    for k in 0..6u64 {
+        bcfg = bcfg.at(
+            SimDuration::from_secs(60 + 10 * k),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::Selected,
+                size_bytes: 1 << 18,
+                num_parts: 1,
+                label: format!("after-leave-{k}"),
+            },
+        );
+    }
+    let (mut engine, _b, clients) = star_with(
+        3,
+        bcfg,
+        |i, broker| {
+            let cfg = ClientConfig::new(broker);
+            if i == 2 {
+                cfg.at(SimDuration::from_secs(30), ClientCommand::Leave)
+            } else {
+                cfg
+            }
+        },
+        &sink,
+    );
+    let outcome = engine.run_until(SimTime::from_secs_f64(3600.0));
+    assert_eq!(outcome, RunOutcome::Stopped);
+    let log = sink.drain();
+    let departed = clients[2];
+    assert_eq!(log.selections.len(), 6);
+    for sel in &log.selections {
+        assert_eq!(sel.candidates, 2, "departed peer out of the roster");
+        assert_ne!(sel.chosen, departed, "selection returned a departed peer");
+    }
+    for t in &log.transfers {
+        assert_ne!(t.to, departed, "transfer addressed to a departed peer");
+    }
+}
+
+#[test]
+fn leave_cancels_deferred_commands_to_the_departed_node() {
+    // A command explicitly targeted at client 0's host is scheduled after
+    // that client leaves: the broker must withdraw it (no transfer, no
+    // watchdog) and still reach idle-stop.
+    let sink = RecordSink::new();
+    // star_with lays nodes out broker-first: client 0 lives on NodeId(1).
+    let target = NodeId(1);
+    let (mut engine, _b, clients) = star_with(
+        2,
+        BrokerConfig::new(62).at(
+            SimDuration::from_secs(90),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::Node(target),
+                size_bytes: 1 << 20,
+                num_parts: 2,
+                label: "to-departed".into(),
+            },
+        ),
+        |i, broker| {
+            let cfg = ClientConfig::new(broker);
+            if i == 0 {
+                cfg.at(SimDuration::from_secs(30), ClientCommand::Leave)
+            } else {
+                cfg
+            }
+        },
+        &sink,
+    );
+    assert_eq!(clients[0], target);
+    let outcome = engine.run_until(SimTime::from_secs_f64(3600.0));
+    assert_eq!(outcome, RunOutcome::Stopped, "idle despite withdrawn work");
+    let log = sink.drain();
+    assert!(
+        log.transfers.is_empty(),
+        "cancelled command must not start a transfer"
+    );
 }

@@ -342,8 +342,7 @@ impl Broker {
         };
         let holders: Vec<Holding> = self
             .registry
-            .content
-            .get(&name)
+            .holdings(&name)
             .map(|hs| {
                 hs.iter()
                     .filter(|h| h.node != requester_node && self.registry.has_peer(h.peer))

@@ -61,6 +61,9 @@ pub enum ClientCommand {
     },
     /// Leave the overlay.
     Leave,
+    /// Re-join the overlay after a [`ClientCommand::Leave`] (same peer
+    /// identity; the broker refreshes the stored advertisement).
+    Rejoin,
 }
 
 /// Client behaviour knobs.
@@ -237,6 +240,20 @@ impl SimpleClient {
             ClientCommand::Leave => {
                 ctx.send(self.cfg.broker, OverlayMsg::Leave { peer: self.peer_id });
                 self.joined = false;
+            }
+            ClientCommand::Rejoin => {
+                if !self.joined {
+                    let adv = PeerAdvertisement {
+                        peer: self.peer_id,
+                        node: ctx.self_id(),
+                        name: ctx.node_name(ctx.self_id()).to_string(),
+                        cpu_gops: self.cfg.cpu_gops,
+                        accepts_tasks: self.cfg.accepts_tasks,
+                        published: ctx.now(),
+                        lifetime: DEFAULT_LIFETIME,
+                    };
+                    ctx.send(self.cfg.broker, OverlayMsg::Join(adv));
+                }
             }
         }
     }

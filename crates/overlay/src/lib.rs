@@ -17,7 +17,9 @@
 //!   drive it with.
 //! * [`task`] — executable-task lifecycle.
 //! * [`client`] — the SimpleClient edge peer; [`gui`] — the GUI client
-//!   (SimpleClient plus a simulated interactive user).
+//!   (SimpleClient plus a simulated interactive user); [`lifecycle`] — the
+//!   scripted churn peer that joins, leaves, and rejoins on a pre-sampled
+//!   schedule.
 //! * [`broker`] — the governor: registry, statistics aggregation, transfer
 //!   and task coordination, scripted commands, and the selection hook.
 //! * [`selector`] — the [`selector::PeerSelector`] trait the `peer-selection`
@@ -33,6 +35,7 @@ pub mod filetransfer;
 pub mod group;
 pub mod gui;
 pub mod id;
+pub mod lifecycle;
 pub mod message;
 pub mod pipe;
 pub mod records;
@@ -48,6 +51,9 @@ pub mod prelude {
     pub use crate::filetransfer::{split_parts, FileMeta};
     pub use crate::gui::{GuiClient, UserBehavior};
     pub use crate::id::{GroupId, PeerId, TaskId, TransferId};
+    pub use crate::lifecycle::{
+        ChurnProfile, LifecycleConfig, LifecyclePeer, LifecycleScript, LifecycleState, SessionPlan,
+    };
     pub use crate::message::OverlayMsg;
     pub use crate::records::{JobRecord, RecordSink, RunLog, TaskRecord, TransferRecord};
     pub use crate::selector::{

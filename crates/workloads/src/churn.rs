@@ -1,0 +1,314 @@
+//! Scripted churn workload: join/leave/rejoin at testbed scale.
+//!
+//! Drives a [`synthtopo`](crate::synthtopo) testbed with one
+//! [`LifecyclePeer`] per peer node: every peer follows a pre-sampled
+//! [`LifecycleScript`] (arrival → session → off-time → rejoin …), while
+//! each region's broker keeps distributing files to *selected* peers —
+//! so peer selection, the registry, and the transfer machinery all run
+//! against a membership that is changing under them.
+//!
+//! Determinism contract: per-peer scripts are sampled **before** the run
+//! from seeds derived only from the master seed and the peer's node id,
+//! and the sharded engine's event order is worker-count independent, so
+//! for a fixed `(config, seed, num_shards)` the result — trace digest,
+//! metrics, swap-dynamics counts — is byte-identical at any
+//! `shard_workers`. The CI churn-determinism job diffs `psim churn`
+//! output at 1 vs 4 workers to hold this line.
+
+use netsim::engine::{Actor, RunOutcome};
+use netsim::metrics::Metrics;
+use netsim::node::NodeId;
+use netsim::parallel::{ParallelProfile, ShardedEngine};
+use netsim::rng::SimRng;
+use netsim::time::{SimDuration, SimTime};
+use netsim::trace::Trace;
+use netsim::transport::TransportConfig;
+use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
+use overlay::lifecycle::{ChurnProfile, LifecycleConfig, LifecyclePeer, LifecycleScript};
+use overlay::message::OverlayMsg;
+use overlay::records::{RecordSink, RunLog};
+use overlay::selector::RoundRobinSelector;
+
+use crate::synthtopo::{build_synth_topo, SynthTopoConfig};
+
+/// Parameters of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// The synthetic testbed (regions, peers, geography, capacities).
+    pub topo: SynthTopoConfig,
+    /// Session/off-time/arrival distributions every peer's script is
+    /// sampled from.
+    pub profile: ChurnProfile,
+    /// Virtual-time horizon bounding the run.
+    pub horizon: SimDuration,
+    /// Shard count (fixed across worker counts; must be `<= regions`).
+    pub num_shards: usize,
+    /// Worker threads for the sharded engine.
+    pub shard_workers: usize,
+    /// Selected-peer distribution rounds per broker.
+    pub rounds: usize,
+    /// Gap between successive distribution rounds.
+    pub round_interval: SimDuration,
+    /// Size of each distributed file in bytes.
+    pub file_bytes: u64,
+    /// Parts per distributed file.
+    pub file_parts: u32,
+    /// Broker-to-broker gossip interval.
+    pub gossip_interval: SimDuration,
+    /// Typed-trace ring capacity; `None` keeps tracing disabled.
+    pub trace_capacity: Option<usize>,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            topo: SynthTopoConfig::default(),
+            profile: ChurnProfile::default(),
+            horizon: SimDuration::from_secs(3600),
+            num_shards: 4,
+            shard_workers: 1,
+            rounds: 4,
+            round_interval: SimDuration::from_secs(300),
+            file_bytes: crate::spec::MB,
+            file_parts: 4,
+            gossip_interval: SimDuration::from_secs(60),
+            trace_capacity: Some(1 << 14),
+        }
+    }
+}
+
+/// Swap-dynamics accounting: how the population actually moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapDynamics {
+    /// First-time joins (should equal the peer count once everyone
+    /// arrived).
+    pub joins: u64,
+    /// Re-entries after a departure.
+    pub rejoins: u64,
+    /// Graceful leaves sent to brokers.
+    pub leaves: u64,
+    /// File petitions refused because the peer was not connected.
+    pub refused_petitions: u64,
+    /// Task offers refused (not connected, or tasks disabled).
+    pub refused_tasks: u64,
+}
+
+impl SwapDynamics {
+    /// Reads the counters back out of merged run metrics.
+    pub fn from_metrics(m: &Metrics) -> Self {
+        SwapDynamics {
+            joins: m.counter("churn.joins"),
+            rejoins: m.counter("churn.rejoins"),
+            leaves: m.counter("churn.leaves"),
+            refused_petitions: m.counter("churn.refused_petitions"),
+            refused_tasks: m.counter("churn.refused_tasks"),
+        }
+    }
+}
+
+/// Outputs of one churn run.
+pub struct ChurnResult {
+    /// Merged run log (shard order, worker-count invariant).
+    pub log: RunLog,
+    /// Merged engine metrics.
+    pub metrics: Metrics,
+    /// Merged typed trace (empty unless tracing was enabled).
+    pub trace: Trace,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Final virtual time.
+    pub elapsed: SimTime,
+    /// Events processed across all shards.
+    pub events_processed: u64,
+    /// Largest per-shard backlog (diagnostic; not worker-invariant).
+    pub peak_queue_len: usize,
+    /// Window/occupancy profile of the parallel run.
+    pub profile: ParallelProfile,
+    /// Population movement totals.
+    pub swap: SwapDynamics,
+}
+
+/// The seed a peer's script and identity derive from: master seed plus
+/// node id, nothing else — so scripts survive any re-sharding unchanged.
+fn peer_seed(seed: u64, node: NodeId) -> u64 {
+    seed.wrapping_mul(6364136223846793005)
+        .wrapping_add(node.index() as u64)
+}
+
+/// Runs one churn replication of `cfg` under `seed` on the sharded
+/// engine. Byte-identical for any `shard_workers` at fixed shards.
+pub fn run_churn(cfg: &ChurnConfig, seed: u64) -> ChurnResult {
+    let built = build_synth_topo(&cfg.topo, seed);
+    let map = cfg.topo.shard_map(cfg.num_shards);
+    let sinks: Vec<RecordSink> = (0..map.num_shards()).map(|_| RecordSink::new()).collect();
+
+    let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
+    for (r, &broker) in built.brokers.iter().enumerate() {
+        let mut broker_cfg = BrokerConfig::new(seed ^ (0xC4_0000 + r as u64));
+        broker_cfg.stop_when_idle = false;
+        broker_cfg.gossip_interval = cfg.gossip_interval;
+        // Selected-target rounds need a selection model; round-robin is
+        // deterministic and touches every live candidate over time, which
+        // is exactly what a churn soak wants.
+        broker_cfg.selector = Some(Box::new(RoundRobinSelector::new()));
+        broker_cfg.peer_brokers = built
+            .brokers
+            .iter()
+            .copied()
+            .filter(|&b| b != broker)
+            .collect();
+        for round in 0..cfg.rounds {
+            broker_cfg = broker_cfg.at(
+                SimDuration::from_secs(120) + cfg.round_interval * round as u64,
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::Selected,
+                    size_bytes: cfg.file_bytes,
+                    num_parts: cfg.file_parts,
+                    label: format!("churn-r{r}-round{round}"),
+                },
+            );
+        }
+        let sink = sinks[map.shard_of(broker)].clone();
+        actors.push((broker, Box::new(Broker::new(broker_cfg, sink))));
+    }
+    for r in 0..cfg.topo.regions {
+        let home = built.brokers[r];
+        for node in cfg.topo.peer_nodes(r) {
+            let pseed = peer_seed(seed, node);
+            let mut rng = SimRng::new(pseed).split(0xC4_0B11);
+            let script = LifecycleScript::sample(&mut rng, &cfg.profile, cfg.horizon);
+            let peer_cfg = LifecycleConfig {
+                broker: home,
+                script,
+                accepts_tasks: true,
+            };
+            actors.push((node, Box::new(LifecyclePeer::new(peer_cfg, pseed))));
+        }
+    }
+
+    let mut engine: ShardedEngine<OverlayMsg> = ShardedEngine::new(
+        built.topo,
+        TransportConfig::default(),
+        seed,
+        map,
+        cfg.shard_workers,
+    )
+    .expect("synthetic testbed has a positive cross-shard lookahead (RTT floor)");
+    if let Some(capacity) = cfg.trace_capacity {
+        engine.enable_trace(capacity);
+    }
+    for (node, actor) in actors {
+        engine.register(node, actor);
+    }
+    let outcome = engine.run_until(SimTime::ZERO + cfg.horizon);
+
+    let mut log = RunLog::default();
+    for sink in &sinks {
+        log.absorb(sink.drain());
+    }
+    let metrics = engine.metrics();
+    let swap = SwapDynamics::from_metrics(&metrics);
+    ChurnResult {
+        log,
+        swap,
+        trace: engine.trace(),
+        outcome,
+        elapsed: engine.now(),
+        events_processed: engine.events_processed(),
+        peak_queue_len: engine.peak_queue_len(),
+        profile: engine.profile(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::rng::DelayDistribution;
+
+    /// Small but churny: short sessions so rejoins happen inside the
+    /// horizon, four regions on four shards.
+    fn small() -> ChurnConfig {
+        ChurnConfig {
+            topo: SynthTopoConfig {
+                regions: 4,
+                peers: 24,
+                ..SynthTopoConfig::default()
+            },
+            profile: ChurnProfile {
+                arrival: DelayDistribution::Uniform { lo: 0.0, hi: 120.0 },
+                session: DelayDistribution::Lognormal {
+                    median: 180.0,
+                    sigma: 0.6,
+                },
+                off_time: DelayDistribution::Lognormal {
+                    median: 60.0,
+                    sigma: 0.5,
+                },
+                ..ChurnProfile::default()
+            },
+            horizon: SimDuration::from_secs(1500),
+            num_shards: 4,
+            rounds: 3,
+            round_interval: SimDuration::from_secs(240),
+            ..ChurnConfig::default()
+        }
+    }
+
+    #[test]
+    fn churn_run_is_worker_count_invariant() {
+        let runs: Vec<ChurnResult> = [1, 2, 4]
+            .iter()
+            .map(|&w| {
+                run_churn(
+                    &ChurnConfig {
+                        shard_workers: w,
+                        ..small()
+                    },
+                    2026,
+                )
+            })
+            .collect();
+        assert_ne!(runs[0].trace.len(), 0, "trace must not be empty");
+        for r in &runs[1..] {
+            assert_eq!(r.outcome, runs[0].outcome);
+            assert_eq!(r.trace.digest(), runs[0].trace.digest());
+            assert_eq!(r.elapsed, runs[0].elapsed);
+            assert_eq!(r.events_processed, runs[0].events_processed);
+            assert_eq!(r.metrics.render(), runs[0].metrics.render());
+            assert_eq!(r.swap, runs[0].swap);
+            assert_eq!(r.log.transfers.len(), runs[0].log.transfers.len());
+        }
+    }
+
+    #[test]
+    fn population_actually_churns() {
+        let result = run_churn(&small(), 99);
+        let peers = small().topo.peers as u64;
+        // Arrivals are capped at half the horizon, so every peer joined.
+        assert_eq!(result.swap.joins, peers, "every peer joins once");
+        assert!(result.swap.leaves > 0, "sessions end inside the horizon");
+        assert!(result.swap.rejoins > 0, "short sessions force rejoins");
+        assert!(result.events_processed > 0);
+        // The Selected-target rounds actually chose someone and moved data.
+        assert!(!result.log.selections.is_empty(), "no selections recorded");
+        assert!(!result.log.transfers.is_empty(), "no transfers recorded");
+    }
+
+    #[test]
+    fn scripts_are_independent_of_sharding() {
+        // The per-peer seed derives from the node id alone, so two runs
+        // that shard differently sample identical lifecycles.
+        let one = run_churn(
+            &ChurnConfig {
+                num_shards: 1,
+                ..small()
+            },
+            7,
+        );
+        let four = run_churn(&small(), 7);
+        assert_eq!(one.swap.joins, four.swap.joins);
+        assert_eq!(one.swap.rejoins, four.swap.rejoins);
+        assert_eq!(one.swap.leaves, four.swap.leaves);
+    }
+}

@@ -8,6 +8,10 @@
 //! * [`report`] — paper-vs-measured table rendering and shape statistics.
 //! * [`attribution`] — per-transfer latency phase decomposition over traces.
 //! * [`multiregion`] — federated multi-region workload for the sharded engine.
+//! * [`synthtopo`] — procedural million-peer testbeds (blocked topologies,
+//!   haversine inter-region delays, power-law capacities).
+//! * [`churn`] — scripted join/leave/rejoin workload over a synthetic
+//!   testbed (`psim churn`, `psim bench-churn`).
 //! * [`sweep`] — grid-sweep campaigns over typed axes (`psim sweep`).
 //! * [`enginebench`] — engine throughput measurement (`BENCH_engine.json`).
 //! * [`experiments`] — one module per artifact: `table1`, `fig2`…`fig7`.
@@ -23,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod churn;
 pub mod enginebench;
 pub mod experiments;
 pub mod multiregion;
@@ -31,3 +36,4 @@ pub mod runner;
 pub mod scenario;
 pub mod spec;
 pub mod sweep;
+pub mod synthtopo;

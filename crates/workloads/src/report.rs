@@ -410,15 +410,28 @@ pub fn argmin(values: &[f64]) -> Option<usize> {
 
 /// Spearman rank correlation between two equal-length series —
 /// the "does the measured ordering match the paper's?" statistic.
+///
+/// NaN/infinite pairs are excluded before ranking (the same finite-filter
+/// discipline as [`argmax`]/[`argmin`]): a position where *either* series
+/// is non-finite contributes nothing. Fewer than two finite pairs → 0.0
+/// (no ordering evidence either way).
 pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len());
-    let n = a.len();
-    if n < 2 {
+    if a.len() < 2 {
         return 1.0;
     }
+    let keep: Vec<usize> = (0..a.len())
+        .filter(|&i| a[i].is_finite() && b[i].is_finite())
+        .collect();
+    let n = keep.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let a: Vec<f64> = keep.iter().map(|&i| a[i]).collect();
+    let b: Vec<f64> = keep.iter().map(|&i| b[i]).collect();
     let rank = |xs: &[f64]| -> Vec<f64> {
         let mut idx: Vec<usize> = (0..xs.len()).collect();
-        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap());
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite after filter"));
         let mut ranks = vec![0.0; xs.len()];
         // Ties receive the average of their rank positions.
         let mut pos = 0;
@@ -435,7 +448,7 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
         }
         ranks
     };
-    let (ra, rb) = (rank(a), rank(b));
+    let (ra, rb) = (rank(&a), rank(&b));
     let mean = (n as f64 - 1.0) / 2.0;
     let mut num = 0.0;
     let mut da = 0.0;
@@ -530,6 +543,22 @@ mod tests {
         let a = [1.0, 1.0, 1.0];
         let b = [1.0, 2.0, 3.0];
         assert_eq!(spearman(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn spearman_skips_nan_pairs_instead_of_panicking() {
+        // A NaN in either series drops that pair; the remaining finite
+        // pairs are ranked normally (here: a perfect ordering).
+        let a = [1.0, f64::NAN, 3.0, 4.0, 5.0];
+        let b = [10.0, 20.0, 30.0, f64::NAN, 50.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        // Infinities are excluded under the same finite-filter.
+        let c = [1.0, f64::INFINITY, 3.0, 4.0, 5.0];
+        let d = [50.0, 20.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&c, &d) + 1.0).abs() < 1e-12);
+        // Fewer than two finite pairs: no ordering evidence.
+        assert_eq!(spearman(&[f64::NAN, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(spearman(&[f64::NAN, f64::NAN], &[1.0, 2.0]), 0.0);
     }
 
     #[test]

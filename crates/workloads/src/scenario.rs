@@ -101,6 +101,12 @@ pub enum ScenarioError {
         /// The SC whose scripted command generates broker-invisible work.
         sc: u8,
     },
+    /// A [`ScenarioBuilder::churn`] pair rejoined at or before its leave:
+    /// the client would try to re-enter an overlay it never left.
+    RejoinNotAfterLeave {
+        /// The SC with the inverted churn window.
+        sc: u8,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -124,6 +130,10 @@ impl std::fmt::Display for ScenarioError {
                  the broker cannot see client-initiated work and would stop under it; \
                  use stop_when_idle(false) and bound the run with the horizon"
             ),
+            ScenarioError::RejoinNotAfterLeave { sc } => write!(
+                f,
+                "churn pair on SC{sc}: the rejoin must come strictly after the leave"
+            ),
         }
     }
 }
@@ -136,6 +146,9 @@ impl std::error::Error for ScenarioError {}
 #[must_use = "a builder does nothing until build() is called"]
 pub struct ScenarioBuilder {
     cfg: ScenarioConfig,
+    /// `(sc, leave_at, rejoin_at)` pairs added via [`churn`]
+    /// (ScenarioBuilder::churn), kept for ordering validation at build.
+    churn_pairs: Vec<(u8, SimDuration, SimDuration)>,
 }
 
 impl Default for ScenarioBuilder {
@@ -165,6 +178,7 @@ impl ScenarioBuilder {
                 shards: 1,
                 shard_workers: 1,
             },
+            churn_pairs: Vec::new(),
         }
     }
 
@@ -252,6 +266,19 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Scripts one churn cycle on `sc` (1..=8): a graceful Leave at
+    /// `leave_at` and a Rejoin at `rejoin_at`. The rejoin re-advertises
+    /// the peer under its original identity, so the broker's registry
+    /// refresh path (not a fresh insert) is what gets exercised. Ordering
+    /// is validated at [`build`](ScenarioBuilder::build).
+    pub fn churn(mut self, sc: u8, leave_at: SimDuration, rejoin_at: SimDuration) -> Self {
+        self.churn_pairs.push((sc, leave_at, rejoin_at));
+        let commands = self.cfg.client_commands_by_sc.get_or_insert_with(Vec::new);
+        commands.push((sc, leave_at, ClientCommand::Leave));
+        commands.push((sc, rejoin_at, ClientCommand::Rejoin));
+        self
+    }
+
     /// Whether the broker stops the run once its scripted work is done.
     pub fn stop_when_idle(mut self, stop: bool) -> Self {
         self.cfg.stop_when_idle = stop;
@@ -272,6 +299,11 @@ impl ScenarioBuilder {
 
     /// Validates every invariant and returns the finished config.
     pub fn build(self) -> Result<ScenarioConfig, ScenarioError> {
+        for &(sc, leave_at, rejoin_at) in &self.churn_pairs {
+            if rejoin_at <= leave_at {
+                return Err(ScenarioError::RejoinNotAfterLeave { sc });
+            }
+        }
         let cfg = self.cfg;
         if cfg.horizon == SimDuration::ZERO {
             return Err(ScenarioError::NonPositiveHorizon);
@@ -414,6 +446,36 @@ fn named_fig5_lossy() -> ScenarioConfig {
         .expect("fig5-lossy scenario is valid")
 }
 
+// A churn round-trip on the measurement testbed: everyone gets a file,
+// SC3 leaves and rejoins (under the same identity, exercising the
+// registry's refresh-on-rejoin path), SC5 leaves for good, and a second
+// round goes only to the seven peers still registered.
+fn named_churn() -> ScenarioConfig {
+    ScenarioBuilder::measurement_setup()
+        .at(
+            SimDuration::from_secs(60),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: crate::spec::MB,
+                num_parts: 1,
+                label: "churn-pre".into(),
+            },
+        )
+        .churn(3, SimDuration::from_secs(90), SimDuration::from_secs(180))
+        .client_command(5, SimDuration::from_secs(90), ClientCommand::Leave)
+        .at(
+            SimDuration::from_secs(240),
+            BrokerCommand::DistributeFile {
+                target: TargetSpec::AllClients,
+                size_bytes: crate::spec::MB,
+                num_parts: 1,
+                label: "churn-post".into(),
+            },
+        )
+        .build()
+        .expect("churn scenario is valid")
+}
+
 static NAMED_SCENARIOS: &[NamedScenario] = &[
     NamedScenario {
         name: "smoke",
@@ -434,6 +496,10 @@ static NAMED_SCENARIOS: &[NamedScenario] = &[
     NamedScenario {
         name: "fig5-lossy",
         build: named_fig5_lossy,
+    },
+    NamedScenario {
+        name: "churn",
+        build: named_churn,
     },
 ];
 
@@ -819,6 +885,46 @@ mod tests {
             .err()
             .expect("expected a build error");
         assert_eq!(err, ScenarioError::NonPositiveHorizon);
+    }
+
+    #[test]
+    fn builder_rejects_inverted_churn_windows() {
+        let err = ScenarioConfig::builder()
+            .churn(3, SimDuration::from_secs(90), SimDuration::from_secs(90))
+            .build()
+            .err()
+            .expect("expected a build error");
+        assert_eq!(err, ScenarioError::RejoinNotAfterLeave { sc: 3 });
+        assert!(ScenarioConfig::builder()
+            .churn(3, SimDuration::from_secs(90), SimDuration::from_secs(91))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn named_churn_scenario_round_trips_a_rejoin() {
+        let cfg = ScenarioConfig::named("churn").expect("churn is a named scenario");
+        let result = run_scenario(&cfg, 3);
+        assert_eq!(result.outcome, RunOutcome::Stopped);
+        let pre = result
+            .log
+            .transfers
+            .iter()
+            .filter(|t| t.label == "churn-pre")
+            .count();
+        let post: Vec<_> = result
+            .log
+            .transfers
+            .iter()
+            .filter(|t| t.label == "churn-post")
+            .collect();
+        assert_eq!(pre, 8, "first round reaches every SC");
+        // SC5 left for good, SC3 left and rejoined: the second round goes
+        // to exactly seven peers, SC3 among them.
+        assert_eq!(post.len(), 7, "second round skips the departed SC5");
+        for t in &post {
+            assert!(t.completed_at.is_some(), "{} incomplete", t.to_name);
+        }
     }
 
     #[test]

@@ -10,11 +10,16 @@
 //! psim sweep fig345 --workers 4             # parallel grid campaign → CSV
 //! psim sweep fig67 --quick --json out.json  # machine-readable campaign
 //! psim csv --out target/figures --quick     # machine-readable series
+//! psim churn --peers 100000 --regions 16    # churn run on a synthetic testbed
+//! psim bench-churn --peers 20000            # churn throughput → BENCH_churn.json
 //! ```
 //!
 //! Every subcommand is described by one row of [`COMMANDS`]: the parser,
 //! the `--help` text, and the flag validation all derive from that table,
 //! so a flag cannot exist without documentation or vice versa.
+
+mod bench;
+mod churn;
 
 use std::collections::HashMap;
 
@@ -32,10 +37,7 @@ use workloads::report::{metrics_snapshot_json, render_timelines, transfer_timeli
 use workloads::runner::{default_workers, run_traced};
 use workloads::scenario::{named_scenario_list, run_scenario, ScenarioConfig};
 use workloads::spec::{ExperimentSpec, MB, PAPER_REPETITIONS};
-use workloads::sweep::{
-    measure_campaign_scaling, measure_pool_scaling, named_grid, named_grid_list,
-    render_scaling_json, run_campaign,
-};
+use workloads::sweep::{named_grid, named_grid_list, run_campaign};
 
 // ---------------------------------------------------------------------------
 // The declarative command table: one row per subcommand, one row per flag.
@@ -299,6 +301,77 @@ static COMMANDS: &[CommandDef] = &[
         help: "measure sharded-engine events/s at 1,2,4 workers",
     },
     CommandDef {
+        name: "churn",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "regions",
+                takes_value: true,
+                default: Some("8"),
+                help: "synthetic regions (one broker each)",
+            },
+            FlagDef {
+                name: "peers",
+                takes_value: true,
+                default: Some("1000"),
+                help: "lifecycle peers across all regions",
+            },
+            FlagDef {
+                name: "horizon-secs",
+                takes_value: true,
+                default: Some("1800"),
+                help: "virtual-time horizon in seconds",
+            },
+            FlagDef {
+                name: "num-shards",
+                takes_value: true,
+                default: Some("4"),
+                help: "shard domains (fixed across worker counts)",
+            },
+            SEED,
+            SHARD_WORKERS,
+        ],
+        help: "churn run on a synthetic testbed -> trace JSONL + metrics + summary",
+    },
+    CommandDef {
+        name: "bench-churn",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "regions",
+                takes_value: true,
+                default: Some("8"),
+                help: "synthetic regions (one broker each)",
+            },
+            FlagDef {
+                name: "peers",
+                takes_value: true,
+                default: Some("20000"),
+                help: "lifecycle peers across all regions",
+            },
+            FlagDef {
+                name: "horizon-secs",
+                takes_value: true,
+                default: Some("1800"),
+                help: "virtual-time horizon in seconds",
+            },
+            FlagDef {
+                name: "num-shards",
+                takes_value: true,
+                default: Some("4"),
+                help: "shard domains (fixed across worker counts)",
+            },
+            SEED,
+            FlagDef {
+                name: "out",
+                takes_value: true,
+                default: Some("BENCH_churn.json"),
+                help: "output file",
+            },
+        ],
+        help: "measure churn events/s at 1,2,4 workers, write BENCH_churn.json",
+    },
+    CommandDef {
         name: "trace",
         positional: Some("<scenario>"),
         flags: &[
@@ -495,10 +568,12 @@ fn main() {
         "task" => cmd_task(&flags),
         "sweep" => cmd_sweep(&flags),
         "csv" => cmd_csv(&flags, &spec),
-        "bench-engine" => cmd_bench_engine(&flags),
-        "bench-sweep" => cmd_bench_sweep(&flags),
-        "bench-parallel-engine" => cmd_bench_parallel_engine(&flags),
+        "bench-engine" => bench::cmd_bench_engine(&flags),
+        "bench-sweep" => bench::cmd_bench_sweep(&flags),
+        "bench-parallel-engine" => bench::cmd_bench_parallel_engine(&flags),
         "multiregion" => cmd_multiregion(&flags),
+        "churn" => churn::cmd_churn(&flags),
+        "bench-churn" => churn::cmd_bench_churn(&flags),
         "trace" => cmd_trace(&flags),
         "report" => cmd_report(&flags),
         "attribute" => cmd_attribute(&flags),
@@ -797,154 +872,6 @@ fn cmd_sweep(flags: &Flags) {
             &campaign.merged_metrics().render_prometheus("psim_sweep"),
         );
     }
-}
-
-fn cmd_bench_engine(flags: &Flags) {
-    use workloads::enginebench;
-
-    let messages = (flags.f64("messages") as u64).max(1_000);
-    let out = flags.get("out").expect("table default").to_string();
-
-    eprintln!("bench-engine: ping-pong {messages} messages (interned metrics) ...");
-    let interned = enginebench::pingpong(messages, 1);
-    eprintln!(
-        "  {:>12.0} events/sec  {:>8.1} ns/event  peak queue {}",
-        interned.events_per_sec(),
-        interned.ns_per_event(),
-        interned.peak_queue_len
-    );
-    eprintln!("bench-engine: ping-pong {messages} messages (string-keyed baseline) ...");
-    let strings = enginebench::pingpong_string_metrics(messages, 1);
-    eprintln!(
-        "  {:>12.0} events/sec  {:>8.1} ns/event",
-        strings.events_per_sec(),
-        strings.ns_per_event()
-    );
-    eprintln!("bench-engine: 8-client broker scenario ...");
-    let broker = enginebench::broker_scenario(3, 1);
-    eprintln!(
-        "  {:>12.0} events/sec  {:>8.1} ns/event  {} events  peak queue {}",
-        broker.events_per_sec(),
-        broker.ns_per_event(),
-        broker.events,
-        broker.peak_queue_len
-    );
-    eprintln!("bench-engine: metrics layer (string vs interned) ...");
-    let overhead = enginebench::metrics_overhead(2_000_000);
-    eprintln!(
-        "  string {:.1} ns/event, interned {:.1} ns/event — {:.2}x",
-        overhead.string_ns_per_event,
-        overhead.interned_ns_per_event,
-        overhead.speedup()
-    );
-    eprintln!("bench-engine: per-message names (String clone vs Arc<str>) ...");
-    let names = enginebench::name_clone_overhead(2_000_000);
-    eprintln!(
-        "  string {:.1} ns/event, arc {:.1} ns/event — {:.2}x",
-        names.string_ns_per_event,
-        names.arc_ns_per_event,
-        names.speedup()
-    );
-
-    let json = enginebench::render_json(&interned, &strings, &broker, &overhead, &names);
-    write_or_exit(&out, &json);
-}
-
-/// `psim bench-sweep`: the two scaling modes of the campaign driver.
-/// Wait-bound cells (the PlanetLab shape: wall-clock-bound remote runs)
-/// demonstrate pool scaling on any host; CPU-bound simulated cells show
-/// what the local core count allows.
-fn cmd_bench_sweep(flags: &Flags) {
-    let tasks = flags.usize("tasks").max(1);
-    let cell_ms = flags.u64("cell-ms").max(1);
-    let out = flags.get("out").expect("table default").to_string();
-    let workers_list = [1usize, 2, 4];
-
-    eprintln!("bench-sweep: pool mode, {tasks} wait-bound cells x {cell_ms} ms ...");
-    let pool = measure_pool_scaling(
-        tasks,
-        std::time::Duration::from_millis(cell_ms),
-        &workers_list,
-    );
-    for p in &pool {
-        eprintln!(
-            "  {} workers  {:>8.2} cells/s  ({:.3} s wall)",
-            p.workers, p.cells_per_sec, p.wall_secs
-        );
-    }
-
-    let grid = "fig345";
-    let spec = named_grid(grid, 1, 2).expect("built-in grid");
-    let campaign_tasks = spec.expand().map(|c| c.len()).unwrap_or(0) * spec.replications();
-    eprintln!("bench-sweep: campaign mode, {grid} x 2 reps ({campaign_tasks} sim cells) ...");
-    let campaign = measure_campaign_scaling(&spec, &workers_list).expect("built-in grid is valid");
-    for p in &campaign {
-        eprintln!(
-            "  {} workers  {:>8.2} cells/s  ({:.3} s wall)",
-            p.workers, p.cells_per_sec, p.wall_secs
-        );
-    }
-
-    let json = render_scaling_json(&pool, tasks, cell_ms, &campaign, grid, campaign_tasks);
-    warn_if_saturated(*workers_list.iter().max().unwrap_or(&1));
-    write_or_exit(&out, &json);
-}
-
-/// Warns on stderr when a scaling bench ran with more workers than the host
-/// has cores: CPU-bound points past that are expected to be flat, and the
-/// JSON's `saturated` flag records the same condition for machine readers.
-fn warn_if_saturated(max_workers: usize) {
-    let host = workloads::runner::detect_host_parallelism();
-    if max_workers > host {
-        eprintln!(
-            "warning: bench ran with up to {max_workers} workers on a host with \
-             {host} usable core(s); CPU-bound speedups are capped at {host}x and \
-             flat points past that reflect saturation, not a regression \
-             (the JSON carries \"saturated\": true)"
-        );
-    }
-}
-
-/// `psim bench-parallel-engine`: wall-clock events/s of the sharded engine
-/// on the multi-region workload at 1, 2, and 4 workers, plus the
-/// critical-path model. Writes `BENCH_parallel_engine.json`.
-fn cmd_bench_parallel_engine(flags: &Flags) {
-    use workloads::enginebench;
-    use workloads::multiregion::MultiRegionConfig;
-
-    let cfg = MultiRegionConfig {
-        regions: flags.usize("regions").max(1),
-        clients_per_region: flags.usize("clients").max(1),
-        rounds: flags.usize("rounds").max(1),
-        ..MultiRegionConfig::default()
-    };
-    let seed = flags.u64("seed");
-    let out = flags.get("out").expect("table default").to_string();
-    let workers_list = [1usize, 2, 4];
-
-    eprintln!(
-        "bench-parallel-engine: {} regions x {} clients, {} rounds, workers 1/2/4 ...",
-        cfg.regions, cfg.clients_per_region, cfg.rounds
-    );
-    let points = enginebench::parallel_engine(&cfg, &workers_list, seed);
-    let base = points.first().map(|p| p.events_per_sec()).unwrap_or(0.0);
-    for p in &points {
-        eprintln!(
-            "  {} workers  {:>10.0} events/s  ({:.2}x measured, {:.2}x occupancy, {} rounds)",
-            p.workers,
-            p.events_per_sec(),
-            if base > 0.0 {
-                p.events_per_sec() / base
-            } else {
-                0.0
-            },
-            p.occupancy(),
-            p.rounds,
-        );
-    }
-    warn_if_saturated(*workers_list.iter().max().unwrap_or(&1));
-    let json = enginebench::render_parallel_json(&cfg, &points);
-    write_or_exit(&out, &json);
 }
 
 /// `psim multiregion`: one traced multi-region run on the sharded engine,

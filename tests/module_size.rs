@@ -25,6 +25,16 @@ const SHARD_MODULES: &[&str] = &[
     "crates/netsim/src/parallel.rs",
 ];
 
+/// The churn layer carries the byte-determinism argument for scripted
+/// lifecycles (pre-sampled scripts, node-id-derived seeds), so each of
+/// its modules gets the same audit-in-one-sitting cap as the sharded
+/// engine.
+const CHURN_MODULES: &[&str] = &[
+    "crates/overlay/src/lifecycle.rs",
+    "crates/workloads/src/synthtopo.rs",
+    "crates/workloads/src/churn.rs",
+];
+
 fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
     let entries = match fs::read_dir(dir) {
         Ok(entries) => entries,
@@ -95,6 +105,23 @@ fn shard_engine_modules_stay_under_the_tight_cap() {
             lines <= SHARD_MAX_LINES,
             "{rel} has {lines} lines (cap {SHARD_MAX_LINES}) — keep the \
              parallel-engine layers small enough to audit"
+        );
+    }
+}
+
+#[test]
+fn churn_modules_stay_under_the_tight_cap() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for rel in CHURN_MODULES {
+        let path = root.join(rel);
+        let lines = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+            .lines()
+            .count();
+        assert!(
+            lines <= SHARD_MAX_LINES,
+            "{rel} has {lines} lines (cap {SHARD_MAX_LINES}) — keep the \
+             churn determinism argument auditable in one sitting"
         );
     }
 }
