@@ -14,6 +14,7 @@ use crate::metrics::{MetricId, Metrics, StatId};
 use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::timeseries::TimeSeriesRecorder;
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEventKind};
 use crate::transport::{TransferPlanner, TransportConfig};
@@ -432,6 +433,7 @@ pub struct Engine<M: Payload> {
     started: bool,
     event_limit: u64,
     events_processed: u64,
+    recorder: Option<TimeSeriesRecorder>,
 }
 
 impl<M: Payload> Engine<M> {
@@ -474,6 +476,7 @@ impl<M: Payload> Engine<M> {
             started: false,
             event_limit: 200_000_000,
             events_processed: 0,
+            recorder: None,
         }
     }
 
@@ -560,11 +563,30 @@ impl<M: Payload> Engine<M> {
         self.core.queue.peak_len()
     }
 
+    /// Installs a windowed time-series recorder: the run emits each sample
+    /// boundary as soon as every event at or before it has been processed
+    /// (so a row is exactly "the metrics after time ≤ boundary"), and
+    /// flushes the remaining boundaries up to the final clock when
+    /// [`Engine::run_until`] returns.
+    pub fn install_recorder(&mut self, recorder: TimeSeriesRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Removes and returns the installed time-series recorder, if any.
+    pub fn take_recorder(&mut self) -> Option<TimeSeriesRecorder> {
+        self.recorder.take()
+    }
+
     /// Runs until the queue drains, a stop is requested, the event limit
     /// trips, or virtual time would pass `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         let outcome = self.run_bounded(horizon, false);
         self.flush_run_metrics();
+        if let Some(rec) = &mut self.recorder {
+            // The run is over: every event at or before the final clock has
+            // run, so boundaries up to and including it are complete.
+            rec.sample_up_to(self.core.clock, &self.core.metrics);
+        }
         outcome
     }
 
@@ -682,6 +704,11 @@ impl<M: Payload> Engine<M> {
             let Some(next_time) = self.core.queue.peek_time() else {
                 return RunOutcome::QueueEmpty;
             };
+            if let Some(rec) = &mut self.recorder {
+                // Every queued event is at or after `next_time`, so any
+                // boundary strictly below it is complete.
+                rec.sample_before(next_time, &self.core.metrics);
+            }
             if next_time > horizon || (exclusive && next_time >= horizon) {
                 self.core.clock = horizon;
                 return RunOutcome::HorizonReached;

@@ -13,7 +13,9 @@
 //!   Mathis TCP throughput bound, slow-start and large-message penalties
 //!   ([`transport`]);
 //! * an actor engine dispatching typed messages between hosts ([`engine`]);
-//! * measurement plumbing ([`metrics`]) and structured tracing ([`trace`]).
+//! * measurement plumbing ([`metrics`]), windowed time-series recording
+//!   ([`timeseries`]), per-shard execution profiling ([`profile`]), and
+//!   structured tracing ([`trace`]).
 //!
 //! A simulation is a pure function of `(topology, transport config, seed,
 //! actors)` — identical inputs produce bit-identical traces, which the test
@@ -60,9 +62,11 @@ pub mod link;
 pub mod metrics;
 pub mod node;
 pub mod parallel;
+pub mod profile;
 pub mod rng;
 pub mod shard;
 pub mod time;
+pub mod timeseries;
 pub mod topology;
 pub mod trace;
 pub mod transport;
@@ -74,9 +78,13 @@ pub mod prelude {
     pub use crate::metrics::{Metrics, RunningStat};
     pub use crate::node::{CpuModel, LoadModel, NodeId, NodeSpec};
     pub use crate::parallel::{ParallelError, ParallelProfile, ShardedEngine};
+    pub use crate::profile::{ExecutionProfile, ShardRound, ShardTotals};
     pub use crate::rng::{DelayDistribution, SimRng};
     pub use crate::shard::{shard_seed, LookaheadTable, ShardMap, ShardMapError};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::timeseries::{
+        SeriesId, SeriesMode, SeriesRow, SeriesSource, TimeSeriesError, TimeSeriesRecorder,
+    };
     pub use crate::topology::Topology;
     pub use crate::transport::{ReceiverDiscipline, TransferPlanner, TransportConfig};
 }

@@ -264,6 +264,12 @@ pub struct StatId(u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HistogramId(u32);
 
+/// Interned handle to a named gauge (see [`Metrics::gauge_id`]).
+///
+/// Same contract as [`MetricId`], for last-value-wins f64 gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaugeId(u32);
+
 /// Per-run metrics registry: named counters and named statistics.
 ///
 /// Names are interned: the name→slot maps are consulted only when a name is
@@ -280,6 +286,8 @@ pub struct Metrics {
     stat_values: Vec<RunningStat>,
     histogram_index: BTreeMap<String, u32>,
     histogram_values: Vec<Histogram>,
+    gauge_index: BTreeMap<String, u32>,
+    gauge_values: Vec<f64>,
 }
 
 impl Metrics {
@@ -344,6 +352,59 @@ impl Metrics {
             .push(Histogram::new(base, num_buckets));
         self.histogram_index.insert(name.to_string(), slot);
         HistogramId(slot)
+    }
+
+    /// Resolves (interning if new) the handle for gauge `name`.
+    ///
+    /// The gauge is created at zero on first resolution, so a resolved name
+    /// always appears in [`Metrics::gauges_sorted`] even if never set.
+    /// Gauges hold a *last-set* f64 value (instantaneous state like resident
+    /// bytes), unlike counters which only accumulate.
+    pub fn gauge_id(&mut self, name: &str) -> GaugeId {
+        if let Some(&slot) = self.gauge_index.get(name) {
+            return GaugeId(slot);
+        }
+        let slot = u32::try_from(self.gauge_values.len()).expect("too many gauges");
+        self.gauge_values.push(0.0);
+        self.gauge_index.insert(name.to_string(), slot);
+        GaugeId(slot)
+    }
+
+    /// Sets the gauge behind `id` (last value wins). O(1), allocation-free.
+    #[inline]
+    pub fn set_gauge_id(&mut self, id: GaugeId, value: f64) {
+        self.gauge_values[id.0 as usize] = value;
+    }
+
+    /// Current value of the gauge behind `id`. O(1).
+    #[inline]
+    pub fn gauge_by_id(&self, id: GaugeId) -> f64 {
+        self.gauge_values[id.0 as usize]
+    }
+
+    /// Sets gauge `name`, creating it if absent.
+    ///
+    /// String-keyed compatibility wrapper: resolves then delegates to
+    /// [`Metrics::set_gauge_id`]. Fine for cold paths (periodic sampling);
+    /// per-event code should hold a [`GaugeId`] instead.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        let id = self.gauge_id(name);
+        self.set_gauge_id(id, value);
+    }
+
+    /// Current gauge value (0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauge_index
+            .get(name)
+            .map(|&slot| self.gauge_values[slot as usize])
+            .unwrap_or(0.0)
+    }
+
+    /// `(name, value)` pairs for all gauges, sorted by name.
+    pub fn gauges_sorted(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauge_index
+            .iter()
+            .map(|(name, &slot)| (name.as_str(), self.gauge_values[slot as usize]))
     }
 
     /// Records an observation on the histogram behind `id`. O(1),
@@ -493,6 +554,13 @@ impl Metrics {
             let id = self.histogram_id(name, hist.base(), hist.buckets().len());
             self.histogram_values[id.0 as usize].merge(hist);
         }
+        // Gauges sum by name: each sampling site owns a unique name (e.g.
+        // `registry.bytes.<node>`), so the cross-shard sum reconstructs every
+        // site's last-set value, and prefix sums aggregate across sites.
+        for (name, value) in other.gauges_sorted() {
+            let id = self.gauge_id(name);
+            self.gauge_values[id.0 as usize] += value;
+        }
     }
 
     /// Merges another registry in under a `tag` namespace: every one of
@@ -513,6 +581,10 @@ impl Metrics {
             let id = self.histogram_id(&format!("{tag}.{name}"), hist.base(), hist.buckets().len());
             self.histogram_values[id.0 as usize].merge(hist);
         }
+        for (name, value) in other.gauges_sorted() {
+            let id = self.gauge_id(&format!("{tag}.{name}"));
+            self.gauge_values[id.0 as usize] += value;
+        }
     }
 
     /// Deterministic text rendering of the whole registry, sorted by name.
@@ -524,6 +596,9 @@ impl Metrics {
         let mut out = String::new();
         for (name, value) in self.counters_sorted() {
             writeln!(out, "counter {name} = {value}").expect("string write");
+        }
+        for (name, value) in self.gauges_sorted() {
+            writeln!(out, "gauge {name} = {value}").expect("string write");
         }
         for (name, stat) in self.stats_sorted() {
             writeln!(out, "stat {name}: {stat}").expect("string write");
@@ -577,6 +652,11 @@ impl Metrics {
             let m = sanitize(prefix, name);
             writeln!(out, "# TYPE {m}_total counter").expect("string write");
             writeln!(out, "{m}_total {value}").expect("string write");
+        }
+        for (name, value) in self.gauges_sorted() {
+            let m = sanitize(prefix, name);
+            writeln!(out, "# TYPE {m} gauge").expect("string write");
+            writeln!(out, "{m} {value}").expect("string write");
         }
         for (name, stat) in self.stats_sorted() {
             let m = sanitize(prefix, name);
@@ -1004,6 +1084,43 @@ psim_attr_phase_seconds_count 2
 psim_attr_phase_seconds_rejected_total 1
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn gauge_tier_sets_merges_and_renders() {
+        let mut m = Metrics::new();
+        let id = m.gauge_id("registry.bytes.3");
+        m.set_gauge_id(id, 1024.0);
+        m.set_gauge_id(id, 2048.0);
+        assert_eq!(m.gauge_by_id(id), 2048.0, "last set wins");
+        m.set_gauge("registry.bytes.7", 512.0);
+        assert_eq!(m.gauge("registry.bytes.7"), 512.0);
+        assert_eq!(m.gauge("missing"), 0.0);
+        assert_eq!(m.gauge_id("registry.bytes.3"), id, "resolution is stable");
+
+        // Disjoint names merge by summation: the shard-merge reconstruction.
+        let mut other = Metrics::new();
+        other.set_gauge("registry.bytes.5", 256.0);
+        other.set_gauge("registry.bytes.3", 2.0);
+        m.merge(&other);
+        assert_eq!(m.gauge("registry.bytes.5"), 256.0);
+        assert_eq!(m.gauge("registry.bytes.3"), 2050.0, "same name sums");
+
+        let rendered = m.render();
+        assert!(
+            rendered.contains("gauge registry.bytes.3 = 2050\n"),
+            "{rendered}"
+        );
+        let prom = m.render_prometheus("psim");
+        assert!(
+            prom.contains("# TYPE psim_registry_bytes_3 gauge\npsim_registry_bytes_3 2050\n"),
+            "{prom}"
+        );
+
+        let mut tagged = Metrics::new();
+        tagged.merge_tagged(&m, "cell0");
+        assert_eq!(tagged.gauge("cell0.registry.bytes.5"), 256.0);
+        assert_eq!(tagged.gauge("registry.bytes.5"), 0.0);
     }
 
     #[test]

@@ -40,8 +40,10 @@ use std::time::{Duration, Instant};
 use crate::engine::{Actor, Engine, Payload, RemoteEnvelope, RunOutcome};
 use crate::metrics::Metrics;
 use crate::node::NodeId;
+use crate::profile::{ExecutionProfile, ShardRound};
 use crate::shard::{shard_seed, LookaheadTable, ShardMap};
 use crate::time::{SimDuration, SimTime};
+use crate::timeseries::TimeSeriesRecorder;
 use crate::topology::Topology;
 use crate::trace::Trace;
 use crate::transport::TransportConfig;
@@ -135,6 +137,8 @@ pub struct ShardedEngine<M: Payload + Send> {
     table: LookaheadTable,
     workers: usize,
     profile: ParallelProfile,
+    profiler: Option<ExecutionProfile>,
+    recorder: Option<TimeSeriesRecorder>,
 }
 
 impl<M: Payload + Send> ShardedEngine<M> {
@@ -177,7 +181,33 @@ impl<M: Payload + Send> ShardedEngine<M> {
             map,
             table,
             profile: ParallelProfile::default(),
+            profiler: None,
+            recorder: None,
         })
+    }
+
+    /// Enables per-shard, per-barrier-round execution profiling (see
+    /// [`ExecutionProfile`]).
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(ExecutionProfile::new(self.engines.len()));
+    }
+
+    /// The execution profile of the run, if profiling was enabled.
+    pub fn execution_profile(&self) -> Option<&ExecutionProfile> {
+        self.profiler.as_ref()
+    }
+
+    /// Installs a windowed time-series recorder. The sharded run samples
+    /// at barrier rounds: a boundary is emitted at the first barrier whose
+    /// minimum shard clock passes it, from metrics merged in shard order —
+    /// deterministic at any worker count because the barrier schedule is.
+    pub fn install_recorder(&mut self, recorder: TimeSeriesRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Removes and returns the installed recorder, if any.
+    pub fn take_recorder(&mut self) -> Option<TimeSeriesRecorder> {
+        self.recorder.take()
     }
 
     /// The shard map this engine runs over.
@@ -342,7 +372,33 @@ impl<M: Payload + Send> ShardedEngine<M> {
         for s in 0..self.engines.len() {
             self.engine_mut(s).flush_run_metrics();
         }
+        if self.recorder.is_some() {
+            // The run is over: every event at or before the final clock has
+            // been processed, so boundaries up to it (inclusive) are done.
+            let end = self.now().min(horizon);
+            let merged = self.metrics();
+            if let Some(rec) = &mut self.recorder {
+                rec.sample_up_to(end, &merged);
+            }
+        }
         outcome
+    }
+
+    /// Barrier-time series sampling: boundaries strictly below the minimum
+    /// shard clock are complete (a shard parked by an exclusive window may
+    /// still hold an unprocessed event exactly at its clock). Merging the
+    /// per-shard metrics is paid only when a boundary is actually due.
+    fn sample_at_barrier(&mut self) {
+        let min = (0..self.engines.len())
+            .map(|s| self.engine(s).now())
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        if self.recorder.as_ref().is_some_and(|r| r.due(min)) {
+            let merged = self.metrics();
+            if let Some(rec) = &mut self.recorder {
+                rec.sample_before(min, &merged);
+            }
+        }
     }
 
     /// The barrier loop: computes each shard's safe window, executes the
@@ -361,7 +417,11 @@ impl<M: Payload + Send> ShardedEngine<M> {
         for s in 0..k {
             self.engine_mut(s).start();
         }
-        self.exchange_envelopes();
+        let init_counts = self.exchange_envelopes();
+        if let Some(p) = &mut self.profiler {
+            p.note_initial_exchange(&init_counts);
+        }
+        self.sample_at_barrier();
         loop {
             if (0..k).any(|s| self.engine(s).stop_requested()) {
                 return RunOutcome::Stopped;
@@ -400,6 +460,19 @@ impl<M: Payload + Send> ShardedEngine<M> {
                     }
                 })
                 .collect();
+            // Pre-window observations the profiler needs (clock, queue
+            // occupancy, event count); skipped entirely when disabled.
+            let pre: Vec<(SimTime, bool, u64)> = if self.profiler.is_some() {
+                (0..k)
+                    .map(|s| {
+                        let e = self.engine(s);
+                        (e.now(), e.next_event_time().is_some(), e.events_processed())
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut ends = Vec::new();
             let mut jobs = Vec::with_capacity(k);
             for (s, engine) in self.engines.iter_mut().enumerate() {
                 let bound = self.table.horizon_for(s, &promises);
@@ -413,6 +486,9 @@ impl<M: Payload + Send> ShardedEngine<M> {
                 } else {
                     (bound, true)
                 };
+                if self.profiler.is_some() {
+                    ends.push((end, exclusive));
+                }
                 jobs.push(RoundJob {
                     shard: s,
                     engine: engine.take().expect("engine at rest"),
@@ -423,9 +499,11 @@ impl<M: Payload + Send> ShardedEngine<M> {
             let mut results = exec(jobs);
             results.sort_by_key(|r| r.shard);
             let mut worker_busy = vec![Duration::ZERO; self.workers];
+            let mut shard_busy = vec![Duration::ZERO; k];
             let mut round_outcome = None;
             for r in results {
                 worker_busy[r.shard % self.workers] += r.busy;
+                shard_busy[r.shard] = r.busy;
                 if matches!(r.outcome, RunOutcome::Stopped | RunOutcome::EventLimit) {
                     round_outcome = Some(r.outcome);
                 }
@@ -434,7 +512,30 @@ impl<M: Payload + Send> ShardedEngine<M> {
             self.profile.rounds += 1;
             self.profile.busy += worker_busy.iter().sum::<Duration>();
             self.profile.critical_path += worker_busy.iter().max().copied().unwrap_or_default();
-            self.exchange_envelopes();
+            let env_counts = self.exchange_envelopes();
+            if let Some(profiler) = &mut self.profiler {
+                let round = self.profile.rounds - 1;
+                let max_busy = shard_busy.iter().max().copied().unwrap_or_default();
+                let records = (0..k)
+                    .map(|s| {
+                        let e = self.engines[s].as_ref().expect("engine at rest");
+                        ShardRound {
+                            round,
+                            shard: s as u32,
+                            start: pre[s].0,
+                            end: ends[s].0,
+                            exclusive: ends[s].1,
+                            events: e.events_processed() - pre[s].2,
+                            envelopes_out: env_counts[s],
+                            pending: pre[s].1,
+                            busy: shard_busy[s],
+                            barrier_wait: max_busy - shard_busy[s],
+                        }
+                    })
+                    .collect();
+                profiler.push_round(records);
+            }
+            self.sample_at_barrier();
             if let Some(outcome) = round_outcome {
                 return outcome;
             }
@@ -443,18 +544,24 @@ impl<M: Payload + Send> ShardedEngine<M> {
 
     /// Drains every shard's outbox, sorts the envelopes into a fixed total
     /// order, and incorporates each into its destination shard. Called
-    /// only between windows, from the coordinator.
-    fn exchange_envelopes(&mut self) {
+    /// only between windows, from the coordinator. Returns the number of
+    /// envelopes each source shard contributed (profiler fodder).
+    fn exchange_envelopes(&mut self) -> Vec<u64> {
         let k = self.engines.len();
         let mut envelopes: Vec<RemoteEnvelope<M>> = Vec::new();
         for s in 0..k {
             envelopes.append(&mut self.engine_mut(s).take_outbox());
+        }
+        let mut counts = vec![0u64; k];
+        for env in &envelopes {
+            counts[env.src_shard] += 1;
         }
         envelopes.sort_by_key(|e| (e.first_byte, e.src_shard, e.src_index));
         for env in envelopes {
             let dest = self.map.shard_of(env.to);
             self.engine_mut(dest).incorporate_remote(env);
         }
+        counts
     }
 }
 

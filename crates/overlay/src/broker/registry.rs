@@ -23,6 +23,7 @@ use netsim::node::NodeId;
 use netsim::time::SimTime;
 
 use crate::advertisement::{ContentAdvertisement, PeerAdvertisement};
+use crate::footprint::{map_estimate, slots_estimate, FootprintBreakdown, MemoryFootprint};
 use crate::id::PeerId;
 use crate::message::OverlayMsg;
 use crate::selector::{CandidateView, InteractionHistory};
@@ -336,6 +337,42 @@ impl PeerRegistry {
     }
 }
 
+impl MemoryFootprint for PeerRegistry {
+    /// Length-based heap estimate (see [`crate::footprint`]): entry slots
+    /// and id indexes under `roster`, windowed-ratio rings under `stats`,
+    /// owned advertisement strings under `ads`, the content directory
+    /// under `content`, and federation views under `gossip`.
+    fn memory_footprint(&self) -> FootprintBreakdown {
+        let mut fp = FootprintBreakdown {
+            roster: slots_estimate::<Option<PeerEntry>>(self.entries.len())
+                + slots_estimate::<u32>(self.free.len())
+                + map_estimate::<PeerId, u32>(self.index.len())
+                + map_estimate::<NodeId, PeerId>(self.by_node.len())
+                + map_estimate::<NodeId, Arc<str>>(self.names.len()),
+            gossip: map_estimate::<PeerId, CandidateView>(self.remote_peers.len()),
+            ..FootprintBreakdown::default()
+        };
+        for name in self.names.values() {
+            fp.roster += name.len() as u64;
+        }
+        for entry in self.entries() {
+            fp.roster += entry.name.len() as u64;
+            fp.ads += entry.adv.name.len() as u64;
+            fp.stats += entry.stats.message_window.heap_bytes();
+        }
+        for view in self.remote_peers.values() {
+            fp.gossip += view.name.len() as u64;
+        }
+        for (key, holdings) in &self.content {
+            fp.content += key.len() as u64 + slots_estimate::<Holding>(holdings.len());
+            for h in holdings {
+                fp.content += h.adv.name.len() as u64;
+            }
+        }
+        fp
+    }
+}
+
 impl Broker {
     pub(crate) fn on_join(
         &mut self,
@@ -453,6 +490,23 @@ impl Broker {
                 },
             );
         }
+        // Publish the registry's estimated heap footprint on the gossip
+        // cadence. Gauge names carry this broker's node index: gauges sum
+        // by name across shards, so unique-per-broker names reconstruct
+        // each broker's last-set value in the merged metrics, and the
+        // `registry.bytes.` prefix sums them fleet-wide.
+        let fp = self.registry.memory_footprint();
+        let node = ctx.self_id().index();
+        ctx.metrics()
+            .set_gauge(&format!("registry.bytes.{node}"), fp.total() as f64);
+        ctx.metrics().set_gauge(
+            &format!("registry.peers.{node}"),
+            self.registry.peer_count() as f64,
+        );
+        for (component, bytes) in fp.components() {
+            ctx.metrics()
+                .set_gauge(&format!("registry.{component}_bytes.{node}"), bytes as f64);
+        }
         ctx.schedule_timer(self.cfg.gossip_interval, super::GOSSIP_TAG);
     }
 }
@@ -491,6 +545,33 @@ mod tests {
         assert_eq!(reg.peer_count(), 0);
         assert_eq!(reg.peer_of(NodeId(1)), None);
         assert!(!reg.expel(peer), "double eviction is a no-op");
+    }
+
+    #[test]
+    fn memory_footprint_tracks_population() {
+        let mut ids = IdGenerator::new(11);
+        let mut reg = PeerRegistry::new();
+        let empty = reg.memory_footprint();
+        assert_eq!(empty.total(), 0, "an empty registry costs nothing");
+
+        let a = adv(&mut ids, 1, "alpha", SimTime::ZERO);
+        let b = adv(&mut ids, 2, "beta", SimTime::ZERO);
+        let peer_a = a.peer;
+        reg.admit(a, SimTime::ZERO);
+        reg.admit(b, SimTime::ZERO);
+        let two = reg.memory_footprint();
+        assert!(two.roster > 0, "entry slots and indexes are counted");
+        assert!(two.stats > 0, "windowed-ratio rings are counted");
+        assert!(two.ads > 0, "advertisement names are counted");
+        assert_eq!(two.content, 0, "nothing published yet");
+        assert!(two.total() > empty.total());
+
+        // Eviction returns the slot to the free list: roster shrinks but
+        // keeps the slab (the slot stays allocated, plus the free entry).
+        reg.expel(peer_a);
+        let one = reg.memory_footprint();
+        assert!(one.total() < two.total(), "footprint follows the roster");
+        assert!(one.roster > 0);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! * [`selector`] — the [`selector::PeerSelector`] trait the `peer-selection`
 //!   crate implements, plus blind baselines.
 //! * [`records`] — shared run log experiments read after a simulation.
+//! * [`footprint`] — estimated heap accounting ([`footprint::MemoryFootprint`])
+//!   behind the `registry.bytes.*` gauges and `bytes_per_peer` curves.
 
 #![warn(missing_docs)]
 
@@ -32,6 +34,7 @@ pub mod advertisement;
 pub mod broker;
 pub mod client;
 pub mod filetransfer;
+pub mod footprint;
 pub mod group;
 pub mod gui;
 pub mod id;
@@ -49,6 +52,7 @@ pub mod prelude {
     pub use crate::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
     pub use crate::client::{ClientCommand, ClientConfig, SimpleClient};
     pub use crate::filetransfer::{split_parts, FileMeta};
+    pub use crate::footprint::{FootprintBreakdown, MemoryFootprint};
     pub use crate::gui::{GuiClient, UserBehavior};
     pub use crate::id::{GroupId, PeerId, TaskId, TransferId};
     pub use crate::lifecycle::{

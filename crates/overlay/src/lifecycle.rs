@@ -33,6 +33,7 @@ use netsim::time::SimDuration;
 
 use crate::advertisement::{PeerAdvertisement, DEFAULT_LIFETIME};
 use crate::filetransfer::{InboundTransfer, PartReceipt};
+use crate::footprint::{map_estimate, slots_estimate, FootprintBreakdown, MemoryFootprint};
 use crate::id::{IdGenerator, PeerId, TransferId};
 use crate::message::OverlayMsg;
 
@@ -258,8 +259,27 @@ impl LifecyclePeer {
     }
 }
 
+impl MemoryFootprint for LifecyclePeer {
+    /// Length-based heap estimate: the pre-sampled session plan under
+    /// `scripts`, in-flight receive state under `content`, running tasks
+    /// under `stats`.
+    fn memory_footprint(&self) -> FootprintBreakdown {
+        FootprintBreakdown {
+            scripts: slots_estimate::<SessionPlan>(self.cfg.script.sessions.len()),
+            content: map_estimate::<TransferId, InboundTransfer>(self.inbound.len()),
+            stats: map_estimate::<u64, RunningTask>(self.running.len()),
+            ..FootprintBreakdown::default()
+        }
+    }
+}
+
 impl Actor<OverlayMsg> for LifecyclePeer {
     fn on_start(&mut self, ctx: &mut Context<OverlayMsg>) {
+        // Scripts are immutable for the whole run, so their cost is
+        // counted once, up front; summed across peers by the metrics
+        // merge, this is the fleet's script-storage bill.
+        let script_bytes = self.memory_footprint().scripts;
+        ctx.metrics().incr("churn.script_bytes", script_bytes);
         // Arm every session's join and leave absolutely, up front: the
         // whole life is decided before the first event fires.
         for i in 0..self.cfg.script.sessions.len() {

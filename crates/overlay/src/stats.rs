@@ -132,6 +132,13 @@ impl WindowedRatio {
         }
     }
 
+    /// Estimated heap bytes held by the bucket ring (the window's only
+    /// heap allocation), for [`MemoryFootprint`](crate::footprint)
+    /// accounting.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.buckets.len() * std::mem::size_of::<RatioCounter>()) as u64
+    }
+
     fn hour_of(t: SimTime) -> u64 {
         t.as_nanos() / SimDuration::from_secs(3600).as_nanos()
     }

@@ -19,8 +19,10 @@ use netsim::engine::{Actor, RunOutcome};
 use netsim::metrics::Metrics;
 use netsim::node::NodeId;
 use netsim::parallel::{ParallelProfile, ShardedEngine};
+use netsim::profile::ExecutionProfile;
 use netsim::rng::SimRng;
 use netsim::time::{SimDuration, SimTime};
+use netsim::timeseries::TimeSeriesRecorder;
 use netsim::trace::Trace;
 use netsim::transport::TransportConfig;
 use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
@@ -29,7 +31,9 @@ use overlay::message::OverlayMsg;
 use overlay::records::{RecordSink, RunLog};
 use overlay::selector::RoundRobinSelector;
 
+use crate::scenario::ScenarioError;
 use crate::synthtopo::{build_synth_topo, SynthTopoConfig};
+use crate::telemetry::churn_series;
 
 /// Parameters of one churn run.
 #[derive(Debug, Clone)]
@@ -57,6 +61,13 @@ pub struct ChurnConfig {
     pub gossip_interval: SimDuration,
     /// Typed-trace ring capacity; `None` keeps tracing disabled.
     pub trace_capacity: Option<usize>,
+    /// When `Some`, a windowed time-series recorder ([`churn_series`])
+    /// samples merged metrics at this sim-time interval; rows come back
+    /// in [`ChurnResult::series`].
+    pub series_interval: Option<SimDuration>,
+    /// Record per-shard, per-barrier-round execution accounting
+    /// ([`ChurnResult::exec_profile`]).
+    pub profile_execution: bool,
 }
 
 impl Default for ChurnConfig {
@@ -73,6 +84,8 @@ impl Default for ChurnConfig {
             file_parts: 4,
             gossip_interval: SimDuration::from_secs(60),
             trace_capacity: Some(1 << 14),
+            series_interval: None,
+            profile_execution: false,
         }
     }
 }
@@ -126,6 +139,10 @@ pub struct ChurnResult {
     pub profile: ParallelProfile,
     /// Population movement totals.
     pub swap: SwapDynamics,
+    /// Windowed time-series rows, when `series_interval` was set.
+    pub series: Option<TimeSeriesRecorder>,
+    /// Per-shard execution accounting, when `profile_execution` was set.
+    pub exec_profile: Option<ExecutionProfile>,
 }
 
 /// The seed a peer's script and identity derive from: master seed plus
@@ -137,9 +154,11 @@ fn peer_seed(seed: u64, node: NodeId) -> u64 {
 
 /// Runs one churn replication of `cfg` under `seed` on the sharded
 /// engine. Byte-identical for any `shard_workers` at fixed shards.
-pub fn run_churn(cfg: &ChurnConfig, seed: u64) -> ChurnResult {
+/// Invalid shard counts and degenerate topologies surface as
+/// [`ScenarioError`]s instead of panics.
+pub fn run_churn(cfg: &ChurnConfig, seed: u64) -> Result<ChurnResult, ScenarioError> {
     let built = build_synth_topo(&cfg.topo, seed);
-    let map = cfg.topo.shard_map(cfg.num_shards);
+    let map = cfg.topo.shard_map(cfg.num_shards)?;
     let sinks: Vec<RecordSink> = (0..map.num_shards()).map(|_| RecordSink::new()).collect();
 
     let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
@@ -192,15 +211,21 @@ pub fn run_churn(cfg: &ChurnConfig, seed: u64) -> ChurnResult {
         seed,
         map,
         cfg.shard_workers,
-    )
-    .expect("synthetic testbed has a positive cross-shard lookahead (RTT floor)");
+    )?;
     if let Some(capacity) = cfg.trace_capacity {
         engine.enable_trace(capacity);
+    }
+    if let Some(interval) = cfg.series_interval {
+        engine.install_recorder(churn_series(interval)?);
+    }
+    if cfg.profile_execution {
+        engine.enable_profiling();
     }
     for (node, actor) in actors {
         engine.register(node, actor);
     }
     let outcome = engine.run_until(SimTime::ZERO + cfg.horizon);
+    let exec_profile = engine.execution_profile().cloned();
 
     let mut log = RunLog::default();
     for sink in &sinks {
@@ -208,7 +233,7 @@ pub fn run_churn(cfg: &ChurnConfig, seed: u64) -> ChurnResult {
     }
     let metrics = engine.metrics();
     let swap = SwapDynamics::from_metrics(&metrics);
-    ChurnResult {
+    Ok(ChurnResult {
         log,
         swap,
         trace: engine.trace(),
@@ -218,7 +243,9 @@ pub fn run_churn(cfg: &ChurnConfig, seed: u64) -> ChurnResult {
         peak_queue_len: engine.peak_queue_len(),
         profile: engine.profile(),
         metrics,
-    }
+        series: engine.take_recorder(),
+        exec_profile,
+    })
 }
 
 #[cfg(test)]
@@ -267,6 +294,7 @@ mod tests {
                     },
                     2026,
                 )
+                .expect("small config is valid")
             })
             .collect();
         assert_ne!(runs[0].trace.len(), 0, "trace must not be empty");
@@ -283,7 +311,7 @@ mod tests {
 
     #[test]
     fn population_actually_churns() {
-        let result = run_churn(&small(), 99);
+        let result = run_churn(&small(), 99).expect("small config is valid");
         let peers = small().topo.peers as u64;
         // Arrivals are capped at half the horizon, so every peer joined.
         assert_eq!(result.swap.joins, peers, "every peer joins once");
@@ -305,8 +333,9 @@ mod tests {
                 ..small()
             },
             7,
-        );
-        let four = run_churn(&small(), 7);
+        )
+        .expect("single-shard config is valid");
+        let four = run_churn(&small(), 7).expect("small config is valid");
         assert_eq!(one.swap.joins, four.swap.joins);
         assert_eq!(one.swap.rejoins, four.swap.rejoins);
         assert_eq!(one.swap.leaves, four.swap.leaves);

@@ -436,7 +436,8 @@ pub fn parallel_engine(
                 ..cfg.clone()
             };
             let start = Instant::now();
-            let result = crate::multiregion::run_multiregion(&cfg, seed);
+            let result = crate::multiregion::run_multiregion(&cfg, seed)
+                .unwrap_or_else(|e| panic!("bench multi-region run failed: {e}"));
             let wall_secs = start.elapsed().as_secs_f64();
             ParallelBenchPoint {
                 workers,

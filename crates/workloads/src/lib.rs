@@ -12,6 +12,8 @@
 //!   haversine inter-region delays, power-law capacities).
 //! * [`churn`] — scripted join/leave/rejoin workload over a synthetic
 //!   testbed (`psim churn`, `psim bench-churn`).
+//! * [`telemetry`] — the standard windowed time-series column sets the
+//!   workloads record (`psim profile`).
 //! * [`sweep`] — grid-sweep campaigns over typed axes (`psim sweep`).
 //! * [`enginebench`] — engine throughput measurement (`BENCH_engine.json`).
 //! * [`experiments`] — one module per artifact: `table1`, `fig2`…`fig7`.
@@ -37,3 +39,4 @@ pub mod scenario;
 pub mod spec;
 pub mod sweep;
 pub mod synthtopo;
+pub mod telemetry;

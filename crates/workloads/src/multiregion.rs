@@ -23,8 +23,10 @@ use netsim::link::{AccessLink, PathSpec};
 use netsim::metrics::Metrics;
 use netsim::node::{NodeId, NodeSpec};
 use netsim::parallel::{ParallelProfile, ShardedEngine};
+use netsim::profile::ExecutionProfile;
 use netsim::shard::ShardMap;
 use netsim::time::{SimDuration, SimTime};
+use netsim::timeseries::TimeSeriesRecorder;
 use netsim::topology::Topology;
 use netsim::trace::Trace;
 use netsim::transport::TransportConfig;
@@ -32,6 +34,9 @@ use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
 use overlay::client::{ClientConfig, SimpleClient};
 use overlay::message::OverlayMsg;
 use overlay::records::{RecordSink, RunLog};
+
+use crate::scenario::ScenarioError;
+use crate::telemetry::overlay_series;
 
 /// Parameters of one multi-region run. All fields are public so callers
 /// (bench, property test, CI) can shape the workload; [`Default`] is a
@@ -69,6 +74,13 @@ pub struct MultiRegionConfig {
     pub shard_workers: usize,
     /// Typed-trace ring capacity; `None` keeps tracing disabled.
     pub trace_capacity: Option<usize>,
+    /// When `Some`, a windowed time-series recorder
+    /// ([`overlay_series`]) samples merged metrics at this sim-time
+    /// interval; rows come back in [`MultiRegionResult::series`].
+    pub series_interval: Option<SimDuration>,
+    /// Record per-shard, per-barrier-round execution accounting
+    /// ([`MultiRegionResult::exec_profile`]).
+    pub profile_execution: bool,
 }
 
 impl Default for MultiRegionConfig {
@@ -88,6 +100,8 @@ impl Default for MultiRegionConfig {
             horizon: SimDuration::from_secs(900),
             shard_workers: 1,
             trace_capacity: None,
+            series_interval: None,
+            profile_execution: false,
         }
     }
 }
@@ -103,11 +117,12 @@ impl MultiRegionConfig {
         NodeId((r * (self.clients_per_region + 1)) as u32)
     }
 
-    /// Region-major shard assignment: node → its region.
-    pub fn shard_map(&self) -> ShardMap {
+    /// Region-major shard assignment: node → its region. Fails only for
+    /// a degenerate zero-region config (the assignment would be empty).
+    pub fn shard_map(&self) -> Result<ShardMap, ScenarioError> {
         let per = self.clients_per_region + 1;
         let assignment: Vec<usize> = (0..self.num_nodes()).map(|i| i / per).collect();
-        ShardMap::from_assignment(assignment).expect("region-major assignment is dense")
+        Ok(ShardMap::from_assignment(assignment)?)
     }
 
     /// Builds the full-mesh topology: flat access links, low intra-region
@@ -161,22 +176,26 @@ pub struct MultiRegionResult {
     /// Display name per node, indexed by `NodeId::index()` — the
     /// `label_of` input for attribution breakdowns.
     pub node_names: Vec<Arc<str>>,
+    /// Windowed time-series rows, when `series_interval` was set.
+    pub series: Option<TimeSeriesRecorder>,
+    /// Per-shard execution accounting, when `profile_execution` was set.
+    pub exec_profile: Option<ExecutionProfile>,
 }
 
 /// Runs one multi-region replication of `cfg` under `seed` on the sharded
 /// engine (one shard per region, `cfg.shard_workers` threads). For a fixed
 /// config and seed the result is byte-identical at any worker count.
-pub fn run_multiregion(cfg: &MultiRegionConfig, seed: u64) -> MultiRegionResult {
-    assert!(cfg.regions >= 1, "need at least one region");
-    assert!(
-        cfg.regions == 1 || cfg.inter_owd_ms > 0.0,
-        "inter-region delay must be positive: it is the lookahead bound"
-    );
+/// Degenerate configs (zero regions, zero inter-region delay) surface as
+/// [`ScenarioError`]s from shard-map or engine construction.
+pub fn run_multiregion(
+    cfg: &MultiRegionConfig,
+    seed: u64,
+) -> Result<MultiRegionResult, ScenarioError> {
     let topo = cfg.topology();
     let node_names: Vec<Arc<str>> = (0..topo.len())
         .map(|i| Arc::from(topo.node(NodeId(i as u32)).name.as_str()))
         .collect();
-    let map = cfg.shard_map();
+    let map = cfg.shard_map()?;
     let sinks: Vec<RecordSink> = (0..map.num_shards()).map(|_| RecordSink::new()).collect();
     let sink_of = |node: NodeId| sinks[map.shard_of(node)].clone();
 
@@ -228,21 +247,27 @@ pub fn run_multiregion(cfg: &MultiRegionConfig, seed: u64) -> MultiRegionResult 
         seed,
         map,
         cfg.shard_workers,
-    )
-    .expect("multi-region topology has a positive cross-shard lookahead");
+    )?;
     if let Some(capacity) = cfg.trace_capacity {
         engine.enable_trace(capacity);
+    }
+    if let Some(interval) = cfg.series_interval {
+        engine.install_recorder(overlay_series(interval)?);
+    }
+    if cfg.profile_execution {
+        engine.enable_profiling();
     }
     for (node, actor) in actors {
         engine.register(node, actor);
     }
     let outcome = engine.run_until(SimTime::ZERO + cfg.horizon);
+    let exec_profile = engine.execution_profile().cloned();
 
     let mut log = RunLog::default();
     for sink in &sinks {
         log.absorb(sink.drain());
     }
-    MultiRegionResult {
+    Ok(MultiRegionResult {
         log,
         metrics: engine.metrics(),
         trace: engine.trace(),
@@ -252,7 +277,9 @@ pub fn run_multiregion(cfg: &MultiRegionConfig, seed: u64) -> MultiRegionResult 
         peak_queue_len: engine.peak_queue_len(),
         profile: engine.profile(),
         node_names,
-    }
+        series: engine.take_recorder(),
+        exec_profile,
+    })
 }
 
 #[cfg(test)]
@@ -279,7 +306,7 @@ mod tests {
                     shard_workers: w,
                     ..small()
                 };
-                run_multiregion(&cfg, 77)
+                run_multiregion(&cfg, 77).expect("small config is valid")
             })
             .collect();
         let digest = runs[0].trace.digest();
@@ -296,11 +323,11 @@ mod tests {
 
     #[test]
     fn multiregion_produces_cross_shard_transfers() {
-        let result = run_multiregion(&small(), 5);
+        let result = run_multiregion(&small(), 5).expect("small config is valid");
         // Every region distributed one round to its clients; remote joiners
         // mean some of those transfers crossed a region (= shard) boundary.
         assert!(!result.log.transfers.is_empty(), "no transfers recorded");
-        let map = small().shard_map();
+        let map = small().shard_map().expect("small config shards");
         // The sending broker's region is encoded in the label (`mr-r<R>-…`),
         // so a cross-shard transfer is one whose destination lives in a
         // different region than the broker that initiated it.
@@ -321,7 +348,7 @@ mod tests {
     #[test]
     fn node_names_follow_region_major_order() {
         let cfg = small();
-        let result = run_multiregion(&cfg, 1);
+        let result = run_multiregion(&cfg, 1).expect("small config is valid");
         assert_eq!(result.node_names.len(), cfg.num_nodes());
         assert_eq!(&*result.node_names[0], "broker-r0");
         assert_eq!(&*result.node_names[1], "client-r0-0");

@@ -3,9 +3,11 @@
 use netsim::engine::{Actor, Engine, RunOutcome};
 use netsim::metrics::Metrics;
 use netsim::node::NodeId;
-use netsim::parallel::ShardedEngine;
-use netsim::shard::ShardMap;
+use netsim::parallel::{ParallelError, ShardedEngine};
+use netsim::profile::ExecutionProfile;
+use netsim::shard::{ShardMap, ShardMapError};
 use netsim::time::{SimDuration, SimTime};
+use netsim::timeseries::{TimeSeriesError, TimeSeriesRecorder};
 use netsim::trace::Trace;
 use netsim::transport::TransportConfig;
 use overlay::broker::{Broker, BrokerCommand, BrokerConfig, RetryPolicy, TargetSpec};
@@ -107,6 +109,42 @@ pub enum ScenarioError {
         /// The SC with the inverted churn window.
         sc: u8,
     },
+    /// The shard count cannot partition this testbed (zero, or more
+    /// shards than regions for region-major workloads).
+    InvalidShardCount {
+        /// The rejected shard count.
+        num_shards: usize,
+        /// How many regions the testbed has.
+        regions: usize,
+    },
+    /// The node → shard assignment was rejected by the shard-map layer.
+    ShardMap(ShardMapError),
+    /// The sharded engine rejected the topology / shard-map pair (e.g.
+    /// a zero cross-shard lookahead would deadlock the window schedule).
+    Parallel(ParallelError),
+    /// A telemetry series interval of zero virtual time was requested;
+    /// the window schedule would never advance.
+    ZeroSeriesInterval,
+}
+
+impl From<ShardMapError> for ScenarioError {
+    fn from(e: ShardMapError) -> Self {
+        ScenarioError::ShardMap(e)
+    }
+}
+
+impl From<ParallelError> for ScenarioError {
+    fn from(e: ParallelError) -> Self {
+        ScenarioError::Parallel(e)
+    }
+}
+
+impl From<TimeSeriesError> for ScenarioError {
+    fn from(e: TimeSeriesError) -> Self {
+        match e {
+            TimeSeriesError::ZeroInterval => ScenarioError::ZeroSeriesInterval,
+        }
+    }
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -134,6 +172,19 @@ impl std::fmt::Display for ScenarioError {
                 f,
                 "churn pair on SC{sc}: the rejoin must come strictly after the leave"
             ),
+            ScenarioError::InvalidShardCount {
+                num_shards,
+                regions,
+            } => write!(
+                f,
+                "num_shards {num_shards} cannot partition a {regions}-region testbed \
+                 (need 1 <= num_shards <= regions)"
+            ),
+            ScenarioError::ShardMap(e) => write!(f, "shard assignment rejected: {e:?}"),
+            ScenarioError::Parallel(e) => write!(f, "sharded engine rejected: {e:?}"),
+            ScenarioError::ZeroSeriesInterval => {
+                write!(f, "telemetry series interval must be positive virtual time")
+            }
         }
     }
 }
@@ -615,25 +666,64 @@ pub struct ScenarioResult {
     /// The run's typed trace (empty and disabled unless
     /// [`ScenarioConfig::trace_capacity`] was set).
     pub trace: Trace,
+    /// Windowed time-series rows, when a recorder was attached via
+    /// [`TelemetryOptions::series`].
+    pub series: Option<TimeSeriesRecorder>,
+    /// Per-shard execution profile, when requested via
+    /// [`TelemetryOptions::profile_execution`] on a sharded run. Always
+    /// `None` for serial runs (there are no barrier rounds to account).
+    pub exec_profile: Option<ExecutionProfile>,
+}
+
+/// Optional telemetry attachments for one scenario replication.
+#[derive(Default)]
+pub struct TelemetryOptions {
+    /// A pre-registered time-series recorder driven through the run and
+    /// handed back (with its rows) in [`ScenarioResult::series`].
+    pub series: Option<TimeSeriesRecorder>,
+    /// Record per-shard, per-barrier-round execution accounting
+    /// (sharded runs only; ignored by the serial engine).
+    pub profile_execution: bool,
 }
 
 /// Runs one replication of `cfg` under `seed`.
+///
+/// Panics if the testbed cannot be sharded as configured; use
+/// [`try_run_scenario`] to handle that as an error instead.
 pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> ScenarioResult {
-    run_scenario_inner(cfg, seed, cfg.trace_capacity)
+    try_run_scenario(cfg, seed).unwrap_or_else(|e| panic!("scenario run failed: {e}"))
+}
+
+/// Runs one replication of `cfg` under `seed`, surfacing shard-map and
+/// engine-construction failures as [`ScenarioError`]s.
+pub fn try_run_scenario(cfg: &ScenarioConfig, seed: u64) -> Result<ScenarioResult, ScenarioError> {
+    run_scenario_inner(cfg, seed, cfg.trace_capacity, TelemetryOptions::default())
 }
 
 /// Runs one replication with tracing forced on at `capacity` events,
 /// regardless of `cfg.trace_capacity`. Used by the traced runner so callers
 /// don't have to mutate a shared config.
 pub fn run_scenario_traced(cfg: &ScenarioConfig, seed: u64, capacity: usize) -> ScenarioResult {
-    run_scenario_inner(cfg, seed, Some(capacity))
+    run_scenario_inner(cfg, seed, Some(capacity), TelemetryOptions::default())
+        .unwrap_or_else(|e| panic!("scenario run failed: {e}"))
+}
+
+/// Runs one replication with telemetry attached: an optional windowed
+/// time-series recorder and/or the per-shard execution profiler.
+pub fn run_scenario_telemetry(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    telemetry: TelemetryOptions,
+) -> Result<ScenarioResult, ScenarioError> {
+    run_scenario_inner(cfg, seed, cfg.trace_capacity, telemetry)
 }
 
 fn run_scenario_inner(
     cfg: &ScenarioConfig,
     seed: u64,
     trace_capacity: Option<usize>,
-) -> ScenarioResult {
+    telemetry: TelemetryOptions,
+) -> Result<ScenarioResult, ScenarioError> {
     let testbed = build(&cfg.testbed);
     // One record sink per shard: actors of a shard share a sink, so a
     // threaded run never interleaves records across threads. The serial
@@ -694,12 +784,15 @@ fn run_scenario_inner(
     }
 
     let horizon = SimTime::ZERO + cfg.horizon;
-    let (outcome, metrics, elapsed, events_processed, peak_queue_len, trace) =
+    let (outcome, metrics, elapsed, events_processed, peak_queue_len, trace, series, exec_profile) =
         if map.num_shards() == 1 {
             let mut engine: Engine<OverlayMsg> =
                 Engine::new(testbed.topology.clone(), cfg.transport.clone(), seed);
             if let Some(capacity) = trace_capacity {
                 engine.enable_trace(capacity);
+            }
+            if let Some(recorder) = telemetry.series {
+                engine.install_recorder(recorder);
             }
             for (node, actor) in actors {
                 engine.register(node, actor);
@@ -712,6 +805,8 @@ fn run_scenario_inner(
                 engine.events_processed(),
                 engine.peak_queue_len(),
                 engine.trace().clone(),
+                engine.take_recorder(),
+                None,
             )
         } else {
             let mut engine: ShardedEngine<OverlayMsg> = ShardedEngine::new(
@@ -720,15 +815,21 @@ fn run_scenario_inner(
                 seed,
                 map,
                 cfg.shard_workers,
-            )
-            .expect("testbed topology admits a positive cross-shard lookahead");
+            )?;
             if let Some(capacity) = trace_capacity {
                 engine.enable_trace(capacity);
+            }
+            if let Some(recorder) = telemetry.series {
+                engine.install_recorder(recorder);
+            }
+            if telemetry.profile_execution {
+                engine.enable_profiling();
             }
             for (node, actor) in actors {
                 engine.register(node, actor);
             }
             let outcome = engine.run_until(horizon);
+            let exec_profile = engine.execution_profile().cloned();
             (
                 outcome,
                 engine.metrics(),
@@ -736,6 +837,8 @@ fn run_scenario_inner(
                 engine.events_processed(),
                 engine.peak_queue_len(),
                 engine.trace(),
+                engine.take_recorder(),
+                exec_profile,
             )
         };
 
@@ -743,7 +846,7 @@ fn run_scenario_inner(
     for sink in &sinks {
         log.absorb(sink.drain());
     }
-    ScenarioResult {
+    Ok(ScenarioResult {
         log,
         metrics,
         elapsed,
@@ -752,7 +855,9 @@ fn run_scenario_inner(
         peak_queue_len,
         trace,
         testbed,
-    }
+        series,
+        exec_profile,
+    })
 }
 
 #[cfg(test)]

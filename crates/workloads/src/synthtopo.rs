@@ -21,6 +21,7 @@
 //! the region count yields a balanced, dense assignment whose
 //! cross-shard lookahead is bounded below by the RTT floor.
 
+use crate::scenario::ScenarioError;
 use netsim::link::{AccessLink, PathSpec};
 use netsim::node::{CpuModel, NodeId, NodeSpec};
 use netsim::rng::{DelayDistribution, SimRng};
@@ -117,17 +118,18 @@ impl SynthTopoConfig {
     }
 
     /// Shard assignment `region % num_shards`. Dense as long as
-    /// `num_shards <= regions`.
-    pub fn shard_map(&self, num_shards: usize) -> ShardMap {
-        assert!(
-            num_shards >= 1 && num_shards <= self.regions,
-            "need 1..=regions shards, got {num_shards} for {} regions",
-            self.regions
-        );
+    /// `1 <= num_shards <= regions`; anything else is rejected.
+    pub fn shard_map(&self, num_shards: usize) -> Result<ShardMap, ScenarioError> {
+        if num_shards < 1 || num_shards > self.regions {
+            return Err(ScenarioError::InvalidShardCount {
+                num_shards,
+                regions: self.regions,
+            });
+        }
         let assignment: Vec<usize> = (0..self.num_nodes())
             .map(|i| self.region_of(NodeId(i as u32)) % num_shards)
             .collect();
-        ShardMap::from_assignment(assignment).expect("region-major modulo assignment is dense")
+        Ok(ShardMap::from_assignment(assignment)?)
     }
 }
 
@@ -303,7 +305,7 @@ mod tests {
             ..SynthTopoConfig::default()
         };
         for shards in [1, 2, 3, 6] {
-            let map = cfg.shard_map(shards);
+            let map = cfg.shard_map(shards).expect("1..=regions shards are valid");
             assert_eq!(map.num_shards(), shards);
             for r in 0..cfg.regions {
                 let want = r % shards;
@@ -311,6 +313,28 @@ mod tests {
                 for node in cfg.peer_nodes(r) {
                     assert_eq!(map.shard_of(node), want);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_rejects_invalid_shard_counts() {
+        let cfg = SynthTopoConfig {
+            regions: 4,
+            peers: 8,
+            ..SynthTopoConfig::default()
+        };
+        for bad in [0usize, 5, 64] {
+            match cfg.shard_map(bad) {
+                Err(ScenarioError::InvalidShardCount {
+                    num_shards,
+                    regions,
+                }) => {
+                    assert_eq!(num_shards, bad);
+                    assert_eq!(regions, 4);
+                }
+                Ok(_) => panic!("shard count {bad} should have been rejected"),
+                Err(other) => panic!("expected InvalidShardCount, got {other:?}"),
             }
         }
     }

@@ -218,7 +218,7 @@ proptest! {
             .iter()
             .map(|&w| {
                 let cfg = MultiRegionConfig { shard_workers: w, ..base.clone() };
-                let run = run_multiregion(&cfg, seed);
+                let run = run_multiregion(&cfg, seed).expect("generated config is valid");
                 let names = run.node_names.clone();
                 let rows = breakdown_by_peer(
                     &attribute_trace(&run.trace),
@@ -239,6 +239,87 @@ proptest! {
             prop_assert_eq!(m, metrics, "metrics diverged at {} workers (seed {})", w, seed);
             prop_assert_eq!(c, csv, "attribution diverged at {} workers (seed {})", w, seed);
             prop_assert_eq!(e, events, "event count diverged at {} workers (seed {})", w, seed);
+        }
+    }
+
+    /// The windowed time-series artifact is worker-count invariant on
+    /// arbitrary multi-region scenarios: the CSV and JSONL a recorder
+    /// emits are byte-identical whether 1, 2, or 4 threads drive the
+    /// shards. Sampling happens at barrier rounds, whose schedule is a
+    /// pure function of shard promises — never of thread timing.
+    #[test]
+    fn multiregion_series_is_worker_count_invariant(
+        regions in 2usize..5,
+        clients in 2usize..4,
+        inter_owd_ms in 20.0f64..80.0,
+        seed in any::<u64>(),
+    ) {
+        let base = MultiRegionConfig {
+            regions,
+            clients_per_region: clients,
+            inter_owd_ms,
+            rounds: 1,
+            horizon: SimDuration::from_secs(300),
+            trace_capacity: None,
+            series_interval: Some(SimDuration::from_secs(30)),
+            ..MultiRegionConfig::default()
+        };
+        let exports: Vec<(String, String)> = [1usize, 2, 4]
+            .iter()
+            .map(|&w| {
+                let cfg = MultiRegionConfig { shard_workers: w, ..base.clone() };
+                let run = run_multiregion(&cfg, seed).expect("generated config is valid");
+                let series = run.series.expect("series_interval was set");
+                (series.to_csv(), series.to_jsonl())
+            })
+            .collect();
+        let (csv, jsonl) = &exports[0];
+        prop_assert!(csv.lines().count() > 1, "series must have rows (seed {seed})");
+        for (w, (c, j)) in [2usize, 4].iter().zip(&exports[1..]) {
+            prop_assert_eq!(c, csv, "series CSV diverged at {} workers (seed {})", w, seed);
+            prop_assert_eq!(j, jsonl, "series JSONL diverged at {} workers (seed {})", w, seed);
+        }
+    }
+
+    /// The same invariance over random churn scenarios: population curves,
+    /// swap-dynamics rates, and registry memory accounting all ride the
+    /// same barrier-sampled recorder, so the whole artifact must be
+    /// byte-identical at any worker count.
+    #[test]
+    fn churn_series_is_worker_count_invariant(
+        regions in 2usize..5,
+        peers in 12usize..32,
+        seed in any::<u64>(),
+    ) {
+        use workloads::churn::{run_churn, ChurnConfig};
+        use workloads::synthtopo::SynthTopoConfig;
+        let base = ChurnConfig {
+            topo: SynthTopoConfig {
+                regions,
+                peers,
+                ..SynthTopoConfig::default()
+            },
+            num_shards: regions,
+            rounds: 1,
+            horizon: SimDuration::from_secs(900),
+            trace_capacity: None,
+            series_interval: Some(SimDuration::from_secs(60)),
+            ..ChurnConfig::default()
+        };
+        let exports: Vec<(String, String)> = [1usize, 2, 4]
+            .iter()
+            .map(|&w| {
+                let cfg = ChurnConfig { shard_workers: w, ..base.clone() };
+                let run = run_churn(&cfg, seed).expect("generated config is valid");
+                let series = run.series.expect("series_interval was set");
+                (series.to_csv(), series.to_jsonl())
+            })
+            .collect();
+        let (csv, jsonl) = &exports[0];
+        prop_assert!(csv.lines().count() > 1, "series must have rows (seed {seed})");
+        for (w, (c, j)) in [2usize, 4].iter().zip(&exports[1..]) {
+            prop_assert_eq!(c, csv, "series CSV diverged at {} workers (seed {})", w, seed);
+            prop_assert_eq!(j, jsonl, "series JSONL diverged at {} workers (seed {})", w, seed);
         }
     }
 

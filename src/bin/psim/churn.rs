@@ -14,7 +14,7 @@ use crate::{write_or_exit, Flags};
 
 /// Builds the [`ChurnConfig`] shared by both subcommands from the common
 /// flag set (`--regions`, `--peers`, `--horizon-secs`, `--num-shards`).
-fn churn_config(flags: &Flags) -> ChurnConfig {
+pub(crate) fn churn_config(flags: &Flags) -> ChurnConfig {
     let regions = flags.usize("regions").max(1);
     let peers = flags.usize("peers").max(regions);
     let num_shards = flags.usize("num-shards").max(1).min(regions);
@@ -59,9 +59,18 @@ fn summary_json(cfg: &ChurnConfig, seed: u64, result: &ChurnResult) -> String {
     )
 }
 
+/// Runs one churn replication, exiting with a flag diagnostic when the
+/// configuration cannot be sharded instead of panicking.
+pub(crate) fn run_churn_or_exit(cfg: &ChurnConfig, seed: u64) -> ChurnResult {
+    run_churn(cfg, seed).unwrap_or_else(|e| {
+        eprintln!("churn: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// Resident-set proxy from `/proc/self/statm` (pages × 4 KiB); 0 when the
 /// proc filesystem is unavailable (non-Linux hosts).
-fn rss_bytes() -> u64 {
+pub(crate) fn rss_bytes() -> u64 {
     std::fs::read_to_string("/proc/self/statm")
         .ok()
         .and_then(|s| {
@@ -82,7 +91,7 @@ pub(crate) fn cmd_churn(flags: &Flags) {
         ..churn_config(flags)
     };
     let seed = flags.u64("seed");
-    let result = run_churn(&cfg, seed);
+    let result = run_churn_or_exit(&cfg, seed);
 
     print!("{}", result.trace.to_jsonl());
     println!("{}", metrics_snapshot_json(&result.metrics));
@@ -138,7 +147,7 @@ pub(crate) fn cmd_bench_churn(flags: &Flags) {
             ..base.clone()
         };
         let start = std::time::Instant::now();
-        let result = run_churn(&cfg, seed);
+        let result = run_churn_or_exit(&cfg, seed);
         let wall = start.elapsed().as_secs_f64();
         let events_per_sec = if wall > 0.0 {
             result.events_processed as f64 / wall

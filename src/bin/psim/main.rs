@@ -12,6 +12,7 @@
 //! psim csv --out target/figures --quick     # machine-readable series
 //! psim churn --peers 100000 --regions 16    # churn run on a synthetic testbed
 //! psim bench-churn --peers 20000            # churn throughput → BENCH_churn.json
+//! psim profile churn --peers 100000         # windowed series + Chrome trace
 //! ```
 //!
 //! Every subcommand is described by one row of [`COMMANDS`]: the parser,
@@ -20,6 +21,7 @@
 
 mod bench;
 mod churn;
+mod profile;
 
 use std::collections::HashMap;
 
@@ -372,6 +374,64 @@ static COMMANDS: &[CommandDef] = &[
         help: "measure churn events/s at 1,2,4 workers, write BENCH_churn.json",
     },
     CommandDef {
+        name: "profile",
+        positional: Some("<churn|scenario>"),
+        flags: &[
+            FlagDef {
+                name: "regions",
+                takes_value: true,
+                default: Some("8"),
+                help: "synthetic regions for the churn workload",
+            },
+            FlagDef {
+                name: "peers",
+                takes_value: true,
+                default: Some("20000"),
+                help: "lifecycle peers for the churn workload",
+            },
+            FlagDef {
+                name: "horizon-secs",
+                takes_value: true,
+                default: Some("1800"),
+                help: "virtual-time horizon in seconds",
+            },
+            FlagDef {
+                name: "num-shards",
+                takes_value: true,
+                default: Some("4"),
+                help: "shard domains for the churn workload",
+            },
+            FlagDef {
+                name: "interval-secs",
+                takes_value: true,
+                default: Some("60"),
+                help: "time-series sampling interval (virtual seconds)",
+            },
+            FlagDef {
+                name: "series-csv",
+                takes_value: true,
+                default: None,
+                help: "also write the series CSV to FILE",
+            },
+            FlagDef {
+                name: "chrome-trace",
+                takes_value: true,
+                default: None,
+                help: "write a Chrome trace_event JSON of the barrier rounds to FILE",
+            },
+            FlagDef {
+                name: "out",
+                takes_value: true,
+                default: Some("BENCH_profile.json"),
+                help: "wall-clock summary output file",
+            },
+            SEED,
+            SHARDS,
+            SHARD_WORKERS,
+        ],
+        help: "telemetry run -> series CSV + Prometheus on stdout, BENCH_profile.json",
+    },
+    CommandDef {
         name: "trace",
         positional: Some("<scenario>"),
         flags: &[
@@ -574,6 +634,7 @@ fn main() {
         "multiregion" => cmd_multiregion(&flags),
         "churn" => churn::cmd_churn(&flags),
         "bench-churn" => churn::cmd_bench_churn(&flags),
+        "profile" => profile::cmd_profile(&flags),
         "trace" => cmd_trace(&flags),
         "report" => cmd_report(&flags),
         "attribute" => cmd_attribute(&flags),
@@ -889,7 +950,10 @@ fn cmd_multiregion(flags: &Flags) {
         ..MultiRegionConfig::default()
     };
     let seed = flags.u64("seed");
-    let result = run_multiregion(&cfg, seed);
+    let result = run_multiregion(&cfg, seed).unwrap_or_else(|e| {
+        eprintln!("multiregion: {e}");
+        std::process::exit(2);
+    });
 
     let attrs = attribute_trace(&result.trace);
     let names = result.node_names.clone();

@@ -1,0 +1,193 @@
+//! `psim profile`: end-to-end deterministic telemetry for one workload.
+//!
+//! Runs the churn workload (default) or a named scenario with the
+//! windowed time-series recorder and the per-shard execution profiler
+//! attached, then splits the artifacts by determinism:
+//!
+//! * **stdout** — the series CSV followed by the Prometheus exposition
+//!   of the final merged metrics. Both are keyed only by virtual time
+//!   and shard-ordered merges, so the bytes are identical at any
+//!   `--shard-workers`; the CI `profile-determinism` job diffs exactly
+//!   this stream at 1 vs 4 workers.
+//! * **`--series-csv` / `--chrome-trace`** — the same series CSV and a
+//!   Chrome `trace_event` JSON of the barrier-round schedule (sim-time
+//!   spans only; load it in Perfetto or `chrome://tracing`).
+//! * **`--out` (`BENCH_profile.json`)** — the non-deterministic wall-
+//!   clock summary: RSS proxy, per-shard busy/wait seconds, plus the
+//!   registry memory breakdown read back from the final gauges.
+
+use netsim::metrics::Metrics;
+use netsim::profile::ExecutionProfile;
+use netsim::time::{SimDuration, SimTime};
+use netsim::timeseries::TimeSeriesRecorder;
+use workloads::churn::ChurnConfig;
+use workloads::scenario::{run_scenario_telemetry, TelemetryOptions};
+use workloads::telemetry::overlay_series;
+
+use crate::churn::{churn_config, rss_bytes, run_churn_or_exit};
+use crate::{named_scenario_or_exit, write_or_exit, Flags};
+
+/// The workload-independent outputs `cmd_profile` renders.
+struct ProfileRun {
+    workload: String,
+    peers: usize,
+    regions: usize,
+    num_shards: usize,
+    series: TimeSeriesRecorder,
+    exec_profile: Option<ExecutionProfile>,
+    metrics: Metrics,
+    events: u64,
+    elapsed: SimTime,
+}
+
+/// Sum of all gauges whose name starts with `prefix` — reconstructs a
+/// fleet-wide total from the per-broker `registry.*.<node>` gauges.
+fn gauge_prefix_sum(m: &Metrics, prefix: &str) -> f64 {
+    m.gauges_sorted()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn profile_churn(flags: &Flags, interval: SimDuration, seed: u64) -> ProfileRun {
+    let cfg = ChurnConfig {
+        shard_workers: flags.usize("shard-workers").max(1),
+        // The profiler measures the engine and the registry, not the
+        // trace ring; tracing stays off like in bench-churn.
+        trace_capacity: None,
+        series_interval: Some(interval),
+        profile_execution: true,
+        ..churn_config(flags)
+    };
+    let result = run_churn_or_exit(&cfg, seed);
+    ProfileRun {
+        workload: "churn".into(),
+        peers: cfg.topo.peers,
+        regions: cfg.topo.regions,
+        num_shards: cfg.num_shards,
+        series: result.series.expect("series_interval was set"),
+        exec_profile: result.exec_profile,
+        metrics: result.metrics,
+        events: result.events_processed,
+        elapsed: result.elapsed,
+    }
+}
+
+fn profile_scenario(flags: &Flags, interval: SimDuration, seed: u64) -> ProfileRun {
+    let cfg = named_scenario_or_exit(flags);
+    let recorder = overlay_series(interval).unwrap_or_else(|e| {
+        eprintln!("profile: {e:?}");
+        std::process::exit(2);
+    });
+    let telemetry = TelemetryOptions {
+        series: Some(recorder),
+        profile_execution: true,
+    };
+    let result = run_scenario_telemetry(&cfg, seed, telemetry).unwrap_or_else(|e| {
+        eprintln!("profile: {e}");
+        std::process::exit(2);
+    });
+    ProfileRun {
+        workload: flags.positional.clone().unwrap_or_default(),
+        peers: result.testbed.len().saturating_sub(1),
+        regions: 1,
+        num_shards: cfg.shards(),
+        series: result.series.expect("recorder was attached"),
+        exec_profile: result.exec_profile,
+        metrics: result.metrics,
+        events: result.events_processed,
+        elapsed: result.elapsed,
+    }
+}
+
+/// `psim profile [churn|<scenario>]`: deterministic telemetry artifacts
+/// on stdout, wall-clock summary in `BENCH_profile.json`.
+pub(crate) fn cmd_profile(flags: &Flags) {
+    let seed = flags.u64("seed");
+    let interval = SimDuration::from_secs(flags.u64("interval-secs").max(1));
+    let workload = flags.positional.as_deref().unwrap_or("churn");
+
+    let run = if workload == "churn" {
+        profile_churn(flags, interval, seed)
+    } else {
+        profile_scenario(flags, interval, seed)
+    };
+
+    let csv = run.series.to_csv();
+    print!("{csv}");
+    print!("{}", run.metrics.render_prometheus("psim_profile"));
+
+    if let Some(path) = flags.get("series-csv") {
+        write_or_exit(path, &csv);
+    }
+    if let Some(path) = flags.get("chrome-trace") {
+        match &run.exec_profile {
+            Some(profile) => write_or_exit(path, &profile.chrome_trace_json()),
+            None => {
+                eprintln!("profile: no execution profile on a serial run; skipping --chrome-trace")
+            }
+        }
+    }
+
+    let registry_bytes = gauge_prefix_sum(&run.metrics, "registry.bytes.");
+    let registry_peers = gauge_prefix_sum(&run.metrics, "registry.peers.");
+    let bytes_per_peer = if registry_peers > 0.0 {
+        registry_bytes / registry_peers
+    } else {
+        0.0
+    };
+    let components: Vec<String> = ["roster", "stats", "ads", "content", "gossip", "scripts"]
+        .iter()
+        .map(|c| {
+            format!(
+                "\"{c}\": {}",
+                gauge_prefix_sum(&run.metrics, &format!("registry.{c}_bytes."))
+            )
+        })
+        .collect();
+    let profiler_json = run
+        .exec_profile
+        .as_ref()
+        .map(|p| p.wall_clock_json())
+        .unwrap_or_else(|| "null".into());
+    let json = format!(
+        "{{\n  \"bench\": \"profile\",\n  \"workload\": \"{}\",\n  \"peers\": {},\n  \
+         \"regions\": {},\n  \"num_shards\": {},\n  \"shard_workers\": {},\n  \
+         \"horizon_secs\": {},\n  \"interval_secs\": {},\n  \"seed\": {},\n  \
+         \"events\": {},\n  \"elapsed_secs\": {},\n  \"rss_bytes\": {},\n  \
+         \"registry\": {{\"bytes\": {}, \"peers\": {}, \"bytes_per_peer\": {}, \
+         \"components\": {{{}}}}},\n  \"series_rows\": {},\n  \"profiler\": {}\n}}\n",
+        run.workload,
+        run.peers,
+        run.regions,
+        run.num_shards,
+        flags.usize("shard-workers").max(1),
+        flags.u64("horizon-secs"),
+        interval.as_secs_f64(),
+        seed,
+        run.events,
+        run.elapsed.as_secs_f64(),
+        rss_bytes(),
+        registry_bytes,
+        registry_peers,
+        bytes_per_peer,
+        components.join(", "),
+        run.series.len(),
+        profiler_json,
+    );
+    let out = flags.get("out").expect("table default").to_string();
+    write_or_exit(&out, &json);
+
+    eprintln!(
+        "profile: {} — {} events to t={:.1}s, {} series rows, registry {:.0} bytes \
+         over {:.0} peers ({:.1} B/peer), rss {} MiB",
+        run.workload,
+        run.events,
+        run.elapsed.as_secs_f64(),
+        run.series.len(),
+        registry_bytes,
+        registry_peers,
+        bytes_per_peer,
+        rss_bytes() >> 20,
+    );
+}
