@@ -27,6 +27,8 @@ fn small_grid() -> SweepSpec {
         drop_probabilities: vec![0.0],
         testbeds: vec![TestbedAxis::Measurement],
         accept_profiles: vec![ACCEPT_ALL],
+        brokers: vec![1],
+        gossip_staleness: vec![0.0],
         seeds: SeedScheme::Derived {
             campaign_seed: 1,
             replications: 2,

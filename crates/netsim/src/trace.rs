@@ -216,6 +216,25 @@ pub enum TraceEventKind {
         /// Whether the spanned work succeeded.
         ok: bool,
     },
+    /// A scripted outage took this broker down.
+    BrokerDown,
+    /// A scripted restart brought this broker back (empty-handed).
+    BrokerUp,
+    /// A broker handed a petition it could not place to a fellow broker.
+    PetitionForwarded {
+        /// The broker the petition was forwarded to.
+        to: NodeId,
+        /// Remaining hop budget, this forward included.
+        hops_left: u32,
+    },
+    /// A client declared its home broker dead and moved to the next one
+    /// on its preference list.
+    PeerRehomed {
+        /// The broker given up on.
+        from: NodeId,
+        /// The broker the client re-joined through.
+        to: NodeId,
+    },
     /// Free-form escape hatch for ad-hoc instrumentation.
     Custom {
         /// Short machine-readable kind.
@@ -249,6 +268,10 @@ impl TraceEventKind {
             TraceEventKind::PipeClosed { .. } => "pipe_closed",
             TraceEventKind::SpanBegin { .. } => "span_begin",
             TraceEventKind::SpanEnd { .. } => "span_end",
+            TraceEventKind::BrokerDown => "broker_down",
+            TraceEventKind::BrokerUp => "broker_up",
+            TraceEventKind::PetitionForwarded { .. } => "petition_forwarded",
+            TraceEventKind::PeerRehomed { .. } => "peer_rehomed",
             TraceEventKind::Custom { .. } => "custom",
         }
     }
@@ -466,6 +489,13 @@ impl TraceEvent {
                     key,
                     ok
                 );
+            }
+            TraceEventKind::BrokerDown | TraceEventKind::BrokerUp => {}
+            TraceEventKind::PetitionForwarded { to, hops_left } => {
+                let _ = write!(o, ",\"to\":{},\"hops_left\":{}", to.0, hops_left);
+            }
+            TraceEventKind::PeerRehomed { from, to } => {
+                let _ = write!(o, ",\"from\":{},\"to\":{}", from.0, to.0);
             }
             TraceEventKind::Custom { kind, detail } => {
                 let _ = write!(o, ",\"kind\":\"{kind}\",\"detail\":");

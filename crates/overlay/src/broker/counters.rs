@@ -26,6 +26,17 @@ pub(crate) struct BrokerCounters {
     pub(crate) gossip_received: MetricId,
     pub(crate) retransmissions: MetricId,
     pub(crate) retries_exhausted: MetricId,
+    /// Gossiped views rejected at admission: already first-hand, host
+    /// shadowed, or a stale echo of a departed peer.
+    pub(crate) stale_views_dropped: MetricId,
+    /// Petitions this broker handed to a fellow broker (no local candidate).
+    pub(crate) petitions_forwarded: MetricId,
+    /// Forwarded petitions that arrived from fellow brokers.
+    pub(crate) forwards_received: MetricId,
+    /// Forwarded petitions this broker could serve from its own registry.
+    pub(crate) forwards_served: MetricId,
+    /// Forwarded petitions dropped with the hop budget exhausted.
+    pub(crate) forwards_exhausted: MetricId,
 }
 
 impl BrokerCounters {
@@ -46,7 +57,31 @@ impl BrokerCounters {
             gossip_received: metrics.counter_id("overlay.gossip_received"),
             retransmissions: metrics.counter_id("overlay.retransmissions"),
             retries_exhausted: metrics.counter_id("overlay.retries_exhausted"),
+            stale_views_dropped: metrics.counter_id("overlay.stale_views_dropped"),
+            petitions_forwarded: metrics.counter_id("overlay.petitions_forwarded"),
+            forwards_received: metrics.counter_id("overlay.forwards_received"),
+            forwards_served: metrics.counter_id("overlay.forwards_served"),
+            forwards_exhausted: metrics.counter_id("overlay.forwards_exhausted"),
         }
+    }
+}
+
+impl Broker {
+    /// Bumps the protocol counter picked by `which` by `n` at once.
+    pub(crate) fn bump_by(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        which: fn(&BrokerCounters) -> MetricId,
+        n: u64,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let ids = self
+            .counters
+            .get_or_insert_with(|| BrokerCounters::resolve(ctx.metrics()));
+        let id = which(ids);
+        ctx.metrics().incr_id(id, n);
     }
 }
 

@@ -67,6 +67,8 @@ pub(crate) const WATCHDOG_TAG_BASE: u64 = 2_000_000;
 pub(crate) const GOSSIP_TAG: u64 = 3_000_000;
 pub(crate) const TASK_WATCHDOG_TAG_BASE: u64 = 4_000_000;
 pub(crate) const RETRY_TAG_BASE: u64 = 5_000_000;
+/// Scripted-outage timers: `+0` crashes the broker, `+1` restarts it.
+pub(crate) const FEDERATION_TAG_BASE: u64 = 6_000_000;
 pub(crate) const CMD_RETRY_DELAY: SimDuration = SimDuration::from_millis(500);
 pub(crate) const CMD_MAX_RETRIES: u32 = 240;
 
@@ -158,10 +160,23 @@ pub struct BrokerConfig {
     pub stop_when_idle: bool,
     /// Parts used when instructing peer-to-peer transfers for file requests.
     pub request_parts: u32,
-    /// Fellow broker hosts to exchange rosters with (broker federation).
-    pub peer_brokers: Vec<NodeId>,
-    /// Roster-gossip period.
-    pub gossip_interval: SimDuration,
+    /// Fellow broker hosts to exchange rosters with. Crate-private: the
+    /// federation knobs are wired together through
+    /// [`crate::federation::FederationBuilder`], which validates them as
+    /// a set (see [`crate::federation::Federation::configure`]).
+    pub(crate) peer_brokers: Vec<NodeId>,
+    /// Roster-gossip period (set via the federation builder).
+    pub(crate) gossip_interval: SimDuration,
+    /// Stale-stat tolerance: gossiped candidate views older than this are
+    /// invisible to selection, and a fellow broker silent longer than
+    /// this is presumed dead. `None` disables both filters.
+    pub(crate) staleness_bound: Option<SimDuration>,
+    /// Broker-to-broker hop budget for petitions with no local candidate
+    /// (0 = never forward).
+    pub(crate) forward_hops: u32,
+    /// Scripted outage: `(crash at, optional restart at)`, both measured
+    /// from simulation start.
+    pub(crate) outage: Option<(SimDuration, Option<SimDuration>)>,
     /// Optional retransmission policy (None = rely on watchdogs only;
     /// appropriate when the transport is loss-free, i.e. TCP-like).
     pub retry: Option<RetryPolicy>,
@@ -182,6 +197,9 @@ impl BrokerConfig {
             request_parts: 16,
             peer_brokers: Vec::new(),
             gossip_interval: SimDuration::from_secs(60),
+            staleness_bound: None,
+            forward_hops: 0,
+            outage: None,
             retry: None,
         }
     }
@@ -212,6 +230,12 @@ pub struct Broker {
     pub(crate) tasks: TaskBook,
     pub(crate) counters: Option<BrokerCounters>,
     pub(crate) sink: RecordSink,
+    /// Whether a scripted outage currently has this broker down: every
+    /// inbound message is dropped and only the restart timer (plus the
+    /// command-replay loop) is serviced.
+    pub(crate) down: bool,
+    /// Rotation cursor over live fellow brokers for petition forwarding.
+    pub(crate) forward_rr: usize,
 }
 
 impl Broker {
@@ -232,6 +256,8 @@ impl Broker {
             tasks: TaskBook::new(),
             counters: None,
             sink,
+            down: false,
+            forward_rr: 0,
             cfg,
         }
     }
@@ -260,7 +286,27 @@ impl Broker {
                 label,
             } => {
                 let purpose = Purpose::FileTransfer { bytes: size_bytes };
-                for node in self.resolve_targets(ctx, &target, purpose) {
+                let targets = self.resolve_targets(ctx, &target, purpose);
+                if targets.is_empty()
+                    && matches!(target, TargetSpec::Selected)
+                    && self.cfg.forward_hops > 0
+                {
+                    // No viable local candidate: hand the petition to a
+                    // fellow broker under the configured hop budget.
+                    let me = ctx.self_id();
+                    self.forward_petition(
+                        ctx,
+                        me,
+                        None,
+                        self.cfg.forward_hops,
+                        size_bytes,
+                        num_parts,
+                        &label,
+                        enqueued_at,
+                    );
+                    return;
+                }
+                for node in targets {
                     self.start_transfer(ctx, node, size_bytes, num_parts, &label, enqueued_at);
                 }
             }
@@ -317,6 +363,37 @@ impl Broker {
             ctx.stop();
         }
     }
+
+    /// Scripted crash: every piece of volatile state — registry, in-flight
+    /// transfers, retransmission probes, tasks, groups — dies with the
+    /// process. The retry engine keeps its tag counters (a restarted
+    /// process must not reissue timer tags that stale timers still carry).
+    fn crash(&mut self, ctx: &mut Context<OverlayMsg>) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.registry = PeerRegistry::new();
+        self.transfers = TransferOrchestrator::new(self.sink.clone());
+        self.retries.clear();
+        self.tasks = TaskBook::new();
+        self.groups = GroupRegistry::new(self.cfg.id_seed ^ 0x6120);
+        ctx.trace_event(netsim::trace::TraceEventKind::BrokerDown);
+    }
+
+    /// Scripted restart: the broker comes back empty-handed — clients must
+    /// re-join and gossip must repopulate the remote roster.
+    fn restart(&mut self, ctx: &mut Context<OverlayMsg>) {
+        if !self.down {
+            return;
+        }
+        self.down = false;
+        if !self.cfg.peer_brokers.is_empty() {
+            // The gossip timer that fired while down was swallowed; re-arm.
+            ctx.schedule_timer(self.cfg.gossip_interval, GOSSIP_TAG);
+        }
+        ctx.trace_event(netsim::trace::TraceEventKind::BrokerUp);
+    }
 }
 
 impl Actor<OverlayMsg> for Broker {
@@ -328,9 +405,20 @@ impl Actor<OverlayMsg> for Broker {
         if !self.cfg.peer_brokers.is_empty() {
             ctx.schedule_timer(self.cfg.gossip_interval, GOSSIP_TAG);
         }
+        if let Some((down_at, restart_at)) = self.cfg.outage {
+            ctx.schedule_timer(down_at, FEDERATION_TAG_BASE);
+            if let Some(at) = restart_at {
+                ctx.schedule_timer(at, FEDERATION_TAG_BASE + 1);
+            }
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<OverlayMsg>, from: NodeId, msg: OverlayMsg) {
+        if self.down {
+            // A crashed broker answers nothing — not even Ping, which is
+            // exactly how clients detect the outage and re-home.
+            return;
+        }
         match msg {
             OverlayMsg::Join(adv) => self.on_join(ctx, from, adv),
             OverlayMsg::Leave { peer } => self.on_leave(ctx, peer),
@@ -372,7 +460,28 @@ impl Actor<OverlayMsg> for Broker {
                 input_parts,
                 label,
             } => self.on_job_submit(ctx, submitter, work_gops, input_bytes, input_parts, label),
-            OverlayMsg::BrokerGossip { roster, .. } => self.on_broker_gossip(ctx, roster),
+            OverlayMsg::BrokerGossip {
+                from_broker,
+                sent_at,
+                roster,
+            } => self.on_broker_gossip(ctx, from_broker, sent_at, roster),
+            OverlayMsg::PetitionForward {
+                origin,
+                hops_left,
+                size_bytes,
+                num_parts,
+                label,
+                enqueued_at,
+            } => self.on_petition_forward(
+                ctx,
+                from,
+                origin,
+                hops_left,
+                size_bytes,
+                num_parts,
+                label,
+                enqueued_at,
+            ),
             OverlayMsg::Ping { nonce, sent_at } => {
                 ctx.send(from, OverlayMsg::Pong { nonce, sent_at });
             }
@@ -382,6 +491,21 @@ impl Actor<OverlayMsg> for Broker {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<OverlayMsg>, _timer: TimerId, tag: u64) {
+        if tag >= FEDERATION_TAG_BASE {
+            match tag - FEDERATION_TAG_BASE {
+                0 => self.crash(ctx),
+                _ => self.restart(ctx),
+            }
+            return;
+        }
+        if self.down {
+            // Scripted commands keep re-arming through the outage so they
+            // replay after the restart; every other timer dies silently.
+            if (CMD_TAG_BASE..WATCHDOG_TAG_BASE).contains(&tag) {
+                ctx.schedule_timer(CMD_RETRY_DELAY, tag);
+            }
+            return;
+        }
         if tag == GOSSIP_TAG {
             self.on_gossip_timer(ctx);
             return;

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use netsim::engine::Context;
 use netsim::node::NodeId;
-use netsim::time::SimTime;
+use netsim::time::{SimDuration, SimTime};
 
 use crate::advertisement::{ContentAdvertisement, PeerAdvertisement};
 use crate::footprint::{map_estimate, slots_estimate, FootprintBreakdown, MemoryFootprint};
@@ -52,6 +52,13 @@ pub(crate) struct Holding {
     pub(crate) adv: ContentAdvertisement,
 }
 
+/// A gossiped candidate plus the virtual time its sending broker took
+/// the snapshot, so selection can apply a staleness window.
+pub(crate) struct RemoteView {
+    pub(crate) view: CandidateView,
+    pub(crate) as_of: SimTime,
+}
+
 /// The membership layer: registered peers, their statistics, published
 /// content, and the federation roster.
 #[derive(Default)]
@@ -64,7 +71,15 @@ pub(crate) struct PeerRegistry {
     index: HashMap<PeerId, u32>,
     by_node: HashMap<NodeId, PeerId>,
     /// Candidate views learnt from fellow brokers, keyed by peer.
-    remote_peers: HashMap<PeerId, CandidateView>,
+    remote_peers: HashMap<PeerId, RemoteView>,
+    /// Departure tombstones: peers this broker saw leave, and when. A
+    /// gossiped view older than the tombstone is a stale echo and must
+    /// not resurrect the peer; a newer one proves it rejoined elsewhere
+    /// and clears the tombstone.
+    departed: HashMap<PeerId, SimTime>,
+    /// Last time each fellow broker was heard from (gossip or forwarded
+    /// petitions): the heartbeat table failover liveness reads.
+    broker_heartbeats: HashMap<NodeId, SimTime>,
     /// Published content by name → holders.
     content: HashMap<String, Vec<Holding>>,
     /// Interned display names by host, so record keeping on the transfer
@@ -154,6 +169,8 @@ impl PeerRegistry {
         let peer = adv.peer;
         let cpu = adv.cpu_gops;
         self.remote_peers.remove(&peer);
+        // First-hand readmission beats any departure we recorded earlier.
+        self.departed.remove(&peer);
         // A host runs one peer: a Join from a node that already carries a
         // *different* identity supersedes the old occupant (crash-rejoin
         // without a Leave), keeping by_node a bijection.
@@ -216,13 +233,46 @@ impl PeerRegistry {
         true
     }
 
-    /// Records a federation-learnt candidate view, unless it concerns a
-    /// peer already registered here or would shadow a host that has a
-    /// locally-registered peer (never trust a relay over first-hand
-    /// knowledge).
-    pub(crate) fn learn_remote(&mut self, view: CandidateView) {
-        if !self.index.contains_key(&view.peer) && !self.by_node.contains_key(&view.node) {
-            self.remote_peers.insert(view.peer, view);
+    /// Records a federation-learnt candidate view taken at `as_of`,
+    /// unless it concerns a peer already registered here, would shadow a
+    /// host that has a locally-registered peer (never trust a relay over
+    /// first-hand knowledge), or is a stale echo of a peer this broker
+    /// already saw depart. A view *newer* than the departure tombstone
+    /// proves the peer rejoined elsewhere and clears it. Returns whether
+    /// the view was stored.
+    pub(crate) fn learn_remote(&mut self, view: CandidateView, as_of: SimTime) -> bool {
+        if self.index.contains_key(&view.peer) || self.by_node.contains_key(&view.node) {
+            return false;
+        }
+        if let Some(&left_at) = self.departed.get(&view.peer) {
+            if as_of <= left_at {
+                return false;
+            }
+            self.departed.remove(&view.peer);
+        }
+        self.remote_peers
+            .insert(view.peer, RemoteView { view, as_of });
+        true
+    }
+
+    /// Records that `peer` left this broker at `now`, so later gossip
+    /// snapshots taken before the departure cannot resurrect it.
+    pub(crate) fn note_departed(&mut self, peer: PeerId, now: SimTime) {
+        self.departed.insert(peer, now);
+    }
+
+    /// Records that fellow broker `node` was heard from at `now`.
+    pub(crate) fn note_broker_alive(&mut self, node: NodeId, now: SimTime) {
+        self.broker_heartbeats.insert(node, now);
+    }
+
+    /// Heartbeat liveness: a fellow broker is presumed alive until it has
+    /// been silent longer than `bound`. Never-heard brokers are presumed
+    /// alive (the federation may simply not have gossiped yet).
+    pub(crate) fn broker_alive(&self, node: NodeId, now: SimTime, bound: SimDuration) -> bool {
+        match self.broker_heartbeats.get(&node) {
+            Some(&heard) => now - heard <= bound,
+            None => true,
         }
     }
 
@@ -230,7 +280,7 @@ impl PeerRegistry {
     /// live on `node` (a departed peer must not survive as a rumor).
     pub(crate) fn purge_remote(&mut self, peer: PeerId, node: NodeId) {
         self.remote_peers.remove(&peer);
-        self.remote_peers.retain(|_, v| v.node != node);
+        self.remote_peers.retain(|_, v| v.view.node != node);
     }
 
     /// Number of federation-learnt (non-local) candidate views.
@@ -268,8 +318,15 @@ impl PeerRegistry {
     }
 
     /// Snapshot of every known candidate (registered + federation-learnt),
-    /// sorted by node for determinism.
-    pub(crate) fn candidate_views(&self, now: SimTime, stats_k_hours: usize) -> Vec<CandidateView> {
+    /// sorted by node for determinism. When `staleness` is set, gossiped
+    /// views older than that bound are left out: the stale-stat tolerance
+    /// window of the federation design.
+    pub(crate) fn candidate_views(
+        &self,
+        now: SimTime,
+        stats_k_hours: usize,
+        staleness: Option<SimDuration>,
+    ) -> Vec<CandidateView> {
         let mut views: Vec<CandidateView> = self
             .entries()
             .map(|entry| {
@@ -292,11 +349,18 @@ impl PeerRegistry {
                 }
             })
             .collect();
-        // Merge federation-learnt peers that are not locally registered.
+        // Merge federation-learnt peers that are not locally registered
+        // and whose gossip snapshot is inside the staleness window.
         for remote in self.remote_peers.values() {
-            if !self.by_node.contains_key(&remote.node) {
-                views.push(remote.clone());
+            if self.by_node.contains_key(&remote.view.node) {
+                continue;
             }
+            if let Some(bound) = staleness {
+                if now - remote.as_of > bound {
+                    continue;
+                }
+            }
+            views.push(remote.view.clone());
         }
         views.sort_by_key(|v| v.node);
         views
@@ -328,10 +392,16 @@ impl PeerRegistry {
             let entry = self.entry(peer).expect("by_node points at a member");
             assert_eq!(entry.adv.node, node, "no stale node mapping");
         }
-        for view in self.remote_peers.values() {
+        for remote in self.remote_peers.values() {
             assert!(
-                !self.index.contains_key(&view.peer),
+                !self.index.contains_key(&remote.view.peer),
                 "a registered peer is never also a federation rumor"
+            );
+        }
+        for peer in self.departed.keys() {
+            assert!(
+                !self.index.contains_key(peer),
+                "a registered peer is never also a departure tombstone"
             );
         }
     }
@@ -349,7 +419,9 @@ impl MemoryFootprint for PeerRegistry {
                 + map_estimate::<PeerId, u32>(self.index.len())
                 + map_estimate::<NodeId, PeerId>(self.by_node.len())
                 + map_estimate::<NodeId, Arc<str>>(self.names.len()),
-            gossip: map_estimate::<PeerId, CandidateView>(self.remote_peers.len()),
+            gossip: map_estimate::<PeerId, RemoteView>(self.remote_peers.len())
+                + map_estimate::<PeerId, SimTime>(self.departed.len())
+                + map_estimate::<NodeId, SimTime>(self.broker_heartbeats.len()),
             ..FootprintBreakdown::default()
         };
         for name in self.names.values() {
@@ -360,8 +432,8 @@ impl MemoryFootprint for PeerRegistry {
             fp.ads += entry.adv.name.len() as u64;
             fp.stats += entry.stats.message_window.heap_bytes();
         }
-        for view in self.remote_peers.values() {
-            fp.gossip += view.name.len() as u64;
+        for remote in self.remote_peers.values() {
+            fp.gossip += remote.view.name.len() as u64;
         }
         for (key, holdings) in &self.content {
             fp.content += key.len() as u64 + slots_estimate::<Holding>(holdings.len());
@@ -395,8 +467,11 @@ impl Broker {
         if let Some(node) = node {
             // A departed peer must vanish from every roster the broker can
             // still hand to selection: the federation cache and the queue
-            // of deferred commands aimed at its host.
+            // of deferred commands aimed at its host. The tombstone keeps
+            // later-arriving gossip snapshots taken *before* the departure
+            // from resurrecting it.
             self.registry.purge_remote(peer, node);
+            self.registry.note_departed(peer, ctx.now());
             self.schedule.cancel_for_node(node);
         }
         self.maybe_stop(ctx);
@@ -462,19 +537,28 @@ impl Broker {
     pub(crate) fn on_broker_gossip(
         &mut self,
         ctx: &mut Context<OverlayMsg>,
+        from_broker: NodeId,
+        sent_at: SimTime,
         roster: Vec<CandidateView>,
     ) {
+        self.registry.note_broker_alive(from_broker, ctx.now());
+        let mut dropped = 0u64;
         for view in roster {
-            // Never shadow a locally-registered peer with a relay.
-            self.registry.learn_remote(view);
+            // Never shadow a locally-registered peer with a relay, and
+            // never resurrect one this broker already saw depart.
+            if !self.registry.learn_remote(view, sent_at) {
+                dropped += 1;
+            }
         }
+        self.bump_by(ctx, |c| c.stale_views_dropped, dropped);
         self.bump(ctx, |c| c.gossip_received);
     }
 
     pub(crate) fn on_gossip_timer(&mut self, ctx: &mut Context<OverlayMsg>) {
-        let roster = self
-            .registry
-            .candidate_views(ctx.now(), self.cfg.stats_k_hours);
+        let now = ctx.now();
+        let roster =
+            self.registry
+                .candidate_views(now, self.cfg.stats_k_hours, self.cfg.staleness_bound);
         // Only gossip locally-registered peers (avoid relaying relays).
         let local: Vec<CandidateView> = roster
             .into_iter()
@@ -486,6 +570,7 @@ impl Broker {
                 b,
                 OverlayMsg::BrokerGossip {
                     from_broker: me,
+                    sent_at: now,
                     roster: local.clone(),
                 },
             );
@@ -640,19 +725,109 @@ mod tests {
         let mut ids = IdGenerator::new(11);
         let mut reg = PeerRegistry::new();
         let a = adv(&mut ids, 2, "delta", SimTime::ZERO);
-        reg.learn_remote(CandidateView {
-            peer: a.peer,
-            node: NodeId(2),
-            name: "delta".into(),
-            cpu_gops: 1.0,
-            snapshot: StatsSnapshot::empty(1.0),
-            history: InteractionHistory::empty(),
-        });
+        assert!(reg.learn_remote(
+            CandidateView {
+                peer: a.peer,
+                node: NodeId(2),
+                name: "delta".into(),
+                cpu_gops: 1.0,
+                snapshot: StatsSnapshot::empty(1.0),
+                history: InteractionHistory::empty(),
+            },
+            SimTime::ZERO,
+        ));
         assert_eq!(reg.remote_count(), 1);
         reg.admit(a, SimTime::ZERO);
         reg.check_invariants();
         assert_eq!(reg.remote_count(), 0);
-        assert_eq!(reg.candidate_views(SimTime::ZERO, 24).len(), 1);
+        assert_eq!(reg.candidate_views(SimTime::ZERO, 24, None).len(), 1);
+    }
+
+    #[test]
+    fn gossip_cannot_resurrect_a_departed_peer() {
+        // The federation bug this PR fixes: a gossip snapshot taken before
+        // a peer's departure used to re-enter the remote roster after the
+        // local broker had already seen the Leave, so selection kept
+        // offering a peer known to be gone.
+        let mut ids = IdGenerator::new(21);
+        let mut reg = PeerRegistry::new();
+        let a = adv(&mut ids, 6, "zeta", SimTime::ZERO);
+        let peer = a.peer;
+        let node = a.node;
+        let view = CandidateView {
+            peer,
+            node,
+            name: "zeta".into(),
+            cpu_gops: 1.0,
+            snapshot: StatsSnapshot::empty(1.0),
+            history: InteractionHistory::empty(),
+        };
+        reg.admit(a, SimTime::ZERO);
+        let t5 = SimTime::ZERO + SimDuration::from_secs(5);
+        reg.expel(peer);
+        reg.purge_remote(peer, node);
+        reg.note_departed(peer, t5);
+        reg.check_invariants();
+
+        // A stale echo (snapshot taken at t=3 < departure at t=5) must be
+        // rejected and leave the tombstone in place.
+        let t3 = SimTime::ZERO + SimDuration::from_secs(3);
+        assert!(!reg.learn_remote(view.clone(), t3), "stale echo rejected");
+        assert_eq!(reg.remote_count(), 0);
+        assert!(reg.candidate_views(t5, 24, None).is_empty());
+        reg.check_invariants();
+
+        // A snapshot taken *after* the departure proves the peer rejoined
+        // elsewhere: accepted, tombstone cleared.
+        let t6 = SimTime::ZERO + SimDuration::from_secs(6);
+        assert!(reg.learn_remote(view, t6), "newer view clears tombstone");
+        assert_eq!(reg.remote_count(), 1);
+        reg.check_invariants();
+    }
+
+    #[test]
+    fn candidate_views_apply_the_staleness_window() {
+        let mut ids = IdGenerator::new(23);
+        let mut reg = PeerRegistry::new();
+        let fresh = CandidateView {
+            peer: PeerId::generate(&mut ids),
+            node: NodeId(11),
+            name: "fresh".into(),
+            cpu_gops: 1.0,
+            snapshot: StatsSnapshot::empty(1.0),
+            history: InteractionHistory::empty(),
+        };
+        let stale = CandidateView {
+            peer: PeerId::generate(&mut ids),
+            node: NodeId(12),
+            name: "stale".into(),
+            cpu_gops: 1.0,
+            snapshot: StatsSnapshot::empty(1.0),
+            history: InteractionHistory::empty(),
+        };
+        let now = SimTime::ZERO + SimDuration::from_secs(300);
+        assert!(reg.learn_remote(fresh, now - SimDuration::from_secs(60)));
+        assert!(reg.learn_remote(stale, now - SimDuration::from_secs(250)));
+        let bounded = reg.candidate_views(now, 24, Some(SimDuration::from_secs(120)));
+        assert_eq!(bounded.len(), 1, "only the fresh view survives");
+        assert_eq!(bounded[0].node, NodeId(11));
+        let unbounded = reg.candidate_views(now, 24, None);
+        assert_eq!(unbounded.len(), 2, "no bound, no filtering");
+    }
+
+    #[test]
+    fn broker_heartbeats_drive_liveness() {
+        let mut reg = PeerRegistry::new();
+        let now = SimTime::ZERO + SimDuration::from_secs(500);
+        let bound = SimDuration::from_secs(120);
+        assert!(
+            reg.broker_alive(NodeId(1), now, bound),
+            "never-heard brokers are presumed alive"
+        );
+        reg.note_broker_alive(NodeId(1), now - SimDuration::from_secs(60));
+        assert!(reg.broker_alive(NodeId(1), now, bound));
+        reg.note_broker_alive(NodeId(2), now - SimDuration::from_secs(200));
+        assert!(!reg.broker_alive(NodeId(2), now, bound), "silent too long");
     }
 
     #[test]
@@ -688,17 +863,20 @@ mod tests {
             snapshot: StatsSnapshot::empty(1.0),
             history: InteractionHistory::empty(),
         };
-        reg.learn_remote(remote.clone());
+        reg.learn_remote(remote.clone(), SimTime::ZERO);
         // …but one shadowing a registered node is not.
         let shadow = CandidateView {
             node: NodeId(5),
             ..remote.clone()
         };
-        reg.learn_remote(CandidateView {
-            peer: PeerId::generate(&mut ids),
-            ..shadow
-        });
-        let views = reg.candidate_views(SimTime::ZERO, 24);
+        reg.learn_remote(
+            CandidateView {
+                peer: PeerId::generate(&mut ids),
+                ..shadow
+            },
+            SimTime::ZERO,
+        );
+        let views = reg.candidate_views(SimTime::ZERO, 24, None);
         let nodes: Vec<u32> = views.iter().map(|v| v.node.0).collect();
         assert_eq!(nodes, vec![2, 5, 9], "sorted by node, shadow dropped");
     }
@@ -714,7 +892,7 @@ mod tests {
         reported.inbox_now = 11.0;
         reported.outbox_avg = 2.5;
         reg.entry_mut(peer).unwrap().reported = Some(reported);
-        let views = reg.candidate_views(SimTime::ZERO, 24);
+        let views = reg.candidate_views(SimTime::ZERO, 24, None);
         assert_eq!(views[0].snapshot.inbox_now, 11.0);
         assert_eq!(views[0].snapshot.outbox_avg, 2.5);
     }
@@ -757,20 +935,30 @@ mod tests {
                 }
                 2 => {
                     assert_eq!(reg.expel(pool[i].peer), member[i]);
+                    if member[i] {
+                        // The broker's Leave path: purge + tombstone.
+                        reg.purge_remote(pool[i].peer, pool[i].node);
+                        reg.note_departed(pool[i].peer, now);
+                    }
                     member[i] = false;
                 }
                 _ => {
                     // Gossip about a random identity; the registry must
-                    // never let a rumor shadow or outlive membership.
+                    // never let a rumor shadow or outlive membership. The
+                    // snapshot age varies so tombstones both hold and clear.
                     let j = rng.below(pool.len() as u64) as usize;
-                    reg.learn_remote(CandidateView {
-                        peer: pool[j].peer,
-                        node: pool[j].node,
-                        name: Arc::from(pool[j].name.as_str()),
-                        cpu_gops: pool[j].cpu_gops,
-                        snapshot: StatsSnapshot::empty(pool[j].cpu_gops),
-                        history: InteractionHistory::empty(),
-                    });
+                    let as_of = now - SimDuration::from_secs(rng.below(20));
+                    reg.learn_remote(
+                        CandidateView {
+                            peer: pool[j].peer,
+                            node: pool[j].node,
+                            name: Arc::from(pool[j].name.as_str()),
+                            cpu_gops: pool[j].cpu_gops,
+                            snapshot: StatsSnapshot::empty(pool[j].cpu_gops),
+                            history: InteractionHistory::empty(),
+                        },
+                        as_of,
+                    );
                     if member[j] {
                         reg.purge_remote(pool[j].peer, pool[j].node);
                     }

@@ -77,6 +77,17 @@ impl RetryEngine {
         }
     }
 
+    /// Drops every armed probe and watchdog while **keeping** the tag
+    /// counters: the broker-crash path. Timers armed before the crash
+    /// still fire with their old tags, so a reset of the counters would
+    /// let a post-restart probe collide with a pre-crash timer; advancing
+    /// counters make every stale tag a harmless `take_* → None`.
+    pub(crate) fn clear(&mut self) {
+        self.probes.clear();
+        self.watchdog_for.clear();
+        self.task_watchdog_for.clear();
+    }
+
     /// Registers a retransmission probe and returns its timer tag.
     pub(crate) fn arm_probe(&mut self, transfer: TransferId, kind: RetryKind, attempt: u32) -> u64 {
         let tag = self.next_retry_tag;

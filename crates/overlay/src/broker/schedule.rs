@@ -137,9 +137,15 @@ impl Broker {
         }
         let now = ctx.now();
         let enqueued_at = self.schedule.note_first_due(tag, now);
-        // Commands that need clients must wait until someone has joined.
+        // Commands that need clients must wait until someone has joined —
+        // unless the federation can take the petition off this broker's
+        // hands, in which case executing now forwards it instead.
         let needs_peers = !matches!(cmd, BrokerCommand::SendInstant { .. });
-        if needs_peers && self.registry.is_empty() && self.schedule.defer(tag) {
+        if needs_peers
+            && self.registry.is_empty()
+            && !self.can_forward(&cmd)
+            && self.schedule.defer(tag)
+        {
             ctx.schedule_timer(CMD_RETRY_DELAY, tag);
             return;
         }

@@ -9,13 +9,14 @@
 
 use netsim::engine::Context;
 use netsim::node::NodeId;
+use netsim::time::SimTime;
 use netsim::trace::TraceEventKind;
 
 use crate::message::OverlayMsg;
 use crate::records::SelectionRecord;
 use crate::selector::{CandidateView, PeerSelector, Purpose, SelectionOutcome, SelectionRequest};
 
-use super::{Broker, TargetSpec};
+use super::{Broker, BrokerCommand, TargetSpec};
 
 /// Owns the pluggable selection model and feeds outcomes back to it.
 pub(crate) struct SelectionService {
@@ -47,7 +48,11 @@ impl Broker {
             TargetSpec::AllClients => self.registry.registered_nodes(),
             TargetSpec::Selected => {
                 let now = ctx.now();
-                let candidates = self.registry.candidate_views(now, self.cfg.stats_k_hours);
+                let candidates = self.registry.candidate_views(
+                    now,
+                    self.cfg.stats_k_hours,
+                    self.cfg.staleness_bound,
+                );
                 if candidates.is_empty() {
                     return Vec::new();
                 }
@@ -100,7 +105,7 @@ impl Broker {
         }
         let candidates: Vec<CandidateView> = self
             .registry
-            .candidate_views(now, self.cfg.stats_k_hours)
+            .candidate_views(now, self.cfg.stats_k_hours, self.cfg.staleness_bound)
             .into_iter()
             .filter(|v| nodes.contains(&v.node))
             .collect();
@@ -142,6 +147,125 @@ impl Broker {
             })
             .map(|v| v.node)
             .or_else(|| nodes.first().copied())
+    }
+}
+
+impl Broker {
+    /// Whether this broker could hand a `Selected` file petition to a
+    /// fellow broker instead of deferring it until a local peer joins.
+    pub(crate) fn can_forward(&self, cmd: &BrokerCommand) -> bool {
+        self.cfg.forward_hops > 0
+            && !self.cfg.peer_brokers.is_empty()
+            && matches!(
+                cmd,
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::Selected,
+                    ..
+                }
+            )
+    }
+
+    /// The silence bound after which a fellow broker is presumed dead:
+    /// the staleness window when configured, otherwise three gossip
+    /// rounds — the same tolerance selection applies to gossiped views.
+    fn liveness_bound(&self) -> netsim::time::SimDuration {
+        self.cfg
+            .staleness_bound
+            .unwrap_or(self.cfg.gossip_interval * 3)
+    }
+
+    /// Hands a `Selected` petition this broker could not place to a
+    /// fellow broker believed alive, rotating over the roster so repeat
+    /// forwards spread. `exclude` skips the broker a forward just came
+    /// from; the origin is never a candidate (no boomerangs). Returns
+    /// whether anyone was available to take it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn forward_petition(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        origin: NodeId,
+        exclude: Option<NodeId>,
+        hops_left: u32,
+        size_bytes: u64,
+        num_parts: u32,
+        label: &str,
+        enqueued_at: SimTime,
+    ) -> bool {
+        let now = ctx.now();
+        let bound = self.liveness_bound();
+        let candidates: Vec<NodeId> = self
+            .cfg
+            .peer_brokers
+            .iter()
+            .copied()
+            .filter(|&b| {
+                b != origin && Some(b) != exclude && self.registry.broker_alive(b, now, bound)
+            })
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let to = candidates[self.forward_rr % candidates.len()];
+        self.forward_rr = self.forward_rr.wrapping_add(1);
+        ctx.trace_event(TraceEventKind::PetitionForwarded { to, hops_left });
+        ctx.send(
+            to,
+            OverlayMsg::PetitionForward {
+                origin,
+                hops_left,
+                size_bytes,
+                num_parts,
+                label: label.to_string(),
+                enqueued_at,
+            },
+        );
+        self.bump(ctx, |c| c.petitions_forwarded);
+        true
+    }
+
+    /// Handles a forwarded petition: serve it from the local registry if
+    /// selection finds a candidate, otherwise pass it along while hop
+    /// budget remains. The origin's enqueue instant rides along, so the
+    /// eventual transfer's petition latency includes every hop.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_petition_forward(
+        &mut self,
+        ctx: &mut Context<OverlayMsg>,
+        from: NodeId,
+        origin: NodeId,
+        hops_left: u32,
+        size_bytes: u64,
+        num_parts: u32,
+        label: String,
+        enqueued_at: SimTime,
+    ) {
+        // A broker that forwards work is alive by definition.
+        self.registry.note_broker_alive(from, ctx.now());
+        self.bump(ctx, |c| c.forwards_received);
+        let purpose = Purpose::FileTransfer { bytes: size_bytes };
+        let targets = self.resolve_targets(ctx, &TargetSpec::Selected, purpose);
+        if !targets.is_empty() {
+            for node in targets {
+                self.start_transfer(ctx, node, size_bytes, num_parts, &label, enqueued_at);
+            }
+            self.bump(ctx, |c| c.forwards_served);
+            return;
+        }
+        if hops_left > 1
+            && self.forward_petition(
+                ctx,
+                origin,
+                Some(from),
+                hops_left - 1,
+                size_bytes,
+                num_parts,
+                &label,
+                enqueued_at,
+            )
+        {
+            return;
+        }
+        self.bump(ctx, |c| c.forwards_exhausted);
     }
 }
 

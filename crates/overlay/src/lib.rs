@@ -22,6 +22,9 @@
 //!   schedule.
 //! * [`broker`] — the governor: registry, statistics aggregation, transfer
 //!   and task coordination, scripted commands, and the selection hook.
+//! * [`federation`] — multi-broker wiring: the validating
+//!   [`federation::FederationBuilder`], client→broker homing policies,
+//!   and the failover knobs re-homing clients run with.
 //! * [`selector`] — the [`selector::PeerSelector`] trait the `peer-selection`
 //!   crate implements, plus blind baselines.
 //! * [`records`] — shared run log experiments read after a simulation.
@@ -33,6 +36,7 @@
 pub mod advertisement;
 pub mod broker;
 pub mod client;
+pub mod federation;
 pub mod filetransfer;
 pub mod footprint;
 pub mod group;
@@ -51,6 +55,9 @@ pub mod task;
 pub mod prelude {
     pub use crate::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
     pub use crate::client::{ClientCommand, ClientConfig, SimpleClient};
+    pub use crate::federation::{
+        FailoverPolicy, Federation, FederationBuilder, FederationError, HomingPolicy,
+    };
     pub use crate::filetransfer::{split_parts, FileMeta};
     pub use crate::footprint::{FootprintBreakdown, MemoryFootprint};
     pub use crate::gui::{GuiClient, UserBehavior};

@@ -29,9 +29,11 @@ use netsim::engine::{Actor, Context, TimerId};
 use netsim::metrics::{MetricId, Metrics};
 use netsim::node::NodeId;
 use netsim::rng::{DelayDistribution, SimRng};
-use netsim::time::SimDuration;
+use netsim::time::{SimDuration, SimTime};
+use netsim::trace::TraceEventKind;
 
 use crate::advertisement::{PeerAdvertisement, DEFAULT_LIFETIME};
+use crate::federation::FailoverPolicy;
 use crate::filetransfer::{InboundTransfer, PartReceipt};
 use crate::footprint::{map_estimate, slots_estimate, FootprintBreakdown, MemoryFootprint};
 use crate::id::{IdGenerator, PeerId, TransferId};
@@ -41,6 +43,10 @@ use crate::message::OverlayMsg;
 const SESSION_TAG_SPAN: u64 = 1 << 32;
 /// Task-execution timers live above every session tag.
 const TASK_TAG_BASE: u64 = SESSION_TAG_SPAN;
+/// Failover-probe timers live above every task tag (tasks allocate
+/// upward from [`TASK_TAG_BASE`] one at a time; a run would need 2^32
+/// tasks on one peer to collide).
+const PROBE_TAG_BASE: u64 = 1 << 33;
 
 /// Where a peer stands in its membership lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +166,7 @@ struct LifecycleCounters {
     leaves: MetricId,
     refused_petitions: MetricId,
     refused_tasks: MetricId,
+    rehomes: MetricId,
 }
 
 impl LifecycleCounters {
@@ -170,6 +177,7 @@ impl LifecycleCounters {
             leaves: metrics.counter_id("churn.leaves"),
             refused_petitions: metrics.counter_id("churn.refused_petitions"),
             refused_tasks: metrics.counter_id("churn.refused_tasks"),
+            rehomes: metrics.counter_id("churn.rehomes"),
         }
     }
 }
@@ -177,12 +185,19 @@ impl LifecycleCounters {
 /// Behaviour knobs for a [`LifecyclePeer`].
 #[derive(Debug, Clone)]
 pub struct LifecycleConfig {
-    /// The broker's host.
-    pub broker: NodeId,
+    /// Broker hosts in home-preference order: the peer lives through the
+    /// first, and — when `failover` is set — walks down the list each
+    /// time its current home stops answering probes (wrapping around).
+    /// Never empty.
+    pub brokers: Vec<NodeId>,
     /// The pre-built join/leave schedule.
     pub script: LifecycleScript,
     /// Whether to accept executable tasks while connected.
     pub accepts_tasks: bool,
+    /// When set, the peer pings its home every `probe_interval` and
+    /// re-homes to the next broker on the list after `probe_timeout`
+    /// of silence. `None` = trust the home forever (single-broker runs).
+    pub failover: Option<FailoverPolicy>,
 }
 
 struct RunningTask {
@@ -197,6 +212,13 @@ pub struct LifecyclePeer {
     state: LifecycleState,
     /// Index of the session the next join/leave timer belongs to.
     session: usize,
+    /// Position on `cfg.brokers` (mod its length) of the current home.
+    home_idx: usize,
+    /// Last instant the current home answered anything (ack or pong).
+    last_ok: SimTime,
+    /// Monotone epoch: bumped at every join and leave so probe timers
+    /// armed for an earlier connected period die as stale tags.
+    probe_epoch: u64,
     inbound: HashMap<TransferId, InboundTransfer>,
     running: HashMap<u64, RunningTask>,
     next_task_tag: u64,
@@ -208,12 +230,16 @@ impl LifecyclePeer {
     /// across every session of its life).
     pub fn new(cfg: LifecycleConfig, id_seed: u64) -> Self {
         assert!(!cfg.script.sessions.is_empty(), "a life needs a session");
+        assert!(!cfg.brokers.is_empty(), "a peer needs a home broker");
         let mut ids = IdGenerator::new(id_seed);
         LifecyclePeer {
             peer_id: PeerId::generate(&mut ids),
             cfg,
             state: LifecycleState::Unknown,
             session: 0,
+            home_idx: 0,
+            last_ok: SimTime::ZERO,
+            probe_epoch: 0,
             inbound: HashMap::new(),
             running: HashMap::new(),
             next_task_tag: TASK_TAG_BASE,
@@ -231,6 +257,11 @@ impl LifecyclePeer {
         self.state
     }
 
+    /// The broker this peer currently calls home.
+    pub fn broker(&self) -> NodeId {
+        self.cfg.brokers[self.home_idx % self.cfg.brokers.len()]
+    }
+
     fn bump(&mut self, ctx: &mut Context<OverlayMsg>, which: fn(&LifecycleCounters) -> MetricId) {
         let ids = self
             .counters
@@ -239,7 +270,10 @@ impl LifecyclePeer {
         ctx.metrics().incr_id(id, 1);
     }
 
-    fn send_join(&mut self, ctx: &mut Context<OverlayMsg>, session: usize) {
+    /// Sends this session's advertisement to the current home and awaits
+    /// the ack. Shared by scripted joins and failover re-homes — only the
+    /// former count as joins/rejoins.
+    fn send_advert(&mut self, ctx: &mut Context<OverlayMsg>, session: usize) {
         let adv = PeerAdvertisement {
             peer: self.peer_id,
             node: ctx.self_id(),
@@ -249,13 +283,57 @@ impl LifecyclePeer {
             published: ctx.now(),
             lifetime: DEFAULT_LIFETIME,
         };
-        ctx.send(self.cfg.broker, OverlayMsg::Join(adv));
+        ctx.send(self.broker(), OverlayMsg::Join(adv));
         self.state = LifecycleState::Identified;
+    }
+
+    fn send_join(&mut self, ctx: &mut Context<OverlayMsg>, session: usize) {
+        self.send_advert(ctx, session);
         if session == 0 {
             self.bump(ctx, |c| c.joins);
         } else {
             self.bump(ctx, |c| c.rejoins);
         }
+    }
+
+    /// A fired failover probe: give up on a silent home, then keep
+    /// probing whichever broker is current.
+    fn on_probe(&mut self, ctx: &mut Context<OverlayMsg>, tag: u64) {
+        if tag != PROBE_TAG_BASE + self.probe_epoch {
+            return; // probe armed for an earlier connected period
+        }
+        if matches!(
+            self.state,
+            LifecycleState::Unknown | LifecycleState::Departed
+        ) {
+            return;
+        }
+        let Some(policy) = self.cfg.failover else {
+            return;
+        };
+        let now = ctx.now();
+        if now - self.last_ok > policy.probe_timeout {
+            let from = self.broker();
+            self.home_idx += 1;
+            let to = self.broker();
+            ctx.trace_event(TraceEventKind::PeerRehomed { from, to });
+            self.bump(ctx, |c| c.rehomes);
+            // Grace: the new home gets a full timeout before judgment.
+            self.last_ok = now;
+            // In-flight receive state belonged to transfers the dead
+            // broker drove; its retry engine is gone, so drop them and
+            // let the new home re-petition.
+            self.inbound.clear();
+            self.send_advert(ctx, self.session);
+        }
+        ctx.send(
+            self.broker(),
+            OverlayMsg::Ping {
+                nonce: self.probe_epoch,
+                sent_at: now,
+            },
+        );
+        ctx.schedule_timer(policy.probe_interval, tag);
     }
 }
 
@@ -295,8 +373,16 @@ impl Actor<OverlayMsg> for LifecyclePeer {
         match msg {
             OverlayMsg::JoinAck { .. } if self.state == LifecycleState::Identified => {
                 self.state = LifecycleState::Connected;
+                self.last_ok = now;
             }
             OverlayMsg::JoinAck { .. } => {}
+            // Any sign of life from the current home resets the failover
+            // clock (stale pongs from an abandoned broker are filtered by
+            // sender).
+            OverlayMsg::Pong { .. } if from == self.broker() => {
+                self.last_ok = now;
+            }
+            OverlayMsg::Pong { .. } => {}
             OverlayMsg::FilePetition {
                 transfer,
                 num_parts,
@@ -368,10 +454,14 @@ impl Actor<OverlayMsg> for LifecyclePeer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<OverlayMsg>, _timer: TimerId, tag: u64) {
+        if tag >= PROBE_TAG_BASE {
+            self.on_probe(ctx, tag);
+            return;
+        }
         if tag >= TASK_TAG_BASE {
             if let Some(done) = self.running.remove(&tag) {
                 ctx.send(
-                    self.cfg.broker,
+                    self.broker(),
                     OverlayMsg::TaskResult {
                         task: done.id,
                         success: true,
@@ -386,14 +476,21 @@ impl Actor<OverlayMsg> for LifecyclePeer {
             // Join of session `session`.
             self.session = session;
             self.send_join(ctx, session);
+            self.probe_epoch += 1;
+            self.last_ok = ctx.now();
+            if let Some(policy) = self.cfg.failover {
+                ctx.schedule_timer(policy.probe_interval, PROBE_TAG_BASE + self.probe_epoch);
+            }
         } else {
             // Leave of session `session`: drop receive state mid-flight.
             if self.state == LifecycleState::Connected || self.state == LifecycleState::Identified {
-                ctx.send(self.cfg.broker, OverlayMsg::Leave { peer: self.peer_id });
+                ctx.send(self.broker(), OverlayMsg::Leave { peer: self.peer_id });
                 self.bump(ctx, |c| c.leaves);
             }
             self.state = LifecycleState::Departed;
             self.inbound.clear();
+            // Outstanding probe timers die as stale tags.
+            self.probe_epoch += 1;
         }
     }
 }
@@ -448,7 +545,7 @@ mod tests {
     #[test]
     fn peer_starts_unknown_with_a_stable_identity() {
         let cfg = LifecycleConfig {
-            broker: NodeId(0),
+            brokers: vec![NodeId(0)],
             script: LifecycleScript {
                 arrival: SimDuration::ZERO,
                 sessions: vec![SessionPlan {
@@ -458,10 +555,35 @@ mod tests {
                 }],
             },
             accepts_tasks: true,
+            failover: None,
         };
         let p = LifecyclePeer::new(cfg.clone(), 7);
         let q = LifecyclePeer::new(cfg, 7);
         assert_eq!(p.state(), LifecycleState::Unknown);
         assert_eq!(p.peer_id(), q.peer_id(), "identity is seed-derived");
+        assert_eq!(p.broker(), NodeId(0));
+    }
+
+    #[test]
+    fn home_preference_walks_and_wraps() {
+        let cfg = LifecycleConfig {
+            brokers: vec![NodeId(4), NodeId(9), NodeId(2)],
+            script: LifecycleScript {
+                arrival: SimDuration::ZERO,
+                sessions: vec![SessionPlan {
+                    length: SimDuration::from_secs(60),
+                    off_time: SimDuration::ZERO,
+                    cpu_gops: 1.0,
+                }],
+            },
+            accepts_tasks: false,
+            failover: Some(FailoverPolicy::default()),
+        };
+        let mut p = LifecyclePeer::new(cfg, 3);
+        assert_eq!(p.broker(), NodeId(4));
+        p.home_idx += 1;
+        assert_eq!(p.broker(), NodeId(9));
+        p.home_idx += 2;
+        assert_eq!(p.broker(), NodeId(4), "preference list wraps");
     }
 }

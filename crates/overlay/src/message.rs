@@ -196,8 +196,29 @@ pub enum OverlayMsg {
     BrokerGossip {
         /// The sending broker's host.
         from_broker: netsim::node::NodeId,
+        /// When the sender took this roster snapshot, so the receiver can
+        /// apply its staleness window.
+        sent_at: SimTime,
         /// Candidate views of the sender's registered peers.
         roster: Vec<crate::selector::CandidateView>,
+    },
+    /// Broker → broker: a `Selected` file petition the origin broker could
+    /// not place locally, handed to a fellow broker under a hop budget.
+    PetitionForward {
+        /// The broker the petition originated at (excluded from further
+        /// hops so forwards never boomerang).
+        origin: netsim::node::NodeId,
+        /// Remaining broker-to-broker hops, this delivery included.
+        hops_left: u32,
+        /// File size in bytes.
+        size_bytes: u64,
+        /// Parts to split the file into.
+        num_parts: u32,
+        /// Label recorded with the transfer.
+        label: String,
+        /// When the command was first enqueued at the origin (petition
+        /// latency is measured from here, hops included).
+        enqueued_at: SimTime,
     },
 
     // ---- task management ------------------------------------------------
@@ -267,6 +288,7 @@ impl Payload for OverlayMsg {
                     .map(|c| 200 + c.name.len() as u64)
                     .sum::<u64>()
             }
+            OverlayMsg::PetitionForward { label, .. } => 64 + label.len() as u64,
         }
     }
 
@@ -300,6 +322,7 @@ impl Payload for OverlayMsg {
             OverlayMsg::JobSubmit { .. } => "job-submit",
             OverlayMsg::JobDone { .. } => "job-done",
             OverlayMsg::BrokerGossip { .. } => "gossip",
+            OverlayMsg::PetitionForward { .. } => "fwd-petition",
         }
     }
 
@@ -334,7 +357,8 @@ impl Payload for OverlayMsg {
             | OverlayMsg::TransferReport { .. }
             | OverlayMsg::JobSubmit { .. }
             | OverlayMsg::JobDone { .. }
-            | OverlayMsg::BrokerGossip { .. } => ServiceClass::Fast,
+            | OverlayMsg::BrokerGossip { .. }
+            | OverlayMsg::PetitionForward { .. } => ServiceClass::Fast,
         }
     }
 }

@@ -26,6 +26,7 @@ use netsim::timeseries::TimeSeriesRecorder;
 use netsim::trace::Trace;
 use netsim::transport::TransportConfig;
 use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
+use overlay::federation::FederationBuilder;
 use overlay::lifecycle::{ChurnProfile, LifecycleConfig, LifecyclePeer, LifecycleScript};
 use overlay::message::OverlayMsg;
 use overlay::records::{RecordSink, RunLog};
@@ -161,21 +162,23 @@ pub fn run_churn(cfg: &ChurnConfig, seed: u64) -> Result<ChurnResult, ScenarioEr
     let map = cfg.topo.shard_map(cfg.num_shards)?;
     let sinks: Vec<RecordSink> = (0..map.num_shards()).map(|_| RecordSink::new()).collect();
 
+    // Gossip-only federation: every broker peers with every other, but
+    // petition forwarding stays off so the pre-federation churn artifacts
+    // (defer-until-peers behaviour, traces, benchmarks) are unchanged.
+    let federation = FederationBuilder::new(built.brokers.clone())
+        .gossip_interval(cfg.gossip_interval)
+        .forward_hops(0)
+        .build()?;
+
     let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
     for (r, &broker) in built.brokers.iter().enumerate() {
         let mut broker_cfg = BrokerConfig::new(seed ^ (0xC4_0000 + r as u64));
         broker_cfg.stop_when_idle = false;
-        broker_cfg.gossip_interval = cfg.gossip_interval;
         // Selected-target rounds need a selection model; round-robin is
         // deterministic and touches every live candidate over time, which
         // is exactly what a churn soak wants.
         broker_cfg.selector = Some(Box::new(RoundRobinSelector::new()));
-        broker_cfg.peer_brokers = built
-            .brokers
-            .iter()
-            .copied()
-            .filter(|&b| b != broker)
-            .collect();
+        federation.configure(r, &mut broker_cfg);
         for round in 0..cfg.rounds {
             broker_cfg = broker_cfg.at(
                 SimDuration::from_secs(120) + cfg.round_interval * round as u64,
@@ -197,9 +200,10 @@ pub fn run_churn(cfg: &ChurnConfig, seed: u64) -> Result<ChurnResult, ScenarioEr
             let mut rng = SimRng::new(pseed).split(0xC4_0B11);
             let script = LifecycleScript::sample(&mut rng, &cfg.profile, cfg.horizon);
             let peer_cfg = LifecycleConfig {
-                broker: home,
+                brokers: vec![home],
                 script,
                 accepts_tasks: true,
+                failover: None,
             };
             actors.push((node, Box::new(LifecyclePeer::new(peer_cfg, pseed))));
         }

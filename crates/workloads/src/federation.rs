@@ -1,0 +1,531 @@
+//! Federated-broker workload: homing, cross-broker petition forwarding,
+//! and scripted broker failover at testbed scale.
+//!
+//! Drives a [`synthtopo`](crate::synthtopo) testbed with one broker per
+//! region wired into an [`overlay::federation::Federation`]: brokers
+//! gossip rosters on a cadence, forward `Selected` petitions they cannot
+//! place locally to a live fellow broker (hop-budgeted), and — when an
+//! outage is scripted — one broker crashes mid-run while its clients
+//! detect the silence by probe timeout and re-home down their preference
+//! list.
+//!
+//! Determinism contract matches [`churn`](crate::churn): peer scripts and
+//! arrival instants derive only from the master seed and node id, the
+//! sharded engine's event order is worker-count independent, so for a
+//! fixed `(config, seed, num_shards)` the result — trace digest, metrics,
+//! federation dynamics — is byte-identical at any `shard_workers`. The CI
+//! `federation-determinism` job diffs `psim federate` output at 1 vs 4
+//! workers (including a `--kill-broker-at` run) to hold this line.
+
+use netsim::engine::{Actor, RunOutcome};
+use netsim::metrics::Metrics;
+use netsim::node::NodeId;
+use netsim::parallel::{ParallelProfile, ShardedEngine};
+use netsim::profile::ExecutionProfile;
+use netsim::rng::{DelayDistribution, SimRng};
+use netsim::time::{SimDuration, SimTime};
+use netsim::timeseries::TimeSeriesRecorder;
+use netsim::trace::{Trace, TraceEventKind};
+use netsim::transport::TransportConfig;
+use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
+use overlay::federation::{FailoverPolicy, FederationBuilder, HomingPolicy};
+use overlay::lifecycle::{LifecycleConfig, LifecyclePeer, LifecycleScript, SessionPlan};
+use overlay::message::OverlayMsg;
+use overlay::records::{RecordSink, RunLog};
+use overlay::selector::RoundRobinSelector;
+
+use crate::scenario::ScenarioError;
+use crate::synthtopo::{build_synth_topo, SynthTopoConfig};
+use crate::telemetry::federation_series;
+
+/// A scripted broker crash (and optional restart), by region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerOutage {
+    /// Region whose broker goes down (also its federation roster index).
+    pub region: usize,
+    /// When the crash fires.
+    pub down_at: SimDuration,
+    /// When the broker comes back empty-handed; `None` = stays down.
+    pub restart_at: Option<SimDuration>,
+}
+
+/// Parameters of one federation run.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// The synthetic testbed; one broker per region.
+    pub topo: SynthTopoConfig,
+    /// How clients map to their home-broker preference list.
+    pub homing: HomingPolicy,
+    /// Broker-to-broker roster gossip cadence.
+    pub gossip_interval: SimDuration,
+    /// Tolerated age of gossiped candidate views; `None` = the builder
+    /// default of three gossip rounds.
+    pub staleness_bound: Option<SimDuration>,
+    /// Hop budget for cross-broker petition forwarding (0 = off).
+    pub forward_hops: u32,
+    /// Probe cadence / silence threshold the clients re-home with.
+    pub failover: FailoverPolicy,
+    /// Virtual-time horizon bounding the run.
+    pub horizon: SimDuration,
+    /// Shard count (fixed across worker counts; must be `<= regions`).
+    pub num_shards: usize,
+    /// Worker threads for the sharded engine.
+    pub shard_workers: usize,
+    /// Selected-peer distribution rounds per broker.
+    pub rounds: usize,
+    /// Gap between successive distribution rounds.
+    pub round_interval: SimDuration,
+    /// Size of each distributed file in bytes.
+    pub file_bytes: u64,
+    /// Parts per distributed file.
+    pub file_parts: u32,
+    /// Peer arrivals are sampled uniformly over this window.
+    pub arrival_spread: SimDuration,
+    /// When `Some((r, offset))`, region `r`'s peers arrive `offset` late —
+    /// its broker faces scheduled rounds with an empty registry, which is
+    /// exactly what forces cross-broker forwarding.
+    pub late_region: Option<(usize, SimDuration)>,
+    /// Scripted broker crash/restart, if any.
+    pub kill: Option<BrokerOutage>,
+    /// Typed-trace ring capacity; `None` keeps tracing disabled.
+    pub trace_capacity: Option<usize>,
+    /// When `Some`, a [`federation_series`] recorder samples merged
+    /// metrics at this sim-time interval.
+    pub series_interval: Option<SimDuration>,
+    /// Record per-shard execution accounting.
+    pub profile_execution: bool,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            topo: SynthTopoConfig::default(),
+            homing: HomingPolicy::RegionAffinity,
+            gossip_interval: SimDuration::from_secs(30),
+            staleness_bound: None,
+            forward_hops: 2,
+            failover: FailoverPolicy::default(),
+            horizon: SimDuration::from_secs(900),
+            num_shards: 4,
+            shard_workers: 1,
+            rounds: 3,
+            round_interval: SimDuration::from_secs(240),
+            file_bytes: crate::spec::MB,
+            file_parts: 4,
+            arrival_spread: SimDuration::from_secs(100),
+            late_region: None,
+            kill: None,
+            trace_capacity: Some(1 << 14),
+            series_interval: None,
+            profile_execution: false,
+        }
+    }
+}
+
+/// Federation accounting: how petitions and clients moved between
+/// brokers. Read back out of merged run metrics, so worker-count
+/// invariant by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FederationDynamics {
+    /// First-time client joins.
+    pub joins: u64,
+    /// Failover re-homes (client gave up on a silent broker).
+    pub rehomes: u64,
+    /// Petitions a broker handed to a fellow broker.
+    pub petitions_forwarded: u64,
+    /// Forwarded petitions received from fellow brokers.
+    pub forwards_received: u64,
+    /// Forwarded petitions placed on a local candidate.
+    pub forwards_served: u64,
+    /// Forwarded petitions dropped with an exhausted hop budget.
+    pub forwards_exhausted: u64,
+    /// Gossiped candidate views rejected (tombstoned or conflicting).
+    pub stale_views_dropped: u64,
+    /// Roster gossip messages received.
+    pub gossip_received: u64,
+    /// Transfers that completed.
+    pub transfers_completed: u64,
+}
+
+impl FederationDynamics {
+    /// Reads the counters back out of merged run metrics.
+    pub fn from_metrics(m: &Metrics) -> Self {
+        FederationDynamics {
+            joins: m.counter("churn.joins"),
+            rehomes: m.counter("churn.rehomes"),
+            petitions_forwarded: m.counter("overlay.petitions_forwarded"),
+            forwards_received: m.counter("overlay.forwards_received"),
+            forwards_served: m.counter("overlay.forwards_served"),
+            forwards_exhausted: m.counter("overlay.forwards_exhausted"),
+            stale_views_dropped: m.counter("overlay.stale_views_dropped"),
+            gossip_received: m.counter("overlay.gossip_received"),
+            transfers_completed: m.counter("overlay.transfers_completed"),
+        }
+    }
+}
+
+/// Five-number-ish summary of a latency sample set, seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Smallest sample.
+    pub min_s: f64,
+    /// Arithmetic mean.
+    pub mean_s: f64,
+    /// Largest sample.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarises `samples`; `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut min_s = f64::INFINITY;
+        let mut max_s = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &s in samples {
+            min_s = min_s.min(s);
+            max_s = max_s.max(s);
+            sum += s;
+        }
+        Some(LatencySummary {
+            count: samples.len(),
+            min_s,
+            mean_s: sum / samples.len() as f64,
+            max_s,
+        })
+    }
+}
+
+/// Outputs of one federation run.
+pub struct FederationResult {
+    /// Merged run log (shard order, worker-count invariant).
+    pub log: RunLog,
+    /// Merged engine metrics.
+    pub metrics: Metrics,
+    /// Merged typed trace (empty unless tracing was enabled).
+    pub trace: Trace,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Final virtual time.
+    pub elapsed: SimTime,
+    /// Events processed across all shards.
+    pub events_processed: u64,
+    /// Largest per-shard backlog (diagnostic; not worker-invariant).
+    pub peak_queue_len: usize,
+    /// Window/occupancy profile of the parallel run.
+    pub profile: ParallelProfile,
+    /// Federation movement totals.
+    pub dynamics: FederationDynamics,
+    /// Re-home delays after the scripted crash (crash instant → each
+    /// `PeerRehomed` trace event), when an outage was scripted and
+    /// tracing was on.
+    pub recovery: Option<LatencySummary>,
+    /// Windowed time-series rows, when `series_interval` was set.
+    pub series: Option<TimeSeriesRecorder>,
+    /// Per-shard execution accounting, when `profile_execution` was set.
+    pub exec_profile: Option<ExecutionProfile>,
+}
+
+impl FederationResult {
+    /// Receiver-observed petition latencies of every handled petition,
+    /// seconds, in merged-log order.
+    pub fn petition_latencies(&self) -> Vec<f64> {
+        self.log
+            .transfers
+            .iter()
+            .filter_map(|t| t.petition_latency_secs())
+            .collect()
+    }
+}
+
+/// The seed a peer's script and identity derive from: master seed plus
+/// node id, nothing else (same construction as the churn workload).
+fn peer_seed(seed: u64, node: NodeId) -> u64 {
+    seed.wrapping_mul(6364136223846793005)
+        .wrapping_add(node.index() as u64)
+}
+
+/// Runs one federation replication of `cfg` under `seed` on the sharded
+/// engine. Byte-identical for any `shard_workers` at fixed shards.
+/// Invalid shard counts, degenerate topologies, and rejected federation
+/// parameters surface as [`ScenarioError`]s instead of panics.
+pub fn run_federation(
+    cfg: &FederationConfig,
+    seed: u64,
+) -> Result<FederationResult, ScenarioError> {
+    let built = build_synth_topo(&cfg.topo, seed);
+    let map = cfg.topo.shard_map(cfg.num_shards)?;
+    let sinks: Vec<RecordSink> = (0..map.num_shards()).map(|_| RecordSink::new()).collect();
+
+    let mut builder = FederationBuilder::new(built.brokers.clone())
+        .homing(cfg.homing)
+        .gossip_interval(cfg.gossip_interval)
+        .forward_hops(cfg.forward_hops);
+    if let Some(bound) = cfg.staleness_bound {
+        builder = builder.staleness_bound(bound);
+    }
+    if let Some(kill) = cfg.kill {
+        builder = builder.outage(kill.region, kill.down_at, kill.restart_at);
+    }
+    let federation = builder.build()?;
+
+    let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
+    for (r, &broker) in built.brokers.iter().enumerate() {
+        let mut broker_cfg = BrokerConfig::new(seed ^ (0xFEDE_0000 + r as u64));
+        broker_cfg.stop_when_idle = false;
+        broker_cfg.selector = Some(Box::new(RoundRobinSelector::new()));
+        federation.configure(r, &mut broker_cfg);
+        for round in 0..cfg.rounds {
+            broker_cfg = broker_cfg.at(
+                SimDuration::from_secs(120) + cfg.round_interval * round as u64,
+                BrokerCommand::DistributeFile {
+                    target: TargetSpec::Selected,
+                    size_bytes: cfg.file_bytes,
+                    num_parts: cfg.file_parts,
+                    label: format!("fed-r{r}-round{round}"),
+                },
+            );
+        }
+        let sink = sinks[map.shard_of(broker)].clone();
+        actors.push((broker, Box::new(Broker::new(broker_cfg, sink))));
+    }
+    for r in 0..cfg.topo.regions {
+        let late_offset = match cfg.late_region {
+            Some((lr, offset)) if lr == r => offset,
+            _ => SimDuration::ZERO,
+        };
+        for node in cfg.topo.peer_nodes(r) {
+            let pseed = peer_seed(seed, node);
+            let mut rng = SimRng::new(pseed).split(0xFEDE_0001);
+            let spread = DelayDistribution::Uniform {
+                lo: 0.0,
+                hi: cfg.arrival_spread.as_secs_f64().max(1.0),
+            };
+            let arrival = late_offset + SimDuration::from_secs_f64(spread.sample_secs(&mut rng));
+            // One session outliving the horizon: federation peers never
+            // leave by script, so every departure-shaped transition the
+            // run sees is a failover re-home.
+            let script = LifecycleScript {
+                arrival,
+                sessions: vec![SessionPlan {
+                    length: cfg.horizon * 2,
+                    off_time: SimDuration::ZERO,
+                    cpu_gops: rng.pareto(0.5, 1.8),
+                }],
+            };
+            let peer_cfg = LifecycleConfig {
+                brokers: federation.homes_for(node, r),
+                script,
+                accepts_tasks: true,
+                failover: Some(cfg.failover),
+            };
+            actors.push((node, Box::new(LifecyclePeer::new(peer_cfg, pseed))));
+        }
+    }
+
+    let mut engine: ShardedEngine<OverlayMsg> = ShardedEngine::new(
+        built.topo,
+        TransportConfig::default(),
+        seed,
+        map,
+        cfg.shard_workers,
+    )?;
+    if let Some(capacity) = cfg.trace_capacity {
+        engine.enable_trace(capacity);
+    }
+    if let Some(interval) = cfg.series_interval {
+        engine.install_recorder(federation_series(interval)?);
+    }
+    if cfg.profile_execution {
+        engine.enable_profiling();
+    }
+    for (node, actor) in actors {
+        engine.register(node, actor);
+    }
+    let outcome = engine.run_until(SimTime::ZERO + cfg.horizon);
+    let exec_profile = engine.execution_profile().cloned();
+
+    let mut log = RunLog::default();
+    for sink in &sinks {
+        log.absorb(sink.drain());
+    }
+    let metrics = engine.metrics();
+    let dynamics = FederationDynamics::from_metrics(&metrics);
+    let trace = engine.trace();
+    let recovery = cfg.kill.and_then(|kill| {
+        let down_at = SimTime::ZERO + kill.down_at;
+        let samples: Vec<f64> = trace
+            .events()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::PeerRehomed { .. } if e.time >= down_at => {
+                    Some((e.time - down_at).as_secs_f64())
+                }
+                _ => None,
+            })
+            .collect();
+        LatencySummary::from_samples(&samples)
+    });
+    Ok(FederationResult {
+        log,
+        dynamics,
+        recovery,
+        trace,
+        outcome,
+        elapsed: engine.now(),
+        events_processed: engine.events_processed(),
+        peak_queue_len: engine.peak_queue_len(),
+        profile: engine.profile(),
+        metrics,
+        series: engine.take_recorder(),
+        exec_profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Small federation: three regions, one late region so its broker's
+    /// scheduled rounds fire against an empty registry and forward. The
+    /// slow gossip cadence matters: fast gossip would hand the late
+    /// broker remote candidate views, and gossiped candidates satisfy
+    /// `Selected` directly — forwarding is the *no viable candidate at
+    /// all* path, local or gossiped.
+    fn small() -> FederationConfig {
+        FederationConfig {
+            topo: SynthTopoConfig {
+                regions: 3,
+                peers: 18,
+                ..SynthTopoConfig::default()
+            },
+            num_shards: 3,
+            rounds: 2,
+            round_interval: SimDuration::from_secs(180),
+            horizon: SimDuration::from_secs(900),
+            gossip_interval: SimDuration::from_secs(400),
+            late_region: Some((1, SimDuration::from_secs(600))),
+            ..FederationConfig::default()
+        }
+    }
+
+    #[test]
+    fn forwarded_petitions_are_worker_count_invariant() {
+        let runs: Vec<FederationResult> = [1, 2, 4]
+            .iter()
+            .map(|&w| {
+                run_federation(
+                    &FederationConfig {
+                        shard_workers: w,
+                        ..small()
+                    },
+                    2026,
+                )
+                .expect("small config is valid")
+            })
+            .collect();
+        assert_ne!(runs[0].trace.len(), 0, "trace must not be empty");
+        assert!(
+            runs[0].dynamics.petitions_forwarded > 0,
+            "the late region's rounds must forward: {:?}",
+            runs[0].dynamics
+        );
+        assert!(
+            runs[0].dynamics.forwards_served > 0,
+            "some forwarded petition must land on a live candidate"
+        );
+        for r in &runs[1..] {
+            assert_eq!(r.outcome, runs[0].outcome);
+            assert_eq!(r.trace.digest(), runs[0].trace.digest());
+            assert_eq!(r.elapsed, runs[0].elapsed);
+            assert_eq!(r.events_processed, runs[0].events_processed);
+            assert_eq!(r.metrics.render(), runs[0].metrics.render());
+            assert_eq!(r.dynamics, runs[0].dynamics);
+            assert_eq!(r.log.transfers.len(), runs[0].log.transfers.len());
+            assert_eq!(r.petition_latencies(), runs[0].petition_latencies());
+        }
+    }
+
+    #[test]
+    fn failover_rehomes_clients_without_double_confirms() {
+        let peers_in_killed_region = 6; // 18 peers / 3 regions
+        let result = run_federation(
+            &FederationConfig {
+                kill: Some(BrokerOutage {
+                    region: 0,
+                    down_at: SimDuration::from_secs(400),
+                    restart_at: None,
+                }),
+                horizon: SimDuration::from_secs(1200),
+                late_region: None,
+                ..small()
+            },
+            77,
+        )
+        .expect("failover config is valid");
+        assert_eq!(
+            result.dynamics.rehomes, peers_in_killed_region,
+            "every client of the dead broker re-homes exactly once"
+        );
+        let recovery = result.recovery.expect("rehomes leave trace events");
+        assert_eq!(recovery.count as u64, result.dynamics.rehomes);
+        assert!(
+            recovery.min_s > 0.0,
+            "re-homing cannot precede the crash it reacts to"
+        );
+        // No transfer record is double-confirmed: each part index is
+        // confirmed at most once, and never more parts than the file has.
+        assert!(!result.log.transfers.is_empty());
+        for t in &result.log.transfers {
+            let mut confirmed = HashSet::new();
+            for p in t.parts.iter().filter(|p| p.confirmed_at.is_some()) {
+                assert!(
+                    confirmed.insert(p.index),
+                    "part {} of {} confirmed twice",
+                    p.index,
+                    t.label
+                );
+            }
+            assert!(confirmed.len() <= t.num_parts as usize);
+        }
+    }
+
+    #[test]
+    fn failover_runs_are_worker_count_invariant() {
+        let cfg = |w| FederationConfig {
+            shard_workers: w,
+            kill: Some(BrokerOutage {
+                region: 2,
+                down_at: SimDuration::from_secs(300),
+                restart_at: Some(SimDuration::from_secs(700)),
+            }),
+            horizon: SimDuration::from_secs(1100),
+            ..small()
+        };
+        let one = run_federation(&cfg(1), 9).expect("valid");
+        let four = run_federation(&cfg(4), 9).expect("valid");
+        assert!(one.dynamics.rehomes > 0, "the crash must strand clients");
+        assert_eq!(one.trace.digest(), four.trace.digest());
+        assert_eq!(one.metrics.render(), four.metrics.render());
+        assert_eq!(one.dynamics, four.dynamics);
+    }
+
+    #[test]
+    fn consistent_hash_homing_runs_and_spreads() {
+        let result = run_federation(
+            &FederationConfig {
+                homing: HomingPolicy::ConsistentHash,
+                late_region: None,
+                ..small()
+            },
+            5,
+        )
+        .expect("hash homing is valid");
+        assert_eq!(result.dynamics.joins, 18, "every peer joins");
+        assert!(result.dynamics.transfers_completed > 0);
+    }
+}

@@ -12,9 +12,12 @@
 //!   haversine inter-region delays, power-law capacities).
 //! * [`churn`] — scripted join/leave/rejoin workload over a synthetic
 //!   testbed (`psim churn`, `psim bench-churn`).
+//! * [`federation`] — multi-broker federation workload: homing, petition
+//!   forwarding, broker failover (`psim federate`, `psim bench-federation`).
 //! * [`telemetry`] — the standard windowed time-series column sets the
 //!   workloads record (`psim profile`).
 //! * [`sweep`] — grid-sweep campaigns over typed axes (`psim sweep`).
+//! * [`sweepbench`] — sweep-pool scaling measurement (`BENCH_sweep.json`).
 //! * [`enginebench`] — engine throughput measurement (`BENCH_engine.json`).
 //! * [`experiments`] — one module per artifact: `table1`, `fig2`…`fig7`.
 //!
@@ -32,11 +35,13 @@ pub mod attribution;
 pub mod churn;
 pub mod enginebench;
 pub mod experiments;
+pub mod federation;
 pub mod multiregion;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
 pub mod sweep;
+pub mod sweepbench;
 pub mod synthtopo;
 pub mod telemetry;

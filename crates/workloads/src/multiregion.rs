@@ -32,6 +32,7 @@ use netsim::trace::Trace;
 use netsim::transport::TransportConfig;
 use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
 use overlay::client::{ClientConfig, SimpleClient};
+use overlay::federation::FederationBuilder;
 use overlay::message::OverlayMsg;
 use overlay::records::{RecordSink, RunLog};
 
@@ -200,12 +201,17 @@ pub fn run_multiregion(
     let sink_of = |node: NodeId| sinks[map.shard_of(node)].clone();
 
     let brokers: Vec<NodeId> = (0..cfg.regions).map(|r| cfg.broker_of(r)).collect();
+    // Gossip-only federation (no petition forwarding): preserves the
+    // pre-federation multiregion event history exactly.
+    let federation = FederationBuilder::new(brokers.clone())
+        .gossip_interval(cfg.gossip_interval)
+        .forward_hops(0)
+        .build()?;
     let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
     for (r, &broker) in brokers.iter().enumerate() {
         let mut broker_cfg = BrokerConfig::new(seed ^ (0x5EED_0000 + r as u64));
         broker_cfg.stop_when_idle = false;
-        broker_cfg.gossip_interval = cfg.gossip_interval;
-        broker_cfg.peer_brokers = brokers.iter().copied().filter(|&b| b != broker).collect();
+        federation.configure(r, &mut broker_cfg);
         for round in 0..cfg.rounds {
             broker_cfg = broker_cfg.at(
                 SimDuration::from_secs(60) + cfg.round_interval * round as u64,

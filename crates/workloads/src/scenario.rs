@@ -125,6 +125,9 @@ pub enum ScenarioError {
     /// A telemetry series interval of zero virtual time was requested;
     /// the window schedule would never advance.
     ZeroSeriesInterval,
+    /// The broker-federation parameters were rejected by
+    /// [`overlay::federation::FederationBuilder`].
+    Federation(overlay::federation::FederationError),
 }
 
 impl From<ShardMapError> for ScenarioError {
@@ -144,6 +147,12 @@ impl From<TimeSeriesError> for ScenarioError {
         match e {
             TimeSeriesError::ZeroInterval => ScenarioError::ZeroSeriesInterval,
         }
+    }
+}
+
+impl From<overlay::federation::FederationError> for ScenarioError {
+    fn from(e: overlay::federation::FederationError) -> Self {
+        ScenarioError::Federation(e)
     }
 }
 
@@ -185,6 +194,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::ZeroSeriesInterval => {
                 write!(f, "telemetry series interval must be positive virtual time")
             }
+            ScenarioError::Federation(e) => write!(f, "federation rejected: {e}"),
         }
     }
 }

@@ -26,9 +26,11 @@ pub use overlay::selector::ModelKind;
 use planetlab::builder::TestbedConfig;
 
 use crate::experiments::{fig5, fig6, per_sc_transfer_metric, sc_labels};
+use crate::federation::{run_federation, FederationConfig, LatencySummary};
 use crate::runner::run_indexed;
 use crate::scenario::{run_scenario, ScenarioBuilder, ScenarioConfig, ScenarioError};
 use crate::spec::{ExperimentSpec, MB};
+use crate::synthtopo::SynthTopoConfig;
 
 /// Label of the broadcast transfer in [`CellWorkload::Distribute`] cells.
 pub const DISTRIBUTE_LABEL: &str = "sweep";
@@ -123,6 +125,16 @@ pub enum CellWorkload {
         /// Size of the congesting background transfer in bytes.
         background_bytes: u64,
     },
+    /// The multi-broker federation shape ([`crate::federation`]): homing,
+    /// roster gossip, petition forwarding on a synthetic testbed driven by
+    /// the `brokers` and `gossip_staleness` axes (the testbed and accept
+    /// axes do not apply). The single row is the mean petition latency.
+    /// Requires [`ModelKind::Blind`]: each federated broker runs its own
+    /// round-robin selector.
+    Federation {
+        /// Peers across the federation.
+        peers: usize,
+    },
 }
 
 impl CellWorkload {
@@ -130,7 +142,7 @@ impl CellWorkload {
     pub fn unit(self) -> &'static str {
         match self {
             CellWorkload::Distribute { .. } => "minutes",
-            CellWorkload::SelectedTransfer { .. } => "seconds",
+            CellWorkload::SelectedTransfer { .. } | CellWorkload::Federation { .. } => "seconds",
         }
     }
 
@@ -138,6 +150,7 @@ impl CellWorkload {
         match self {
             CellWorkload::Distribute { .. } => "distribute",
             CellWorkload::SelectedTransfer { .. } => "selected-transfer",
+            CellWorkload::Federation { .. } => "federation",
         }
     }
 }
@@ -175,6 +188,14 @@ pub struct SweepSpec {
     pub testbeds: Vec<TestbedAxis>,
     /// Task-accept-profile axis.
     pub accept_profiles: Vec<AcceptProfile>,
+    /// Broker-count axis (read by [`CellWorkload::Federation`] cells;
+    /// singleton `vec![1]` for the classic single-broker workloads).
+    pub brokers: Vec<usize>,
+    /// Gossip/staleness cadence axis in virtual seconds: each value sets
+    /// both the roster gossip interval and the staleness bound of a
+    /// federation cell (`0` = workload defaults). Singleton `vec![0.0]`
+    /// for non-federation grids.
+    pub gossip_staleness: Vec<f64>,
     /// Seed scheme shared by every cell.
     pub seeds: SeedScheme,
     /// Virtual-time offset of the first scripted command.
@@ -194,19 +215,26 @@ pub struct Cell {
     pub model: ModelKind,
     /// Drop-probability axis value.
     pub drop_probability: f64,
+    /// Broker-count axis value.
+    pub brokers: usize,
+    /// Gossip/staleness cadence axis value (virtual seconds).
+    pub gossip_staleness: f64,
     /// Split-count axis value.
     pub parts: u32,
 }
 
 impl Cell {
-    /// Human-readable cell id, e.g. `measurement/accept-all/blind/drop0/parts16`.
+    /// Human-readable cell id, e.g.
+    /// `measurement/accept-all/blind/drop0/brokers1/stale0/parts16`.
     pub fn id_string(&self) -> String {
         format!(
-            "{}/{}/{}/drop{}/parts{}",
+            "{}/{}/{}/drop{}/brokers{}/stale{}/parts{}",
             self.testbed.name(),
             self.accept.name,
             self.model.name(),
             self.drop_probability,
+            self.brokers,
+            self.gossip_staleness,
             self.parts
         )
     }
@@ -221,6 +249,10 @@ pub enum SweepError {
     NoReplications,
     /// A parts axis value was zero (a file cannot have zero parts).
     ZeroParts,
+    /// A brokers axis value was zero (a federation needs a broker).
+    ZeroBrokers,
+    /// A gossip-staleness axis value was negative.
+    NegativeStaleness,
     /// The model cannot drive the workload: `Blind` never selects, so it
     /// cannot run a `SelectedTransfer`; conversely a broadcast
     /// `Distribute` never consults a non-blind model.
@@ -240,6 +272,10 @@ impl std::fmt::Display for SweepError {
             SweepError::EmptyAxis(axis) => write!(f, "empty {axis} axis"),
             SweepError::NoReplications => write!(f, "seed scheme yields zero replications"),
             SweepError::ZeroParts => write!(f, "parts axis contains 0"),
+            SweepError::ZeroBrokers => write!(f, "brokers axis contains 0"),
+            SweepError::NegativeStaleness => {
+                write!(f, "gossip_staleness axis contains a negative value")
+            }
             SweepError::ModelWorkloadMismatch { model, workload } => {
                 write!(f, "model {model} cannot drive a {workload} workload")
             }
@@ -292,8 +328,20 @@ impl SweepSpec {
         if self.accept_profiles.is_empty() {
             return Err(SweepError::EmptyAxis("accept_profiles"));
         }
+        if self.brokers.is_empty() {
+            return Err(SweepError::EmptyAxis("brokers"));
+        }
+        if self.gossip_staleness.is_empty() {
+            return Err(SweepError::EmptyAxis("gossip_staleness"));
+        }
         if self.parts.contains(&0) {
             return Err(SweepError::ZeroParts);
+        }
+        if self.brokers.contains(&0) {
+            return Err(SweepError::ZeroBrokers);
+        }
+        if self.gossip_staleness.iter().any(|&s| s < 0.0) {
+            return Err(SweepError::NegativeStaleness);
         }
         if self.replications() == 0 {
             return Err(SweepError::NoReplications);
@@ -312,9 +360,10 @@ impl SweepSpec {
     }
 
     /// Expands the cross-product into cells, in the stable order: testbed
-    /// outermost, then accept profile, model, drop probability, and parts
-    /// fastest-varying. The order is part of the output contract — cell
-    /// indices feed [`derive_seed`].
+    /// outermost, then accept profile, model, drop probability, brokers,
+    /// gossip staleness, and parts fastest-varying. The order is part of
+    /// the output contract — cell indices feed [`derive_seed`] (singleton
+    /// broker/staleness axes leave the classic grids' indices unchanged).
     pub fn expand(&self) -> Result<Vec<Cell>, SweepError> {
         self.validate()?;
         let mut cells = Vec::new();
@@ -322,15 +371,21 @@ impl SweepSpec {
             for &accept in &self.accept_profiles {
                 for &model in &self.models {
                     for &drop_probability in &self.drop_probabilities {
-                        for &parts in &self.parts {
-                            cells.push(Cell {
-                                index: cells.len(),
-                                testbed,
-                                accept,
-                                model,
-                                drop_probability,
-                                parts,
-                            });
+                        for &brokers in &self.brokers {
+                            for &gossip_staleness in &self.gossip_staleness {
+                                for &parts in &self.parts {
+                                    cells.push(Cell {
+                                        index: cells.len(),
+                                        testbed,
+                                        accept,
+                                        model,
+                                        drop_probability,
+                                        brokers,
+                                        gossip_staleness,
+                                        parts,
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -416,8 +471,33 @@ fn scenario_for_cell(spec: &SweepSpec, cell: &Cell) -> Result<ScenarioConfig, Sc
                 .expect("validate() rejected blind models for selected-transfer cells");
             builder = builder.selector(factory);
         }
+        CellWorkload::Federation { .. } => {
+            unreachable!("federation cells never build a testbed scenario")
+        }
     }
     builder.build()
+}
+
+/// Builds one federation cell's config: one region (and one shard) per
+/// broker, the cell's cadence as both gossip interval and staleness bound,
+/// and the parts axis as the per-round split count.
+fn federation_for_cell(cell: &Cell, peers: usize) -> FederationConfig {
+    let defaults = FederationConfig::default();
+    let cadence =
+        (cell.gossip_staleness > 0.0).then(|| SimDuration::from_secs_f64(cell.gossip_staleness));
+    FederationConfig {
+        topo: SynthTopoConfig {
+            regions: cell.brokers,
+            peers: peers.max(cell.brokers),
+            ..SynthTopoConfig::default()
+        },
+        num_shards: cell.brokers,
+        gossip_interval: cadence.unwrap_or(defaults.gossip_interval),
+        staleness_bound: cadence,
+        file_parts: cell.parts,
+        trace_capacity: None,
+        ..defaults
+    }
 }
 
 /// One replication's extracted measures.
@@ -428,6 +508,22 @@ struct RepOutcome {
     chosen: String,
     /// The replication's full engine metrics.
     metrics: Metrics,
+}
+
+/// Runs one federation replication and reduces it to the cell's single
+/// petition-latency row.
+fn run_federation_rep(cell: &Cell, peers: usize, seed: u64) -> RepOutcome {
+    let cfg = federation_for_cell(cell, peers);
+    let result =
+        run_federation(&cfg, seed).expect("axis validation guarantees a well-formed federation");
+    let mean = LatencySummary::from_samples(&result.petition_latencies())
+        .map(|s| s.mean_s)
+        .unwrap_or(f64::NAN);
+    RepOutcome {
+        values: vec![("petition_mean".to_string(), mean)],
+        chosen: String::new(),
+        metrics: result.metrics,
+    }
 }
 
 fn run_cell_rep(spec: &SweepSpec, cfg: &ScenarioConfig, seed: u64) -> RepOutcome {
@@ -463,6 +559,7 @@ fn run_cell_rep(spec: &SweepSpec, cfg: &ScenarioConfig, seed: u64) -> RepOutcome
                 metrics: result.metrics,
             }
         }
+        CellWorkload::Federation { .. } => unreachable!("dispatched to run_federation_rep"),
     }
 }
 
@@ -516,12 +613,12 @@ impl CampaignResult {
     /// floats, byte-identical for any worker count.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "grid,cell,testbed,accept,model,drop,parts,label,unit,reps,mean,sd,min,max\n",
+            "grid,cell,testbed,accept,model,drop,parts,brokers,staleness,label,unit,reps,mean,sd,min,max\n",
         );
         for c in &self.cells {
             for (label, stat) in &c.rows {
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                     self.grid,
                     c.cell.index,
                     c.cell.testbed.name(),
@@ -529,6 +626,8 @@ impl CampaignResult {
                     c.cell.model.name(),
                     c.cell.drop_probability,
                     c.cell.parts,
+                    c.cell.brokers,
+                    c.cell.gossip_staleness,
                     label,
                     c.unit,
                     stat.count(),
@@ -567,6 +666,8 @@ impl CampaignResult {
                 c.cell.model.name(),
             ));
             push_json_f64(&mut out, c.cell.drop_probability);
+            out.push_str(&format!(",\"brokers\":{},\"staleness\":", c.cell.brokers));
+            push_json_f64(&mut out, c.cell.gossip_staleness);
             out.push_str(&format!(
                 ",\"parts\":{},\"unit\":\"{}\"",
                 c.cell.parts, c.unit
@@ -652,17 +753,30 @@ impl CampaignResult {
 /// CSV/JSON renderings — is byte-identical for every worker count.
 pub fn run_campaign(spec: &SweepSpec, workers: usize) -> Result<CampaignResult, SweepError> {
     let cells = spec.expand()?;
+    let federation_peers = match spec.workload {
+        CellWorkload::Federation { peers } => Some(peers),
+        _ => None,
+    };
     // Build (and discard) every cell's scenario up front: a mis-specified
-    // grid must fail here, not inside a worker thread.
-    for cell in &cells {
-        scenario_for_cell(spec, cell)?;
+    // grid must fail here, not inside a worker thread. (Federation cells
+    // are validated by the axis checks in `expand` instead.)
+    if federation_peers.is_none() {
+        for cell in &cells {
+            scenario_for_cell(spec, cell)?;
+        }
     }
     let reps = spec.replications();
     let outcomes = run_indexed(cells.len() * reps, workers, |task| {
         let cell = &cells[task / reps];
         let rep = task % reps;
-        let cfg = scenario_for_cell(spec, cell).expect("validated above");
-        run_cell_rep(spec, &cfg, spec.seed_for(cell.index, rep))
+        let seed = spec.seed_for(cell.index, rep);
+        match federation_peers {
+            Some(peers) => run_federation_rep(cell, peers, seed),
+            None => {
+                let cfg = scenario_for_cell(spec, cell).expect("validated above");
+                run_cell_rep(spec, &cfg, seed)
+            }
+        }
     });
 
     let mut outcomes = outcomes.into_iter();
@@ -723,6 +837,8 @@ pub fn fig345_grid(seeds: SeedScheme, warmup: SimDuration) -> SweepSpec {
         drop_probabilities: vec![0.0],
         testbeds: vec![TestbedAxis::Measurement],
         accept_profiles: vec![ACCEPT_ALL],
+        brokers: vec![1],
+        gossip_staleness: vec![0.0],
         seeds,
         warmup,
     }
@@ -742,14 +858,35 @@ pub fn fig67_grid(seeds: SeedScheme, warmup: SimDuration) -> SweepSpec {
         drop_probabilities: vec![0.0],
         testbeds: vec![TestbedAxis::Measurement],
         accept_profiles: vec![FIG6_WARMUP_ACCEPT],
+        brokers: vec![1],
+        gossip_staleness: vec![0.0],
         seeds,
         warmup,
     }
 }
 
+/// The federation grid: mean petition latency across broker count × the
+/// gossip/staleness cadence — the `psim bench-federation` axes as a sweep
+/// campaign, so replications and CSV/JSON rendering come for free.
+pub fn federation_grid(seeds: SeedScheme) -> SweepSpec {
+    SweepSpec {
+        name: "federation".into(),
+        workload: CellWorkload::Federation { peers: 64 },
+        models: vec![ModelKind::Blind],
+        parts: vec![4],
+        drop_probabilities: vec![0.0],
+        testbeds: vec![TestbedAxis::Measurement],
+        accept_profiles: vec![ACCEPT_ALL],
+        brokers: vec![2, 4],
+        gossip_staleness: vec![30.0, 240.0],
+        seeds,
+        warmup: SimDuration::ZERO,
+    }
+}
+
 /// The grid names `psim sweep` accepts.
 pub fn named_grid_list() -> Vec<&'static str> {
-    vec!["fig345", "fig67"]
+    vec!["fig345", "fig67", "federation"]
 }
 
 /// Resolves a named grid with a derived seed scheme. `None` for unknown
@@ -763,133 +900,9 @@ pub fn named_grid(name: &str, campaign_seed: u64, replications: usize) -> Option
     match name {
         "fig345" => Some(fig345_grid(seeds, warmup)),
         "fig67" => Some(fig67_grid(seeds, warmup)),
+        "federation" => Some(federation_grid(seeds)),
         _ => None,
     }
-}
-
-/// One point of a scaling measurement.
-#[derive(Debug, Clone, Copy)]
-pub struct ScalingPoint {
-    /// Worker-pool width.
-    pub workers: usize,
-    /// Wall-clock seconds for the whole batch.
-    pub wall_secs: f64,
-    /// Completed cell-replications per wall-clock second.
-    pub cells_per_sec: f64,
-}
-
-/// Measures pool throughput on *wait-bound* calibrated cells: every task
-/// sleeps `cell_wait` (a stand-in for a real campaign cell that waits on a
-/// remote testbed — on PlanetLab each cell is wall-clock-bound, not
-/// CPU-bound). Wait-bound cells isolate the pool's overlap behaviour from
-/// the host's core count: even a single-core host overlaps sleeping
-/// workers, so this is the honest upper bound the pool itself delivers.
-pub fn measure_pool_scaling(
-    tasks: usize,
-    cell_wait: std::time::Duration,
-    workers_list: &[usize],
-) -> Vec<ScalingPoint> {
-    workers_list
-        .iter()
-        .map(|&workers| {
-            let start = std::time::Instant::now();
-            run_indexed(tasks, workers, |_| std::thread::sleep(cell_wait));
-            let wall_secs = start.elapsed().as_secs_f64();
-            ScalingPoint {
-                workers,
-                wall_secs,
-                cells_per_sec: tasks as f64 / wall_secs,
-            }
-        })
-        .collect()
-}
-
-/// Measures the same pool on real CPU-bound simulation cells by running
-/// `spec` once per worker count. On an N-core host the speedup ceiling is
-/// N; the numbers are still worth recording to catch pool overhead
-/// regressions.
-pub fn measure_campaign_scaling(
-    spec: &SweepSpec,
-    workers_list: &[usize],
-) -> Result<Vec<ScalingPoint>, SweepError> {
-    let tasks = spec.expand()?.len() * spec.replications();
-    workers_list
-        .iter()
-        .map(|&workers| {
-            let start = std::time::Instant::now();
-            run_campaign(spec, workers)?;
-            let wall_secs = start.elapsed().as_secs_f64();
-            Ok(ScalingPoint {
-                workers,
-                wall_secs,
-                cells_per_sec: tasks as f64 / wall_secs,
-            })
-        })
-        .collect()
-}
-
-/// Renders the `BENCH_sweep.json` artifact: the wait-bound pool scaling
-/// (headline `speedup_4_vs_1`) plus the CPU-bound campaign numbers, with
-/// the host parallelism recorded so readers can judge the latter.
-pub fn render_scaling_json(
-    pool: &[ScalingPoint],
-    pool_tasks: usize,
-    pool_cell_ms: u64,
-    campaign: &[ScalingPoint],
-    campaign_grid: &str,
-    campaign_tasks: usize,
-) -> String {
-    let point_json = |p: &ScalingPoint, baseline: f64| {
-        format!(
-            "{{\"workers\":{},\"wall_secs\":{:.4},\"cells_per_sec\":{:.3},\"speedup_vs_1\":{:.3}}}",
-            p.workers,
-            p.wall_secs,
-            p.cells_per_sec,
-            p.cells_per_sec / baseline
-        )
-    };
-    let points_json = |points: &[ScalingPoint]| {
-        let baseline = points.first().map(|p| p.cells_per_sec).unwrap_or(1.0);
-        points
-            .iter()
-            .map(|p| point_json(p, baseline))
-            .collect::<Vec<_>>()
-            .join(",")
-    };
-    let headline = |points: &[ScalingPoint], workers: usize| {
-        let baseline = points.first().map(|p| p.cells_per_sec).unwrap_or(1.0);
-        points
-            .iter()
-            .find(|p| p.workers == workers)
-            .map(|p| p.cells_per_sec / baseline)
-            .unwrap_or(f64::NAN)
-    };
-    let host = crate::runner::detect_host_parallelism();
-    // CPU-bound cells cannot scale past the host's cores: when the bench ran
-    // with more workers than cores, flag the document so flat 0.95–1.0×
-    // campaign points read as saturation, not regression.
-    let saturated = pool.iter().chain(campaign.iter()).any(|p| p.workers > host);
-    let w1 = pool.first().map(|p| p.cells_per_sec).unwrap_or(f64::NAN);
-    let w4 = pool
-        .iter()
-        .find(|p| p.workers == 4)
-        .map(|p| p.cells_per_sec)
-        .unwrap_or(f64::NAN);
-    format!(
-        "{{\"bench\":\"sweep_scaling\",\"schema\":1,\"host_parallelism\":{host},\
-         \"saturated\":{saturated},\
-         \"pool_wait_bound\":{{\"note\":\"calibrated wait-bound cells (PlanetLab-style \
-         wall-clock cells); isolates pool overlap from host core count\",\
-         \"tasks\":{pool_tasks},\"cell_ms\":{pool_cell_ms},\"points\":[{pool_points}]}},\
-         \"campaign_sim\":{{\"note\":\"real CPU-bound simulation cells; speedup ceiling \
-         is host_parallelism\",\"grid\":\"{campaign_grid}\",\"tasks\":{campaign_tasks},\
-         \"points\":[{campaign_points}]}},\
-         \"cells_per_sec_workers1\":{w1:.3},\"cells_per_sec_workers4\":{w4:.3},\
-         \"speedup_4_vs_1\":{headline4:.3}}}",
-        pool_points = points_json(pool),
-        campaign_points = points_json(campaign),
-        headline4 = headline(pool, 4),
-    )
 }
 
 #[cfg(test)]
@@ -905,6 +918,8 @@ mod tests {
             drop_probabilities: vec![0.0],
             testbeds: vec![TestbedAxis::Measurement],
             accept_profiles: vec![ACCEPT_ALL],
+            brokers: vec![1],
+            gossip_staleness: vec![0.0],
             seeds,
             warmup: SimDuration::from_secs(60),
         }
@@ -975,6 +990,18 @@ mod tests {
         s.seeds = SeedScheme::Explicit(Vec::new());
         assert_eq!(s.validate(), Err(SweepError::NoReplications));
         let mut s = base();
+        s.brokers = vec![0];
+        assert_eq!(s.validate(), Err(SweepError::ZeroBrokers));
+        let mut s = base();
+        s.gossip_staleness = vec![-1.0];
+        assert_eq!(s.validate(), Err(SweepError::NegativeStaleness));
+        let mut s = federation_grid(SeedScheme::Explicit(vec![1]));
+        s.models = vec![ModelKind::Economic];
+        assert!(matches!(
+            s.validate(),
+            Err(SweepError::ModelWorkloadMismatch { .. })
+        ));
+        let mut s = base();
         s.models = vec![ModelKind::Economic];
         assert!(matches!(
             s.validate(),
@@ -1038,6 +1065,34 @@ mod tests {
     }
 
     #[test]
+    fn federation_grid_runs_and_is_worker_invariant() {
+        let mk = || {
+            let mut s = federation_grid(SeedScheme::Derived {
+                campaign_seed: 5,
+                replications: 1,
+            });
+            s.workload = CellWorkload::Federation { peers: 24 };
+            s.gossip_staleness = vec![240.0];
+            s
+        };
+        let one = run_campaign(&mk(), 1).expect("valid grid");
+        let four = run_campaign(&mk(), 4).expect("valid grid");
+        assert_eq!(one.to_csv(), four.to_csv());
+        assert_eq!(one.to_json(), four.to_json());
+        assert_eq!(one.cells.len(), 2, "2 broker counts x 1 cadence");
+        assert!(one.to_csv().starts_with(
+            "grid,cell,testbed,accept,model,drop,parts,brokers,staleness,label,unit,reps,mean,sd,min,max\n"
+        ));
+        for c in &one.cells {
+            assert_eq!(c.rows.len(), 1);
+            assert_eq!(c.rows[0].0, "petition_mean");
+            assert!(c.rows[0].1.mean() > 0.0, "petition latency recorded");
+        }
+        assert_eq!(one.cells[0].cell.brokers, 2);
+        assert_eq!(one.cells[1].cell.brokers, 4);
+    }
+
+    #[test]
     fn named_grids_resolve_and_unknown_does_not() {
         for name in named_grid_list() {
             let spec = named_grid(name, 1, 2).expect("listed grid resolves");
@@ -1069,20 +1124,5 @@ mod tests {
             replications: 2,
         });
         assert_ne!(derived.seed_for(0, 1), derived.seed_for(5, 1));
-    }
-
-    #[test]
-    fn pool_scaling_overlaps_wait_bound_cells() {
-        let points = measure_pool_scaling(8, std::time::Duration::from_millis(5), &[1, 4]);
-        assert_eq!(points.len(), 2);
-        assert!(
-            points[1].cells_per_sec > points[0].cells_per_sec * 1.5,
-            "4 workers should overlap sleeps: {} vs {}",
-            points[1].cells_per_sec,
-            points[0].cells_per_sec
-        );
-        let json = render_scaling_json(&points, 8, 5, &[], "none", 0);
-        assert!(json.contains("\"bench\":\"sweep_scaling\""));
-        assert!(json.contains("speedup_4_vs_1"));
     }
 }

@@ -1,0 +1,155 @@
+//! Sweep-pool scaling measurement (`psim bench-sweep` → `BENCH_sweep.json`).
+//!
+//! Split out of [`crate::sweep`]: the campaign machinery defines *what* a
+//! grid computes; this module measures how the work-stealing pool that
+//! runs it scales with the worker count, in the two modes DESIGN.md §11
+//! describes (calibrated wait-bound cells vs real CPU-bound simulation
+//! cells).
+
+use crate::runner::run_indexed;
+use crate::sweep::{run_campaign, SweepError, SweepSpec};
+
+/// One point of a scaling measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Worker-pool width.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_secs: f64,
+    /// Completed cell-replications per wall-clock second.
+    pub cells_per_sec: f64,
+}
+
+/// Measures pool throughput on *wait-bound* calibrated cells: every task
+/// sleeps `cell_wait` (a stand-in for a real campaign cell that waits on a
+/// remote testbed — on PlanetLab each cell is wall-clock-bound, not
+/// CPU-bound). Wait-bound cells isolate the pool's overlap behaviour from
+/// the host's core count: even a single-core host overlaps sleeping
+/// workers, so this is the honest upper bound the pool itself delivers.
+pub fn measure_pool_scaling(
+    tasks: usize,
+    cell_wait: std::time::Duration,
+    workers_list: &[usize],
+) -> Vec<ScalingPoint> {
+    workers_list
+        .iter()
+        .map(|&workers| {
+            let start = std::time::Instant::now();
+            run_indexed(tasks, workers, |_| std::thread::sleep(cell_wait));
+            let wall_secs = start.elapsed().as_secs_f64();
+            ScalingPoint {
+                workers,
+                wall_secs,
+                cells_per_sec: tasks as f64 / wall_secs,
+            }
+        })
+        .collect()
+}
+
+/// Measures the same pool on real CPU-bound simulation cells by running
+/// `spec` once per worker count. On an N-core host the speedup ceiling is
+/// N; the numbers are still worth recording to catch pool overhead
+/// regressions.
+pub fn measure_campaign_scaling(
+    spec: &SweepSpec,
+    workers_list: &[usize],
+) -> Result<Vec<ScalingPoint>, SweepError> {
+    let tasks = spec.expand()?.len() * spec.replications();
+    workers_list
+        .iter()
+        .map(|&workers| {
+            let start = std::time::Instant::now();
+            run_campaign(spec, workers)?;
+            let wall_secs = start.elapsed().as_secs_f64();
+            Ok(ScalingPoint {
+                workers,
+                wall_secs,
+                cells_per_sec: tasks as f64 / wall_secs,
+            })
+        })
+        .collect()
+}
+
+/// Renders the `BENCH_sweep.json` artifact: the wait-bound pool scaling
+/// (headline `speedup_4_vs_1`) plus the CPU-bound campaign numbers, with
+/// the host parallelism recorded so readers can judge the latter.
+pub fn render_scaling_json(
+    pool: &[ScalingPoint],
+    pool_tasks: usize,
+    pool_cell_ms: u64,
+    campaign: &[ScalingPoint],
+    campaign_grid: &str,
+    campaign_tasks: usize,
+) -> String {
+    let point_json = |p: &ScalingPoint, baseline: f64| {
+        format!(
+            "{{\"workers\":{},\"wall_secs\":{:.4},\"cells_per_sec\":{:.3},\"speedup_vs_1\":{:.3}}}",
+            p.workers,
+            p.wall_secs,
+            p.cells_per_sec,
+            p.cells_per_sec / baseline
+        )
+    };
+    let points_json = |points: &[ScalingPoint]| {
+        let baseline = points.first().map(|p| p.cells_per_sec).unwrap_or(1.0);
+        points
+            .iter()
+            .map(|p| point_json(p, baseline))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let headline = |points: &[ScalingPoint], workers: usize| {
+        let baseline = points.first().map(|p| p.cells_per_sec).unwrap_or(1.0);
+        points
+            .iter()
+            .find(|p| p.workers == workers)
+            .map(|p| p.cells_per_sec / baseline)
+            .unwrap_or(f64::NAN)
+    };
+    let host = crate::runner::detect_host_parallelism();
+    // CPU-bound cells cannot scale past the host's cores: when the bench ran
+    // with more workers than cores, flag the document so flat 0.95–1.0×
+    // campaign points read as saturation, not regression.
+    let saturated = pool.iter().chain(campaign.iter()).any(|p| p.workers > host);
+    let w1 = pool.first().map(|p| p.cells_per_sec).unwrap_or(f64::NAN);
+    let w4 = pool
+        .iter()
+        .find(|p| p.workers == 4)
+        .map(|p| p.cells_per_sec)
+        .unwrap_or(f64::NAN);
+    format!(
+        "{{\"bench\":\"sweep_scaling\",\"schema\":1,\"host_parallelism\":{host},\
+         \"saturated\":{saturated},\
+         \"pool_wait_bound\":{{\"note\":\"calibrated wait-bound cells (PlanetLab-style \
+         wall-clock cells); isolates pool overlap from host core count\",\
+         \"tasks\":{pool_tasks},\"cell_ms\":{pool_cell_ms},\"points\":[{pool_points}]}},\
+         \"campaign_sim\":{{\"note\":\"real CPU-bound simulation cells; speedup ceiling \
+         is host_parallelism\",\"grid\":\"{campaign_grid}\",\"tasks\":{campaign_tasks},\
+         \"points\":[{campaign_points}]}},\
+         \"cells_per_sec_workers1\":{w1:.3},\"cells_per_sec_workers4\":{w4:.3},\
+         \"speedup_4_vs_1\":{headline4:.3}}}",
+        pool_points = points_json(pool),
+        campaign_points = points_json(campaign),
+        headline4 = headline(pool, 4),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_scaling_overlaps_wait_bound_cells() {
+        let points = measure_pool_scaling(8, std::time::Duration::from_millis(5), &[1, 4]);
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].cells_per_sec > points[0].cells_per_sec * 1.5,
+            "4 workers should overlap sleeps: {} vs {}",
+            points[1].cells_per_sec,
+            points[0].cells_per_sec
+        );
+        let json = render_scaling_json(&points, 8, 5, &[], "none", 0);
+        assert!(json.contains("\"bench\":\"sweep_scaling\""));
+        assert!(json.contains("speedup_4_vs_1"));
+    }
+}

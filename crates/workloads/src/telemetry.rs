@@ -100,6 +100,55 @@ pub fn overlay_series(interval: SimDuration) -> Result<TimeSeriesRecorder, TimeS
     Ok(rec)
 }
 
+/// Columns for federation workloads: population, forwarding traffic
+/// between brokers, failover re-homes, and the registry accounting.
+pub fn federation_series(interval: SimDuration) -> Result<TimeSeriesRecorder, TimeSeriesError> {
+    let mut rec = TimeSeriesRecorder::new(interval)?;
+    rec.register(
+        "peers_connected",
+        SeriesSource::Diff(
+            Box::new(SeriesSource::Sum(vec![
+                SeriesSource::Counter("churn.joins".into()),
+                SeriesSource::Counter("churn.rejoins".into()),
+            ])),
+            Box::new(SeriesSource::Counter("churn.leaves".into())),
+        ),
+        SeriesMode::Cumulative,
+    );
+    rec.register(
+        "joins",
+        SeriesSource::Counter("churn.joins".into()),
+        SeriesMode::Delta,
+    );
+    rec.register(
+        "rehomes",
+        SeriesSource::Counter("churn.rehomes".into()),
+        SeriesMode::Delta,
+    );
+    rec.register(
+        "petitions_forwarded",
+        SeriesSource::Counter("overlay.petitions_forwarded".into()),
+        SeriesMode::Delta,
+    );
+    rec.register(
+        "forwards_served",
+        SeriesSource::Counter("overlay.forwards_served".into()),
+        SeriesMode::Cumulative,
+    );
+    rec.register(
+        "stale_views_dropped",
+        SeriesSource::Counter("overlay.stale_views_dropped".into()),
+        SeriesMode::Cumulative,
+    );
+    rec.register(
+        "transfers_completed",
+        SeriesSource::Counter("overlay.transfers_completed".into()),
+        SeriesMode::Cumulative,
+    );
+    register_registry_columns(&mut rec);
+    Ok(rec)
+}
+
 /// The shared registry-memory columns: fleet-wide byte and peer-count
 /// sums over the per-broker gauges, and their ratio.
 fn register_registry_columns(rec: &mut TimeSeriesRecorder) {
@@ -151,6 +200,27 @@ mod tests {
                 "messages_sent",
                 "bytes_sent",
                 "joins",
+                "transfers_completed",
+                "registry_bytes",
+                "registry_peers",
+                "bytes_per_peer",
+            ]
+        );
+    }
+
+    #[test]
+    fn federation_columns_are_stable() {
+        let rec = federation_series(SimDuration::from_secs(60)).expect("positive interval");
+        let names: Vec<&str> = rec.names().collect();
+        assert_eq!(
+            names,
+            [
+                "peers_connected",
+                "joins",
+                "rehomes",
+                "petitions_forwarded",
+                "forwards_served",
+                "stale_views_dropped",
                 "transfers_completed",
                 "registry_bytes",
                 "registry_peers",

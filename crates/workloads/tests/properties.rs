@@ -177,6 +177,8 @@ proptest! {
             drop_probabilities: vec![0.0],
             testbeds: vec![TestbedAxis::Measurement],
             accept_profiles: vec![ACCEPT_ALL],
+            brokers: vec![1],
+            gossip_staleness: vec![0.0],
             seeds: SeedScheme::Derived {
                 campaign_seed,
                 replications: 2,

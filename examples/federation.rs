@@ -13,6 +13,7 @@ use netsim::engine::Engine;
 use netsim::time::{SimDuration, SimTime};
 use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
 use overlay::client::{ClientConfig, SimpleClient};
+use overlay::federation::FederationBuilder;
 use overlay::message::OverlayMsg;
 use overlay::records::RecordSink;
 use peer_selection::prelude::*;
@@ -74,8 +75,15 @@ fn main() {
             },
         );
     }
-    cfg_a.peer_brokers = vec![broker_b];
-    cfg_a.gossip_interval = SimDuration::from_secs(30);
+    // Wire the two governors together through the typed builder: each
+    // gossips its roster to the other every 30 s (forwarding stays off —
+    // this example shows gossip-informed selection, not failover).
+    let federation = FederationBuilder::new(vec![broker_a, broker_b])
+        .gossip_interval(SimDuration::from_secs(30))
+        .forward_hops(0)
+        .build()
+        .expect("two brokers and a positive gossip interval are valid");
+    federation.configure(0, &mut cfg_a);
     cfg_a.stop_when_idle = false;
 
     let mut cfg_b = BrokerConfig::new(2).at(
@@ -87,8 +95,7 @@ fn main() {
             label: "warmup-b".into(),
         },
     );
-    cfg_b.peer_brokers = vec![broker_a];
-    cfg_b.gossip_interval = SimDuration::from_secs(30);
+    federation.configure(1, &mut cfg_b);
     cfg_b.stop_when_idle = false;
 
     let mut engine: Engine<OverlayMsg> = Engine::new(tb.topology.clone(), Default::default(), 11);

@@ -3,9 +3,8 @@
 //! writes a machine-readable `BENCH_*.json` artifact the CI bench-check
 //! job asserts over.
 
-use workloads::sweep::{
-    measure_campaign_scaling, measure_pool_scaling, named_grid, render_scaling_json,
-};
+use workloads::sweep::named_grid;
+use workloads::sweepbench::{measure_campaign_scaling, measure_pool_scaling, render_scaling_json};
 
 use crate::{write_or_exit, Flags};
 

@@ -12,6 +12,9 @@
 //! psim csv --out target/figures --quick     # machine-readable series
 //! psim churn --peers 100000 --regions 16    # churn run on a synthetic testbed
 //! psim bench-churn --peers 20000            # churn throughput → BENCH_churn.json
+//! psim federate --brokers 4 --homing hash   # multi-broker federated run
+//! psim federate --kill-broker-at 300        # broker crash + client re-homing
+//! psim bench-federation                     # federation → BENCH_federation.json
 //! psim profile churn --peers 100000         # windowed series + Chrome trace
 //! ```
 //!
@@ -21,9 +24,13 @@
 
 mod bench;
 mod churn;
+mod commands;
+mod federate;
 mod profile;
 
 use std::collections::HashMap;
+
+use commands::{CommandDef, COMMANDS};
 
 use netsim::node::NodeId;
 use netsim::time::SimDuration;
@@ -40,465 +47,6 @@ use workloads::runner::{default_workers, run_traced};
 use workloads::scenario::{named_scenario_list, run_scenario, ScenarioConfig};
 use workloads::spec::{ExperimentSpec, MB, PAPER_REPETITIONS};
 use workloads::sweep::{named_grid, named_grid_list, run_campaign};
-
-// ---------------------------------------------------------------------------
-// The declarative command table: one row per subcommand, one row per flag.
-// ---------------------------------------------------------------------------
-
-/// One `--flag` a subcommand accepts.
-struct FlagDef {
-    name: &'static str,
-    /// `true`: the flag consumes the next argument; `false`: boolean switch.
-    takes_value: bool,
-    /// Default inserted before parsing (`None` = absent unless given).
-    default: Option<&'static str>,
-    help: &'static str,
-}
-
-/// One subcommand.
-struct CommandDef {
-    name: &'static str,
-    /// Placeholder for the positional argument, if the command takes one.
-    positional: Option<&'static str>,
-    flags: &'static [FlagDef],
-    help: &'static str,
-}
-
-const SEED: FlagDef = FlagDef {
-    name: "seed",
-    takes_value: true,
-    default: Some("1"),
-    help: "RNG seed",
-};
-const QUICK: FlagDef = FlagDef {
-    name: "quick",
-    takes_value: false,
-    default: None,
-    help: "fewer repetitions (smoke settings)",
-};
-const STRICT: FlagDef = FlagDef {
-    name: "strict",
-    takes_value: false,
-    default: None,
-    help: "exit 3 when the trace ring dropped events",
-};
-const SHARDS: FlagDef = FlagDef {
-    name: "shards",
-    takes_value: true,
-    default: Some("1"),
-    help: "shard domains for the parallel engine (1 = serial)",
-};
-const SHARD_WORKERS: FlagDef = FlagDef {
-    name: "shard-workers",
-    takes_value: true,
-    default: Some("1"),
-    help: "threads for a sharded run (never changes the numbers)",
-};
-
-/// `--model` choices shown in the flag help. The canonical table is
-/// `ModelKind::ALL` (resolved through `peer_selection::service`); the
-/// round-trip test below keeps this string in lock step with it, so the
-/// CLI cannot drift from what actually parses.
-const MODEL_FLAG_CHOICES: &str =
-    "economic|same-priority|quick-peer|random|ucb1|eps-greedy (alias: evaluator; default: blind)";
-
-static COMMANDS: &[CommandDef] = &[
-    CommandDef {
-        name: "table1",
-        positional: None,
-        flags: &[],
-        help: "print the slice roster and calibrated testbed",
-    },
-    CommandDef {
-        name: "fig",
-        positional: Some("<2|3|4|5|6|7|all>"),
-        flags: &[QUICK],
-        help: "reproduce a figure (default: all)",
-    },
-    CommandDef {
-        name: "extensions",
-        positional: None,
-        flags: &[QUICK],
-        help: "run the future-work studies",
-    },
-    CommandDef {
-        name: "ablation",
-        positional: None,
-        flags: &[QUICK],
-        help: "transport-model ablation table",
-    },
-    CommandDef {
-        name: "transfer",
-        positional: None,
-        flags: &[
-            FlagDef {
-                name: "size-mb",
-                takes_value: true,
-                default: Some("10"),
-                help: "file size in MB",
-            },
-            FlagDef {
-                name: "parts",
-                takes_value: true,
-                default: Some("10"),
-                help: "number of file parts",
-            },
-            SEED,
-            FlagDef {
-                name: "model",
-                takes_value: true,
-                default: None,
-                help: MODEL_FLAG_CHOICES,
-            },
-        ],
-        help: "run one file distribution",
-    },
-    CommandDef {
-        name: "task",
-        positional: None,
-        flags: &[
-            FlagDef {
-                name: "work",
-                takes_value: true,
-                default: Some("120"),
-                help: "task size in Gops",
-            },
-            FlagDef {
-                name: "input-mb",
-                takes_value: true,
-                default: Some("0"),
-                help: "task input size in MB",
-            },
-            SEED,
-            FlagDef {
-                name: "model",
-                takes_value: true,
-                default: None,
-                help: MODEL_FLAG_CHOICES,
-            },
-        ],
-        help: "run one task campaign",
-    },
-    CommandDef {
-        name: "sweep",
-        positional: Some("<grid>"),
-        flags: &[
-            FlagDef {
-                name: "workers",
-                takes_value: true,
-                default: Some("0"),
-                help: "worker threads; 0 = auto (never changes the numbers)",
-            },
-            SEED,
-            QUICK,
-            FlagDef {
-                name: "csv",
-                takes_value: true,
-                default: None,
-                help: "also write the CSV to FILE",
-            },
-            FlagDef {
-                name: "json",
-                takes_value: true,
-                default: None,
-                help: "write the campaign JSON to FILE",
-            },
-            FlagDef {
-                name: "prom",
-                takes_value: true,
-                default: None,
-                help: "write cell-tagged metrics exposition to FILE",
-            },
-        ],
-        help: "run a named grid campaign (fig345, fig67); CSV on stdout",
-    },
-    CommandDef {
-        name: "csv",
-        positional: None,
-        flags: &[
-            FlagDef {
-                name: "out",
-                takes_value: true,
-                default: Some("target/figures"),
-                help: "output directory",
-            },
-            QUICK,
-        ],
-        help: "write every figure's series as CSV",
-    },
-    CommandDef {
-        name: "bench-engine",
-        positional: None,
-        flags: &[
-            FlagDef {
-                name: "messages",
-                takes_value: true,
-                default: Some("1000000"),
-                help: "ping-pong message count",
-            },
-            FlagDef {
-                name: "out",
-                takes_value: true,
-                default: Some("BENCH_engine.json"),
-                help: "output file",
-            },
-        ],
-        help: "measure engine throughput, write BENCH_engine.json",
-    },
-    CommandDef {
-        name: "bench-sweep",
-        positional: None,
-        flags: &[
-            FlagDef {
-                name: "tasks",
-                takes_value: true,
-                default: Some("16"),
-                help: "wait-bound cells in the pool mode",
-            },
-            FlagDef {
-                name: "cell-ms",
-                takes_value: true,
-                default: Some("25"),
-                help: "per-cell wait in milliseconds",
-            },
-            FlagDef {
-                name: "out",
-                takes_value: true,
-                default: Some("BENCH_sweep.json"),
-                help: "output file",
-            },
-        ],
-        help: "measure sweep cells/second vs workers, write BENCH_sweep.json",
-    },
-    CommandDef {
-        name: "bench-parallel-engine",
-        positional: None,
-        flags: &[
-            FlagDef {
-                name: "regions",
-                takes_value: true,
-                default: Some("4"),
-                help: "shard regions in the multi-region workload",
-            },
-            FlagDef {
-                name: "clients",
-                takes_value: true,
-                default: Some("8"),
-                help: "clients per region",
-            },
-            FlagDef {
-                name: "rounds",
-                takes_value: true,
-                default: Some("6"),
-                help: "distribution rounds per broker",
-            },
-            SEED,
-            FlagDef {
-                name: "out",
-                takes_value: true,
-                default: Some("BENCH_parallel_engine.json"),
-                help: "output file",
-            },
-        ],
-        help: "measure sharded-engine events/s at 1,2,4 workers",
-    },
-    CommandDef {
-        name: "churn",
-        positional: None,
-        flags: &[
-            FlagDef {
-                name: "regions",
-                takes_value: true,
-                default: Some("8"),
-                help: "synthetic regions (one broker each)",
-            },
-            FlagDef {
-                name: "peers",
-                takes_value: true,
-                default: Some("1000"),
-                help: "lifecycle peers across all regions",
-            },
-            FlagDef {
-                name: "horizon-secs",
-                takes_value: true,
-                default: Some("1800"),
-                help: "virtual-time horizon in seconds",
-            },
-            FlagDef {
-                name: "num-shards",
-                takes_value: true,
-                default: Some("4"),
-                help: "shard domains (fixed across worker counts)",
-            },
-            SEED,
-            SHARD_WORKERS,
-        ],
-        help: "churn run on a synthetic testbed -> trace JSONL + metrics + summary",
-    },
-    CommandDef {
-        name: "bench-churn",
-        positional: None,
-        flags: &[
-            FlagDef {
-                name: "regions",
-                takes_value: true,
-                default: Some("8"),
-                help: "synthetic regions (one broker each)",
-            },
-            FlagDef {
-                name: "peers",
-                takes_value: true,
-                default: Some("20000"),
-                help: "lifecycle peers across all regions",
-            },
-            FlagDef {
-                name: "horizon-secs",
-                takes_value: true,
-                default: Some("1800"),
-                help: "virtual-time horizon in seconds",
-            },
-            FlagDef {
-                name: "num-shards",
-                takes_value: true,
-                default: Some("4"),
-                help: "shard domains (fixed across worker counts)",
-            },
-            SEED,
-            FlagDef {
-                name: "out",
-                takes_value: true,
-                default: Some("BENCH_churn.json"),
-                help: "output file",
-            },
-        ],
-        help: "measure churn events/s at 1,2,4 workers, write BENCH_churn.json",
-    },
-    CommandDef {
-        name: "profile",
-        positional: Some("<churn|scenario>"),
-        flags: &[
-            FlagDef {
-                name: "regions",
-                takes_value: true,
-                default: Some("8"),
-                help: "synthetic regions for the churn workload",
-            },
-            FlagDef {
-                name: "peers",
-                takes_value: true,
-                default: Some("20000"),
-                help: "lifecycle peers for the churn workload",
-            },
-            FlagDef {
-                name: "horizon-secs",
-                takes_value: true,
-                default: Some("1800"),
-                help: "virtual-time horizon in seconds",
-            },
-            FlagDef {
-                name: "num-shards",
-                takes_value: true,
-                default: Some("4"),
-                help: "shard domains for the churn workload",
-            },
-            FlagDef {
-                name: "interval-secs",
-                takes_value: true,
-                default: Some("60"),
-                help: "time-series sampling interval (virtual seconds)",
-            },
-            FlagDef {
-                name: "series-csv",
-                takes_value: true,
-                default: None,
-                help: "also write the series CSV to FILE",
-            },
-            FlagDef {
-                name: "chrome-trace",
-                takes_value: true,
-                default: None,
-                help: "write a Chrome trace_event JSON of the barrier rounds to FILE",
-            },
-            FlagDef {
-                name: "out",
-                takes_value: true,
-                default: Some("BENCH_profile.json"),
-                help: "wall-clock summary output file",
-            },
-            SEED,
-            SHARDS,
-            SHARD_WORKERS,
-        ],
-        help: "telemetry run -> series CSV + Prometheus on stdout, BENCH_profile.json",
-    },
-    CommandDef {
-        name: "trace",
-        positional: Some("<scenario>"),
-        flags: &[
-            SEED,
-            FlagDef {
-                name: "out",
-                takes_value: true,
-                default: None,
-                help: "output file (default: stdout)",
-            },
-            STRICT,
-            SHARDS,
-            SHARD_WORKERS,
-        ],
-        help: "run a traced scenario, emit JSONL events",
-    },
-    CommandDef {
-        name: "report",
-        positional: Some("<scenario>"),
-        flags: &[SEED, STRICT, SHARDS, SHARD_WORKERS],
-        help: "traced run -> metrics snapshot + transfer timelines",
-    },
-    CommandDef {
-        name: "attribute",
-        positional: Some("<scenario>"),
-        flags: &[
-            SEED,
-            FlagDef {
-                name: "csv",
-                takes_value: true,
-                default: None,
-                help: "write the phase table CSV to FILE",
-            },
-            FlagDef {
-                name: "prom",
-                takes_value: true,
-                default: None,
-                help: "write metrics exposition to FILE",
-            },
-            STRICT,
-            SHARDS,
-            SHARD_WORKERS,
-        ],
-        help: "traced run -> per-peer latency phase breakdown",
-    },
-    CommandDef {
-        name: "multiregion",
-        positional: None,
-        flags: &[
-            FlagDef {
-                name: "regions",
-                takes_value: true,
-                default: Some("3"),
-                help: "regions (one shard and one broker each)",
-            },
-            FlagDef {
-                name: "clients",
-                takes_value: true,
-                default: Some("3"),
-                help: "clients per region",
-            },
-            SEED,
-            SHARD_WORKERS,
-        ],
-        help: "traced multi-region run -> JSONL + metrics + phase CSV",
-    },
-];
 
 /// Parsed arguments for one subcommand: the table-validated flags plus the
 /// positional argument, with typed accessors that exit 2 on malformed input.
@@ -634,6 +182,8 @@ fn main() {
         "multiregion" => cmd_multiregion(&flags),
         "churn" => churn::cmd_churn(&flags),
         "bench-churn" => churn::cmd_bench_churn(&flags),
+        "federate" => federate::cmd_federate(&flags),
+        "bench-federation" => federate::cmd_bench_federation(&flags),
         "profile" => profile::cmd_profile(&flags),
         "trace" => cmd_trace(&flags),
         "report" => cmd_report(&flags),
@@ -1113,6 +663,7 @@ fn cmd_csv(flags: &Flags, spec: &ExperimentSpec) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use commands::{FlagDef, MODEL_FLAG_CHOICES};
     use overlay::selector::ModelKind;
 
     /// Satellite of the model-name unification: every spelling the CLI
