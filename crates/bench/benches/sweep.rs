@@ -29,6 +29,9 @@ fn small_grid() -> SweepSpec {
         accept_profiles: vec![ACCEPT_ALL],
         brokers: vec![1],
         gossip_staleness: vec![0.0],
+        piece_policies: vec![workloads::streaming::PiecePolicy::Sequential],
+        windows: vec![1],
+        uploads: vec![workloads::streaming::UploadProfile::Home],
         seeds: SeedScheme::Derived {
             campaign_seed: 1,
             replications: 2,

@@ -9,6 +9,7 @@
 //! random streams (and therefore its recorded results) unchanged.
 
 use overlay::selector::{ModelKind, PeerSelector, RandomSelector, SelectorFactory};
+use overlay::streaming::PiecePolicy;
 
 use crate::adaptive::{EpsilonGreedySelector, Ucb1Selector};
 use crate::economic::EconomicModel;
@@ -99,6 +100,45 @@ impl std::fmt::Display for UnknownModelError {
 
 impl std::error::Error for UnknownModelError {}
 
+/// Resolves a streaming piece-policy name, or reports the valid list —
+/// the same one-table discipline as [`try_factory_for`], so the psim
+/// CLI, the sweep axes, and the bench drivers accept identical
+/// spellings.
+pub fn try_piece_policy_for(name: &str) -> Result<PiecePolicy, UnknownPiecePolicyError> {
+    PiecePolicy::parse(name).ok_or_else(|| UnknownPiecePolicyError {
+        policy: name.to_string(),
+    })
+}
+
+/// Every piece-policy name, canonical ([`PiecePolicy::ALL`]) order.
+pub fn piece_policy_names() -> Vec<String> {
+    PiecePolicy::ALL
+        .into_iter()
+        .map(|p| p.name().to_string())
+        .collect()
+}
+
+/// An unrecognized piece-policy name. Carries the valid list so callers
+/// can point the user at the accepted spellings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPiecePolicyError {
+    /// The name that failed to resolve.
+    pub policy: String,
+}
+
+impl std::fmt::Display for UnknownPiecePolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown piece policy `{}`; valid policies: {}",
+            self.policy,
+            piece_policy_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPiecePolicyError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +162,24 @@ mod tests {
     fn evaluator_alias_resolves_to_same_priority() {
         let factory = try_factory_for("evaluator", 0).expect("alias resolves");
         assert_eq!(factory(1).name(), "data-evaluator(same-priority)");
+    }
+
+    #[test]
+    fn every_piece_policy_name_resolves() {
+        for name in piece_policy_names() {
+            let policy = try_piece_policy_for(&name).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(policy.name(), name);
+        }
+        assert_eq!(
+            try_piece_policy_for("rarest"),
+            Ok(PiecePolicy::RarestWindow),
+            "the shorthand spelling resolves"
+        );
+        let err = try_piece_policy_for("psychic").unwrap_err();
+        let msg = err.to_string();
+        for name in piece_policy_names() {
+            assert!(msg.contains(&name), "error lists valid policy {name}");
+        }
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //!   and the failover knobs re-homing clients run with.
 //! * [`selector`] — the [`selector::PeerSelector`] trait the `peer-selection`
 //!   crate implements, plus blind baselines.
+//! * [`streaming`] — streaming-on-demand viewers: playback buffers over
+//!   piece exchange, with sequential / windowed / rarest-within-window
+//!   [`streaming::PiecePolicy`] selection.
 //! * [`records`] — shared run log experiments read after a simulation.
 //! * [`footprint`] — estimated heap accounting ([`footprint::MemoryFootprint`])
 //!   behind the `registry.bytes.*` gauges and `bytes_per_peer` curves.
@@ -49,6 +52,7 @@ pub mod records;
 pub mod selector;
 pub mod sendflow;
 pub mod stats;
+pub mod streaming;
 pub mod task;
 
 /// Convenient re-exports of the types most callers need.
@@ -66,11 +70,14 @@ pub mod prelude {
         ChurnProfile, LifecycleConfig, LifecyclePeer, LifecycleScript, LifecycleState, SessionPlan,
     };
     pub use crate::message::OverlayMsg;
-    pub use crate::records::{JobRecord, RecordSink, RunLog, TaskRecord, TransferRecord};
+    pub use crate::records::{
+        JobRecord, RecordSink, RunLog, StreamRecord, TaskRecord, TransferRecord,
+    };
     pub use crate::selector::{
         CandidateView, InteractionHistory, PeerSelector, Purpose, RandomSelector,
         RoundRobinSelector, SelectionOutcome, SelectionRequest,
     };
     pub use crate::stats::{Criterion, PeerStats, StatsSnapshot};
+    pub use crate::streaming::{PiecePolicy, StreamConfig, StreamingClient};
     pub use crate::task::TaskSpec;
 }

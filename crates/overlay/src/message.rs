@@ -221,6 +221,21 @@ pub enum OverlayMsg {
         enqueued_at: SimTime,
     },
 
+    // ---- streaming on demand ---------------------------------------------
+    /// Viewer → owner peer: send me this piece of the stream.
+    PieceRequest {
+        /// 0-based piece index.
+        piece: u32,
+    },
+    /// Owner peer → viewer: one stream piece. `size` bytes of payload, so
+    /// the owner's access link serializes the delivery.
+    Piece {
+        /// 0-based piece index (echoed).
+        piece: u32,
+        /// Payload bytes in this piece.
+        size: u64,
+    },
+
     // ---- task management ------------------------------------------------
     /// Broker → peer: offer an executable task.
     TaskOffer {
@@ -289,6 +304,8 @@ impl Payload for OverlayMsg {
                     .sum::<u64>()
             }
             OverlayMsg::PetitionForward { label, .. } => 64 + label.len() as u64,
+            OverlayMsg::PieceRequest { .. } => 24,
+            OverlayMsg::Piece { size, .. } => 32 + size,
         }
     }
 
@@ -323,6 +340,8 @@ impl Payload for OverlayMsg {
             OverlayMsg::JobDone { .. } => "job-done",
             OverlayMsg::BrokerGossip { .. } => "gossip",
             OverlayMsg::PetitionForward { .. } => "fwd-petition",
+            OverlayMsg::PieceRequest { .. } => "piece-request",
+            OverlayMsg::Piece { .. } => "piece",
         }
     }
 
@@ -336,6 +355,7 @@ impl Payload for OverlayMsg {
             | OverlayMsg::Ping { .. }
             | OverlayMsg::FilePetition { .. }
             | OverlayMsg::TransferInstruction { .. }
+            | OverlayMsg::PieceRequest { .. }
             | OverlayMsg::TaskOffer { .. } => ServiceClass::Wakeup,
             // Hot-path continuation traffic.
             OverlayMsg::JoinAck { .. }
@@ -358,7 +378,8 @@ impl Payload for OverlayMsg {
             | OverlayMsg::JobSubmit { .. }
             | OverlayMsg::JobDone { .. }
             | OverlayMsg::BrokerGossip { .. }
-            | OverlayMsg::PetitionForward { .. } => ServiceClass::Fast,
+            | OverlayMsg::PetitionForward { .. }
+            | OverlayMsg::Piece { .. } => ServiceClass::Fast,
         }
     }
 }

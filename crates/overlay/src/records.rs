@@ -182,6 +182,37 @@ impl JobRecord {
     }
 }
 
+/// Playback milestones of one streaming viewer (one stream per node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRecord {
+    /// The viewing host.
+    pub node: NodeId,
+    /// Its hostname (interned — see [`TransferRecord::to_name`]).
+    pub name: Arc<str>,
+    /// Pieces the stream is divided into.
+    pub total_pieces: u32,
+    /// When the viewer began requesting pieces.
+    pub began_at: SimTime,
+    /// Request start → playback start (the startup buffer filled).
+    pub startup_delay_secs: Option<f64>,
+    /// Pieces received so far.
+    pub pieces_received: u32,
+    /// Playback stalls on a missing piece.
+    pub rebuffers: u32,
+    /// Total virtual time spent stalled, seconds.
+    pub rebuffer_secs: f64,
+    /// When the final piece finished playing.
+    pub completed_at: Option<SimTime>,
+}
+
+impl StreamRecord {
+    /// Request start → playback of the last piece done, if finished.
+    pub fn total_secs(&self) -> Option<f64> {
+        self.completed_at
+            .map(|t| t.duration_since(self.began_at).as_secs_f64())
+    }
+}
+
 /// The shared, append-mostly run log.
 #[derive(Debug, Default)]
 pub struct RunLog {
@@ -193,6 +224,8 @@ pub struct RunLog {
     pub selections: Vec<SelectionRecord>,
     /// All client-submitted jobs, in order.
     pub jobs: Vec<JobRecord>,
+    /// All streaming-viewer records, in stream-start order.
+    pub streams: Vec<StreamRecord>,
 }
 
 impl RunLog {
@@ -216,6 +249,12 @@ impl RunLog {
         self.tasks.iter_mut().find(|t| t.id == id)
     }
 
+    /// Finds a mutable stream record by viewing host (streams are
+    /// per-node singletons).
+    pub fn stream_mut(&mut self, node: NodeId) -> Option<&mut StreamRecord> {
+        self.streams.iter_mut().find(|s| s.node == node)
+    }
+
     /// All completed transfers to a given host.
     pub fn completed_transfers_to(&self, node: NodeId) -> impl Iterator<Item = &TransferRecord> {
         self.transfers
@@ -231,6 +270,7 @@ impl RunLog {
         self.tasks.extend(other.tasks);
         self.selections.extend(other.selections);
         self.jobs.extend(other.jobs);
+        self.streams.extend(other.streams);
     }
 }
 

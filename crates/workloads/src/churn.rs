@@ -7,31 +7,38 @@
 //! so peer selection, the registry, and the transfer machinery all run
 //! against a membership that is changing under them.
 //!
+//! The driver is a [`Workload`] on the [`harness`](crate::harness): this
+//! module contributes the testbed plan, the broker/peer fleet, the
+//! [`churn_series`] schema, and the summary JSON; engine assembly and
+//! artifact plumbing are the harness's.
+//!
 //! Determinism contract: per-peer scripts are sampled **before** the run
 //! from seeds derived only from the master seed and the peer's node id,
 //! and the sharded engine's event order is worker-count independent, so
 //! for a fixed `(config, seed, num_shards)` the result — trace digest,
 //! metrics, swap-dynamics counts — is byte-identical at any
-//! `shard_workers`. The CI churn-determinism job diffs `psim churn`
+//! `shard_workers`. The CI workload-determinism job diffs `psim churn`
 //! output at 1 vs 4 workers to hold this line.
 
 use netsim::engine::{Actor, RunOutcome};
 use netsim::metrics::Metrics;
 use netsim::node::NodeId;
-use netsim::parallel::{ParallelProfile, ShardedEngine};
+use netsim::parallel::ParallelProfile;
 use netsim::profile::ExecutionProfile;
 use netsim::rng::SimRng;
 use netsim::time::{SimDuration, SimTime};
-use netsim::timeseries::TimeSeriesRecorder;
+use netsim::timeseries::{TimeSeriesError, TimeSeriesRecorder};
 use netsim::trace::Trace;
-use netsim::transport::TransportConfig;
 use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
-use overlay::federation::FederationBuilder;
 use overlay::lifecycle::{ChurnProfile, LifecycleConfig, LifecyclePeer, LifecycleScript};
 use overlay::message::OverlayMsg;
-use overlay::records::{RecordSink, RunLog};
+use overlay::records::RunLog;
 use overlay::selector::RoundRobinSelector;
 
+use crate::harness::{
+    defaults, BuildCtx, FederationSpec, HarnessError, HarnessRun, TopologyPlan, Workload,
+    WorkloadBuilder,
+};
 use crate::scenario::ScenarioError;
 use crate::synthtopo::{build_synth_topo, SynthTopoConfig};
 use crate::telemetry::churn_series;
@@ -58,7 +65,8 @@ pub struct ChurnConfig {
     pub file_bytes: u64,
     /// Parts per distributed file.
     pub file_parts: u32,
-    /// Broker-to-broker gossip interval.
+    /// Broker-to-broker gossip interval
+    /// ([`defaults::SOAK_GOSSIP_INTERVAL`]).
     pub gossip_interval: SimDuration,
     /// Typed-trace ring capacity; `None` keeps tracing disabled.
     pub trace_capacity: Option<usize>,
@@ -83,8 +91,8 @@ impl Default for ChurnConfig {
             round_interval: SimDuration::from_secs(300),
             file_bytes: crate::spec::MB,
             file_parts: 4,
-            gossip_interval: SimDuration::from_secs(60),
-            trace_capacity: Some(1 << 14),
+            gossip_interval: defaults::SOAK_GOSSIP_INTERVAL,
+            trace_capacity: Some(defaults::TRACE_CAPACITY),
             series_interval: None,
             profile_execution: false,
         }
@@ -153,102 +161,183 @@ fn peer_seed(seed: u64, node: NodeId) -> u64 {
         .wrapping_add(node.index() as u64)
 }
 
-/// Runs one churn replication of `cfg` under `seed` on the sharded
-/// engine. Byte-identical for any `shard_workers` at fixed shards.
-/// Invalid shard counts and degenerate topologies surface as
+/// The churn driver as a harness [`Workload`].
+pub struct ChurnWorkload<'a> {
+    /// The run parameters (shared with [`run_churn`]).
+    pub cfg: &'a ChurnConfig,
+}
+
+impl Workload for ChurnWorkload<'_> {
+    fn name(&self) -> &'static str {
+        "churn"
+    }
+
+    fn topology(&self, seed: u64) -> Result<TopologyPlan, HarnessError> {
+        let built = build_synth_topo(&self.cfg.topo, seed);
+        let map = self.cfg.topo.shard_map(self.cfg.num_shards)?;
+        Ok(TopologyPlan {
+            topo: built.topo,
+            map,
+            brokers: built.brokers,
+        })
+    }
+
+    /// Gossip-only federation: every broker peers with every other, but
+    /// petition forwarding stays off so the pre-federation churn
+    /// artifacts (defer-until-peers behaviour, traces, benchmarks) are
+    /// unchanged.
+    fn federation(&self) -> FederationSpec {
+        FederationSpec {
+            gossip_interval: self.cfg.gossip_interval,
+            ..FederationSpec::default()
+        }
+    }
+
+    fn actors(&self, cx: &BuildCtx<'_>) -> Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> {
+        let cfg = self.cfg;
+        let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
+        for (r, &broker) in cx.brokers.iter().enumerate() {
+            let mut broker_cfg = BrokerConfig::new(cx.seed ^ (0xC4_0000 + r as u64));
+            broker_cfg.stop_when_idle = false;
+            // Selected-target rounds need a selection model; round-robin is
+            // deterministic and touches every live candidate over time, which
+            // is exactly what a churn soak wants.
+            broker_cfg.selector = Some(Box::new(RoundRobinSelector::new()));
+            cx.federation.configure(r, &mut broker_cfg);
+            for round in 0..cfg.rounds {
+                broker_cfg = broker_cfg.at(
+                    SimDuration::from_secs(120) + cfg.round_interval * round as u64,
+                    BrokerCommand::DistributeFile {
+                        target: TargetSpec::Selected,
+                        size_bytes: cfg.file_bytes,
+                        num_parts: cfg.file_parts,
+                        label: format!("churn-r{r}-round{round}"),
+                    },
+                );
+            }
+            actors.push((
+                broker,
+                Box::new(Broker::new(broker_cfg, cx.sink_of(broker))),
+            ));
+        }
+        for r in 0..cfg.topo.regions {
+            let home = cx.brokers[r];
+            for node in cfg.topo.peer_nodes(r) {
+                let pseed = peer_seed(cx.seed, node);
+                let mut rng = SimRng::new(pseed).split(0xC4_0B11);
+                let script = LifecycleScript::sample(&mut rng, &cfg.profile, cfg.horizon);
+                let peer_cfg = LifecycleConfig {
+                    brokers: vec![home],
+                    script,
+                    accepts_tasks: true,
+                    failover: None,
+                };
+                actors.push((node, Box::new(LifecyclePeer::new(peer_cfg, pseed))));
+            }
+        }
+        actors
+    }
+
+    fn series_schema(&self, interval: SimDuration) -> Result<TimeSeriesRecorder, TimeSeriesError> {
+        churn_series(interval)
+    }
+
+    fn summarize(&self, seed: u64, run: &HarnessRun) -> String {
+        let mut tail = render_summary(
+            self.cfg,
+            seed,
+            run.outcome,
+            run.elapsed,
+            run.events_processed,
+            run.trace.digest(),
+            run.log.transfers.len(),
+            SwapDynamics::from_metrics(&run.metrics),
+        );
+        tail.push('\n');
+        tail
+    }
+}
+
+/// The summary JSON shared by [`Workload::summarize`] and
+/// [`summary_json`] — one format string, two result shapes.
+#[allow(clippy::too_many_arguments)]
+fn render_summary(
+    cfg: &ChurnConfig,
+    seed: u64,
+    outcome: RunOutcome,
+    elapsed: SimTime,
+    events: u64,
+    digest: u64,
+    transfers: usize,
+    swap: SwapDynamics,
+) -> String {
+    let SwapDynamics {
+        joins,
+        rejoins,
+        leaves,
+        refused_petitions,
+        refused_tasks,
+    } = swap;
+    format!(
+        "{{\"workload\":\"churn\",\"regions\":{},\"peers\":{},\"num_shards\":{},\
+         \"horizon_secs\":{},\"seed\":{},\"outcome\":\"{:?}\",\"elapsed_secs\":{},\
+         \"events\":{},\"trace_digest\":\"{:016x}\",\"transfers\":{},\
+         \"swap\":{{\"joins\":{joins},\"rejoins\":{rejoins},\"leaves\":{leaves},\
+         \"refused_petitions\":{refused_petitions},\"refused_tasks\":{refused_tasks}}}}}",
+        cfg.topo.regions,
+        cfg.topo.peers,
+        cfg.num_shards,
+        cfg.horizon.as_secs_f64(),
+        seed,
+        outcome,
+        elapsed.as_secs_f64(),
+        events,
+        digest,
+        transfers,
+    )
+}
+
+/// Renders the worker-invariant summary JSON `psim churn` and
+/// `psim bench-churn` embed (no trailing newline).
+pub fn summary_json(cfg: &ChurnConfig, seed: u64, result: &ChurnResult) -> String {
+    render_summary(
+        cfg,
+        seed,
+        result.outcome,
+        result.elapsed,
+        result.events_processed,
+        result.trace.digest(),
+        result.log.transfers.len(),
+        result.swap,
+    )
+}
+
+/// Runs one churn replication of `cfg` under `seed` on the harness.
+/// Byte-identical for any `shard_workers` at fixed shards. Invalid
+/// shard counts and degenerate topologies surface as
 /// [`ScenarioError`]s instead of panics.
 pub fn run_churn(cfg: &ChurnConfig, seed: u64) -> Result<ChurnResult, ScenarioError> {
-    let built = build_synth_topo(&cfg.topo, seed);
-    let map = cfg.topo.shard_map(cfg.num_shards)?;
-    let sinks: Vec<RecordSink> = (0..map.num_shards()).map(|_| RecordSink::new()).collect();
-
-    // Gossip-only federation: every broker peers with every other, but
-    // petition forwarding stays off so the pre-federation churn artifacts
-    // (defer-until-peers behaviour, traces, benchmarks) are unchanged.
-    let federation = FederationBuilder::new(built.brokers.clone())
-        .gossip_interval(cfg.gossip_interval)
-        .forward_hops(0)
+    let harness = WorkloadBuilder::new()
+        .horizon(cfg.horizon)
+        .shard_workers(cfg.shard_workers)
+        .trace_capacity(cfg.trace_capacity)
+        .series_interval(cfg.series_interval)
+        .profile_execution(cfg.profile_execution)
         .build()?;
-
-    let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
-    for (r, &broker) in built.brokers.iter().enumerate() {
-        let mut broker_cfg = BrokerConfig::new(seed ^ (0xC4_0000 + r as u64));
-        broker_cfg.stop_when_idle = false;
-        // Selected-target rounds need a selection model; round-robin is
-        // deterministic and touches every live candidate over time, which
-        // is exactly what a churn soak wants.
-        broker_cfg.selector = Some(Box::new(RoundRobinSelector::new()));
-        federation.configure(r, &mut broker_cfg);
-        for round in 0..cfg.rounds {
-            broker_cfg = broker_cfg.at(
-                SimDuration::from_secs(120) + cfg.round_interval * round as u64,
-                BrokerCommand::DistributeFile {
-                    target: TargetSpec::Selected,
-                    size_bytes: cfg.file_bytes,
-                    num_parts: cfg.file_parts,
-                    label: format!("churn-r{r}-round{round}"),
-                },
-            );
-        }
-        let sink = sinks[map.shard_of(broker)].clone();
-        actors.push((broker, Box::new(Broker::new(broker_cfg, sink))));
-    }
-    for r in 0..cfg.topo.regions {
-        let home = built.brokers[r];
-        for node in cfg.topo.peer_nodes(r) {
-            let pseed = peer_seed(seed, node);
-            let mut rng = SimRng::new(pseed).split(0xC4_0B11);
-            let script = LifecycleScript::sample(&mut rng, &cfg.profile, cfg.horizon);
-            let peer_cfg = LifecycleConfig {
-                brokers: vec![home],
-                script,
-                accepts_tasks: true,
-                failover: None,
-            };
-            actors.push((node, Box::new(LifecyclePeer::new(peer_cfg, pseed))));
-        }
-    }
-
-    let mut engine: ShardedEngine<OverlayMsg> = ShardedEngine::new(
-        built.topo,
-        TransportConfig::default(),
-        seed,
-        map,
-        cfg.shard_workers,
-    )?;
-    if let Some(capacity) = cfg.trace_capacity {
-        engine.enable_trace(capacity);
-    }
-    if let Some(interval) = cfg.series_interval {
-        engine.install_recorder(churn_series(interval)?);
-    }
-    if cfg.profile_execution {
-        engine.enable_profiling();
-    }
-    for (node, actor) in actors {
-        engine.register(node, actor);
-    }
-    let outcome = engine.run_until(SimTime::ZERO + cfg.horizon);
-    let exec_profile = engine.execution_profile().cloned();
-
-    let mut log = RunLog::default();
-    for sink in &sinks {
-        log.absorb(sink.drain());
-    }
-    let metrics = engine.metrics();
-    let swap = SwapDynamics::from_metrics(&metrics);
+    let run = harness.run(&ChurnWorkload { cfg }, seed)?;
+    let swap = SwapDynamics::from_metrics(&run.metrics);
     Ok(ChurnResult {
-        log,
+        log: run.log,
+        metrics: run.metrics,
+        trace: run.trace,
+        outcome: run.outcome,
+        elapsed: run.elapsed,
+        events_processed: run.events_processed,
+        peak_queue_len: run.peak_queue_len,
+        profile: run.profile,
         swap,
-        trace: engine.trace(),
-        outcome,
-        elapsed: engine.now(),
-        events_processed: engine.events_processed(),
-        peak_queue_len: engine.peak_queue_len(),
-        profile: engine.profile(),
-        metrics,
-        series: engine.take_recorder(),
-        exec_profile,
+        series: run.series,
+        exec_profile: run.exec_profile,
     })
 }
 
@@ -343,5 +432,22 @@ mod tests {
         assert_eq!(one.swap.joins, four.swap.joins);
         assert_eq!(one.swap.rejoins, four.swap.rejoins);
         assert_eq!(one.swap.leaves, four.swap.leaves);
+    }
+
+    #[test]
+    fn summarize_matches_summary_json() {
+        let cfg = small();
+        let harness = WorkloadBuilder::new()
+            .horizon(cfg.horizon)
+            .trace_capacity(cfg.trace_capacity)
+            .build()
+            .expect("valid");
+        let workload = ChurnWorkload { cfg: &cfg };
+        let run = harness.run(&workload, 3).expect("valid");
+        let result = run_churn(&cfg, 3).expect("valid");
+        assert_eq!(
+            workload.summarize(3, &run),
+            format!("{}\n", summary_json(&cfg, 3, &result))
+        );
     }
 }

@@ -9,45 +9,43 @@
 //! detect the silence by probe timeout and re-home down their preference
 //! list.
 //!
+//! The driver is a [`Workload`] on the [`harness`](crate::harness): it
+//! contributes the testbed plan, the full federation spec (homing,
+//! staleness, outage), the fleet, the [`federation_series`] schema, and
+//! the summary JSON.
+//!
 //! Determinism contract matches [`churn`](crate::churn): peer scripts and
 //! arrival instants derive only from the master seed and node id, the
 //! sharded engine's event order is worker-count independent, so for a
 //! fixed `(config, seed, num_shards)` the result — trace digest, metrics,
 //! federation dynamics — is byte-identical at any `shard_workers`. The CI
-//! `federation-determinism` job diffs `psim federate` output at 1 vs 4
+//! workload-determinism job diffs `psim federate` output at 1 vs 4
 //! workers (including a `--kill-broker-at` run) to hold this line.
 
 use netsim::engine::{Actor, RunOutcome};
 use netsim::metrics::Metrics;
 use netsim::node::NodeId;
-use netsim::parallel::{ParallelProfile, ShardedEngine};
+use netsim::parallel::ParallelProfile;
 use netsim::profile::ExecutionProfile;
 use netsim::rng::{DelayDistribution, SimRng};
 use netsim::time::{SimDuration, SimTime};
-use netsim::timeseries::TimeSeriesRecorder;
+use netsim::timeseries::{TimeSeriesError, TimeSeriesRecorder};
 use netsim::trace::{Trace, TraceEventKind};
-use netsim::transport::TransportConfig;
 use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
-use overlay::federation::{FailoverPolicy, FederationBuilder, HomingPolicy};
+use overlay::federation::{FailoverPolicy, HomingPolicy};
 use overlay::lifecycle::{LifecycleConfig, LifecyclePeer, LifecycleScript, SessionPlan};
 use overlay::message::OverlayMsg;
-use overlay::records::{RecordSink, RunLog};
+use overlay::records::RunLog;
 use overlay::selector::RoundRobinSelector;
 
+pub use crate::harness::BrokerOutage;
+use crate::harness::{
+    defaults, BuildCtx, FederationSpec, HarnessError, HarnessRun, TopologyPlan, Workload,
+    WorkloadBuilder,
+};
 use crate::scenario::ScenarioError;
 use crate::synthtopo::{build_synth_topo, SynthTopoConfig};
 use crate::telemetry::federation_series;
-
-/// A scripted broker crash (and optional restart), by region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BrokerOutage {
-    /// Region whose broker goes down (also its federation roster index).
-    pub region: usize,
-    /// When the crash fires.
-    pub down_at: SimDuration,
-    /// When the broker comes back empty-handed; `None` = stays down.
-    pub restart_at: Option<SimDuration>,
-}
 
 /// Parameters of one federation run.
 #[derive(Debug, Clone)]
@@ -56,7 +54,8 @@ pub struct FederationConfig {
     pub topo: SynthTopoConfig,
     /// How clients map to their home-broker preference list.
     pub homing: HomingPolicy,
-    /// Broker-to-broker roster gossip cadence.
+    /// Broker-to-broker roster gossip cadence
+    /// ([`defaults::GOSSIP_INTERVAL`]).
     pub gossip_interval: SimDuration,
     /// Tolerated age of gossiped candidate views; `None` = the builder
     /// default of three gossip rounds.
@@ -101,7 +100,7 @@ impl Default for FederationConfig {
         FederationConfig {
             topo: SynthTopoConfig::default(),
             homing: HomingPolicy::RegionAffinity,
-            gossip_interval: SimDuration::from_secs(30),
+            gossip_interval: defaults::GOSSIP_INTERVAL,
             staleness_bound: None,
             forward_hops: 2,
             failover: FailoverPolicy::default(),
@@ -115,7 +114,7 @@ impl Default for FederationConfig {
             arrival_spread: SimDuration::from_secs(100),
             late_region: None,
             kill: None,
-            trace_capacity: Some(1 << 14),
+            trace_capacity: Some(defaults::TRACE_CAPACITY),
             series_interval: None,
             profile_execution: false,
         }
@@ -249,114 +248,10 @@ fn peer_seed(seed: u64, node: NodeId) -> u64 {
         .wrapping_add(node.index() as u64)
 }
 
-/// Runs one federation replication of `cfg` under `seed` on the sharded
-/// engine. Byte-identical for any `shard_workers` at fixed shards.
-/// Invalid shard counts, degenerate topologies, and rejected federation
-/// parameters surface as [`ScenarioError`]s instead of panics.
-pub fn run_federation(
-    cfg: &FederationConfig,
-    seed: u64,
-) -> Result<FederationResult, ScenarioError> {
-    let built = build_synth_topo(&cfg.topo, seed);
-    let map = cfg.topo.shard_map(cfg.num_shards)?;
-    let sinks: Vec<RecordSink> = (0..map.num_shards()).map(|_| RecordSink::new()).collect();
-
-    let mut builder = FederationBuilder::new(built.brokers.clone())
-        .homing(cfg.homing)
-        .gossip_interval(cfg.gossip_interval)
-        .forward_hops(cfg.forward_hops);
-    if let Some(bound) = cfg.staleness_bound {
-        builder = builder.staleness_bound(bound);
-    }
-    if let Some(kill) = cfg.kill {
-        builder = builder.outage(kill.region, kill.down_at, kill.restart_at);
-    }
-    let federation = builder.build()?;
-
-    let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
-    for (r, &broker) in built.brokers.iter().enumerate() {
-        let mut broker_cfg = BrokerConfig::new(seed ^ (0xFEDE_0000 + r as u64));
-        broker_cfg.stop_when_idle = false;
-        broker_cfg.selector = Some(Box::new(RoundRobinSelector::new()));
-        federation.configure(r, &mut broker_cfg);
-        for round in 0..cfg.rounds {
-            broker_cfg = broker_cfg.at(
-                SimDuration::from_secs(120) + cfg.round_interval * round as u64,
-                BrokerCommand::DistributeFile {
-                    target: TargetSpec::Selected,
-                    size_bytes: cfg.file_bytes,
-                    num_parts: cfg.file_parts,
-                    label: format!("fed-r{r}-round{round}"),
-                },
-            );
-        }
-        let sink = sinks[map.shard_of(broker)].clone();
-        actors.push((broker, Box::new(Broker::new(broker_cfg, sink))));
-    }
-    for r in 0..cfg.topo.regions {
-        let late_offset = match cfg.late_region {
-            Some((lr, offset)) if lr == r => offset,
-            _ => SimDuration::ZERO,
-        };
-        for node in cfg.topo.peer_nodes(r) {
-            let pseed = peer_seed(seed, node);
-            let mut rng = SimRng::new(pseed).split(0xFEDE_0001);
-            let spread = DelayDistribution::Uniform {
-                lo: 0.0,
-                hi: cfg.arrival_spread.as_secs_f64().max(1.0),
-            };
-            let arrival = late_offset + SimDuration::from_secs_f64(spread.sample_secs(&mut rng));
-            // One session outliving the horizon: federation peers never
-            // leave by script, so every departure-shaped transition the
-            // run sees is a failover re-home.
-            let script = LifecycleScript {
-                arrival,
-                sessions: vec![SessionPlan {
-                    length: cfg.horizon * 2,
-                    off_time: SimDuration::ZERO,
-                    cpu_gops: rng.pareto(0.5, 1.8),
-                }],
-            };
-            let peer_cfg = LifecycleConfig {
-                brokers: federation.homes_for(node, r),
-                script,
-                accepts_tasks: true,
-                failover: Some(cfg.failover),
-            };
-            actors.push((node, Box::new(LifecyclePeer::new(peer_cfg, pseed))));
-        }
-    }
-
-    let mut engine: ShardedEngine<OverlayMsg> = ShardedEngine::new(
-        built.topo,
-        TransportConfig::default(),
-        seed,
-        map,
-        cfg.shard_workers,
-    )?;
-    if let Some(capacity) = cfg.trace_capacity {
-        engine.enable_trace(capacity);
-    }
-    if let Some(interval) = cfg.series_interval {
-        engine.install_recorder(federation_series(interval)?);
-    }
-    if cfg.profile_execution {
-        engine.enable_profiling();
-    }
-    for (node, actor) in actors {
-        engine.register(node, actor);
-    }
-    let outcome = engine.run_until(SimTime::ZERO + cfg.horizon);
-    let exec_profile = engine.execution_profile().cloned();
-
-    let mut log = RunLog::default();
-    for sink in &sinks {
-        log.absorb(sink.drain());
-    }
-    let metrics = engine.metrics();
-    let dynamics = FederationDynamics::from_metrics(&metrics);
-    let trace = engine.trace();
-    let recovery = cfg.kill.and_then(|kill| {
+/// Re-home delays after a scripted crash: crash instant → each
+/// `PeerRehomed` trace event at or after it.
+fn recovery_summary(trace: &Trace, kill: Option<BrokerOutage>) -> Option<LatencySummary> {
+    kill.and_then(|kill| {
         let down_at = SimTime::ZERO + kill.down_at;
         let samples: Vec<f64> = trace
             .events()
@@ -368,20 +263,236 @@ pub fn run_federation(
             })
             .collect();
         LatencySummary::from_samples(&samples)
-    });
+    })
+}
+
+/// The federation driver as a harness [`Workload`].
+pub struct FederationWorkload<'a> {
+    /// The run parameters (shared with [`run_federation`]).
+    pub cfg: &'a FederationConfig,
+}
+
+impl Workload for FederationWorkload<'_> {
+    fn name(&self) -> &'static str {
+        "federation"
+    }
+
+    fn topology(&self, seed: u64) -> Result<TopologyPlan, HarnessError> {
+        let built = build_synth_topo(&self.cfg.topo, seed);
+        let map = self.cfg.topo.shard_map(self.cfg.num_shards)?;
+        Ok(TopologyPlan {
+            topo: built.topo,
+            map,
+            brokers: built.brokers,
+        })
+    }
+
+    fn federation(&self) -> FederationSpec {
+        FederationSpec {
+            homing: self.cfg.homing,
+            gossip_interval: self.cfg.gossip_interval,
+            staleness_bound: self.cfg.staleness_bound,
+            forward_hops: self.cfg.forward_hops,
+            outage: self.cfg.kill,
+        }
+    }
+
+    fn actors(&self, cx: &BuildCtx<'_>) -> Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> {
+        let cfg = self.cfg;
+        let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
+        for (r, &broker) in cx.brokers.iter().enumerate() {
+            let mut broker_cfg = BrokerConfig::new(cx.seed ^ (0xFEDE_0000 + r as u64));
+            broker_cfg.stop_when_idle = false;
+            broker_cfg.selector = Some(Box::new(RoundRobinSelector::new()));
+            cx.federation.configure(r, &mut broker_cfg);
+            for round in 0..cfg.rounds {
+                broker_cfg = broker_cfg.at(
+                    SimDuration::from_secs(120) + cfg.round_interval * round as u64,
+                    BrokerCommand::DistributeFile {
+                        target: TargetSpec::Selected,
+                        size_bytes: cfg.file_bytes,
+                        num_parts: cfg.file_parts,
+                        label: format!("fed-r{r}-round{round}"),
+                    },
+                );
+            }
+            actors.push((
+                broker,
+                Box::new(Broker::new(broker_cfg, cx.sink_of(broker))),
+            ));
+        }
+        for r in 0..cfg.topo.regions {
+            let late_offset = match cfg.late_region {
+                Some((lr, offset)) if lr == r => offset,
+                _ => SimDuration::ZERO,
+            };
+            for node in cfg.topo.peer_nodes(r) {
+                let pseed = peer_seed(cx.seed, node);
+                let mut rng = SimRng::new(pseed).split(0xFEDE_0001);
+                let spread = DelayDistribution::Uniform {
+                    lo: 0.0,
+                    hi: cfg.arrival_spread.as_secs_f64().max(1.0),
+                };
+                let arrival =
+                    late_offset + SimDuration::from_secs_f64(spread.sample_secs(&mut rng));
+                // One session outliving the horizon: federation peers never
+                // leave by script, so every departure-shaped transition the
+                // run sees is a failover re-home.
+                let script = LifecycleScript {
+                    arrival,
+                    sessions: vec![SessionPlan {
+                        length: cfg.horizon * 2,
+                        off_time: SimDuration::ZERO,
+                        cpu_gops: rng.pareto(0.5, 1.8),
+                    }],
+                };
+                let peer_cfg = LifecycleConfig {
+                    brokers: cx.federation.homes_for(node, r),
+                    script,
+                    accepts_tasks: true,
+                    failover: Some(cfg.failover),
+                };
+                actors.push((node, Box::new(LifecyclePeer::new(peer_cfg, pseed))));
+            }
+        }
+        actors
+    }
+
+    fn series_schema(&self, interval: SimDuration) -> Result<TimeSeriesRecorder, TimeSeriesError> {
+        federation_series(interval)
+    }
+
+    fn summarize(&self, seed: u64, run: &HarnessRun) -> String {
+        let petition: Vec<f64> = run
+            .log
+            .transfers
+            .iter()
+            .filter_map(|t| t.petition_latency_secs())
+            .collect();
+        let mut tail = render_summary(
+            self.cfg,
+            seed,
+            run.outcome,
+            run.elapsed,
+            run.events_processed,
+            run.trace.digest(),
+            run.log.transfers.len(),
+            FederationDynamics::from_metrics(&run.metrics),
+            LatencySummary::from_samples(&petition),
+            recovery_summary(&run.trace, self.cfg.kill),
+        );
+        tail.push('\n');
+        tail
+    }
+}
+
+/// JSON fragment for an optional latency summary (`null` when absent).
+fn summary_fragment(summary: Option<LatencySummary>) -> String {
+    match summary {
+        Some(s) => format!(
+            "{{\"count\":{},\"min_s\":{},\"mean_s\":{},\"max_s\":{}}}",
+            s.count, s.min_s, s.mean_s, s.max_s
+        ),
+        None => "null".to_string(),
+    }
+}
+
+/// The summary JSON shared by [`Workload::summarize`] and
+/// [`summary_json`] — one format string, two result shapes.
+#[allow(clippy::too_many_arguments)]
+fn render_summary(
+    cfg: &FederationConfig,
+    seed: u64,
+    outcome: RunOutcome,
+    elapsed: SimTime,
+    events: u64,
+    digest: u64,
+    transfers: usize,
+    d: FederationDynamics,
+    petition: Option<LatencySummary>,
+    recovery: Option<LatencySummary>,
+) -> String {
+    format!(
+        "{{\"workload\":\"federation\",\"brokers\":{},\"peers\":{},\"num_shards\":{},\
+         \"horizon_secs\":{},\"seed\":{},\"homing\":\"{:?}\",\"gossip_secs\":{},\
+         \"outcome\":\"{:?}\",\"elapsed_secs\":{},\"events\":{},\
+         \"trace_digest\":\"{:016x}\",\"transfers\":{},\
+         \"dynamics\":{{\"joins\":{},\"rehomes\":{},\"petitions_forwarded\":{},\
+         \"forwards_received\":{},\"forwards_served\":{},\"forwards_exhausted\":{},\
+         \"stale_views_dropped\":{}}},\
+         \"petition_latency\":{},\"recovery\":{}}}",
+        cfg.topo.regions,
+        cfg.topo.peers,
+        cfg.num_shards,
+        cfg.horizon.as_secs_f64(),
+        seed,
+        cfg.homing,
+        cfg.gossip_interval.as_secs_f64(),
+        outcome,
+        elapsed.as_secs_f64(),
+        events,
+        digest,
+        transfers,
+        d.joins,
+        d.rehomes,
+        d.petitions_forwarded,
+        d.forwards_received,
+        d.forwards_served,
+        d.forwards_exhausted,
+        d.stale_views_dropped,
+        summary_fragment(petition),
+        summary_fragment(recovery),
+    )
+}
+
+/// Renders the worker-invariant summary JSON `psim federate` and
+/// `psim bench-federation` embed (no trailing newline).
+pub fn summary_json(cfg: &FederationConfig, seed: u64, result: &FederationResult) -> String {
+    render_summary(
+        cfg,
+        seed,
+        result.outcome,
+        result.elapsed,
+        result.events_processed,
+        result.trace.digest(),
+        result.log.transfers.len(),
+        result.dynamics,
+        LatencySummary::from_samples(&result.petition_latencies()),
+        result.recovery,
+    )
+}
+
+/// Runs one federation replication of `cfg` under `seed` on the harness.
+/// Byte-identical for any `shard_workers` at fixed shards. Invalid
+/// shard counts, degenerate topologies, and rejected federation
+/// parameters surface as [`ScenarioError`]s instead of panics.
+pub fn run_federation(
+    cfg: &FederationConfig,
+    seed: u64,
+) -> Result<FederationResult, ScenarioError> {
+    let harness = WorkloadBuilder::new()
+        .horizon(cfg.horizon)
+        .shard_workers(cfg.shard_workers)
+        .trace_capacity(cfg.trace_capacity)
+        .series_interval(cfg.series_interval)
+        .profile_execution(cfg.profile_execution)
+        .build()?;
+    let run = harness.run(&FederationWorkload { cfg }, seed)?;
+    let dynamics = FederationDynamics::from_metrics(&run.metrics);
+    let recovery = recovery_summary(&run.trace, cfg.kill);
     Ok(FederationResult {
-        log,
+        log: run.log,
+        metrics: run.metrics,
+        trace: run.trace,
+        outcome: run.outcome,
+        elapsed: run.elapsed,
+        events_processed: run.events_processed,
+        peak_queue_len: run.peak_queue_len,
+        profile: run.profile,
         dynamics,
         recovery,
-        trace,
-        outcome,
-        elapsed: engine.now(),
-        events_processed: engine.events_processed(),
-        peak_queue_len: engine.peak_queue_len(),
-        profile: engine.profile(),
-        metrics,
-        series: engine.take_recorder(),
-        exec_profile,
+        series: run.series,
+        exec_profile: run.exec_profile,
     })
 }
 

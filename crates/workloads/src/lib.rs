@@ -7,6 +7,8 @@
 //! * [`runner`] — parallel replication over seeds (std scoped threads).
 //! * [`report`] — paper-vs-measured table rendering and shape statistics.
 //! * [`attribution`] — per-transfer latency phase decomposition over traces.
+//! * [`harness`] — the shared workload harness: validated builder, the
+//!   [`Workload`](harness::Workload) trait, engine assembly, artifact rules.
 //! * [`multiregion`] — federated multi-region workload for the sharded engine.
 //! * [`synthtopo`] — procedural million-peer testbeds (blocked topologies,
 //!   haversine inter-region delays, power-law capacities).
@@ -14,6 +16,9 @@
 //!   testbed (`psim churn`, `psim bench-churn`).
 //! * [`federation`] — multi-broker federation workload: homing, petition
 //!   forwarding, broker failover (`psim federate`, `psim bench-federation`).
+//! * [`streaming`] — streaming-on-demand workload: playback buffers,
+//!   piece-selection policies, rebuffering metrics (`psim stream`,
+//!   `psim bench-streaming`).
 //! * [`telemetry`] — the standard windowed time-series column sets the
 //!   workloads record (`psim profile`).
 //! * [`sweep`] — grid-sweep campaigns over typed axes (`psim sweep`).
@@ -36,11 +41,13 @@ pub mod churn;
 pub mod enginebench;
 pub mod experiments;
 pub mod federation;
+pub mod harness;
 pub mod multiregion;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
+pub mod streaming;
 pub mod sweep;
 pub mod sweepbench;
 pub mod synthtopo;

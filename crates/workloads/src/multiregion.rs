@@ -13,8 +13,13 @@
 //! `r*(K+1) .. (r+1)*(K+1)`, broker first — so the shard map is a simple
 //! region assignment and record sinks can be handed out per shard.
 //!
+//! The driver is a [`Workload`] on the [`harness`](crate::harness); its
+//! stdout-artifact tail is the attribution phase CSV ([`phase_csv`])
+//! rather than a summary JSON line.
+//!
 //! Used by `psim bench-parallel-engine` (throughput vs. worker count), the
-//! worker-count-invariance property test, and the CI shard-determinism job.
+//! worker-count-invariance property test, and the CI workload-determinism
+//! job.
 
 use std::sync::Arc;
 
@@ -22,20 +27,23 @@ use netsim::engine::{Actor, RunOutcome};
 use netsim::link::{AccessLink, PathSpec};
 use netsim::metrics::Metrics;
 use netsim::node::{NodeId, NodeSpec};
-use netsim::parallel::{ParallelProfile, ShardedEngine};
+use netsim::parallel::ParallelProfile;
 use netsim::profile::ExecutionProfile;
 use netsim::shard::ShardMap;
 use netsim::time::{SimDuration, SimTime};
-use netsim::timeseries::TimeSeriesRecorder;
+use netsim::timeseries::{TimeSeriesError, TimeSeriesRecorder};
 use netsim::topology::Topology;
 use netsim::trace::Trace;
-use netsim::transport::TransportConfig;
 use overlay::broker::{Broker, BrokerCommand, BrokerConfig, TargetSpec};
 use overlay::client::{ClientConfig, SimpleClient};
-use overlay::federation::FederationBuilder;
 use overlay::message::OverlayMsg;
-use overlay::records::{RecordSink, RunLog};
+use overlay::records::RunLog;
 
+use crate::attribution::{attribute_trace, breakdown_by_peer, phase_table_csv};
+use crate::harness::{
+    defaults, BuildCtx, FederationSpec, HarnessError, HarnessRun, TopologyPlan, Workload,
+    WorkloadBuilder,
+};
 use crate::scenario::ScenarioError;
 use crate::telemetry::overlay_series;
 
@@ -67,7 +75,7 @@ pub struct MultiRegionConfig {
     /// instead of its own (0 = everyone stays home). This is what forces
     /// petitions and file parts across shard boundaries.
     pub remote_join_every: usize,
-    /// Broker-to-broker gossip interval.
+    /// Broker-to-broker gossip interval ([`defaults::GOSSIP_INTERVAL`]).
     pub gossip_interval: SimDuration,
     /// Virtual-time horizon bounding the run.
     pub horizon: SimDuration,
@@ -97,7 +105,7 @@ impl Default for MultiRegionConfig {
             rounds: 2,
             round_interval: SimDuration::from_secs(120),
             remote_join_every: 3,
-            gossip_interval: SimDuration::from_secs(30),
+            gossip_interval: defaults::GOSSIP_INTERVAL,
             horizon: SimDuration::from_secs(900),
             shard_workers: 1,
             trace_capacity: None,
@@ -120,7 +128,7 @@ impl MultiRegionConfig {
 
     /// Region-major shard assignment: node → its region. Fails only for
     /// a degenerate zero-region config (the assignment would be empty).
-    pub fn shard_map(&self) -> Result<ShardMap, ScenarioError> {
+    pub fn shard_map(&self) -> Result<ShardMap, HarnessError> {
         let per = self.clients_per_region + 1;
         let assignment: Vec<usize> = (0..self.num_nodes()).map(|i| i / per).collect();
         Ok(ShardMap::from_assignment(assignment)?)
@@ -183,8 +191,110 @@ pub struct MultiRegionResult {
     pub exec_profile: Option<ExecutionProfile>,
 }
 
-/// Runs one multi-region replication of `cfg` under `seed` on the sharded
-/// engine (one shard per region, `cfg.shard_workers` threads). For a fixed
+/// The per-peer attribution phase CSV — the worker-invariant tail of the
+/// `psim multiregion` stdout artifact.
+pub fn phase_csv(trace: &Trace, node_names: &[Arc<str>]) -> String {
+    let attrs = attribute_trace(trace);
+    let label_of = |node: NodeId| {
+        node_names
+            .get(node.index())
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| format!("n{}", node.0))
+    };
+    phase_table_csv(&breakdown_by_peer(&attrs, label_of))
+}
+
+/// The multi-region driver as a harness [`Workload`].
+pub struct MultiRegionWorkload<'a> {
+    /// The run parameters (shared with [`run_multiregion`]).
+    pub cfg: &'a MultiRegionConfig,
+}
+
+impl Workload for MultiRegionWorkload<'_> {
+    fn name(&self) -> &'static str {
+        "multiregion"
+    }
+
+    fn topology(&self, _seed: u64) -> Result<TopologyPlan, HarnessError> {
+        let cfg = self.cfg;
+        let brokers: Vec<NodeId> = (0..cfg.regions).map(|r| cfg.broker_of(r)).collect();
+        Ok(TopologyPlan {
+            topo: cfg.topology(),
+            map: cfg.shard_map()?,
+            brokers,
+        })
+    }
+
+    /// Gossip-only federation (no petition forwarding): preserves the
+    /// pre-federation multiregion event history exactly.
+    fn federation(&self) -> FederationSpec {
+        FederationSpec {
+            gossip_interval: self.cfg.gossip_interval,
+            ..FederationSpec::default()
+        }
+    }
+
+    fn actors(&self, cx: &BuildCtx<'_>) -> Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> {
+        let cfg = self.cfg;
+        let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
+        for (r, &broker) in cx.brokers.iter().enumerate() {
+            let mut broker_cfg = BrokerConfig::new(cx.seed ^ (0x5EED_0000 + r as u64));
+            broker_cfg.stop_when_idle = false;
+            cx.federation.configure(r, &mut broker_cfg);
+            for round in 0..cfg.rounds {
+                broker_cfg = broker_cfg.at(
+                    SimDuration::from_secs(60) + cfg.round_interval * round as u64,
+                    BrokerCommand::DistributeFile {
+                        target: TargetSpec::AllClients,
+                        size_bytes: cfg.file_bytes,
+                        num_parts: cfg.file_parts,
+                        label: format!("mr-r{r}-round{round}"),
+                    },
+                );
+            }
+            actors.push((
+                broker,
+                Box::new(Broker::new(broker_cfg, cx.sink_of(broker))),
+            ));
+        }
+        let per = cfg.clients_per_region + 1;
+        for r in 0..cfg.regions {
+            for c in 0..cfg.clients_per_region {
+                let node = NodeId((r * per + 1 + c) as u32);
+                // A deterministic fraction of clients joins the next region's
+                // broker, forcing petitions and parts across shard boundaries.
+                let home = if cfg.remote_join_every > 0 && (c + 1) % cfg.remote_join_every == 0 {
+                    cx.brokers[(r + 1) % cfg.regions]
+                } else {
+                    cx.brokers[r]
+                };
+                let client_cfg = ClientConfig::new(home);
+                let client_seed = cx
+                    .seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((r * per + c) as u64);
+                actors.push((
+                    node,
+                    Box::new(
+                        SimpleClient::new(client_cfg, client_seed).with_sink(cx.sink_of(node)),
+                    ),
+                ));
+            }
+        }
+        actors
+    }
+
+    fn series_schema(&self, interval: SimDuration) -> Result<TimeSeriesRecorder, TimeSeriesError> {
+        overlay_series(interval)
+    }
+
+    fn summarize(&self, _seed: u64, run: &HarnessRun) -> String {
+        phase_csv(&run.trace, &run.node_names)
+    }
+}
+
+/// Runs one multi-region replication of `cfg` under `seed` on the harness
+/// (one shard per region, `cfg.shard_workers` threads). For a fixed
 /// config and seed the result is byte-identical at any worker count.
 /// Degenerate configs (zero regions, zero inter-region delay) surface as
 /// [`ScenarioError`]s from shard-map or engine construction.
@@ -192,99 +302,26 @@ pub fn run_multiregion(
     cfg: &MultiRegionConfig,
     seed: u64,
 ) -> Result<MultiRegionResult, ScenarioError> {
-    let topo = cfg.topology();
-    let node_names: Vec<Arc<str>> = (0..topo.len())
-        .map(|i| Arc::from(topo.node(NodeId(i as u32)).name.as_str()))
-        .collect();
-    let map = cfg.shard_map()?;
-    let sinks: Vec<RecordSink> = (0..map.num_shards()).map(|_| RecordSink::new()).collect();
-    let sink_of = |node: NodeId| sinks[map.shard_of(node)].clone();
-
-    let brokers: Vec<NodeId> = (0..cfg.regions).map(|r| cfg.broker_of(r)).collect();
-    // Gossip-only federation (no petition forwarding): preserves the
-    // pre-federation multiregion event history exactly.
-    let federation = FederationBuilder::new(brokers.clone())
-        .gossip_interval(cfg.gossip_interval)
-        .forward_hops(0)
+    let harness = WorkloadBuilder::new()
+        .horizon(cfg.horizon)
+        .shard_workers(cfg.shard_workers)
+        .trace_capacity(cfg.trace_capacity)
+        .series_interval(cfg.series_interval)
+        .profile_execution(cfg.profile_execution)
         .build()?;
-    let mut actors: Vec<(NodeId, Box<dyn Actor<OverlayMsg> + Send>)> = Vec::new();
-    for (r, &broker) in brokers.iter().enumerate() {
-        let mut broker_cfg = BrokerConfig::new(seed ^ (0x5EED_0000 + r as u64));
-        broker_cfg.stop_when_idle = false;
-        federation.configure(r, &mut broker_cfg);
-        for round in 0..cfg.rounds {
-            broker_cfg = broker_cfg.at(
-                SimDuration::from_secs(60) + cfg.round_interval * round as u64,
-                BrokerCommand::DistributeFile {
-                    target: TargetSpec::AllClients,
-                    size_bytes: cfg.file_bytes,
-                    num_parts: cfg.file_parts,
-                    label: format!("mr-r{r}-round{round}"),
-                },
-            );
-        }
-        actors.push((broker, Box::new(Broker::new(broker_cfg, sink_of(broker)))));
-    }
-    let per = cfg.clients_per_region + 1;
-    for r in 0..cfg.regions {
-        for c in 0..cfg.clients_per_region {
-            let node = NodeId((r * per + 1 + c) as u32);
-            // A deterministic fraction of clients joins the next region's
-            // broker, forcing petitions and parts across shard boundaries.
-            let home = if cfg.remote_join_every > 0 && (c + 1) % cfg.remote_join_every == 0 {
-                brokers[(r + 1) % cfg.regions]
-            } else {
-                brokers[r]
-            };
-            let client_cfg = ClientConfig::new(home);
-            let client_seed = seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add((r * per + c) as u64);
-            actors.push((
-                node,
-                Box::new(SimpleClient::new(client_cfg, client_seed).with_sink(sink_of(node))),
-            ));
-        }
-    }
-
-    let mut engine: ShardedEngine<OverlayMsg> = ShardedEngine::new(
-        topo,
-        TransportConfig::default(),
-        seed,
-        map,
-        cfg.shard_workers,
-    )?;
-    if let Some(capacity) = cfg.trace_capacity {
-        engine.enable_trace(capacity);
-    }
-    if let Some(interval) = cfg.series_interval {
-        engine.install_recorder(overlay_series(interval)?);
-    }
-    if cfg.profile_execution {
-        engine.enable_profiling();
-    }
-    for (node, actor) in actors {
-        engine.register(node, actor);
-    }
-    let outcome = engine.run_until(SimTime::ZERO + cfg.horizon);
-    let exec_profile = engine.execution_profile().cloned();
-
-    let mut log = RunLog::default();
-    for sink in &sinks {
-        log.absorb(sink.drain());
-    }
+    let run = harness.run(&MultiRegionWorkload { cfg }, seed)?;
     Ok(MultiRegionResult {
-        log,
-        metrics: engine.metrics(),
-        trace: engine.trace(),
-        outcome,
-        elapsed: engine.now(),
-        events_processed: engine.events_processed(),
-        peak_queue_len: engine.peak_queue_len(),
-        profile: engine.profile(),
-        node_names,
-        series: engine.take_recorder(),
-        exec_profile,
+        log: run.log,
+        metrics: run.metrics,
+        trace: run.trace,
+        outcome: run.outcome,
+        elapsed: run.elapsed,
+        events_processed: run.events_processed,
+        peak_queue_len: run.peak_queue_len,
+        profile: run.profile,
+        node_names: run.node_names,
+        series: run.series,
+        exec_profile: run.exec_profile,
     })
 }
 

@@ -156,6 +156,27 @@ impl From<overlay::federation::FederationError> for ScenarioError {
     }
 }
 
+impl From<crate::harness::HarnessError> for ScenarioError {
+    fn from(e: crate::harness::HarnessError) -> Self {
+        use crate::harness::HarnessError;
+        match e {
+            HarnessError::NonPositiveHorizon => ScenarioError::NonPositiveHorizon,
+            HarnessError::ZeroParallelism { what } => ScenarioError::ZeroParallelism { what },
+            HarnessError::InvalidShardCount {
+                num_shards,
+                regions,
+            } => ScenarioError::InvalidShardCount {
+                num_shards,
+                regions,
+            },
+            HarnessError::ShardMap(e) => ScenarioError::ShardMap(e),
+            HarnessError::Parallel(e) => ScenarioError::Parallel(e),
+            HarnessError::ZeroSeriesInterval => ScenarioError::ZeroSeriesInterval,
+            HarnessError::Federation(e) => ScenarioError::Federation(e),
+        }
+    }
+}
+
 impl std::fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -25,12 +25,20 @@ use overlay::broker::{BrokerCommand, RetryPolicy, TargetSpec};
 pub use overlay::selector::ModelKind;
 use planetlab::builder::TestbedConfig;
 
-use crate::experiments::{fig5, fig6, per_sc_transfer_metric, sc_labels};
+use crate::experiments::{fig6, per_sc_transfer_metric, sc_labels};
 use crate::federation::{run_federation, FederationConfig, LatencySummary};
 use crate::runner::run_indexed;
 use crate::scenario::{run_scenario, ScenarioBuilder, ScenarioConfig, ScenarioError};
-use crate::spec::{ExperimentSpec, MB};
+use crate::spec::MB;
+use crate::streaming::{
+    run_streaming, PiecePolicy, StartupQuantiles, StreamingConfig, StreamingStats, UploadProfile,
+};
 use crate::synthtopo::SynthTopoConfig;
+
+mod grids;
+pub use grids::{
+    federation_grid, fig345_grid, fig67_grid, named_grid, named_grid_list, streaming_grid,
+};
 
 /// Label of the broadcast transfer in [`CellWorkload::Distribute`] cells.
 pub const DISTRIBUTE_LABEL: &str = "sweep";
@@ -135,6 +143,17 @@ pub enum CellWorkload {
         /// Peers across the federation.
         peers: usize,
     },
+    /// The streaming-on-demand shape ([`crate::streaming`]): playback
+    /// buffers over piece exchange on a synthetic testbed, driven by the
+    /// `piece_policies`, `windows`, and `uploads` axes (the testbed,
+    /// accept, and parts axes do not apply). Rows are the median startup
+    /// delay and the fleet rebuffering total. Requires
+    /// [`ModelKind::Blind`]: viewers pull from hash-assigned owners, not
+    /// a selector.
+    Streaming {
+        /// Viewers across the testbed.
+        viewers: usize,
+    },
 }
 
 impl CellWorkload {
@@ -142,7 +161,9 @@ impl CellWorkload {
     pub fn unit(self) -> &'static str {
         match self {
             CellWorkload::Distribute { .. } => "minutes",
-            CellWorkload::SelectedTransfer { .. } | CellWorkload::Federation { .. } => "seconds",
+            CellWorkload::SelectedTransfer { .. }
+            | CellWorkload::Federation { .. }
+            | CellWorkload::Streaming { .. } => "seconds",
         }
     }
 
@@ -151,6 +172,7 @@ impl CellWorkload {
             CellWorkload::Distribute { .. } => "distribute",
             CellWorkload::SelectedTransfer { .. } => "selected-transfer",
             CellWorkload::Federation { .. } => "federation",
+            CellWorkload::Streaming { .. } => "streaming",
         }
     }
 }
@@ -196,6 +218,17 @@ pub struct SweepSpec {
     /// federation cell (`0` = workload defaults). Singleton `vec![0.0]`
     /// for non-federation grids.
     pub gossip_staleness: Vec<f64>,
+    /// Piece-policy axis (read by [`CellWorkload::Streaming`] cells;
+    /// singleton `vec![PiecePolicy::Sequential]` for non-streaming
+    /// grids).
+    pub piece_policies: Vec<PiecePolicy>,
+    /// Request-window axis (read by [`CellWorkload::Streaming`] cells;
+    /// singleton `vec![1]` for non-streaming grids).
+    pub windows: Vec<u32>,
+    /// Uplink-distribution axis (read by [`CellWorkload::Streaming`]
+    /// cells; singleton `vec![UploadProfile::Home]` for non-streaming
+    /// grids).
+    pub uploads: Vec<UploadProfile>,
     /// Seed scheme shared by every cell.
     pub seeds: SeedScheme,
     /// Virtual-time offset of the first scripted command.
@@ -219,22 +252,31 @@ pub struct Cell {
     pub brokers: usize,
     /// Gossip/staleness cadence axis value (virtual seconds).
     pub gossip_staleness: f64,
+    /// Piece-policy axis value.
+    pub piece_policy: PiecePolicy,
+    /// Request-window axis value.
+    pub window: u32,
+    /// Uplink-distribution axis value.
+    pub upload: UploadProfile,
     /// Split-count axis value.
     pub parts: u32,
 }
 
 impl Cell {
     /// Human-readable cell id, e.g.
-    /// `measurement/accept-all/blind/drop0/brokers1/stale0/parts16`.
+    /// `measurement/accept-all/blind/drop0/brokers1/stale0/sequential/w1/home/parts16`.
     pub fn id_string(&self) -> String {
         format!(
-            "{}/{}/{}/drop{}/brokers{}/stale{}/parts{}",
+            "{}/{}/{}/drop{}/brokers{}/stale{}/{}/w{}/{}/parts{}",
             self.testbed.name(),
             self.accept.name,
             self.model.name(),
             self.drop_probability,
             self.brokers,
             self.gossip_staleness,
+            self.piece_policy.name(),
+            self.window,
+            self.upload.name(),
             self.parts
         )
     }
@@ -253,6 +295,9 @@ pub enum SweepError {
     ZeroBrokers,
     /// A gossip-staleness axis value was negative.
     NegativeStaleness,
+    /// A windows axis value was zero (a request window must hold at
+    /// least one piece).
+    ZeroWindow,
     /// The model cannot drive the workload: `Blind` never selects, so it
     /// cannot run a `SelectedTransfer`; conversely a broadcast
     /// `Distribute` never consults a non-blind model.
@@ -276,6 +321,7 @@ impl std::fmt::Display for SweepError {
             SweepError::NegativeStaleness => {
                 write!(f, "gossip_staleness axis contains a negative value")
             }
+            SweepError::ZeroWindow => write!(f, "windows axis contains 0"),
             SweepError::ModelWorkloadMismatch { model, workload } => {
                 write!(f, "model {model} cannot drive a {workload} workload")
             }
@@ -334,6 +380,15 @@ impl SweepSpec {
         if self.gossip_staleness.is_empty() {
             return Err(SweepError::EmptyAxis("gossip_staleness"));
         }
+        if self.piece_policies.is_empty() {
+            return Err(SweepError::EmptyAxis("piece_policies"));
+        }
+        if self.windows.is_empty() {
+            return Err(SweepError::EmptyAxis("windows"));
+        }
+        if self.uploads.is_empty() {
+            return Err(SweepError::EmptyAxis("uploads"));
+        }
         if self.parts.contains(&0) {
             return Err(SweepError::ZeroParts);
         }
@@ -342,6 +397,9 @@ impl SweepSpec {
         }
         if self.gossip_staleness.iter().any(|&s| s < 0.0) {
             return Err(SweepError::NegativeStaleness);
+        }
+        if self.windows.contains(&0) {
+            return Err(SweepError::ZeroWindow);
         }
         if self.replications() == 0 {
             return Err(SweepError::NoReplications);
@@ -361,9 +419,10 @@ impl SweepSpec {
 
     /// Expands the cross-product into cells, in the stable order: testbed
     /// outermost, then accept profile, model, drop probability, brokers,
-    /// gossip staleness, and parts fastest-varying. The order is part of
-    /// the output contract — cell indices feed [`derive_seed`] (singleton
-    /// broker/staleness axes leave the classic grids' indices unchanged).
+    /// gossip staleness, piece policy, window, upload, and parts
+    /// fastest-varying. The order is part of the output contract — cell
+    /// indices feed [`derive_seed`] (singleton broker/staleness/streaming
+    /// axes leave the classic grids' indices unchanged).
     pub fn expand(&self) -> Result<Vec<Cell>, SweepError> {
         self.validate()?;
         let mut cells = Vec::new();
@@ -373,17 +432,26 @@ impl SweepSpec {
                     for &drop_probability in &self.drop_probabilities {
                         for &brokers in &self.brokers {
                             for &gossip_staleness in &self.gossip_staleness {
-                                for &parts in &self.parts {
-                                    cells.push(Cell {
-                                        index: cells.len(),
-                                        testbed,
-                                        accept,
-                                        model,
-                                        drop_probability,
-                                        brokers,
-                                        gossip_staleness,
-                                        parts,
-                                    });
+                                for &piece_policy in &self.piece_policies {
+                                    for &window in &self.windows {
+                                        for &upload in &self.uploads {
+                                            for &parts in &self.parts {
+                                                cells.push(Cell {
+                                                    index: cells.len(),
+                                                    testbed,
+                                                    accept,
+                                                    model,
+                                                    drop_probability,
+                                                    brokers,
+                                                    gossip_staleness,
+                                                    piece_policy,
+                                                    window,
+                                                    upload,
+                                                    parts,
+                                                });
+                                            }
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -471,8 +539,8 @@ fn scenario_for_cell(spec: &SweepSpec, cell: &Cell) -> Result<ScenarioConfig, Sc
                 .expect("validate() rejected blind models for selected-transfer cells");
             builder = builder.selector(factory);
         }
-        CellWorkload::Federation { .. } => {
-            unreachable!("federation cells never build a testbed scenario")
+        CellWorkload::Federation { .. } | CellWorkload::Streaming { .. } => {
+            unreachable!("federation and streaming cells never build a testbed scenario")
         }
     }
     builder.build()
@@ -526,6 +594,47 @@ fn run_federation_rep(cell: &Cell, peers: usize, seed: u64) -> RepOutcome {
     }
 }
 
+/// Builds one streaming cell's config: the default four-region testbed,
+/// the cell's piece policy, window, and upload distribution, with a CI
+/// horizon and tracing off.
+fn streaming_for_cell(cell: &Cell, viewers: usize) -> StreamingConfig {
+    StreamingConfig {
+        topo: SynthTopoConfig {
+            regions: 4,
+            peers: viewers.max(4),
+            ..SynthTopoConfig::default()
+        },
+        policy: cell.piece_policy,
+        window: cell.window,
+        upload: cell.upload,
+        num_shards: 4,
+        total_pieces: 24,
+        horizon: SimDuration::from_secs(600),
+        trace_capacity: None,
+        ..StreamingConfig::default()
+    }
+}
+
+/// Runs one streaming replication and reduces it to the cell's median
+/// startup delay and fleet rebuffering total.
+fn run_streaming_rep(cell: &Cell, viewers: usize, seed: u64) -> RepOutcome {
+    let cfg = streaming_for_cell(cell, viewers);
+    let result =
+        run_streaming(&cfg, seed).expect("axis validation guarantees a well-formed stream");
+    let StreamingStats { rebuffer_secs, .. } = result.stats;
+    let startup_p50 = StartupQuantiles::from_samples(&result.startup_delays())
+        .map(|q| q.p50_s)
+        .unwrap_or(f64::NAN);
+    RepOutcome {
+        values: vec![
+            ("startup_p50".to_string(), startup_p50),
+            ("rebuffer_secs".to_string(), rebuffer_secs),
+        ],
+        chosen: String::new(),
+        metrics: result.metrics,
+    }
+}
+
 fn run_cell_rep(spec: &SweepSpec, cfg: &ScenarioConfig, seed: u64) -> RepOutcome {
     let result = run_scenario(cfg, seed);
     match spec.workload {
@@ -560,6 +669,7 @@ fn run_cell_rep(spec: &SweepSpec, cfg: &ScenarioConfig, seed: u64) -> RepOutcome
             }
         }
         CellWorkload::Federation { .. } => unreachable!("dispatched to run_federation_rep"),
+        CellWorkload::Streaming { .. } => unreachable!("dispatched to run_streaming_rep"),
     }
 }
 
@@ -613,12 +723,12 @@ impl CampaignResult {
     /// floats, byte-identical for any worker count.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "grid,cell,testbed,accept,model,drop,parts,brokers,staleness,label,unit,reps,mean,sd,min,max\n",
+            "grid,cell,testbed,accept,model,drop,parts,brokers,staleness,policy,window,upload,label,unit,reps,mean,sd,min,max\n",
         );
         for c in &self.cells {
             for (label, stat) in &c.rows {
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                     self.grid,
                     c.cell.index,
                     c.cell.testbed.name(),
@@ -628,6 +738,9 @@ impl CampaignResult {
                     c.cell.parts,
                     c.cell.brokers,
                     c.cell.gossip_staleness,
+                    c.cell.piece_policy.name(),
+                    c.cell.window,
+                    c.cell.upload.name(),
                     label,
                     c.unit,
                     stat.count(),
@@ -668,6 +781,12 @@ impl CampaignResult {
             push_json_f64(&mut out, c.cell.drop_probability);
             out.push_str(&format!(",\"brokers\":{},\"staleness\":", c.cell.brokers));
             push_json_f64(&mut out, c.cell.gossip_staleness);
+            out.push_str(&format!(
+                ",\"policy\":\"{}\",\"window\":{},\"upload\":\"{}\"",
+                c.cell.piece_policy.name(),
+                c.cell.window,
+                c.cell.upload.name(),
+            ));
             out.push_str(&format!(
                 ",\"parts\":{},\"unit\":\"{}\"",
                 c.cell.parts, c.unit
@@ -753,14 +872,15 @@ impl CampaignResult {
 /// CSV/JSON renderings — is byte-identical for every worker count.
 pub fn run_campaign(spec: &SweepSpec, workers: usize) -> Result<CampaignResult, SweepError> {
     let cells = spec.expand()?;
-    let federation_peers = match spec.workload {
-        CellWorkload::Federation { peers } => Some(peers),
-        _ => None,
-    };
+    let synthetic = matches!(
+        spec.workload,
+        CellWorkload::Federation { .. } | CellWorkload::Streaming { .. }
+    );
     // Build (and discard) every cell's scenario up front: a mis-specified
-    // grid must fail here, not inside a worker thread. (Federation cells
-    // are validated by the axis checks in `expand` instead.)
-    if federation_peers.is_none() {
+    // grid must fail here, not inside a worker thread. (Federation and
+    // streaming cells are validated by the axis checks in `expand`
+    // instead.)
+    if !synthetic {
         for cell in &cells {
             scenario_for_cell(spec, cell)?;
         }
@@ -770,9 +890,10 @@ pub fn run_campaign(spec: &SweepSpec, workers: usize) -> Result<CampaignResult, 
         let cell = &cells[task / reps];
         let rep = task % reps;
         let seed = spec.seed_for(cell.index, rep);
-        match federation_peers {
-            Some(peers) => run_federation_rep(cell, peers, seed),
-            None => {
+        match spec.workload {
+            CellWorkload::Federation { peers } => run_federation_rep(cell, peers, seed),
+            CellWorkload::Streaming { viewers } => run_streaming_rep(cell, viewers, seed),
+            _ => {
                 let cfg = scenario_for_cell(spec, cell).expect("validated above");
                 run_cell_rep(spec, &cfg, seed)
             }
@@ -824,87 +945,6 @@ pub fn run_campaign(spec: &SweepSpec, workers: usize) -> Result<CampaignResult, 
     })
 }
 
-/// The Figs 3–5 grid: the 100 MB file broadcast whole vs 4 vs 16 parts —
-/// 3 cells × 8 SC rows = the paper's 24 transmission-time cells.
-pub fn fig345_grid(seeds: SeedScheme, warmup: SimDuration) -> SweepSpec {
-    SweepSpec {
-        name: "fig345".into(),
-        workload: CellWorkload::Distribute {
-            size_bytes: fig5::FILE_SIZE,
-        },
-        models: vec![ModelKind::Blind],
-        parts: fig5::GRANULARITIES.to_vec(),
-        drop_probabilities: vec![0.0],
-        testbeds: vec![TestbedAxis::Measurement],
-        accept_profiles: vec![ACCEPT_ALL],
-        brokers: vec![1],
-        gossip_staleness: vec![0.0],
-        seeds,
-        warmup,
-    }
-}
-
-/// The Figs 6–7 grid: the four selection models × {4, 16} parts over the
-/// warm-up/background/measured-transfer scenario.
-pub fn fig67_grid(seeds: SeedScheme, warmup: SimDuration) -> SweepSpec {
-    SweepSpec {
-        name: "fig67".into(),
-        workload: CellWorkload::SelectedTransfer {
-            measured_bytes: fig6::MEASURED_SIZE,
-            background_bytes: fig6::BACKGROUND_SIZE,
-        },
-        models: fig6::MODELS.to_vec(),
-        parts: fig6::GRANULARITIES.to_vec(),
-        drop_probabilities: vec![0.0],
-        testbeds: vec![TestbedAxis::Measurement],
-        accept_profiles: vec![FIG6_WARMUP_ACCEPT],
-        brokers: vec![1],
-        gossip_staleness: vec![0.0],
-        seeds,
-        warmup,
-    }
-}
-
-/// The federation grid: mean petition latency across broker count × the
-/// gossip/staleness cadence — the `psim bench-federation` axes as a sweep
-/// campaign, so replications and CSV/JSON rendering come for free.
-pub fn federation_grid(seeds: SeedScheme) -> SweepSpec {
-    SweepSpec {
-        name: "federation".into(),
-        workload: CellWorkload::Federation { peers: 64 },
-        models: vec![ModelKind::Blind],
-        parts: vec![4],
-        drop_probabilities: vec![0.0],
-        testbeds: vec![TestbedAxis::Measurement],
-        accept_profiles: vec![ACCEPT_ALL],
-        brokers: vec![2, 4],
-        gossip_staleness: vec![30.0, 240.0],
-        seeds,
-        warmup: SimDuration::ZERO,
-    }
-}
-
-/// The grid names `psim sweep` accepts.
-pub fn named_grid_list() -> Vec<&'static str> {
-    vec!["fig345", "fig67", "federation"]
-}
-
-/// Resolves a named grid with a derived seed scheme. `None` for unknown
-/// names; see [`named_grid_list`].
-pub fn named_grid(name: &str, campaign_seed: u64, replications: usize) -> Option<SweepSpec> {
-    let seeds = SeedScheme::Derived {
-        campaign_seed,
-        replications,
-    };
-    let warmup = ExperimentSpec::paper_defaults().warmup;
-    match name {
-        "fig345" => Some(fig345_grid(seeds, warmup)),
-        "fig67" => Some(fig67_grid(seeds, warmup)),
-        "federation" => Some(federation_grid(seeds)),
-        _ => None,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -920,6 +960,9 @@ mod tests {
             accept_profiles: vec![ACCEPT_ALL],
             brokers: vec![1],
             gossip_staleness: vec![0.0],
+            piece_policies: vec![PiecePolicy::Sequential],
+            windows: vec![1],
+            uploads: vec![UploadProfile::Home],
             seeds,
             warmup: SimDuration::from_secs(60),
         }
@@ -995,6 +1038,15 @@ mod tests {
         let mut s = base();
         s.gossip_staleness = vec![-1.0];
         assert_eq!(s.validate(), Err(SweepError::NegativeStaleness));
+        let mut s = base();
+        s.windows = vec![0];
+        assert_eq!(s.validate(), Err(SweepError::ZeroWindow));
+        let mut s = base();
+        s.piece_policies.clear();
+        assert_eq!(s.validate(), Err(SweepError::EmptyAxis("piece_policies")));
+        let mut s = base();
+        s.uploads.clear();
+        assert_eq!(s.validate(), Err(SweepError::EmptyAxis("uploads")));
         let mut s = federation_grid(SeedScheme::Explicit(vec![1]));
         s.models = vec![ModelKind::Economic];
         assert!(matches!(
@@ -1031,74 +1083,6 @@ mod tests {
             one.merged_metrics().render(),
             four.merged_metrics().render()
         );
-    }
-
-    #[test]
-    fn fig345_covers_all_24_paper_cells() {
-        let spec = fig345_grid(SeedScheme::Explicit(vec![1]), SimDuration::from_secs(60));
-        let campaign = run_campaign(&spec, 4).expect("valid grid");
-        assert_eq!(campaign.cells.len(), 3, "whole, 4 parts, 16 parts");
-        let csv = campaign.to_csv();
-        let data_rows: Vec<&str> = csv.lines().skip(1).collect();
-        assert_eq!(data_rows.len(), 24, "8 SCs x 3 splits");
-        for sc in 1..=8 {
-            assert_eq!(
-                data_rows
-                    .iter()
-                    .filter(|r| r.contains(&format!(",SC{sc},")))
-                    .count(),
-                3,
-                "SC{sc} appears once per split"
-            );
-        }
-        // Finer granularity is faster, as in Fig 5.
-        let mean_of = |ci: usize| {
-            let means: Vec<f64> = campaign.cells[ci]
-                .rows
-                .iter()
-                .map(|(_, s)| s.mean())
-                .collect();
-            means.iter().sum::<f64>() / means.len() as f64
-        };
-        assert!(mean_of(0) > mean_of(1), "whole slower than 4 parts");
-        assert!(mean_of(1) > mean_of(2), "4 parts slower than 16");
-    }
-
-    #[test]
-    fn federation_grid_runs_and_is_worker_invariant() {
-        let mk = || {
-            let mut s = federation_grid(SeedScheme::Derived {
-                campaign_seed: 5,
-                replications: 1,
-            });
-            s.workload = CellWorkload::Federation { peers: 24 };
-            s.gossip_staleness = vec![240.0];
-            s
-        };
-        let one = run_campaign(&mk(), 1).expect("valid grid");
-        let four = run_campaign(&mk(), 4).expect("valid grid");
-        assert_eq!(one.to_csv(), four.to_csv());
-        assert_eq!(one.to_json(), four.to_json());
-        assert_eq!(one.cells.len(), 2, "2 broker counts x 1 cadence");
-        assert!(one.to_csv().starts_with(
-            "grid,cell,testbed,accept,model,drop,parts,brokers,staleness,label,unit,reps,mean,sd,min,max\n"
-        ));
-        for c in &one.cells {
-            assert_eq!(c.rows.len(), 1);
-            assert_eq!(c.rows[0].0, "petition_mean");
-            assert!(c.rows[0].1.mean() > 0.0, "petition latency recorded");
-        }
-        assert_eq!(one.cells[0].cell.brokers, 2);
-        assert_eq!(one.cells[1].cell.brokers, 4);
-    }
-
-    #[test]
-    fn named_grids_resolve_and_unknown_does_not() {
-        for name in named_grid_list() {
-            let spec = named_grid(name, 1, 2).expect("listed grid resolves");
-            spec.validate().expect("listed grid is valid");
-        }
-        assert!(named_grid("fig999", 1, 2).is_none());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! the region count yields a balanced, dense assignment whose
 //! cross-shard lookahead is bounded below by the RTT floor.
 
-use crate::scenario::ScenarioError;
+use crate::harness::HarnessError;
 use netsim::link::{AccessLink, PathSpec};
 use netsim::node::{CpuModel, NodeId, NodeSpec};
 use netsim::rng::{DelayDistribution, SimRng};
@@ -119,9 +119,9 @@ impl SynthTopoConfig {
 
     /// Shard assignment `region % num_shards`. Dense as long as
     /// `1 <= num_shards <= regions`; anything else is rejected.
-    pub fn shard_map(&self, num_shards: usize) -> Result<ShardMap, ScenarioError> {
+    pub fn shard_map(&self, num_shards: usize) -> Result<ShardMap, HarnessError> {
         if num_shards < 1 || num_shards > self.regions {
-            return Err(ScenarioError::InvalidShardCount {
+            return Err(HarnessError::InvalidShardCount {
                 num_shards,
                 regions: self.regions,
             });
@@ -326,7 +326,7 @@ mod tests {
         };
         for bad in [0usize, 5, 64] {
             match cfg.shard_map(bad) {
-                Err(ScenarioError::InvalidShardCount {
+                Err(HarnessError::InvalidShardCount {
                     num_shards,
                     regions,
                 }) => {

@@ -149,6 +149,44 @@ pub fn federation_series(interval: SimDuration) -> Result<TimeSeriesRecorder, Ti
     Ok(rec)
 }
 
+/// Columns for streaming workloads: piece flow, playback starts, and
+/// rebuffering movement, plus the registry accounting.
+pub fn streaming_series(interval: SimDuration) -> Result<TimeSeriesRecorder, TimeSeriesError> {
+    let mut rec = TimeSeriesRecorder::new(interval)?;
+    rec.register(
+        "streams_started",
+        SeriesSource::Counter("streaming.streams_started".into()),
+        SeriesMode::Cumulative,
+    );
+    rec.register(
+        "pieces_received",
+        SeriesSource::Counter("streaming.pieces_received".into()),
+        SeriesMode::Delta,
+    );
+    rec.register(
+        "playbacks_started",
+        SeriesSource::Counter("streaming.playbacks_started".into()),
+        SeriesMode::Cumulative,
+    );
+    rec.register(
+        "rebuffers",
+        SeriesSource::Counter("streaming.rebuffers".into()),
+        SeriesMode::Delta,
+    );
+    rec.register(
+        "rebuffer_ms",
+        SeriesSource::Counter("streaming.rebuffer_ms".into()),
+        SeriesMode::Delta,
+    );
+    rec.register(
+        "completions",
+        SeriesSource::Counter("streaming.completions".into()),
+        SeriesMode::Cumulative,
+    );
+    register_registry_columns(&mut rec);
+    Ok(rec)
+}
+
 /// The shared registry-memory columns: fleet-wide byte and peer-count
 /// sums over the per-broker gauges, and their ratio.
 fn register_registry_columns(rec: &mut TimeSeriesRecorder) {
@@ -222,6 +260,26 @@ mod tests {
                 "forwards_served",
                 "stale_views_dropped",
                 "transfers_completed",
+                "registry_bytes",
+                "registry_peers",
+                "bytes_per_peer",
+            ]
+        );
+    }
+
+    #[test]
+    fn streaming_columns_are_stable() {
+        let rec = streaming_series(SimDuration::from_secs(60)).expect("positive interval");
+        let names: Vec<&str> = rec.names().collect();
+        assert_eq!(
+            names,
+            [
+                "streams_started",
+                "pieces_received",
+                "playbacks_started",
+                "rebuffers",
+                "rebuffer_ms",
+                "completions",
                 "registry_bytes",
                 "registry_peers",
                 "bytes_per_peer",

@@ -179,6 +179,9 @@ proptest! {
             accept_profiles: vec![ACCEPT_ALL],
             brokers: vec![1],
             gossip_staleness: vec![0.0],
+            piece_policies: vec![workloads::streaming::PiecePolicy::Sequential],
+            windows: vec![1],
+            uploads: vec![workloads::streaming::UploadProfile::Home],
             seeds: SeedScheme::Derived {
                 campaign_seed,
                 replications: 2,
@@ -322,6 +325,53 @@ proptest! {
         for (w, (c, j)) in [2usize, 4].iter().zip(&exports[1..]) {
             prop_assert_eq!(c, csv, "series CSV diverged at {} workers (seed {})", w, seed);
             prop_assert_eq!(j, jsonl, "series JSONL diverged at {} workers (seed {})", w, seed);
+        }
+    }
+
+    /// The streaming workload is worker-count invariant on arbitrary
+    /// valid configs: the full stdout artifact (trace JSONL + metrics
+    /// snapshot + summary JSON) is byte-identical whether 1, 2, or 4
+    /// threads drive the shards — playback clocks and rebuffer
+    /// accounting ride virtual time, never thread timing.
+    #[test]
+    fn streaming_artifact_is_worker_count_invariant(
+        regions in 2usize..5,
+        viewers in 8usize..20,
+        policy_ix in 0usize..3,
+        window in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        use overlay::streaming::PiecePolicy;
+        use workloads::harness::stdout_artifact;
+        use workloads::streaming::{run_streaming, summary_json, StreamingConfig};
+        use workloads::synthtopo::SynthTopoConfig;
+        let base = StreamingConfig {
+            topo: SynthTopoConfig {
+                regions,
+                peers: viewers,
+                ..SynthTopoConfig::default()
+            },
+            policy: PiecePolicy::ALL[policy_ix],
+            window,
+            num_shards: regions,
+            total_pieces: 16,
+            horizon: SimDuration::from_secs(420),
+            trace_capacity: Some(1 << 14),
+            ..StreamingConfig::default()
+        };
+        let artifacts: Vec<String> = [1usize, 2, 4]
+            .iter()
+            .map(|&w| {
+                let cfg = StreamingConfig { shard_workers: w, ..base.clone() };
+                let run = run_streaming(&cfg, seed).expect("generated config is valid");
+                let mut tail = summary_json(&cfg, seed, &run);
+                tail.push('\n');
+                stdout_artifact(&run.trace, &run.metrics, &tail)
+            })
+            .collect();
+        prop_assert!(!artifacts[0].is_empty(), "artifact must not be empty (seed {seed})");
+        for (w, a) in [2usize, 4].iter().zip(&artifacts[1..]) {
+            prop_assert_eq!(a, &artifacts[0], "artifact diverged at {} workers (seed {})", w, seed);
         }
     }
 

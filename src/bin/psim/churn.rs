@@ -6,8 +6,8 @@
 //! churn-determinism job can byte-diff two runs that differ only in
 //! `--shard-workers`. Wall-clock numbers and diagnostics go to stderr.
 
-use workloads::churn::{run_churn, ChurnConfig, ChurnResult, SwapDynamics};
-use workloads::report::metrics_snapshot_json;
+use workloads::churn::{run_churn, summary_json, ChurnConfig, ChurnResult};
+use workloads::harness::stdout_artifact;
 use workloads::synthtopo::SynthTopoConfig;
 
 use crate::{write_or_exit, Flags};
@@ -29,34 +29,6 @@ pub(crate) fn churn_config(flags: &Flags) -> ChurnConfig {
         trace_capacity: Some(1 << 16),
         ..ChurnConfig::default()
     }
-}
-
-/// Renders the worker-invariant summary JSON both subcommands embed.
-fn summary_json(cfg: &ChurnConfig, seed: u64, result: &ChurnResult) -> String {
-    let SwapDynamics {
-        joins,
-        rejoins,
-        leaves,
-        refused_petitions,
-        refused_tasks,
-    } = result.swap;
-    format!(
-        "{{\"workload\":\"churn\",\"regions\":{},\"peers\":{},\"num_shards\":{},\
-         \"horizon_secs\":{},\"seed\":{},\"outcome\":\"{:?}\",\"elapsed_secs\":{},\
-         \"events\":{},\"trace_digest\":\"{:016x}\",\"transfers\":{},\
-         \"swap\":{{\"joins\":{joins},\"rejoins\":{rejoins},\"leaves\":{leaves},\
-         \"refused_petitions\":{refused_petitions},\"refused_tasks\":{refused_tasks}}}}}",
-        cfg.topo.regions,
-        cfg.topo.peers,
-        cfg.num_shards,
-        cfg.horizon.as_secs_f64(),
-        seed,
-        result.outcome,
-        result.elapsed.as_secs_f64(),
-        result.events_processed,
-        result.trace.digest(),
-        result.log.transfers.len(),
-    )
 }
 
 /// Runs one churn replication, exiting with a flag diagnostic when the
@@ -93,9 +65,9 @@ pub(crate) fn cmd_churn(flags: &Flags) {
     let seed = flags.u64("seed");
     let result = run_churn_or_exit(&cfg, seed);
 
-    print!("{}", result.trace.to_jsonl());
-    println!("{}", metrics_snapshot_json(&result.metrics));
-    println!("{}", summary_json(&cfg, seed, &result));
+    let mut tail = summary_json(&cfg, seed, &result);
+    tail.push('\n');
+    print!("{}", stdout_artifact(&result.trace, &result.metrics, &tail));
     eprintln!(
         "churn: {:?} at t={:.1}s, {} peers / {} regions / {} shards, {} events, \
          {} trace events ({} dropped), digest {:016x}, {} workers",

@@ -563,4 +563,123 @@ pub(crate) static COMMANDS: &[CommandDef] = &[
         ],
         help: "petition latency vs brokers x staleness + failover recovery",
     },
+    CommandDef {
+        name: "stream",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "regions",
+                takes_value: true,
+                default: Some("4"),
+                help: "regions (one broker and one shard each)",
+            },
+            FlagDef {
+                name: "peers",
+                takes_value: true,
+                default: Some("32"),
+                help: "streaming viewers across all regions",
+            },
+            FlagDef {
+                name: "policy",
+                takes_value: true,
+                default: Some("sequential"),
+                help: "piece selection: sequential|windowed|rarest-window",
+            },
+            FlagDef {
+                name: "window",
+                takes_value: true,
+                default: Some("8"),
+                help: "request-window width (sequential pins it to 1)",
+            },
+            FlagDef {
+                name: "upload",
+                takes_value: true,
+                default: Some("home"),
+                help: "peer uplink distribution: home|mixed|campus",
+            },
+            FlagDef {
+                name: "pieces",
+                takes_value: true,
+                default: Some("48"),
+                help: "pieces the stream is divided into",
+            },
+            FlagDef {
+                name: "horizon-secs",
+                takes_value: true,
+                default: Some("900"),
+                help: "virtual run length",
+            },
+            FlagDef {
+                name: "num-shards",
+                takes_value: true,
+                default: Some("4"),
+                help: "shard domains (capped at --regions)",
+            },
+            SEED,
+            SHARD_WORKERS,
+        ],
+        help: "streaming run -> JSONL + metrics + summary (worker-invariant)",
+    },
+    CommandDef {
+        name: "bench-streaming",
+        positional: None,
+        flags: &[
+            FlagDef {
+                name: "regions",
+                takes_value: true,
+                default: Some("4"),
+                help: "regions (one broker and one shard each)",
+            },
+            FlagDef {
+                name: "peers",
+                takes_value: true,
+                default: Some("32"),
+                help: "streaming viewers across all regions",
+            },
+            FlagDef {
+                name: "policy",
+                takes_value: true,
+                default: Some("sequential"),
+                help: "ignored for the grid; fixes the base config",
+            },
+            FlagDef {
+                name: "window",
+                takes_value: true,
+                default: Some("8"),
+                help: "ignored for the grid; fixes the base config",
+            },
+            FlagDef {
+                name: "upload",
+                takes_value: true,
+                default: Some("home"),
+                help: "peer uplink distribution: home|mixed|campus",
+            },
+            FlagDef {
+                name: "pieces",
+                takes_value: true,
+                default: Some("48"),
+                help: "pieces the stream is divided into",
+            },
+            FlagDef {
+                name: "horizon-secs",
+                takes_value: true,
+                default: Some("900"),
+                help: "virtual run length per point",
+            },
+            FlagDef {
+                name: "num-shards",
+                takes_value: true,
+                default: Some("4"),
+                help: "shard domains (capped at --regions)",
+            },
+            FlagDef {
+                name: "out",
+                takes_value: true,
+                default: Some("BENCH_streaming.json"),
+                help: "output file",
+            },
+            SEED,
+        ],
+        help: "startup delay + rebuffering across the policy x window grid",
+    },
 ];

@@ -11,9 +11,9 @@
 use netsim::time::SimDuration;
 use overlay::federation::HomingPolicy;
 use workloads::federation::{
-    run_federation, BrokerOutage, FederationConfig, FederationResult, LatencySummary,
+    run_federation, summary_json, BrokerOutage, FederationConfig, FederationResult, LatencySummary,
 };
-use workloads::report::metrics_snapshot_json;
+use workloads::harness::stdout_artifact;
 use workloads::synthtopo::SynthTopoConfig;
 
 use crate::{write_or_exit, Flags};
@@ -65,54 +65,6 @@ pub(crate) fn federation_config(flags: &Flags) -> FederationConfig {
     }
 }
 
-/// JSON fragment for an optional latency summary (`null` when absent).
-fn summary_fragment(summary: Option<LatencySummary>) -> String {
-    match summary {
-        Some(s) => format!(
-            "{{\"count\":{},\"min_s\":{},\"mean_s\":{},\"max_s\":{}}}",
-            s.count, s.min_s, s.mean_s, s.max_s
-        ),
-        None => "null".to_string(),
-    }
-}
-
-/// Renders the worker-invariant summary JSON both subcommands embed.
-fn summary_json(cfg: &FederationConfig, seed: u64, result: &FederationResult) -> String {
-    let d = result.dynamics;
-    let petition = LatencySummary::from_samples(&result.petition_latencies());
-    format!(
-        "{{\"workload\":\"federation\",\"brokers\":{},\"peers\":{},\"num_shards\":{},\
-         \"horizon_secs\":{},\"seed\":{},\"homing\":\"{:?}\",\"gossip_secs\":{},\
-         \"outcome\":\"{:?}\",\"elapsed_secs\":{},\"events\":{},\
-         \"trace_digest\":\"{:016x}\",\"transfers\":{},\
-         \"dynamics\":{{\"joins\":{},\"rehomes\":{},\"petitions_forwarded\":{},\
-         \"forwards_received\":{},\"forwards_served\":{},\"forwards_exhausted\":{},\
-         \"stale_views_dropped\":{}}},\
-         \"petition_latency\":{},\"recovery\":{}}}",
-        cfg.topo.regions,
-        cfg.topo.peers,
-        cfg.num_shards,
-        cfg.horizon.as_secs_f64(),
-        seed,
-        cfg.homing,
-        cfg.gossip_interval.as_secs_f64(),
-        result.outcome,
-        result.elapsed.as_secs_f64(),
-        result.events_processed,
-        result.trace.digest(),
-        result.log.transfers.len(),
-        d.joins,
-        d.rehomes,
-        d.petitions_forwarded,
-        d.forwards_received,
-        d.forwards_served,
-        d.forwards_exhausted,
-        d.stale_views_dropped,
-        summary_fragment(petition),
-        summary_fragment(result.recovery),
-    )
-}
-
 /// Runs one federation replication, exiting with a flag diagnostic when
 /// the configuration is rejected instead of panicking.
 fn run_federation_or_exit(cfg: &FederationConfig, seed: u64) -> FederationResult {
@@ -133,9 +85,9 @@ pub(crate) fn cmd_federate(flags: &Flags) {
     let seed = flags.u64("seed");
     let result = run_federation_or_exit(&cfg, seed);
 
-    print!("{}", result.trace.to_jsonl());
-    println!("{}", metrics_snapshot_json(&result.metrics));
-    println!("{}", summary_json(&cfg, seed, &result));
+    let mut tail = summary_json(&cfg, seed, &result);
+    tail.push('\n');
+    print!("{}", stdout_artifact(&result.trace, &result.metrics, &tail));
     eprintln!(
         "federate: {:?} at t={:.1}s, {} peers / {} brokers / {} shards, {} events, \
          {} trace events ({} dropped), digest {:016x}, {} workers",

@@ -27,6 +27,7 @@ mod churn;
 mod commands;
 mod federate;
 mod profile;
+mod stream;
 
 use std::collections::HashMap;
 
@@ -184,6 +185,8 @@ fn main() {
         "bench-churn" => churn::cmd_bench_churn(&flags),
         "federate" => federate::cmd_federate(&flags),
         "bench-federation" => federate::cmd_bench_federation(&flags),
+        "stream" => stream::cmd_stream(&flags),
+        "bench-streaming" => stream::cmd_bench_streaming(&flags),
         "profile" => profile::cmd_profile(&flags),
         "trace" => cmd_trace(&flags),
         "report" => cmd_report(&flags),
@@ -490,7 +493,8 @@ fn cmd_sweep(flags: &Flags) {
 /// attribution phase CSV) concatenated on stdout. The CI shard-determinism
 /// job byte-diffs this output between `--shard-workers 1` and `4`.
 fn cmd_multiregion(flags: &Flags) {
-    use workloads::multiregion::{run_multiregion, MultiRegionConfig};
+    use workloads::harness::stdout_artifact;
+    use workloads::multiregion::{phase_csv, run_multiregion, MultiRegionConfig};
 
     let cfg = MultiRegionConfig {
         regions: flags.usize("regions").max(1),
@@ -505,19 +509,8 @@ fn cmd_multiregion(flags: &Flags) {
         std::process::exit(2);
     });
 
-    let attrs = attribute_trace(&result.trace);
-    let names = result.node_names.clone();
-    let label_of = |node: NodeId| {
-        names
-            .get(node.index())
-            .map(|n| n.to_string())
-            .unwrap_or_else(|| format!("n{}", node.0))
-    };
-    let breakdowns = breakdown_by_peer(&attrs, label_of);
-
-    print!("{}", result.trace.to_jsonl());
-    println!("{}", metrics_snapshot_json(&result.metrics));
-    print!("{}", phase_table_csv(&breakdowns));
+    let tail = phase_csv(&result.trace, &result.node_names);
+    print!("{}", stdout_artifact(&result.trace, &result.metrics, &tail));
     eprintln!(
         "multiregion: {:?} at t={:.1}s, {} events, {} trace events ({} dropped), \
          digest {:016x}, {} windows, {} workers",

@@ -35,6 +35,15 @@ const CHURN_MODULES: &[&str] = &[
     "crates/workloads/src/churn.rs",
 ];
 
+/// The harness is the single place every driver's determinism contract
+/// flows through, and the streaming modules carry the playback-clock
+/// argument; both get the same audit-in-one-sitting cap.
+const HARNESS_MODULES: &[&str] = &[
+    "crates/workloads/src/harness.rs",
+    "crates/workloads/src/streaming.rs",
+    "crates/overlay/src/streaming.rs",
+];
+
 fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
     let entries = match fs::read_dir(dir) {
         Ok(entries) => entries,
@@ -122,6 +131,23 @@ fn churn_modules_stay_under_the_tight_cap() {
             lines <= SHARD_MAX_LINES,
             "{rel} has {lines} lines (cap {SHARD_MAX_LINES}) — keep the \
              churn determinism argument auditable in one sitting"
+        );
+    }
+}
+
+#[test]
+fn harness_modules_stay_under_the_tight_cap() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for rel in HARNESS_MODULES {
+        let path = root.join(rel);
+        let lines = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+            .lines()
+            .count();
+        assert!(
+            lines <= SHARD_MAX_LINES,
+            "{rel} has {lines} lines (cap {SHARD_MAX_LINES}) — keep the \
+             harness and streaming layers auditable in one sitting"
         );
     }
 }
